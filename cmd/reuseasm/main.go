@@ -1,0 +1,97 @@
+// Command reuseasm assembles a source file and prints a listing: address,
+// encoded machine word, and disassembly for every instruction, plus the
+// symbol table. Useful for inspecting what the reuse mechanism's loop
+// detector will see (backward branches and their static distances).
+//
+// Usage:
+//
+//	reuseasm prog.s            # listing to stdout
+//	reuseasm -loops prog.s     # also report detectable loops per queue size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"reuseiq/internal/asm"
+	"reuseiq/internal/isa"
+	"reuseiq/internal/prog"
+)
+
+func main() {
+	loops := flag.Bool("loops", false, "report backward branches and their capturability")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: reuseasm [-loops] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reuseasm:", err)
+		os.Exit(1)
+	}
+	p, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reuseasm:", err)
+		os.Exit(1)
+	}
+
+	// Reverse symbol map for nicer listings.
+	labels := map[uint32][]string{}
+	for name, addr := range p.Symbols {
+		labels[addr] = append(labels[addr], name)
+	}
+	for _, names := range labels {
+		sort.Strings(names)
+	}
+
+	for i, in := range p.Text {
+		pc := prog.Addr(i)
+		for _, l := range labels[pc] {
+			fmt.Printf("%s:\n", l)
+		}
+		fmt.Printf("  0x%08x  %08x  %s\n", pc, p.Words[i], in.Disasm(pc))
+	}
+
+	var dataSyms []string
+	for name, addr := range p.Symbols {
+		if addr >= prog.DataBase && addr < prog.StackTop {
+			dataSyms = append(dataSyms, fmt.Sprintf("  %-16s 0x%08x", name, addr))
+		}
+	}
+	if len(dataSyms) > 0 {
+		sort.Strings(dataSyms)
+		fmt.Println("\ndata symbols:")
+		for _, s := range dataSyms {
+			fmt.Println(s)
+		}
+	}
+
+	if *loops {
+		fmt.Println("\nbackward control transfers (loop-detector candidates):")
+		found := false
+		for i, in := range p.Text {
+			pc := prog.Addr(i)
+			tgt, ok := in.StaticTarget(pc)
+			if !ok || tgt > pc || in.Op.Info().Class == isa.ClassCall {
+				continue
+			}
+			found = true
+			size := int(pc-tgt)/4 + 1
+			fmt.Printf("  0x%08x  %-24s size %3d:", pc, in.Disasm(pc), size)
+			for _, iq := range []int{32, 64, 128, 256} {
+				if size <= iq {
+					fmt.Printf("  IQ%d:yes", iq)
+				} else {
+					fmt.Printf("  IQ%d:no ", iq)
+				}
+			}
+			fmt.Println()
+		}
+		if !found {
+			fmt.Println("  (none)")
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Command reusebench regenerates every table and figure of the paper's
+// evaluation, plus the ablations listed in DESIGN.md.
+//
+// Usage:
+//
+//	reusebench                  # everything
+//	reusebench -table 1         # one table (1 or 2)
+//	reusebench -figure 5        # one figure (5, 6, 7, 8 or 9)
+//	reusebench -ablation nblt   # one ablation (nblt or strategy)
+//	reusebench -extension frontends  # compare vs filter cache / loop cache
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"reuseiq/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (1 or 2)")
+	figure := flag.Int("figure", 0, "regenerate one figure (5-9)")
+	ablation := flag.String("ablation", "", "run one ablation (nblt, nbltsweep, strategy or unroll)")
+	extension := flag.String("extension", "", "run an extension experiment (frontends)")
+	csvDir := flag.String("csv", "", "also write each figure's data as CSV into this directory")
+	flag.Parse()
+
+	s := experiments.NewSuite()
+	start := time.Now()
+	all := *table == 0 && *figure == 0 && *ablation == "" && *extension == ""
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "reusebench:", err)
+		os.Exit(1)
+	}
+	writeCSV := func(name string, write func(*os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fail(err)
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := write(f); err != nil {
+			fail(err)
+		}
+	}
+
+	if all || *table == 1 {
+		fmt.Println(experiments.Table1())
+	}
+	if all || *table == 2 {
+		fmt.Println(experiments.Table2())
+	}
+	if all || *figure == 5 {
+		f, err := s.Figure5(experiments.DefaultSizes)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(f)
+		writeCSV("figure5.csv", func(w *os.File) error { return f.WriteCSV(w) })
+	}
+	if all || *figure == 6 {
+		f, err := s.Figure6(experiments.DefaultSizes)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(f)
+		writeCSV("figure6.csv", func(w *os.File) error { return f.WriteCSV(w) })
+	}
+	if all || *figure == 7 {
+		f, err := s.Figure7(experiments.DefaultSizes)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(f)
+		writeCSV("figure7.csv", func(w *os.File) error { return f.WriteCSV(w) })
+	}
+	if all || *figure == 8 {
+		f, err := s.Figure8(experiments.DefaultSizes)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(f)
+		writeCSV("figure8.csv", func(w *os.File) error { return f.WriteCSV(w) })
+	}
+	if all || *figure == 9 {
+		f, err := s.Figure9()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(f)
+		writeCSV("figure9.csv", func(w *os.File) error { return f.WriteCSV(w) })
+	}
+	if all || *ablation == "nblt" {
+		a, err := s.AblationNBLT()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(a)
+	}
+	if all || *ablation == "strategy" {
+		a, err := s.AblationStrategy()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(a)
+	}
+	if all || *ablation == "nbltsweep" {
+		sw, err := s.SweepNBLTSizes([]int{0, 2, 4, 8, 16})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(sw)
+	}
+	if all || *ablation == "unroll" {
+		a, err := s.AblationUnroll(4)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(a)
+	}
+	if all || *extension == "frontends" {
+		c, err := s.CompareFrontEnds()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(c)
+	}
+	fmt.Printf("(completed in %s)\n", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,141 @@
+// Command reusesim runs a single workload on the simulated processor and
+// prints performance, reuse-mechanism and power statistics.
+//
+// Usage:
+//
+//	reusesim -kernel aps                 # one of the Table 2 kernels
+//	reusesim -asm prog.s                 # an assembly file
+//	reusesim -kernel adi -iq 128         # issue-queue size sweep point
+//	reusesim -kernel adi -baseline       # conventional issue queue
+//	reusesim -kernel adi -distribute     # apply loop distribution first
+//	reusesim -kernel aps -compare        # run baseline + reuse, show savings
+//	reusesim -asm prog.s -disasm         # print the loaded program and exit
+//	reusesim -kernel aps -pipetrace 40   # pipeline diagram of the first 40 insts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"reuseiq/internal/asm"
+	"reuseiq/internal/compiler"
+	"reuseiq/internal/pipeline"
+	"reuseiq/internal/power"
+	"reuseiq/internal/prog"
+	"reuseiq/internal/trace"
+	"reuseiq/internal/workloads"
+)
+
+func main() {
+	kernel := flag.String("kernel", "", "workload kernel name (adi aps btrix eflux tomcat tsf vpenta wss)")
+	asmFile := flag.String("asm", "", "assembly source file to run instead of a kernel")
+	iq := flag.Int("iq", 64, "issue queue size (ROB = iq, LSQ = iq/2)")
+	baseline := flag.Bool("baseline", false, "disable the reuse mechanism")
+	distribute := flag.Bool("distribute", false, "apply loop distribution to the kernel")
+	compare := flag.Bool("compare", false, "run both configurations and report savings")
+	disasm := flag.Bool("disasm", false, "print the program disassembly and exit")
+	emitAsm := flag.Bool("S", false, "print the generated assembly for a kernel and exit")
+	pipetrace := flag.Int("pipetrace", 0, "record and print a pipeline diagram of the first N instructions")
+	statsFlag := flag.Bool("stats", false, "print the full counter set instead of the summary")
+	flag.Parse()
+
+	p, src, err := load(*kernel, *asmFile, *distribute)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reusesim:", err)
+		os.Exit(1)
+	}
+	if *emitAsm {
+		fmt.Print(src)
+		return
+	}
+	if *disasm {
+		fmt.Print(p.Disasm())
+		return
+	}
+
+	if *compare {
+		base := run(p, *iq, false)
+		reuse := run(p, *iq, true)
+		sv := power.Compare(power.Analyze(base), power.Analyze(reuse))
+		fmt.Printf("baseline: %d cycles, IPC %.3f\n", base.C.Cycles, base.IPC())
+		fmt.Printf("reuse:    %d cycles, IPC %.3f, gated %.1f%%\n",
+			reuse.C.Cycles, reuse.IPC(), 100*reuse.GatedFraction())
+		fmt.Printf("power savings: overall %.1f%%  icache %.1f%%  bpred %.1f%%  issueq %.1f%%  (overhead %.2f%% of total)\n",
+			100*sv.Overall, 100*sv.Component[power.ICache], 100*sv.Component[power.BPred],
+			100*sv.Component[power.IssueQueue], 100*sv.OverheadShare)
+		return
+	}
+
+	if *pipetrace > 0 {
+		cfg := pipeline.DefaultConfig().WithIQSize(*iq)
+		cfg.Reuse.Enabled = !*baseline
+		m := pipeline.New(cfg, p)
+		m.Rec = trace.New(*pipetrace)
+		if err := m.Run(); err != nil {
+			fmt.Fprintln(os.Stderr, "reusesim:", err)
+			os.Exit(1)
+		}
+		m.Rec.Render(os.Stdout)
+		wait, life, n := m.Rec.Stats()
+		fmt.Printf("recorded %d committed instructions: avg dispatch-to-issue %.1f cycles, avg lifetime %.1f cycles\n", n, wait, life)
+		return
+	}
+
+	m := run(p, *iq, !*baseline)
+	if *statsFlag {
+		fmt.Print(m.StatsSet())
+		return
+	}
+	fmt.Printf("cycles            %12d\n", m.C.Cycles)
+	fmt.Printf("commits           %12d\n", m.C.Commits)
+	fmt.Printf("IPC               %12.3f\n", m.IPC())
+	fmt.Printf("gated cycles      %12d (%.1f%%)\n", m.C.GatedCycles, 100*m.GatedFraction())
+	fmt.Printf("mispredicts       %12d\n", m.C.Mispredicts)
+	s := m.Ctl.S
+	fmt.Printf("loop detections   %12d (NBLT filtered %d)\n", s.Detections, s.NBLTFiltered)
+	fmt.Printf("bufferings        %12d (revoked %d: inner %d, exit %d, full %d, recovery %d)\n",
+		s.Bufferings, s.Revokes, s.RevokesInner, s.RevokesExit, s.RevokesFull, s.RevokesRecovery)
+	fmt.Printf("promotions        %12d (iterations buffered %d)\n", s.Promotions, s.IterationsBuffered)
+	fmt.Printf("reuse renames     %12d (exits %d)\n", s.ReuseRenames, s.ReuseExits)
+	fmt.Printf("icache accesses   %12d (miss rate %.2f%%)\n", m.Hier.L1I.Accesses, 100*m.Hier.L1I.MissRate())
+	fmt.Printf("dcache accesses   %12d (miss rate %.2f%%)\n", m.Hier.L1D.Accesses, 100*m.Hier.L1D.MissRate())
+	fmt.Println()
+	fmt.Print(power.Analyze(m))
+}
+
+func load(kernel, asmFile string, distribute bool) (*prog.Program, string, error) {
+	switch {
+	case kernel != "" && asmFile != "":
+		return nil, "", fmt.Errorf("choose either -kernel or -asm")
+	case kernel != "":
+		k, ok := workloads.ByName(kernel)
+		if !ok {
+			return nil, "", fmt.Errorf("unknown kernel %q", kernel)
+		}
+		ir := k.Prog
+		if distribute {
+			ir = compiler.Distribute(ir)
+		}
+		return compiler.Compile(ir)
+	case asmFile != "":
+		src, err := os.ReadFile(asmFile)
+		if err != nil {
+			return nil, "", err
+		}
+		p, err := asm.Assemble(string(src))
+		return p, string(src), err
+	}
+	return nil, "", fmt.Errorf("need -kernel or -asm (try -kernel aps)")
+}
+
+func run(p *prog.Program, iq int, reuse bool) *pipeline.Machine {
+	cfg := pipeline.DefaultConfig().WithIQSize(iq)
+	cfg.Reuse.Enabled = reuse
+	m := pipeline.New(cfg, p)
+	if err := m.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "reusesim:", err)
+		os.Exit(1)
+	}
+	return m
+}

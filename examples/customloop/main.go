@@ -1,0 +1,100 @@
+// Customloop: drive the full stack by hand — write a loop nest in the
+// compiler IR, lower it to assembly, inspect the generated code, and compare
+// the out-of-order model's architectural results against the functional
+// interpreter. Demonstrates the NBLT at work on a nested loop (the outer
+// loop is detected, found non-bufferable, and filtered afterwards).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"reuseiq/internal/compiler"
+	"reuseiq/internal/interp"
+	"reuseiq/internal/pipeline"
+)
+
+func main() {
+	// smooth: out[i] = (in[i-1] + in[i] + in[i+1]) / 3, swept repeatedly.
+	const n, sweeps = 120, 30
+	ir := &compiler.Program{
+		Name: "smooth",
+		Arrays: []compiler.ArrayDecl{
+			{Name: "in", Len: n + 2},
+			{Name: "out", Len: n + 2},
+		},
+		Body: []compiler.Stmt{
+			compiler.Loop{Var: "k", Lo: 0, Hi: n + 2, Body: []compiler.Stmt{
+				compiler.Assign{
+					Dest: &compiler.Ref{Array: "in", Index: compiler.IdxVar("k")},
+					E:    compiler.Bin{Op: compiler.Mul, L: compiler.IVar("k"), R: compiler.Const(0.125)},
+				},
+			}},
+			compiler.Loop{Var: "t", Lo: 0, Hi: sweeps, Body: []compiler.Stmt{
+				compiler.Loop{Var: "i", Lo: 1, Hi: n + 1, Body: []compiler.Stmt{
+					compiler.Assign{
+						Dest: &compiler.Ref{Array: "out", Index: compiler.IdxVar("i")},
+						E: compiler.Bin{Op: compiler.Div,
+							L: compiler.Bin{Op: compiler.Add,
+								L: compiler.Bin{Op: compiler.Add,
+									L: compiler.Ref{Array: "in", Index: compiler.Idx(-1, "i", 1)},
+									R: compiler.Ref{Array: "in", Index: compiler.IdxVar("i")}},
+								R: compiler.Ref{Array: "in", Index: compiler.Idx(1, "i", 1)}},
+							R: compiler.Const(3)},
+					},
+					compiler.Assign{
+						Dest: &compiler.Ref{Array: "in", Index: compiler.IdxVar("i")},
+						E: compiler.Bin{Op: compiler.Add,
+							L: compiler.Bin{Op: compiler.Mul,
+								L: compiler.Ref{Array: "in", Index: compiler.IdxVar("i")},
+								R: compiler.Const(0.5)},
+							R: compiler.Bin{Op: compiler.Mul,
+								L: compiler.Ref{Array: "out", Index: compiler.IdxVar("i")},
+								R: compiler.Const(0.5)}},
+					},
+				}},
+			}},
+		},
+	}
+
+	mp, src, err := compiler.Compile(ir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("first 14 lines of generated assembly:")
+	for _, line := range strings.Split(src, "\n")[:14] {
+		fmt.Println("  ", line)
+	}
+
+	// Golden model.
+	g := interp.New(mp)
+	if err := g.Run(); err != nil {
+		log.Fatal(err)
+	}
+	// Out-of-order model with the reuse issue queue.
+	m := pipeline.New(pipeline.DefaultConfig(), mp)
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Cross-check architectural memory.
+	base := mp.Symbols["out"]
+	diffs := 0
+	for i := 0; i < n+2; i++ {
+		if g.State.Mem.ReadF64(base+uint32(8*i)) != m.Mem.ReadF64(base+uint32(8*i)) {
+			diffs++
+		}
+	}
+	fmt.Printf("\narchitectural memory check: %d mismatches against the interpreter\n", diffs)
+	fmt.Printf("committed %d instructions in %d cycles (IPC %.2f), front end gated %.1f%%\n",
+		m.C.Commits, m.C.Cycles, m.IPC(), 100*m.GatedFraction())
+
+	s := m.Ctl.S
+	nblt := m.Ctl.NBLT()
+	fmt.Printf("\nNBLT at work on the nested loop:\n")
+	fmt.Printf("  detections %d, filtered by NBLT %d\n", s.Detections, s.NBLTFiltered)
+	fmt.Printf("  revokes %d (inner-loop %d) — the outer 't' loop is registered\n",
+		s.Revokes, s.RevokesInner)
+	fmt.Printf("  NBLT lookups %d, hits %d, inserts %d\n", nblt.Lookups, nblt.Hits, nblt.Inserts)
+}

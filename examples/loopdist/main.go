@@ -1,0 +1,74 @@
+// Loopdist: reproduce the paper's Section 4 experiment for one kernel —
+// apply compiler loop distribution to a large loop body so it fits a
+// 64-entry issue queue, and measure the effect on gating and power.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"reuseiq/internal/compiler"
+	"reuseiq/internal/pipeline"
+	"reuseiq/internal/power"
+	"reuseiq/internal/workloads"
+)
+
+func main() {
+	kernel, ok := workloads.ByName("btrix")
+	if !ok {
+		log.Fatal("kernel not found")
+	}
+	original := kernel.Prog
+	optimized := compiler.Distribute(original)
+
+	fmt.Printf("kernel %s: loop distribution (Kennedy–McKinley, conservative name-based deps)\n\n", kernel.Name)
+	fmt.Printf("  loops:            %d -> %d\n",
+		compiler.CountLoops(original), compiler.CountLoops(optimized))
+	fmt.Printf("  largest loop body: %d -> %d assignments\n\n",
+		compiler.MaxLoopBody(original), compiler.MaxLoopBody(optimized))
+
+	// Verify the transformation is semantics-preserving via the IR
+	// evaluator before measuring anything.
+	e1, err := compiler.Eval(original)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e2, err := compiler.Eval(optimized)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range original.Arrays {
+		for i := range e1.Arrays[a.Name] {
+			if e1.Arrays[a.Name][i] != e2.Arrays[a.Name][i] {
+				log.Fatalf("distribution changed %s[%d]!", a.Name, i)
+			}
+		}
+	}
+	fmt.Println("  semantics check: distributed IR matches original bit for bit")
+
+	fmt.Printf("\n%12s  %7s  %9s  %8s\n", "code", "gated", "IPC loss", "overall")
+	for _, variant := range []struct {
+		name string
+		p    *compiler.Program
+	}{{"original", original}, {"distributed", optimized}} {
+		mp, _, err := compiler.Compile(variant.p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base := pipeline.New(pipeline.BaselineConfig(), mp)
+		if err := base.Run(); err != nil {
+			log.Fatal(err)
+		}
+		reuse := pipeline.New(pipeline.DefaultConfig(), mp)
+		if err := reuse.Run(); err != nil {
+			log.Fatal(err)
+		}
+		sv := power.Compare(power.Analyze(base), power.Analyze(reuse))
+		fmt.Printf("%12s  %6.1f%%  %8.2f%%  %7.1f%%\n",
+			variant.name, 100*reuse.GatedFraction(),
+			100*(1-reuse.IPC()/base.IPC()), 100*sv.Overall)
+	}
+	fmt.Println("\nbtrix's ~90-instruction dominant loop cannot be captured by a 64-entry")
+	fmt.Println("queue; after distribution each split loop fits and the front end gates")
+	fmt.Println("(paper Figure 9).")
+}

@@ -1,0 +1,3 @@
+module reuseiq
+
+go 1.22

@@ -1,0 +1,148 @@
+// Package altfe implements the two classes of prior-art front-end power
+// mechanisms the paper positions itself against (Section 1):
+//
+//   - a filter cache (Kin et al. [9], Tang et al. [14]): a tiny L0
+//     instruction cache between the datapath and L1I that captures tight
+//     spatial/temporal locality, trading a miss-penalty cycle for cheaper
+//     hit energy;
+//   - a dynamic loop cache (Lee, Moyer, Arends [10]; Anderson & Agarwala
+//     [1]): a small instruction buffer that detects short backward branches,
+//     fills during the next loop iteration, and then supplies instructions
+//     itself so the L1 instruction cache can idle. Unlike the paper's
+//     mechanism it needs a dedicated buffer, and decode and branch
+//     prediction keep running.
+//
+// Both integrate into the pipeline's fetch stage and let the benchmark
+// harness compare the paper's reuse-capable issue queue against its
+// alternatives on equal terms.
+package altfe
+
+import "reuseiq/internal/isa"
+
+// LoopCacheConfig sizes the dynamic loop cache.
+type LoopCacheConfig struct {
+	// Entries is the number of instructions the buffer can hold.
+	Entries int
+}
+
+// lcState is the loop cache controller state (idle/fill/active), following
+// Lee-Moyer-Arends: a short backward branch (sbb) triggers FILL on its next
+// taken execution; reaching the sbb again while filling switches to ACTIVE,
+// where instructions are supplied from the buffer until any change of flow
+// other than the sbb, or the sbb falling through.
+type lcState uint8
+
+const (
+	lcIdle lcState = iota
+	lcFill
+	lcActive
+)
+
+// LoopCache is the dynamic loop cache.
+type LoopCache struct {
+	cfg   LoopCacheConfig
+	state lcState
+
+	head, tail uint32 // loop bounds (start and sbb address)
+	valid      map[uint32]bool
+
+	// Activity counters for the power model and reports.
+	Supplies uint64 // instructions delivered from the buffer
+	Fills    uint64 // instructions written into the buffer
+	Detects  uint64
+	Exits    uint64
+}
+
+// NewLoopCache creates an empty loop cache.
+func NewLoopCache(cfg LoopCacheConfig) *LoopCache {
+	if cfg.Entries <= 0 {
+		cfg.Entries = 32
+	}
+	return &LoopCache{cfg: cfg, valid: map[uint32]bool{}}
+}
+
+// Supplying reports whether pc would be delivered from the loop cache this
+// fetch (saving the L1I access).
+func (lc *LoopCache) Supplying(pc uint32) bool {
+	return lc.state == lcActive && lc.valid[pc]
+}
+
+// Observe feeds one fetched instruction (with its predicted direction) into
+// the controller. It must be called for every fetched instruction, after
+// Supplying.
+func (lc *LoopCache) Observe(pc uint32, in isa.Inst, predTaken bool) {
+	supplied := lc.Supplying(pc)
+	if supplied {
+		lc.Supplies++
+	}
+
+	switch lc.state {
+	case lcFill:
+		if pc >= lc.head && pc <= lc.tail {
+			if !lc.valid[pc] {
+				lc.valid[pc] = true
+				lc.Fills++
+			}
+		} else {
+			lc.reset() // flow left the loop during fill
+			return
+		}
+	case lcActive:
+		if pc < lc.head || pc > lc.tail {
+			lc.Exits++
+			lc.reset()
+			return
+		}
+	}
+
+	isSbb, target := shortBackwardBranch(pc, in)
+	switch lc.state {
+	case lcIdle:
+		if isSbb && predTaken && int(pc-target)/4+1 <= lc.cfg.Entries {
+			lc.Detects++
+			lc.state = lcFill
+			lc.head, lc.tail = target, pc
+			clear(lc.valid)
+		}
+	case lcFill:
+		if pc == lc.tail {
+			if predTaken {
+				lc.state = lcActive
+			} else {
+				lc.reset()
+			}
+		} else if isSbb && pc != lc.tail {
+			lc.reset() // inner change of flow: abandon
+		}
+	case lcActive:
+		if pc == lc.tail && !predTaken {
+			lc.Exits++
+			lc.reset()
+		}
+	}
+}
+
+// OnRedirect handles a misprediction recovery: any supply or fill in
+// progress is abandoned (the recovered stream may diverge from the buffer).
+func (lc *LoopCache) OnRedirect() { lc.reset() }
+
+func (lc *LoopCache) reset() {
+	lc.state = lcIdle
+	clear(lc.valid)
+}
+
+// Active reports whether the buffer is currently supplying instructions.
+func (lc *LoopCache) Active() bool { return lc.state == lcActive }
+
+// shortBackwardBranch reports whether in at pc is a backward conditional
+// branch or direct jump, and its target.
+func shortBackwardBranch(pc uint32, in isa.Inst) (bool, uint32) {
+	switch in.Op.Info().Class {
+	case isa.ClassBranch:
+		t := in.BranchTarget(pc)
+		return t <= pc, t
+	case isa.ClassJump:
+		return in.Target <= pc, in.Target
+	}
+	return false, 0
+}

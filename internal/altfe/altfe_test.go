@@ -1,0 +1,125 @@
+package altfe
+
+import (
+	"testing"
+
+	"reuseiq/internal/isa"
+)
+
+func sbb(pc, target uint32) isa.Inst {
+	off := (int32(target) - int32(pc) - 4) / 4
+	return isa.Inst{Op: isa.OpBNE, Rs: 2, Imm: off}
+}
+
+func addi() isa.Inst { return isa.Inst{Op: isa.OpADDI, Rt: 2, Rs: 2, Imm: 1} }
+
+const base = 0x0040_0000
+
+// runIteration feeds one loop iteration [head..tail] into the cache,
+// predicting the tail branch as predTaken, and returns how many fetches were
+// supplied by the buffer.
+func runIteration(lc *LoopCache, head, tail uint32, predTaken bool) int {
+	supplied := 0
+	for pc := head; pc <= tail; pc += 4 {
+		if lc.Supplying(pc) {
+			supplied++
+		}
+		in := addi()
+		taken := false
+		if pc == tail {
+			in = sbb(pc, head)
+			taken = predTaken
+		}
+		lc.Observe(pc, in, taken)
+	}
+	return supplied
+}
+
+func TestLoopCacheFillThenSupply(t *testing.T) {
+	lc := NewLoopCache(LoopCacheConfig{Entries: 32})
+	head, tail := uint32(base), uint32(base+4*5)
+
+	// Iteration 1: detection at the sbb.
+	if got := runIteration(lc, head, tail, true); got != 0 {
+		t.Fatalf("supplied %d during detection iteration", got)
+	}
+	if lc.Detects != 1 || lc.state != lcFill {
+		t.Fatalf("detect failed: %+v", lc)
+	}
+	// Iteration 2: fill.
+	if got := runIteration(lc, head, tail, true); got != 0 {
+		t.Fatalf("supplied %d during fill iteration", got)
+	}
+	if !lc.Active() {
+		t.Fatal("not active after fill")
+	}
+	if lc.Fills != 6 {
+		t.Fatalf("fills = %d, want 6", lc.Fills)
+	}
+	// Iteration 3+: supply everything.
+	if got := runIteration(lc, head, tail, true); got != 6 {
+		t.Fatalf("supplied %d in active iteration, want 6", got)
+	}
+	// Final iteration: sbb predicted not taken exits supply mode.
+	runIteration(lc, head, tail, false)
+	if lc.Active() {
+		t.Fatal("still active after loop exit")
+	}
+	if lc.Exits == 0 {
+		t.Fatal("exit not counted")
+	}
+}
+
+func TestLoopCacheTooBigLoopIgnored(t *testing.T) {
+	lc := NewLoopCache(LoopCacheConfig{Entries: 4})
+	tail := uint32(base + 4*10) // 11-instruction loop, 4-entry buffer
+	lc.Observe(tail, sbb(tail, base), true)
+	if lc.Detects != 0 || lc.state != lcIdle {
+		t.Fatal("oversized loop detected")
+	}
+}
+
+func TestLoopCacheInnerFlowAbandonsFill(t *testing.T) {
+	lc := NewLoopCache(LoopCacheConfig{Entries: 32})
+	head, tail := uint32(base), uint32(base+4*8)
+	lc.Observe(tail, sbb(tail, head), true) // detect
+	// During fill, an inner backward branch appears.
+	lc.Observe(head, addi(), false)
+	inner := uint32(base + 4*4)
+	lc.Observe(inner, sbb(inner, head+4), true)
+	if lc.state != lcIdle {
+		t.Fatal("inner change of flow did not abandon the fill")
+	}
+}
+
+func TestLoopCacheRedirectResets(t *testing.T) {
+	lc := NewLoopCache(LoopCacheConfig{Entries: 32})
+	head, tail := uint32(base), uint32(base+4*3)
+	runIteration(lc, head, tail, true)
+	runIteration(lc, head, tail, true)
+	if !lc.Active() {
+		t.Fatal("not active")
+	}
+	lc.OnRedirect()
+	if lc.Active() || lc.Supplying(head) {
+		t.Fatal("redirect did not reset the buffer")
+	}
+}
+
+func TestLoopCacheLeavingLoopDuringFill(t *testing.T) {
+	lc := NewLoopCache(LoopCacheConfig{Entries: 32})
+	head, tail := uint32(base), uint32(base+4*6)
+	lc.Observe(tail, sbb(tail, head), true) // detect
+	lc.Observe(head, addi(), false)         // start filling
+	lc.Observe(tail+400, addi(), false)     // flow leaves the loop
+	if lc.state != lcIdle {
+		t.Fatal("leaving the loop did not reset the fill")
+	}
+}
+
+func TestLoopCacheDefaultSize(t *testing.T) {
+	lc := NewLoopCache(LoopCacheConfig{})
+	if lc.cfg.Entries != 32 {
+		t.Errorf("default entries = %d", lc.cfg.Entries)
+	}
+}

@@ -1,0 +1,288 @@
+// Package asm implements a two-pass assembler for the ISA's textual assembly
+// language. It supports labels with forward references, a text and a data
+// segment, common data directives, and a small set of pseudo-instructions
+// (la, li, move, b, blt/bge/bgt/ble) that expand to real instructions.
+//
+// Syntax example:
+//
+//	        .data
+//	a:      .space 4000
+//	n:      .word 500
+//
+//	        .text
+//	main:   la   $r2, a
+//	        lw   $r3, n_abs($zero)    # or: la $r4, n ; lw $r3, 0($r4)
+//	loop:   addi $r3, $r3, -1
+//	        bne  $r3, $zero, loop
+//	        halt
+//
+// Comments start with '#' or ';' and run to end of line. The assembler
+// temporary register $at ($r1) is clobbered by pseudo branch expansions.
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"reuseiq/internal/isa"
+	"reuseiq/internal/prog"
+)
+
+// Error describes an assembly failure with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// Assemble translates source into a loaded program image.
+func Assemble(source string) (*prog.Program, error) {
+	a := &assembler{
+		symbols: map[string]uint32{},
+		dataPtr: prog.DataBase,
+	}
+	if err := a.pass1(source); err != nil {
+		return nil, err
+	}
+	if err := a.pass2(); err != nil {
+		return nil, err
+	}
+	p, err := prog.New(a.text)
+	if err != nil {
+		return nil, err
+	}
+	p.Data = a.data
+	p.Symbols = a.symbols
+	if entry, ok := a.symbols["main"]; ok {
+		p.Entry = entry
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error, for tests and tables of
+// fixed programs.
+func MustAssemble(source string) *prog.Program {
+	p, err := Assemble(source)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type stmt struct {
+	line     int
+	mnemonic string
+	operands []string
+	addr     uint32 // assigned in pass 1
+}
+
+type assembler struct {
+	symbols map[string]uint32
+	stmts   []stmt
+	text    []isa.Inst
+	data    *prog.Memory
+	dataPtr uint32
+}
+
+const atReg = 1 // $at, assembler temporary
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// pass1 tokenizes, assigns addresses to labels and statements, and lays out
+// the data segment.
+func (a *assembler) pass1(source string) error {
+	a.data = prog.NewMemory()
+	textPtr := uint32(prog.TextBase)
+	inText := true
+	for lineNo, raw := range strings.Split(source, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		for line != "" {
+			// Peel off leading labels.
+			colon := strings.Index(line, ":")
+			if colon >= 0 && !strings.ContainsAny(line[:colon], " \t,$(") {
+				name := line[:colon]
+				if !validLabel(name) {
+					return errf(lineNo+1, "invalid label %q", name)
+				}
+				if _, dup := a.symbols[name]; dup {
+					return errf(lineNo+1, "duplicate label %q", name)
+				}
+				if inText {
+					a.symbols[name] = textPtr
+				} else {
+					a.symbols[name] = a.dataPtr
+				}
+				line = strings.TrimSpace(line[colon+1:])
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		fields := splitOperands(line)
+		mnemonic := strings.ToLower(fields[0])
+		operands := fields[1:]
+
+		if strings.HasPrefix(mnemonic, ".") {
+			switch mnemonic {
+			case ".text":
+				inText = true
+			case ".data":
+				inText = false
+			case ".global", ".globl", ".ent", ".end":
+				// accepted and ignored
+			case ".word":
+				for _, op := range operands {
+					v, err := parseInt(op, lineNo+1)
+					if err != nil {
+						return err
+					}
+					a.data.WriteI32(a.dataPtr, int32(v))
+					a.dataPtr += 4
+				}
+			case ".double":
+				for _, op := range operands {
+					f, err := strconv.ParseFloat(op, 64)
+					if err != nil {
+						return errf(lineNo+1, "bad double %q", op)
+					}
+					a.data.WriteF64(a.dataPtr, f)
+					a.dataPtr += 8
+				}
+			case ".space":
+				if len(operands) != 1 {
+					return errf(lineNo+1, ".space wants one operand")
+				}
+				n, err := parseInt(operands[0], lineNo+1)
+				if err != nil {
+					return err
+				}
+				if n < 0 {
+					return errf(lineNo+1, ".space with negative size %d", n)
+				}
+				a.dataPtr += uint32(n)
+			case ".align":
+				if len(operands) != 1 {
+					return errf(lineNo+1, ".align wants one operand")
+				}
+				n, err := parseInt(operands[0], lineNo+1)
+				if err != nil {
+					return err
+				}
+				align := uint32(1) << uint(n)
+				a.dataPtr = (a.dataPtr + align - 1) &^ (align - 1)
+			default:
+				return errf(lineNo+1, "unknown directive %s", mnemonic)
+			}
+			continue
+		}
+
+		if !inText {
+			return errf(lineNo+1, "instruction %q in data segment", mnemonic)
+		}
+		n, err := a.expansionSize(mnemonic, operands, lineNo+1)
+		if err != nil {
+			return err
+		}
+		a.stmts = append(a.stmts, stmt{line: lineNo + 1, mnemonic: mnemonic, operands: operands, addr: textPtr})
+		textPtr += uint32(n) * 4
+	}
+	return nil
+}
+
+// expansionSize returns how many machine instructions a statement assembles
+// to (pseudo-instructions may expand to several).
+func (a *assembler) expansionSize(mnemonic string, operands []string, line int) (int, error) {
+	switch mnemonic {
+	case "la":
+		return 2, nil
+	case "li":
+		if len(operands) != 2 {
+			return 0, errf(line, "li wants 2 operands")
+		}
+		v, err := parseInt(operands[1], line)
+		if err != nil {
+			return 0, err
+		}
+		if v >= math.MinInt16 && v <= math.MaxInt16 {
+			return 1, nil
+		}
+		return 2, nil
+	case "move", "b", "neg":
+		return 1, nil
+	case "blt", "bge", "bgt", "ble":
+		return 2, nil
+	}
+	if _, ok := isa.OpByName(mnemonic); !ok {
+		return 0, errf(line, "unknown mnemonic %q", mnemonic)
+	}
+	return 1, nil
+}
+
+// pass2 assembles every statement into machine instructions.
+func (a *assembler) pass2() error {
+	for _, s := range a.stmts {
+		insts, err := a.assembleStmt(s)
+		if err != nil {
+			return err
+		}
+		a.text = append(a.text, insts...)
+	}
+	return nil
+}
+
+func validLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitOperands splits "op a, b, c" into ["op","a","b","c"].
+func splitOperands(line string) []string {
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return []string{line}
+	}
+	head := line[:i]
+	rest := strings.TrimSpace(line[i:])
+	if rest == "" {
+		return []string{head}
+	}
+	parts := strings.Split(rest, ",")
+	out := make([]string, 0, 1+len(parts))
+	out = append(out, head)
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func parseInt(s string, line int) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, errf(line, "bad integer %q", s)
+	}
+	return v, nil
+}

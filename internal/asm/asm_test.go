@@ -1,0 +1,324 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"reuseiq/internal/isa"
+	"reuseiq/internal/prog"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := Assemble(`
+		.text
+main:	addi $r2, $zero, 5
+	add  $r3, $r2, $r2
+	halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Text) != 3 {
+		t.Fatalf("got %d instructions", len(p.Text))
+	}
+	want := []isa.Inst{
+		{Op: isa.OpADDI, Rt: 2, Rs: 0, Imm: 5},
+		{Op: isa.OpADD, Rd: 3, Rs: 2, Rt: 2},
+		{Op: isa.OpHALT},
+	}
+	for i, w := range want {
+		if p.Text[i] != w {
+			t.Errorf("inst %d = %+v, want %+v", i, p.Text[i], w)
+		}
+	}
+	if p.Entry != prog.TextBase {
+		t.Errorf("entry = 0x%x", p.Entry)
+	}
+	if p.Symbols["main"] != prog.TextBase {
+		t.Errorf("main = 0x%x", p.Symbols["main"])
+	}
+}
+
+func TestAssembleBranchTargets(t *testing.T) {
+	p, err := Assemble(`
+loop:	addi $r2, $r2, -1
+	bne  $r2, $zero, loop
+	beq  $r2, $zero, done
+	nop
+done:	halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bne at index 1 targeting index 0: offset = (0 - 1 - 1) = -2.
+	if p.Text[1].Imm != -2 {
+		t.Errorf("backward branch imm = %d, want -2", p.Text[1].Imm)
+	}
+	// beq at index 2 targeting index 4: offset = 4 - 2 - 1 = 1.
+	if p.Text[2].Imm != 1 {
+		t.Errorf("forward branch imm = %d, want 1", p.Text[2].Imm)
+	}
+}
+
+func TestAssembleDataSegment(t *testing.T) {
+	p, err := Assemble(`
+	.data
+a:	.word 1, 2, -3
+b:	.double 1.5
+c:	.space 16
+d:	.word 0x10
+	.text
+	halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aAddr := p.Symbols["a"]
+	if aAddr != prog.DataBase {
+		t.Errorf("a = 0x%x", aAddr)
+	}
+	if got := p.Data.ReadI32(aAddr + 8); got != -3 {
+		t.Errorf("a[2] = %d", got)
+	}
+	bAddr := p.Symbols["b"]
+	if bAddr != aAddr+12 {
+		t.Errorf("b = 0x%x", bAddr)
+	}
+	if got := p.Data.ReadF64(bAddr); got != 1.5 {
+		t.Errorf("b = %v", got)
+	}
+	dAddr := p.Symbols["d"]
+	if dAddr != bAddr+8+16 {
+		t.Errorf("d = 0x%x", dAddr)
+	}
+	if got := p.Data.ReadI32(dAddr); got != 16 {
+		t.Errorf("d = %d", got)
+	}
+}
+
+func TestAssembleAlign(t *testing.T) {
+	p, err := Assemble(`
+	.data
+	.space 3
+	.align 3
+x:	.double 2.0
+	.text
+	halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x := p.Symbols["x"]; x%8 != 0 {
+		t.Errorf("x = 0x%x not 8-aligned", x)
+	}
+}
+
+func TestAssemblePseudoLA(t *testing.T) {
+	p, err := Assemble(`
+	.data
+buf:	.space 64
+	.text
+	la $r4, buf
+	halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Text) != 3 {
+		t.Fatalf("la did not expand to 2: %d total", len(p.Text))
+	}
+	if p.Text[0].Op != isa.OpLUI || p.Text[1].Op != isa.OpORI {
+		t.Fatalf("la expansion = %v, %v", p.Text[0].Op, p.Text[1].Op)
+	}
+	addr := uint32(p.Text[0].Imm)<<16 | uint32(p.Text[1].Imm)
+	if addr != p.Symbols["buf"] {
+		t.Errorf("la materializes 0x%x, want 0x%x", addr, p.Symbols["buf"])
+	}
+}
+
+func TestAssemblePseudoLI(t *testing.T) {
+	p := MustAssemble(`
+	li $r2, 42
+	li $r3, -1
+	li $r4, 0x12345678
+	halt
+	`)
+	if len(p.Text) != 5 {
+		t.Fatalf("li sizes wrong: %d instructions", len(p.Text))
+	}
+	if p.Text[0].Op != isa.OpADDI || p.Text[0].Imm != 42 {
+		t.Errorf("small li = %+v", p.Text[0])
+	}
+	if p.Text[2].Op != isa.OpLUI || p.Text[3].Op != isa.OpORI {
+		t.Errorf("big li = %v, %v", p.Text[2].Op, p.Text[3].Op)
+	}
+}
+
+func TestAssemblePseudoCmpBranches(t *testing.T) {
+	p := MustAssemble(`
+start:	blt $r2, $r3, start
+	bge $r2, $r3, start
+	bgt $r2, $r3, start
+	ble $r2, $r3, start
+	halt
+	`)
+	if len(p.Text) != 9 {
+		t.Fatalf("expansion count = %d", len(p.Text))
+	}
+	// blt: slt $at,r2,r3 ; bne $at,$zero,start
+	if p.Text[0].Op != isa.OpSLT || p.Text[0].Rd != 1 {
+		t.Errorf("blt slt = %+v", p.Text[0])
+	}
+	if p.Text[1].Op != isa.OpBNE || p.Text[1].BranchTarget(prog.Addr(1)) != prog.TextBase {
+		t.Errorf("blt branch = %+v", p.Text[1])
+	}
+	// bgt swaps operands.
+	if p.Text[4].Rs != 3 || p.Text[4].Rt != 2 {
+		t.Errorf("bgt slt operands = %+v", p.Text[4])
+	}
+	if p.Text[3].Op != isa.OpBEQ || p.Text[7].Op != isa.OpBEQ {
+		t.Error("bge/ble must branch on beq")
+	}
+}
+
+func TestAssembleMemOperands(t *testing.T) {
+	p := MustAssemble(`
+	.data
+v:	.word 9
+	.text
+	la $r5, v
+	lw $r2, 0($r5)
+	lw $r3, 4($r5)
+	lw $r4, -4($r5)
+	sw $r2, ($r5)
+	l.d $f2, 8($r5)
+	s.d $f2, 16($r5)
+	halt
+	`)
+	lw := p.Text[2]
+	if lw.Op != isa.OpLW || lw.Rs != 5 || lw.Rt != 2 || lw.Imm != 0 {
+		t.Errorf("lw = %+v", lw)
+	}
+	if p.Text[4].Imm != -4 {
+		t.Errorf("negative offset = %+v", p.Text[4])
+	}
+	if p.Text[5].Imm != 0 {
+		t.Errorf("empty offset = %+v", p.Text[5])
+	}
+	if p.Text[6].Op != isa.OpLD || p.Text[6].Rt != 2 {
+		t.Errorf("l.d = %+v", p.Text[6])
+	}
+}
+
+func TestAssembleFPOps(t *testing.T) {
+	p := MustAssemble(`
+	add.d $f1, $f2, $f3
+	neg.d $f4, $f5
+	cvt.d.w $f6, $r7
+	cvt.w.d $r8, $f9
+	c.lt.d $r10, $f11, $f12
+	halt
+	`)
+	if in := p.Text[0]; in.Rd != 1 || in.Rs != 2 || in.Rt != 3 {
+		t.Errorf("add.d = %+v", in)
+	}
+	if in := p.Text[2]; in.Op != isa.OpCVTIF || in.Rd != 6 || in.Rs != 7 {
+		t.Errorf("cvt.d.w = %+v", in)
+	}
+	if in := p.Text[3]; in.Op != isa.OpCVTFI || in.Rd != 8 || in.Rs != 9 {
+		t.Errorf("cvt.w.d = %+v", in)
+	}
+	if in := p.Text[4]; in.Op != isa.OpCLTD || in.Rd != 10 || in.Rs != 11 || in.Rt != 12 {
+		t.Errorf("c.lt.d = %+v", in)
+	}
+}
+
+func TestAssembleJumps(t *testing.T) {
+	p := MustAssemble(`
+main:	jal func
+	halt
+func:	jr $ra
+	`)
+	if p.Text[0].Op != isa.OpJAL || p.Text[0].Target != prog.Addr(2) {
+		t.Errorf("jal = %+v", p.Text[0])
+	}
+	if p.Text[2].Op != isa.OpJR || p.Text[2].Rs != isa.RegRA {
+		t.Errorf("jr = %+v", p.Text[2])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown mnemonic", "frobnicate $r1, $r2"},
+		{"undefined label", "j nowhere"},
+		{"duplicate label", "x: nop\nx: nop"},
+		{"bad register", "add $r99, $r1, $r2"},
+		{"bad fp register", "add.d $r1, $f2, $f3"},
+		{"wrong operand count", "add $r1, $r2"},
+		{"inst in data", ".data\nadd $r1, $r2, $r3"},
+		{"bad directive", ".frob 3"},
+		{"negative space", ".data\n.space -4"},
+		{"imm out of range", "addi $r1, $r2, 40000"},
+		{"bad int", "addi $r1, $r2, zork"},
+		{"bad double", ".data\n.double zork"},
+		{"label char", "1bad: nop"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Assemble(c.src); err == nil {
+				t.Errorf("assembled %q without error", c.src)
+			}
+		})
+	}
+}
+
+func TestAssembleErrorHasLine(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbogus $r1\n")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q lacks line number", err)
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	p := MustAssemble(`
+	# full-line comment
+	nop        # trailing comment
+	nop        ; alt comment
+	halt
+	`)
+	if len(p.Text) != 3 {
+		t.Errorf("comments miscounted: %d instructions", len(p.Text))
+	}
+}
+
+func TestAssembleEncodesEverything(t *testing.T) {
+	// prog.New encodes each instruction; a successful Assemble implies all
+	// emitted instructions are encodable. Verify words round-trip.
+	p := MustAssemble(`
+	.data
+v:	.space 8
+	.text
+	la $r5, v
+	li $r6, 100000
+	move $r7, $r6
+	blt $r6, $r7, out
+	add.d $f1, $f2, $f3
+out:	halt
+	`)
+	for i, w := range p.Words {
+		in, err := isa.Decode(w)
+		if err != nil {
+			t.Fatalf("word %d: %v", i, err)
+		}
+		w2, err := isa.Encode(in)
+		if err != nil || w2 != w {
+			t.Fatalf("word %d does not round-trip: 0x%x -> 0x%x (%v)", i, w, w2, err)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"reuseiq/internal/progen"
+)
+
+// The disassembler's output must be valid assembler input: for arbitrary
+// generated programs, assemble -> disassemble -> re-assemble produces the
+// identical machine words. This pins the two syntaxes together.
+func TestDisasmReassemblesIdentically(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		p, err := Assemble(progen.Generate(seed, progen.DefaultConfig()))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var b strings.Builder
+		b.WriteString("\t.text\n")
+		for i, in := range p.Text {
+			fmt.Fprintf(&b, "\t%s\n", in.Disasm(uint32(0x0040_0000+4*i)))
+		}
+		p2, err := Assemble(b.String())
+		if err != nil {
+			t.Fatalf("seed %d: disassembly does not re-assemble: %v", seed, err)
+		}
+		if len(p2.Text) != len(p.Text) {
+			t.Fatalf("seed %d: %d instructions round-tripped to %d", seed, len(p.Text), len(p2.Text))
+		}
+		for i := range p.Words {
+			if p.Words[i] != p2.Words[i] {
+				t.Fatalf("seed %d inst %d: 0x%08x -> %q -> 0x%08x",
+					seed, i, p.Words[i], p.Text[i].Disasm(uint32(0x0040_0000+4*i)), p2.Words[i])
+			}
+		}
+	}
+}
+
+// Hand-picked corner cases for the same round trip.
+func TestDisasmRoundTripCorners(t *testing.T) {
+	src := `
+	.text
+	add $r3, $r1, $r2
+	sll $r2, $r3, 31
+	srav $r4, $r5, $r6
+	addi $r2, $r3, -32768
+	andi $r2, $r3, 65535
+	lui $r2, 4096
+	lw $r4, -4($r5)
+	s.d $f2, 16($r5)
+	beq $r1, $r2, main
+	blez $r1, main
+main:	jal main
+	jalr $r31, $r4
+	jr $ra
+	add.d $f1, $f2, $f3
+	neg.d $f4, $f5
+	cvt.d.w $f6, $r7
+	cvt.w.d $r8, $f9
+	c.le.d $r10, $f11, $f12
+	nop
+	halt
+	`
+	p := MustAssemble(src)
+	var b strings.Builder
+	b.WriteString("\t.text\n")
+	for i, in := range p.Text {
+		fmt.Fprintf(&b, "\t%s\n", in.Disasm(uint32(0x0040_0000+4*i)))
+	}
+	p2, err := Assemble(b.String())
+	if err != nil {
+		t.Fatalf("re-assembly failed: %v\n%s", err, b.String())
+	}
+	for i := range p.Words {
+		if p.Words[i] != p2.Words[i] {
+			t.Errorf("inst %d: 0x%08x != 0x%08x (%s)", i, p.Words[i], p2.Words[i],
+				p.Text[i].Disasm(uint32(0x0040_0000+4*i)))
+		}
+	}
+}

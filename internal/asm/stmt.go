@@ -1,0 +1,473 @@
+package asm
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"reuseiq/internal/isa"
+)
+
+// assembleStmt translates one statement (real or pseudo) into machine
+// instructions, resolving symbols.
+func (a *assembler) assembleStmt(s stmt) ([]isa.Inst, error) {
+	switch s.mnemonic {
+	case "la":
+		return a.expandLA(s)
+	case "li":
+		return a.expandLI(s)
+	case "move":
+		if len(s.operands) != 2 {
+			return nil, errf(s.line, "move wants 2 operands")
+		}
+		rd, err := parseIntReg(s.operands[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := parseIntReg(s.operands[1], s.line)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.OpADD, Rd: rd, Rs: rs, Rt: isa.RegZero}}, nil
+	case "neg":
+		if len(s.operands) != 2 {
+			return nil, errf(s.line, "neg wants 2 operands")
+		}
+		rd, err := parseIntReg(s.operands[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := parseIntReg(s.operands[1], s.line)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.OpSUB, Rd: rd, Rs: isa.RegZero, Rt: rs}}, nil
+	case "b":
+		if len(s.operands) != 1 {
+			return nil, errf(s.line, "b wants 1 operand")
+		}
+		tgt, err := a.resolve(s.operands[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.OpJ, Target: tgt}}, nil
+	case "blt", "bge", "bgt", "ble":
+		return a.expandCmpBranch(s)
+	}
+
+	op, _ := isa.OpByName(s.mnemonic)
+	in, err := a.assembleReal(op, s)
+	if err != nil {
+		return nil, err
+	}
+	return []isa.Inst{in}, nil
+}
+
+// expandLA assembles "la $rd, symbol[+off]" as lui+ori.
+func (a *assembler) expandLA(s stmt) ([]isa.Inst, error) {
+	if len(s.operands) != 2 {
+		return nil, errf(s.line, "la wants 2 operands")
+	}
+	rd, err := parseIntReg(s.operands[0], s.line)
+	if err != nil {
+		return nil, err
+	}
+	addr, err := a.resolve(s.operands[1], s.line)
+	if err != nil {
+		return nil, err
+	}
+	return []isa.Inst{
+		{Op: isa.OpLUI, Rt: rd, Imm: int32(addr >> 16)},
+		{Op: isa.OpORI, Rt: rd, Rs: rd, Imm: int32(addr & 0xffff)},
+	}, nil
+}
+
+// expandLI assembles "li $rd, imm32" as addi or lui+ori.
+func (a *assembler) expandLI(s stmt) ([]isa.Inst, error) {
+	rd, err := parseIntReg(s.operands[0], s.line)
+	if err != nil {
+		return nil, err
+	}
+	v, err := parseInt(s.operands[1], s.line)
+	if err != nil {
+		return nil, err
+	}
+	if v < math.MinInt32 || v > math.MaxUint32 {
+		return nil, errf(s.line, "li constant %d out of 32-bit range", v)
+	}
+	if v >= math.MinInt16 && v <= math.MaxInt16 {
+		return []isa.Inst{{Op: isa.OpADDI, Rt: rd, Rs: isa.RegZero, Imm: int32(v)}}, nil
+	}
+	u := uint32(v)
+	return []isa.Inst{
+		{Op: isa.OpLUI, Rt: rd, Imm: int32(u >> 16)},
+		{Op: isa.OpORI, Rt: rd, Rs: rd, Imm: int32(u & 0xffff)},
+	}, nil
+}
+
+// expandCmpBranch assembles blt/bge/bgt/ble as slt + conditional branch,
+// clobbering $at.
+func (a *assembler) expandCmpBranch(s stmt) ([]isa.Inst, error) {
+	if len(s.operands) != 3 {
+		return nil, errf(s.line, "%s wants 3 operands", s.mnemonic)
+	}
+	rs, err := parseIntReg(s.operands[0], s.line)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := parseIntReg(s.operands[1], s.line)
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := a.resolve(s.operands[2], s.line)
+	if err != nil {
+		return nil, err
+	}
+	// blt: slt at,rs,rt; bne at,0  — bge: slt at,rs,rt; beq at,0
+	// bgt: slt at,rt,rs; bne at,0  — ble: slt at,rt,rs; beq at,0
+	sltRs, sltRt := rs, rt
+	brOp := isa.OpBNE
+	switch s.mnemonic {
+	case "bge":
+		brOp = isa.OpBEQ
+	case "bgt":
+		sltRs, sltRt = rt, rs
+	case "ble":
+		sltRs, sltRt = rt, rs
+		brOp = isa.OpBEQ
+	}
+	branchPC := s.addr + 4 // the branch is the second instruction
+	off, err := branchOffset(branchPC, tgt, s.line)
+	if err != nil {
+		return nil, err
+	}
+	return []isa.Inst{
+		{Op: isa.OpSLT, Rd: atReg, Rs: sltRs, Rt: sltRt},
+		{Op: brOp, Rs: atReg, Rt: isa.RegZero, Imm: off},
+	}, nil
+}
+
+// assembleReal assembles a non-pseudo instruction.
+func (a *assembler) assembleReal(op isa.Op, s stmt) (isa.Inst, error) {
+	info := op.Info()
+	ops := s.operands
+	need := func(n int) error {
+		if len(ops) != n {
+			return errf(s.line, "%s wants %d operands, got %d", info.Name, n, len(ops))
+		}
+		return nil
+	}
+	switch op {
+	case isa.OpNOP, isa.OpHALT:
+		if err := need(0); err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: op}, nil
+
+	case isa.OpJ, isa.OpJAL:
+		if err := need(1); err != nil {
+			return isa.Inst{}, err
+		}
+		tgt, err := a.resolve(ops[0], s.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: op, Target: tgt}, nil
+
+	case isa.OpJR:
+		if err := need(1); err != nil {
+			return isa.Inst{}, err
+		}
+		rs, err := parseIntReg(ops[0], s.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: op, Rs: rs}, nil
+
+	case isa.OpJALR:
+		// jalr $rs  or  jalr $rd, $rs
+		switch len(ops) {
+		case 1:
+			rs, err := parseIntReg(ops[0], s.line)
+			if err != nil {
+				return isa.Inst{}, err
+			}
+			return isa.Inst{Op: op, Rd: isa.RegRA, Rs: rs}, nil
+		case 2:
+			rd, err := parseIntReg(ops[0], s.line)
+			if err != nil {
+				return isa.Inst{}, err
+			}
+			rs, err := parseIntReg(ops[1], s.line)
+			if err != nil {
+				return isa.Inst{}, err
+			}
+			return isa.Inst{Op: op, Rd: rd, Rs: rs}, nil
+		}
+		return isa.Inst{}, errf(s.line, "jalr wants 1 or 2 operands")
+
+	case isa.OpLUI:
+		if err := need(2); err != nil {
+			return isa.Inst{}, err
+		}
+		rt, err := parseIntReg(ops[0], s.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		imm, err := parseInt(ops[1], s.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: op, Rt: rt, Imm: int32(imm)}, nil
+	}
+
+	switch info.Class {
+	case isa.ClassBranch:
+		n := 2
+		if info.ReadsRt {
+			n = 3
+		}
+		if err := need(n); err != nil {
+			return isa.Inst{}, err
+		}
+		rs, err := parseIntReg(ops[0], s.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		var rt uint8
+		if info.ReadsRt {
+			rt, err = parseIntReg(ops[1], s.line)
+			if err != nil {
+				return isa.Inst{}, err
+			}
+		}
+		tgt, err := a.resolve(ops[n-1], s.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		off, err := branchOffset(s.addr, tgt, s.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: op, Rs: rs, Rt: rt, Imm: off}, nil
+
+	case isa.ClassLoad, isa.ClassStore:
+		if err := need(2); err != nil {
+			return isa.Inst{}, err
+		}
+		var rt uint8
+		var err error
+		if info.RtFP || info.DestFP {
+			rt, err = parseFPReg(ops[0], s.line)
+		} else {
+			rt, err = parseIntReg(ops[0], s.line)
+		}
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		base, off, err := a.parseMem(ops[1], s.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: op, Rs: base, Rt: rt, Imm: off}, nil
+	}
+
+	if info.Fmt == isa.FmtF {
+		// fd, fs[, ft]; source/dest kinds vary per op.
+		n := 2
+		if info.ReadsRt {
+			n = 3
+		}
+		if err := need(n); err != nil {
+			return isa.Inst{}, err
+		}
+		var rd, rs, rt uint8
+		var err error
+		if info.DestFP {
+			rd, err = parseFPReg(ops[0], s.line)
+		} else {
+			rd, err = parseIntReg(ops[0], s.line)
+		}
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		if info.RsFP {
+			rs, err = parseFPReg(ops[1], s.line)
+		} else {
+			rs, err = parseIntReg(ops[1], s.line)
+		}
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		if info.ReadsRt {
+			rt, err = parseFPReg(ops[2], s.line)
+			if err != nil {
+				return isa.Inst{}, err
+			}
+		}
+		return isa.Inst{Op: op, Rd: rd, Rs: rs, Rt: rt}, nil
+	}
+
+	if info.UsesShamt {
+		if err := need(3); err != nil {
+			return isa.Inst{}, err
+		}
+		rd, err := parseIntReg(ops[0], s.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		rt, err := parseIntReg(ops[1], s.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		sh, err := parseInt(ops[2], s.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: op, Rd: rd, Rt: rt, Imm: int32(sh)}, nil
+	}
+
+	if info.Fmt == isa.FmtI {
+		if err := need(3); err != nil {
+			return isa.Inst{}, err
+		}
+		rt, err := parseIntReg(ops[0], s.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		rs, err := parseIntReg(ops[1], s.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		imm, err := parseInt(ops[2], s.line)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: op, Rt: rt, Rs: rs, Imm: int32(imm)}, nil
+	}
+
+	// Plain 3-register R-format. Variable shifts take (rd, rt, rs).
+	if err := need(3); err != nil {
+		return isa.Inst{}, err
+	}
+	rd, err := parseIntReg(ops[0], s.line)
+	if err != nil {
+		return isa.Inst{}, err
+	}
+	second, err := parseIntReg(ops[1], s.line)
+	if err != nil {
+		return isa.Inst{}, err
+	}
+	third, err := parseIntReg(ops[2], s.line)
+	if err != nil {
+		return isa.Inst{}, err
+	}
+	switch op {
+	case isa.OpSLLV, isa.OpSRLV, isa.OpSRAV:
+		return isa.Inst{Op: op, Rd: rd, Rt: second, Rs: third}, nil
+	}
+	return isa.Inst{Op: op, Rd: rd, Rs: second, Rt: third}, nil
+}
+
+// resolve turns a label (optionally label+const) or numeric literal into an
+// absolute address/value.
+func (a *assembler) resolve(sym string, line int) (uint32, error) {
+	if v, err := strconv.ParseInt(sym, 0, 64); err == nil {
+		return uint32(v), nil
+	}
+	base, off := sym, int64(0)
+	if i := strings.IndexAny(sym, "+-"); i > 0 {
+		var err error
+		off, err = strconv.ParseInt(sym[i:], 0, 64)
+		if err != nil {
+			return 0, errf(line, "bad symbol offset in %q", sym)
+		}
+		base = sym[:i]
+	}
+	addr, ok := a.symbols[base]
+	if !ok {
+		return 0, errf(line, "undefined symbol %q", base)
+	}
+	return uint32(int64(addr) + off), nil
+}
+
+// parseMem parses "off(reg)", "(reg)", "symbol(reg)" or a bare symbol/number
+// (implying base $zero).
+func (a *assembler) parseMem(s string, line int) (base uint8, off int32, err error) {
+	open := strings.Index(s, "(")
+	if open < 0 {
+		addr, err := a.resolve(s, line)
+		if err != nil {
+			return 0, 0, err
+		}
+		if addr > math.MaxInt16 {
+			return 0, 0, errf(line, "absolute address 0x%x does not fit a 16-bit displacement; use la", addr)
+		}
+		return isa.RegZero, int32(addr), nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return 0, 0, errf(line, "bad memory operand %q", s)
+	}
+	base, err = parseIntReg(s[open+1:len(s)-1], line)
+	if err != nil {
+		return 0, 0, err
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		return base, 0, nil
+	}
+	v, err := a.resolve(offStr, line)
+	if err != nil {
+		return 0, 0, err
+	}
+	return base, int32(v), nil
+}
+
+func branchOffset(branchAddr, target uint32, line int) (int32, error) {
+	delta := int64(target) - int64(branchAddr) - 4
+	if delta%4 != 0 {
+		return 0, errf(line, "unaligned branch target 0x%x", target)
+	}
+	off := delta / 4
+	if off < math.MinInt16 || off > math.MaxInt16 {
+		return 0, errf(line, "branch target 0x%x out of range", target)
+	}
+	return int32(off), nil
+}
+
+var intRegAliases = map[string]uint8{
+	"zero": 0, "at": 1, "v0": 2, "v1": 3,
+	"a0": 4, "a1": 5, "a2": 6, "a3": 7,
+	"sp": 29, "fp": 30, "ra": 31,
+	"gp": 28, "s8": 30,
+}
+
+func parseIntReg(s string, line int) (uint8, error) {
+	if !strings.HasPrefix(s, "$") {
+		return 0, errf(line, "expected register, got %q", s)
+	}
+	name := s[1:]
+	if n, ok := intRegAliases[name]; ok {
+		return n, nil
+	}
+	if strings.HasPrefix(name, "r") {
+		if n, err := strconv.Atoi(name[1:]); err == nil && n >= 0 && n < isa.NumIntRegs {
+			return uint8(n), nil
+		}
+	}
+	// Bare numeric form "$5".
+	if n, err := strconv.Atoi(name); err == nil && n >= 0 && n < isa.NumIntRegs {
+		return uint8(n), nil
+	}
+	return 0, errf(line, "bad integer register %q", s)
+}
+
+func parseFPReg(s string, line int) (uint8, error) {
+	if !strings.HasPrefix(s, "$f") {
+		return 0, errf(line, "expected FP register, got %q", s)
+	}
+	if n, err := strconv.Atoi(s[2:]); err == nil && n >= 0 && n < isa.NumFPRegs {
+		return uint8(n), nil
+	}
+	return 0, errf(line, "bad FP register %q", s)
+}

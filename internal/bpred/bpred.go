@@ -1,0 +1,190 @@
+// Package bpred implements the paper's baseline branch prediction hardware:
+// a bimodal table of 2-bit saturating counters, a set-associative branch
+// target buffer, and a return address stack (Table 1: bimod 2048 entries,
+// BTB 512 sets x 4 ways, RAS 8 entries).
+package bpred
+
+import "reuseiq/internal/isa"
+
+// Config sizes the predictor structures.
+type Config struct {
+	BimodEntries int // power of two
+	BTBSets      int
+	BTBWays      int
+	RASEntries   int
+}
+
+// DefaultConfig returns the paper's Table 1 predictor.
+func DefaultConfig() Config {
+	return Config{BimodEntries: 2048, BTBSets: 512, BTBWays: 4, RASEntries: 8}
+}
+
+type btbEntry struct {
+	valid  bool
+	tag    uint32
+	target uint32
+	lru    uint64
+}
+
+// Predictor is the front-end prediction unit.
+type Predictor struct {
+	cfg    Config
+	bimod  []uint8 // 2-bit counters, initialized weakly taken
+	btb    [][]btbEntry
+	ras    []uint32
+	rasTop int // next push slot
+	rasCnt int
+	stamp  uint64
+
+	Lookups    uint64 // direction predictions made
+	Updates    uint64 // direction counter updates
+	BTBLookups uint64
+	BTBUpdates uint64
+	RASOps     uint64 // pushes + pops
+}
+
+// New builds a predictor.
+func New(cfg Config) *Predictor {
+	p := &Predictor{cfg: cfg}
+	p.bimod = make([]uint8, cfg.BimodEntries)
+	for i := range p.bimod {
+		p.bimod[i] = 2 // weakly taken
+	}
+	p.btb = make([][]btbEntry, cfg.BTBSets)
+	for i := range p.btb {
+		p.btb[i] = make([]btbEntry, cfg.BTBWays)
+	}
+	p.ras = make([]uint32, cfg.RASEntries)
+	return p
+}
+
+// Prediction is the front end's guess for one control instruction.
+type Prediction struct {
+	Taken  bool
+	Target uint32 // valid when Taken
+}
+
+// Predict returns the prediction for the control instruction in at pc and
+// performs the speculative RAS operations of calls and returns. It must be
+// called only for control instructions.
+func (p *Predictor) Predict(pc uint32, in isa.Inst) Prediction {
+	info := in.Op.Info()
+	switch info.Class {
+	case isa.ClassBranch:
+		p.Lookups++
+		p.BTBLookups++ // the BTB is probed in parallel with the counters
+		taken := p.bimod[p.bimodIdx(pc)] >= 2
+		return Prediction{Taken: taken, Target: in.BranchTarget(pc)}
+	case isa.ClassJump:
+		return Prediction{Taken: true, Target: in.Target}
+	case isa.ClassCall:
+		p.push(pc + 4)
+		if in.Op == isa.OpJAL {
+			return Prediction{Taken: true, Target: in.Target}
+		}
+		// JALR: indirect call, target from BTB.
+		tgt, ok := p.btbLookup(pc)
+		if !ok {
+			tgt = pc + 4 // no prediction available; will mispredict
+		}
+		return Prediction{Taken: true, Target: tgt}
+	case isa.ClassReturn:
+		if in.Rs == isa.RegRA {
+			if tgt, ok := p.pop(); ok {
+				return Prediction{Taken: true, Target: tgt}
+			}
+		}
+		tgt, ok := p.btbLookup(pc)
+		if !ok {
+			tgt = pc + 4
+		}
+		return Prediction{Taken: true, Target: tgt}
+	}
+	return Prediction{}
+}
+
+// Update trains the predictor with the resolved outcome of the control
+// instruction in at pc (called at commit, so only correct-path outcomes
+// train the tables).
+func (p *Predictor) Update(pc uint32, in isa.Inst, taken bool, target uint32) {
+	switch in.Op.Info().Class {
+	case isa.ClassBranch:
+		p.Updates++
+		i := p.bimodIdx(pc)
+		if taken {
+			if p.bimod[i] < 3 {
+				p.bimod[i]++
+			}
+		} else if p.bimod[i] > 0 {
+			p.bimod[i]--
+		}
+		if taken {
+			p.btbInsert(pc, target)
+		}
+	case isa.ClassCall, isa.ClassReturn:
+		if in.Op == isa.OpJALR || in.Op == isa.OpJR {
+			p.btbInsert(pc, target)
+		}
+	}
+}
+
+func (p *Predictor) bimodIdx(pc uint32) uint32 {
+	return (pc >> 2) & uint32(p.cfg.BimodEntries-1)
+}
+
+func (p *Predictor) btbLookup(pc uint32) (uint32, bool) {
+	p.BTBLookups++
+	set := (pc >> 2) & uint32(p.cfg.BTBSets-1)
+	for i := range p.btb[set] {
+		e := &p.btb[set][i]
+		if e.valid && e.tag == pc {
+			p.stamp++
+			e.lru = p.stamp
+			return e.target, true
+		}
+	}
+	return 0, false
+}
+
+func (p *Predictor) btbInsert(pc, target uint32) {
+	p.BTBUpdates++
+	p.stamp++
+	set := (pc >> 2) & uint32(p.cfg.BTBSets-1)
+	lines := p.btb[set]
+	victim := 0
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == pc {
+			lines[i].target = target
+			lines[i].lru = p.stamp
+			return
+		}
+		if !lines[i].valid {
+			victim = i
+		} else if lines[victim].valid && lines[i].lru < lines[victim].lru {
+			victim = i
+		}
+	}
+	lines[victim] = btbEntry{valid: true, tag: pc, target: target, lru: p.stamp}
+}
+
+func (p *Predictor) push(addr uint32) {
+	p.RASOps++
+	p.ras[p.rasTop] = addr
+	p.rasTop = (p.rasTop + 1) % len(p.ras)
+	if p.rasCnt < len(p.ras) {
+		p.rasCnt++
+	}
+}
+
+func (p *Predictor) pop() (uint32, bool) {
+	p.RASOps++
+	if p.rasCnt == 0 {
+		return 0, false
+	}
+	p.rasTop = (p.rasTop - 1 + len(p.ras)) % len(p.ras)
+	p.rasCnt--
+	return p.ras[p.rasTop], true
+}
+
+// RASDepth returns the current stack depth (for tests).
+func (p *Predictor) RASDepth() int { return p.rasCnt }

@@ -1,0 +1,170 @@
+package bpred
+
+import (
+	"testing"
+
+	"reuseiq/internal/isa"
+)
+
+func branch() isa.Inst { return isa.Inst{Op: isa.OpBNE, Rs: 2, Imm: -4} }
+
+func TestBimodLearnsTaken(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint32(0x400010)
+	in := branch()
+	tgt := in.BranchTarget(pc)
+	// Initial state is weakly taken.
+	if pred := p.Predict(pc, in); !pred.Taken || pred.Target != tgt {
+		t.Fatalf("initial prediction = %+v", pred)
+	}
+	// Train not-taken twice: prediction flips.
+	p.Update(pc, in, false, pc+4)
+	p.Update(pc, in, false, pc+4)
+	if pred := p.Predict(pc, in); pred.Taken {
+		t.Fatal("did not learn not-taken")
+	}
+	// Saturation: many taken updates, then one not-taken keeps taken.
+	for i := 0; i < 5; i++ {
+		p.Update(pc, in, true, tgt)
+	}
+	p.Update(pc, in, false, pc+4)
+	if pred := p.Predict(pc, in); !pred.Taken {
+		t.Fatal("2-bit hysteresis broken")
+	}
+}
+
+func TestBimodAliasing(t *testing.T) {
+	cfg := DefaultConfig()
+	p := New(cfg)
+	pcA := uint32(0x400000)
+	pcB := pcA + uint32(cfg.BimodEntries)*4 // same counter index
+	in := branch()
+	p.Update(pcA, in, false, pcA+4)
+	p.Update(pcA, in, false, pcA+4)
+	if pred := p.Predict(pcB, in); pred.Taken {
+		t.Error("aliased counters behave independently; indexing wrong")
+	}
+}
+
+func TestDirectJumpAndCall(t *testing.T) {
+	p := New(DefaultConfig())
+	j := isa.Inst{Op: isa.OpJ, Target: 0x400100}
+	if pred := p.Predict(0x400000, j); !pred.Taken || pred.Target != 0x400100 {
+		t.Errorf("j prediction = %+v", pred)
+	}
+	jal := isa.Inst{Op: isa.OpJAL, Target: 0x400200}
+	if pred := p.Predict(0x400020, jal); !pred.Taken || pred.Target != 0x400200 {
+		t.Errorf("jal prediction = %+v", pred)
+	}
+	if p.RASDepth() != 1 {
+		t.Errorf("RAS depth after call = %d", p.RASDepth())
+	}
+}
+
+func TestRASPredictsReturn(t *testing.T) {
+	p := New(DefaultConfig())
+	jal := isa.Inst{Op: isa.OpJAL, Target: 0x400200}
+	p.Predict(0x400020, jal) // pushes 0x400024
+	jr := isa.Inst{Op: isa.OpJR, Rs: isa.RegRA}
+	pred := p.Predict(0x400230, jr)
+	if !pred.Taken || pred.Target != 0x400024 {
+		t.Errorf("return prediction = %+v", pred)
+	}
+	if p.RASDepth() != 0 {
+		t.Errorf("RAS depth after return = %d", p.RASDepth())
+	}
+}
+
+func TestRASNesting(t *testing.T) {
+	p := New(DefaultConfig())
+	jr := isa.Inst{Op: isa.OpJR, Rs: isa.RegRA}
+	for i := 0; i < 3; i++ {
+		p.Predict(uint32(0x400000+16*i), isa.Inst{Op: isa.OpJAL, Target: 0x400800})
+	}
+	// Pops in LIFO order.
+	want := []uint32{0x400024, 0x400014, 0x400004}
+	for _, w := range want {
+		pred := p.Predict(0x400800, jr)
+		if pred.Target != w {
+			t.Errorf("return = 0x%x, want 0x%x", pred.Target, w)
+		}
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	cfg := DefaultConfig()
+	p := New(cfg)
+	// Push more than capacity; the oldest entries are lost.
+	for i := 0; i < cfg.RASEntries+2; i++ {
+		p.Predict(uint32(0x400000+16*i), isa.Inst{Op: isa.OpJAL, Target: 0x400800})
+	}
+	if p.RASDepth() != cfg.RASEntries {
+		t.Errorf("depth = %d, want %d", p.RASDepth(), cfg.RASEntries)
+	}
+	jr := isa.Inst{Op: isa.OpJR, Rs: isa.RegRA}
+	// Top of stack is the most recent push.
+	pred := p.Predict(0x400800, jr)
+	if pred.Target != uint32(0x400000+16*(cfg.RASEntries+1))+4 {
+		t.Errorf("top after overflow = 0x%x", pred.Target)
+	}
+}
+
+func TestIndirectJumpUsesBTB(t *testing.T) {
+	p := New(DefaultConfig())
+	jr := isa.Inst{Op: isa.OpJR, Rs: 5} // not $ra: no RAS
+	pc := uint32(0x400050)
+	// Cold: falls back to pc+4.
+	if pred := p.Predict(pc, jr); pred.Target != pc+4 {
+		t.Errorf("cold indirect = 0x%x", pred.Target)
+	}
+	// Train and re-predict.
+	p.Update(pc, jr, true, 0x400abc)
+	if pred := p.Predict(pc, jr); pred.Target != 0x400abc {
+		t.Errorf("trained indirect = 0x%x", pred.Target)
+	}
+}
+
+func TestJALRUsesBTBAndPushesRAS(t *testing.T) {
+	p := New(DefaultConfig())
+	jalr := isa.Inst{Op: isa.OpJALR, Rd: isa.RegRA, Rs: 5}
+	pc := uint32(0x400060)
+	p.Update(pc, jalr, true, 0x400f00)
+	pred := p.Predict(pc, jalr)
+	if pred.Target != 0x400f00 {
+		t.Errorf("jalr target = 0x%x", pred.Target)
+	}
+	if p.RASDepth() != 1 {
+		t.Error("jalr did not push the RAS")
+	}
+}
+
+func TestBTBReplacement(t *testing.T) {
+	cfg := Config{BimodEntries: 64, BTBSets: 1, BTBWays: 2, RASEntries: 4}
+	p := New(cfg)
+	jr := isa.Inst{Op: isa.OpJR, Rs: 5}
+	p.Update(0x400000, jr, true, 0x1111_0000&^3|0)
+	p.Update(0x400004, jr, true, 0x2222_0000)
+	p.Predict(0x400000, jr) // refresh first entry
+	p.Update(0x400008, jr, true, 0x3333_0000)
+	// 0x400004 was LRU and must be gone.
+	if pred := p.Predict(0x400004, jr); pred.Target == 0x2222_0000 {
+		t.Error("LRU BTB entry survived")
+	}
+	if pred := p.Predict(0x400000, jr); pred.Target != 0x1111_0000 {
+		t.Error("refreshed BTB entry evicted")
+	}
+}
+
+func TestActivityCounters(t *testing.T) {
+	p := New(DefaultConfig())
+	in := branch()
+	p.Predict(0x400000, in)
+	p.Predict(0x400004, in)
+	p.Update(0x400000, in, true, 0x400000)
+	if p.Lookups != 2 || p.Updates != 1 {
+		t.Errorf("lookups=%d updates=%d", p.Lookups, p.Updates)
+	}
+	if p.BTBLookups == 0 || p.BTBUpdates == 0 {
+		t.Error("BTB activity not counted")
+	}
+}

@@ -1,0 +1,349 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"reuseiq/internal/asm"
+	"reuseiq/internal/prog"
+)
+
+// Codegen lowers the IR to assembly text. Array element addresses are
+// strength-reduced: references whose index is affine with coefficient 1 in
+// the innermost loop variable become pointer registers incremented by 8 each
+// iteration, producing the tight loop bodies the paper's benchmarks exhibit.
+//
+// Register conventions used by generated code:
+//
+//	$r2          scratch (address arithmetic)
+//	$r8..$r27    loop counters and pointer registers
+//	$f2..$f19    scalar variables, then floating-point constants
+//	$f20..$f31   expression temporaries
+type codegen struct {
+	p     *Program
+	text  strings.Builder
+	data  strings.Builder
+	label int
+
+	intPool   []int // free integer registers
+	scalarReg map[string]int
+	constReg  map[float64]int
+	consts    []float64
+	loopReg   map[string]int
+	nextFP    int // next fixed FP register (scalars + constants)
+}
+
+const (
+	scratchReg = 2
+	fpTempBase = 20
+)
+
+// Compile lowers p to an assembled program. It returns the loaded program
+// and the generated assembly source.
+func Compile(p *Program) (*prog.Program, string, error) {
+	if err := p.Validate(); err != nil {
+		return nil, "", err
+	}
+	g := &codegen{
+		p:         p,
+		scalarReg: map[string]int{},
+		constReg:  map[float64]int{},
+		loopReg:   map[string]int{},
+		nextFP:    2,
+	}
+	for r := 8; r <= 27; r++ {
+		g.intPool = append(g.intPool, r)
+	}
+	if err := g.run(); err != nil {
+		return nil, "", err
+	}
+	src := g.data.String() + "\n" + g.text.String()
+	mp, err := asm.Assemble(src)
+	if err != nil {
+		return nil, src, fmt.Errorf("compiler: generated code failed to assemble: %w", err)
+	}
+	return mp, src, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(p *Program) (*prog.Program, string) {
+	mp, src, err := Compile(p)
+	if err != nil {
+		panic(err)
+	}
+	return mp, src
+}
+
+func (g *codegen) run() error {
+	// Data segment: arrays and the constant pool.
+	fmt.Fprintf(&g.data, "# kernel %s (generated)\n\t.data\n\t.align 3\n", g.p.Name)
+	for _, a := range g.p.Arrays {
+		fmt.Fprintf(&g.data, "%s:\t.space %d\n", a.Name, a.Len*8)
+	}
+	g.collectConsts(g.p.Body)
+	for _, pr := range g.p.Procs {
+		g.collectConsts(pr.Body)
+	}
+
+	fmt.Fprintf(&g.text, "\t.text\nmain:\n")
+	// Scalars: dedicated registers, initialized to zero.
+	for _, s := range g.p.Scalars {
+		r, err := g.fixedFP()
+		if err != nil {
+			return err
+		}
+		g.scalarReg[s] = r
+		fmt.Fprintf(&g.text, "\tcvt.d.w $f%d, $zero\n", r)
+	}
+	// Constants: loaded once into dedicated registers.
+	for i, c := range g.consts {
+		r, err := g.fixedFP()
+		if err != nil {
+			return err
+		}
+		g.constReg[c] = r
+		fmt.Fprintf(&g.data, "const%d:\t.double %v\n", i, c)
+		fmt.Fprintf(&g.text, "\tla $r%d, const%d\n\tl.d $f%d, 0($r%d)\n", scratchReg, i, r, scratchReg)
+	}
+
+	if err := g.stmts(g.p.Body); err != nil {
+		return err
+	}
+	fmt.Fprintf(&g.text, "\thalt\n")
+
+	for _, pr := range g.p.Procs {
+		fmt.Fprintf(&g.text, "proc_%s:\n", pr.Name)
+		if err := g.stmts(pr.Body); err != nil {
+			return err
+		}
+		fmt.Fprintf(&g.text, "\tjr $ra\n")
+	}
+	return nil
+}
+
+func (g *codegen) fixedFP() (int, error) {
+	if g.nextFP >= fpTempBase {
+		return 0, fmt.Errorf("compiler: out of fixed FP registers (scalars+constants > %d)", fpTempBase-2)
+	}
+	r := g.nextFP
+	g.nextFP++
+	return r, nil
+}
+
+func (g *codegen) collectConsts(stmts []Stmt) {
+	var walkExpr func(Expr)
+	walkExpr = func(e Expr) {
+		switch x := e.(type) {
+		case Const:
+			v := float64(x)
+			if _, ok := g.constReg[v]; !ok {
+				g.constReg[v] = -1 // placeholder; assigned in run
+				g.consts = append(g.consts, v)
+			}
+		case Bin:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		}
+	}
+	for _, st := range stmts {
+		switch x := st.(type) {
+		case Assign:
+			walkExpr(x.E)
+		case Loop:
+			g.collectConsts(x.Body)
+		}
+	}
+	sort.Float64s(g.consts)
+}
+
+func (g *codegen) allocInt() (int, error) {
+	if len(g.intPool) == 0 {
+		return 0, fmt.Errorf("compiler: out of integer registers")
+	}
+	r := g.intPool[len(g.intPool)-1]
+	g.intPool = g.intPool[:len(g.intPool)-1]
+	return r, nil
+}
+
+func (g *codegen) freeInt(r int) { g.intPool = append(g.intPool, r) }
+
+func (g *codegen) newLabel(prefix string) string {
+	g.label++
+	return fmt.Sprintf("%s%d", prefix, g.label)
+}
+
+func (g *codegen) stmts(stmts []Stmt) error {
+	for _, st := range stmts {
+		switch x := st.(type) {
+		case Assign:
+			if err := g.assign(x, nil); err != nil {
+				return err
+			}
+		case Loop:
+			if err := g.loop(x); err != nil {
+				return err
+			}
+		case Call:
+			fmt.Fprintf(&g.text, "\tjal proc_%s\n", x.Proc)
+		}
+	}
+	return nil
+}
+
+// ptrPlan describes the pointer register assigned to one array reference of
+// an innermost loop body.
+type ptrPlan struct {
+	reg       int
+	increment bool // coefficient 1 in the loop variable: advance by 8
+}
+
+// refKey identifies a reference shape for pointer sharing.
+func refKey(r Ref) string {
+	k := fmt.Sprintf("%s@%d", r.Array, r.Index.Base)
+	terms := append([]IndexTerm(nil), r.Index.Terms...)
+	sort.Slice(terms, func(i, j int) bool { return terms[i].Var < terms[j].Var })
+	for _, t := range terms {
+		k += fmt.Sprintf(",%s*%d", t.Var, t.Coef)
+	}
+	return k
+}
+
+// loop emits one counted loop with pointer strength reduction for the array
+// references of its directly nested assignments.
+func (g *codegen) loop(l Loop) error {
+	ctr, err := g.allocInt()
+	if err != nil {
+		return err
+	}
+	g.loopReg[l.Var] = ctr
+	defer func() {
+		delete(g.loopReg, l.Var)
+		g.freeInt(ctr)
+	}()
+
+	// Plan pointers for direct assignment refs.
+	plans := map[string]*ptrPlan{}
+	var planned []string // deterministic order
+	var visit func(e Expr) error
+	addPlan := func(r Ref) error {
+		key := refKey(r)
+		if _, ok := plans[key]; ok {
+			return nil
+		}
+		coef, ok := coefOf(r.Index, l.Var)
+		if !ok || (coef != 0 && coef != 1) {
+			return nil // computed inline
+		}
+		reg, err := g.allocInt()
+		if err != nil {
+			// Pointer registers exhausted: fall back to inline address
+			// computation for this reference (bigger body, still correct).
+			return nil
+		}
+		plans[key] = &ptrPlan{reg: reg, increment: coef == 1}
+		planned = append(planned, key)
+		// Initialize: base + 8*(Base + coef*Lo + outer terms).
+		fmt.Fprintf(&g.text, "\tla $r%d, %s\n", reg, symOff(r.Array, 8*(r.Index.Base+coef*l.Lo)))
+		for _, t := range r.Index.Terms {
+			if t.Var == l.Var {
+				continue
+			}
+			outer, ok := g.loopReg[t.Var]
+			if !ok {
+				return fmt.Errorf("compiler: loop var %s not in scope", t.Var)
+			}
+			g.addScaled(reg, outer, t.Coef*8)
+		}
+		return nil
+	}
+	visit = func(e Expr) error {
+		switch x := e.(type) {
+		case Ref:
+			return addPlan(x)
+		case Bin:
+			if err := visit(x.L); err != nil {
+				return err
+			}
+			return visit(x.R)
+		}
+		return nil
+	}
+	for _, st := range l.Body {
+		a, ok := st.(Assign)
+		if !ok {
+			continue
+		}
+		if a.Dest != nil {
+			if err := addPlan(*a.Dest); err != nil {
+				return err
+			}
+		}
+		if err := visit(a.E); err != nil {
+			return err
+		}
+	}
+	defer func() {
+		for _, key := range planned {
+			g.freeInt(plans[key].reg)
+		}
+	}()
+
+	head := g.newLabel("L")
+	fmt.Fprintf(&g.text, "\tli $r%d, %d\n", ctr, l.Lo)
+	fmt.Fprintf(&g.text, "%s:\n", head)
+	for _, st := range l.Body {
+		switch x := st.(type) {
+		case Assign:
+			if err := g.assign(x, plans); err != nil {
+				return err
+			}
+		case Loop:
+			if err := g.loop(x); err != nil {
+				return err
+			}
+		case Call:
+			fmt.Fprintf(&g.text, "\tjal proc_%s\n", x.Proc)
+		}
+	}
+	// Advance pointers and the counter; loop back.
+	for _, key := range planned {
+		if plans[key].increment {
+			fmt.Fprintf(&g.text, "\taddi $r%d, $r%d, 8\n", plans[key].reg, plans[key].reg)
+		}
+	}
+	fmt.Fprintf(&g.text, "\taddi $r%d, $r%d, 1\n", ctr, ctr)
+	fmt.Fprintf(&g.text, "\tslti $at, $r%d, %d\n", ctr, l.Hi)
+	fmt.Fprintf(&g.text, "\tbne $at, $zero, %s\n", head)
+	return nil
+}
+
+// addScaled emits reg += src*scale using the $at scratch register.
+func (g *codegen) addScaled(reg, src, scale int) {
+	switch {
+	case scale == 0:
+		return
+	case scale == 1:
+		fmt.Fprintf(&g.text, "\tadd $r%d, $r%d, $r%d\n", reg, reg, src)
+		return
+	case scale > 0 && scale&(scale-1) == 0: // power of two
+		sh := 0
+		for 1<<sh != scale {
+			sh++
+		}
+		fmt.Fprintf(&g.text, "\tsll $at, $r%d, %d\n", src, sh)
+	default:
+		fmt.Fprintf(&g.text, "\tli $at, %d\n\tmul $at, $r%d, $at\n", scale, src)
+	}
+	fmt.Fprintf(&g.text, "\tadd $r%d, $r%d, $at\n", reg, reg)
+}
+
+func coefOf(ix Index, v string) (int, bool) {
+	coef := 0
+	for _, t := range ix.Terms {
+		if t.Var == v {
+			coef += t.Coef
+		}
+	}
+	return coef, true
+}

@@ -1,0 +1,122 @@
+package compiler
+
+import "fmt"
+
+// exprState tracks FP temporary allocation within one statement.
+type exprState struct {
+	next int
+}
+
+func (g *codegen) newTemp(st *exprState) (int, error) {
+	if fpTempBase+st.next > 31 {
+		return 0, fmt.Errorf("compiler: expression too deep (out of FP temporaries)")
+	}
+	r := fpTempBase + st.next
+	st.next++
+	return r, nil
+}
+
+// assign emits one assignment. plans carries the pointer registers of the
+// enclosing innermost loop (nil outside loops).
+func (g *codegen) assign(a Assign, plans map[string]*ptrPlan) error {
+	st := &exprState{}
+	reg, err := g.expr(a.E, plans, st)
+	if err != nil {
+		return err
+	}
+	if a.Dest == nil {
+		dst := g.scalarReg[a.Scalar]
+		if dst != reg {
+			fmt.Fprintf(&g.text, "\tmov.d $f%d, $f%d\n", dst, reg)
+		}
+		return nil
+	}
+	addr, err := g.refAddr(*a.Dest, plans)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(&g.text, "\ts.d $f%d, %s\n", reg, addr)
+	return nil
+}
+
+// refAddr returns the assembly memory operand for an array reference, using
+// a planned pointer register when available and computing the address into
+// the scratch register otherwise.
+func (g *codegen) refAddr(r Ref, plans map[string]*ptrPlan) (string, error) {
+	if plans != nil {
+		if pl, ok := plans[refKey(r)]; ok {
+			return fmt.Sprintf("0($r%d)", pl.reg), nil
+		}
+	}
+	// Inline address computation: scratch = &array[index].
+	fmt.Fprintf(&g.text, "\tla $r%d, %s\n", scratchReg, symOff(r.Array, 8*r.Index.Base))
+	for _, t := range r.Index.Terms {
+		ctr, ok := g.loopReg[t.Var]
+		if !ok {
+			return "", fmt.Errorf("compiler: loop variable %q not in scope for %s", t.Var, r.Array)
+		}
+		g.addScaled(scratchReg, ctr, t.Coef*8)
+	}
+	return fmt.Sprintf("0($r%d)", scratchReg), nil
+}
+
+// expr evaluates e, returning the FP register holding its value.
+func (g *codegen) expr(e Expr, plans map[string]*ptrPlan, st *exprState) (int, error) {
+	switch x := e.(type) {
+	case Const:
+		r, ok := g.constReg[float64(x)]
+		if !ok || r < 0 {
+			return 0, fmt.Errorf("compiler: constant %v not materialized", float64(x))
+		}
+		return r, nil
+	case ScalarRef:
+		return g.scalarReg[string(x)], nil
+	case IVar:
+		ctr, ok := g.loopReg[string(x)]
+		if !ok {
+			return 0, fmt.Errorf("compiler: loop variable %q not in scope", string(x))
+		}
+		t, err := g.newTemp(st)
+		if err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(&g.text, "\tcvt.d.w $f%d, $r%d\n", t, ctr)
+		return t, nil
+	case Ref:
+		addr, err := g.refAddr(x, plans)
+		if err != nil {
+			return 0, err
+		}
+		t, err := g.newTemp(st)
+		if err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(&g.text, "\tl.d $f%d, %s\n", t, addr)
+		return t, nil
+	case Bin:
+		l, err := g.expr(x.L, plans, st)
+		if err != nil {
+			return 0, err
+		}
+		r, err := g.expr(x.R, plans, st)
+		if err != nil {
+			return 0, err
+		}
+		t, err := g.newTemp(st)
+		if err != nil {
+			return 0, err
+		}
+		mn := [...]string{"add.d", "sub.d", "mul.d", "div.d"}[x.Op]
+		fmt.Fprintf(&g.text, "\t%s $f%d, $f%d, $f%d\n", mn, t, l, r)
+		return t, nil
+	}
+	return 0, fmt.Errorf("compiler: cannot generate code for %T", e)
+}
+
+// symOff renders a symbol plus byte offset in assembler syntax.
+func symOff(name string, off int) string {
+	if off == 0 {
+		return name
+	}
+	return fmt.Sprintf("%s%+d", name, off)
+}

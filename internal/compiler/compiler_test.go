@@ -1,0 +1,314 @@
+package compiler
+
+import (
+	"math"
+	"testing"
+
+	"reuseiq/internal/interp"
+)
+
+// vecAdd builds: for i in [0,n): c[i] = a[i] + b[i], with a/b initialized by
+// preceding loops.
+func vecAdd(n int) *Program {
+	return &Program{
+		Name: "vecadd",
+		Arrays: []ArrayDecl{
+			{Name: "a", Len: n}, {Name: "b", Len: n}, {Name: "c", Len: n},
+		},
+		Body: []Stmt{
+			Loop{Var: "i", Lo: 0, Hi: n, Body: []Stmt{
+				Assign{Dest: &Ref{Array: "a", Index: IdxVar("i")},
+					E: Bin{Add, Bin{Mul, IVar("i"), Const(0.5)}, Const(1)}},
+				Assign{Dest: &Ref{Array: "b", Index: IdxVar("i")},
+					E: Bin{Mul, IVar("i"), Const(2)}},
+			}},
+			Loop{Var: "i", Lo: 0, Hi: n, Body: []Stmt{
+				Assign{Dest: &Ref{Array: "c", Index: IdxVar("i")},
+					E: Bin{Add, Ref{Array: "a", Index: IdxVar("i")}, Ref{Array: "b", Index: IdxVar("i")}}},
+			}},
+		},
+	}
+}
+
+func TestEvalVecAdd(t *testing.T) {
+	env, err := Eval(vecAdd(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		want := (float64(i)*0.5 + 1) + float64(i)*2
+		if got := env.Arrays["c"][i]; got != want {
+			t.Errorf("c[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []*Program{
+		{Name: "badarr", Body: []Stmt{Assign{Dest: &Ref{Array: "x", Index: IdxVar("i")}, E: Const(1)}}},
+		{Name: "badvar", Arrays: []ArrayDecl{{Name: "a", Len: 4}},
+			Body: []Stmt{Assign{Dest: &Ref{Array: "a", Index: IdxVar("i")}, E: Const(1)}}},
+		{Name: "badscalar", Body: []Stmt{Assign{Scalar: "s", E: Const(1)}}},
+		{Name: "dup", Arrays: []ArrayDecl{{Name: "a", Len: 4}, {Name: "a", Len: 4}}},
+		{Name: "negloop", Body: []Stmt{Loop{Var: "i", Lo: 5, Hi: 0}}},
+		{Name: "shadow", Arrays: []ArrayDecl{{Name: "a", Len: 4}},
+			Body: []Stmt{Loop{Var: "i", Lo: 0, Hi: 2, Body: []Stmt{Loop{Var: "i", Lo: 0, Hi: 2}}}}},
+		{Name: "badcall", Body: []Stmt{Call{Proc: "nope"}}},
+		{Name: "loopyproc", Procs: []Proc{{Name: "p", Body: []Stmt{Loop{Var: "i", Lo: 0, Hi: 1}}}},
+			Body: []Stmt{Call{Proc: "p"}}},
+	}
+	for _, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("program %s validated", p.Name)
+		}
+	}
+	if err := vecAdd(4).Validate(); err != nil {
+		t.Errorf("good program rejected: %v", err)
+	}
+}
+
+func TestEvalBoundsChecked(t *testing.T) {
+	p := &Program{
+		Name:   "oob",
+		Arrays: []ArrayDecl{{Name: "a", Len: 4}},
+		Body: []Stmt{Loop{Var: "i", Lo: 0, Hi: 10, Body: []Stmt{
+			Assign{Dest: &Ref{Array: "a", Index: IdxVar("i")}, E: Const(1)},
+		}}},
+	}
+	if _, err := Eval(p); err == nil {
+		t.Fatal("out-of-bounds store not caught")
+	}
+}
+
+// runCompiled compiles p, runs the generated code on the functional
+// interpreter, and returns the final memory view of each array.
+func runCompiled(t *testing.T, p *Program) map[string][]float64 {
+	t.Helper()
+	mp, src, err := Compile(p)
+	if err != nil {
+		t.Fatalf("compile: %v\nsource:\n%s", err, src)
+	}
+	m := interp.New(mp)
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v\nsource:\n%s", err, src)
+	}
+	out := map[string][]float64{}
+	for _, a := range p.Arrays {
+		base := mp.Symbols[a.Name]
+		vals := make([]float64, a.Len)
+		for i := range vals {
+			vals[i] = m.State.Mem.ReadF64(base + uint32(8*i))
+		}
+		out[a.Name] = vals
+	}
+	return out
+}
+
+// checkAgainstEval compiles and runs p, comparing every array element with
+// the IR evaluator bit for bit (identical operation order must give
+// identical doubles).
+func checkAgainstEval(t *testing.T, p *Program) {
+	t.Helper()
+	env, err := Eval(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runCompiled(t, p)
+	for _, a := range p.Arrays {
+		for i, want := range env.Arrays[a.Name] {
+			if g := got[a.Name][i]; g != want && !(math.IsNaN(g) && math.IsNaN(want)) {
+				t.Fatalf("%s[%d] = %v, evaluator %v", a.Name, i, g, want)
+			}
+		}
+	}
+}
+
+func TestCompileVecAdd(t *testing.T) { checkAgainstEval(t, vecAdd(50)) }
+
+func TestCompileStrided(t *testing.T) {
+	// Non-unit coefficient forces inline address computation.
+	p := &Program{
+		Name:   "strided",
+		Arrays: []ArrayDecl{{Name: "a", Len: 64}},
+		Body: []Stmt{Loop{Var: "i", Lo: 0, Hi: 16, Body: []Stmt{
+			Assign{Dest: &Ref{Array: "a", Index: Idx(1, "i", 3)},
+				E: Bin{Add, IVar("i"), Const(0.25)}},
+		}}},
+	}
+	checkAgainstEval(t, p)
+}
+
+func TestCompile2D(t *testing.T) {
+	const n, m = 8, 12
+	p := &Program{
+		Name:    "mat",
+		Arrays:  []ArrayDecl{{Name: "a", Len: n * m}, {Name: "rowsum", Len: n}},
+		Scalars: []string{"acc"},
+		Body: []Stmt{
+			Loop{Var: "i", Lo: 0, Hi: n, Body: []Stmt{
+				Loop{Var: "j", Lo: 0, Hi: m, Body: []Stmt{
+					Assign{Dest: &Ref{Array: "a", Index: Idx(0, "i", m, "j", 1)},
+						E: Bin{Add, Bin{Mul, IVar("i"), Const(10)}, IVar("j")}},
+				}},
+			}},
+			Loop{Var: "i", Lo: 0, Hi: n, Body: []Stmt{
+				Assign{Scalar: "acc", E: Const(0)},
+				Assign{Scalar: "acc", E: Bin{Add, ScalarRef("acc"), Ref{Array: "a", Index: Idx(0, "i", m)}}},
+				Assign{Dest: &Ref{Array: "rowsum", Index: IdxVar("i")}, E: ScalarRef("acc")},
+			}},
+		},
+	}
+	checkAgainstEval(t, p)
+}
+
+func TestCompileReduction(t *testing.T) {
+	const n = 40
+	p := &Program{
+		Name:    "dot",
+		Arrays:  []ArrayDecl{{Name: "x", Len: n}, {Name: "y", Len: n}, {Name: "out", Len: 1}},
+		Scalars: []string{"s"},
+		Body: []Stmt{
+			Loop{Var: "i", Lo: 0, Hi: n, Body: []Stmt{
+				Assign{Dest: &Ref{Array: "x", Index: IdxVar("i")}, E: Bin{Add, IVar("i"), Const(1)}},
+				Assign{Dest: &Ref{Array: "y", Index: IdxVar("i")}, E: Bin{Sub, Const(100), IVar("i")}},
+			}},
+			Loop{Var: "i", Lo: 0, Hi: n, Body: []Stmt{
+				Assign{Scalar: "s", E: Bin{Add, ScalarRef("s"),
+					Bin{Mul, Ref{Array: "x", Index: IdxVar("i")}, Ref{Array: "y", Index: IdxVar("i")}}}},
+			}},
+			Assign{Dest: &Ref{Array: "out", Index: Idx(0)}, E: ScalarRef("s")},
+		},
+	}
+	checkAgainstEval(t, p)
+}
+
+func TestCompileProcedureCall(t *testing.T) {
+	p := &Program{
+		Name:    "withcall",
+		Arrays:  []ArrayDecl{{Name: "a", Len: 8}, {Name: "cnt", Len: 1}},
+		Scalars: []string{"t"},
+		Procs: []Proc{{Name: "bump", Body: []Stmt{
+			Assign{Scalar: "t", E: Bin{Add, ScalarRef("t"), Const(1)}},
+		}}},
+		Body: []Stmt{
+			Loop{Var: "i", Lo: 0, Hi: 8, Body: []Stmt{
+				Assign{Dest: &Ref{Array: "a", Index: IdxVar("i")}, E: ScalarRef("t")},
+				Call{Proc: "bump"},
+			}},
+			Assign{Dest: &Ref{Array: "cnt", Index: Idx(0)}, E: ScalarRef("t")},
+		},
+	}
+	checkAgainstEval(t, p)
+	env, _ := Eval(p)
+	if env.Scalars["t"] != 8 {
+		t.Errorf("t = %v", env.Scalars["t"])
+	}
+}
+
+func TestCompileDivision(t *testing.T) {
+	p := &Program{
+		Name:   "div",
+		Arrays: []ArrayDecl{{Name: "a", Len: 16}},
+		Body: []Stmt{Loop{Var: "i", Lo: 0, Hi: 16, Body: []Stmt{
+			Assign{Dest: &Ref{Array: "a", Index: IdxVar("i")},
+				E: Bin{Div, Const(1), Bin{Add, IVar("i"), Const(2)}}},
+		}}},
+	}
+	checkAgainstEval(t, p)
+}
+
+// --- loop distribution ---------------------------------------------------
+
+func TestDistributeSplitsIndependent(t *testing.T) {
+	p := vecAdd(16)
+	d := Distribute(p)
+	// The first loop writes a and b (independent): splits in two.
+	if CountLoops(p) != 2 || CountLoops(d) != 3 {
+		t.Fatalf("loops: orig %d, dist %d", CountLoops(p), CountLoops(d))
+	}
+	if MaxLoopBody(d) != 1 {
+		t.Errorf("max body after distribution = %d", MaxLoopBody(d))
+	}
+	// Semantics preserved.
+	e1, err := Eval(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Eval(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range e1.Arrays["c"] {
+		if e1.Arrays["c"][i] != e2.Arrays["c"][i] {
+			t.Fatalf("c[%d] differs after distribution", i)
+		}
+	}
+}
+
+func TestDistributeKeepsDependent(t *testing.T) {
+	// s2 reads what s1 writes: must stay together.
+	p := &Program{
+		Name:   "dep",
+		Arrays: []ArrayDecl{{Name: "a", Len: 16}, {Name: "b", Len: 16}},
+		Body: []Stmt{Loop{Var: "i", Lo: 0, Hi: 16, Body: []Stmt{
+			Assign{Dest: &Ref{Array: "a", Index: IdxVar("i")}, E: IVar("i")},
+			Assign{Dest: &Ref{Array: "b", Index: IdxVar("i")}, E: Ref{Array: "a", Index: IdxVar("i")}},
+		}}},
+	}
+	d := Distribute(p)
+	if CountLoops(d) != 1 {
+		t.Fatalf("dependent statements were split: %d loops", CountLoops(d))
+	}
+}
+
+func TestDistributeScalarDependence(t *testing.T) {
+	// A scalar written by one statement and read by another chains them.
+	p := &Program{
+		Name:    "sdep",
+		Arrays:  []ArrayDecl{{Name: "a", Len: 8}, {Name: "b", Len: 8}},
+		Scalars: []string{"s"},
+		Body: []Stmt{Loop{Var: "i", Lo: 0, Hi: 8, Body: []Stmt{
+			Assign{Scalar: "s", E: Bin{Add, ScalarRef("s"), IVar("i")}},
+			Assign{Dest: &Ref{Array: "a", Index: IdxVar("i")}, E: ScalarRef("s")},
+			Assign{Dest: &Ref{Array: "b", Index: IdxVar("i")}, E: IVar("i")},
+		}}},
+	}
+	d := Distribute(p)
+	// s-chain stays together; b's statement splits off.
+	if CountLoops(d) != 2 {
+		t.Fatalf("loops after distribution = %d, want 2", CountLoops(d))
+	}
+}
+
+func TestDistributeLeavesNestedLoops(t *testing.T) {
+	p := &Program{
+		Name:   "nest",
+		Arrays: []ArrayDecl{{Name: "a", Len: 64}, {Name: "b", Len: 8}},
+		Body: []Stmt{Loop{Var: "i", Lo: 0, Hi: 8, Body: []Stmt{
+			Assign{Dest: &Ref{Array: "b", Index: IdxVar("i")}, E: IVar("i")},
+			Loop{Var: "j", Lo: 0, Hi: 8, Body: []Stmt{
+				Assign{Dest: &Ref{Array: "a", Index: Idx(0, "i", 8, "j", 1)}, E: IVar("j")},
+				Assign{Dest: &Ref{Array: "b", Index: IdxVar("i")}, E: IVar("i")},
+			}},
+		}}},
+	}
+	d := Distribute(p)
+	// The outer loop mixes an Assign and a Loop: left intact. The inner
+	// loop's two assigns are independent... except both touch b? The
+	// inner writes a and b; independent of each other: splits.
+	if CountLoops(d) != 3 {
+		t.Fatalf("loops = %d, want 3", CountLoops(d))
+	}
+	// Distribution preserves semantics even in the nested case.
+	e1, _ := Eval(p)
+	e2, _ := Eval(d)
+	for i := range e1.Arrays["a"] {
+		if e1.Arrays["a"][i] != e2.Arrays["a"][i] {
+			t.Fatal("nested distribution changed semantics")
+		}
+	}
+}
+
+func TestDistributedCodeStillCorrect(t *testing.T) {
+	checkAgainstEval(t, Distribute(vecAdd(30)))
+}

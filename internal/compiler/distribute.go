@@ -1,0 +1,185 @@
+package compiler
+
+// Loop distribution (paper §4, citing Kennedy & McKinley): split a loop whose
+// body contains several statements into several loops, each with a smaller
+// body, so that large loop bodies fit a small issue queue. Distribution is
+// legal when the statements placed in different result loops carry no
+// dependence between each other across iterations.
+//
+// The dependence test here is conservative and name-based: two statements
+// conflict when they touch a common array or scalar with at least one write
+// (flow, anti and output dependences are all treated alike, without
+// subscript analysis). Conflicting statements stay in the same result loop,
+// preserving all original orderings; non-conflicting statement groups become
+// separate loops in original textual order. This is always legal — it can
+// only miss distribution opportunities, never create an illegal one.
+
+// Distribute returns a copy of the program with loop distribution applied to
+// every loop (innermost first). Loops containing nested loops or calls are
+// not split across those constructs: only maximal runs of Assign statements
+// are considered.
+func Distribute(p *Program) *Program {
+	out := *p
+	out.Body = distributeStmts(p.Body)
+	return &out
+}
+
+func distributeStmts(stmts []Stmt) []Stmt {
+	var result []Stmt
+	for _, st := range stmts {
+		l, ok := st.(Loop)
+		if !ok {
+			result = append(result, st)
+			continue
+		}
+		l.Body = distributeStmts(l.Body)
+		result = append(result, splitLoop(l)...)
+	}
+	return result
+}
+
+// splitLoop partitions the loop's Assign statements into dependence clusters
+// and emits one loop per cluster. A loop whose body contains anything other
+// than Assign statements is left intact (distribution across nested loops or
+// calls would require interchange analysis the paper does not rely on).
+func splitLoop(l Loop) []Stmt {
+	if len(l.Body) < 2 {
+		return []Stmt{l}
+	}
+	assigns := make([]Assign, 0, len(l.Body))
+	for _, st := range l.Body {
+		a, ok := st.(Assign)
+		if !ok {
+			return []Stmt{l}
+		}
+		assigns = append(assigns, a)
+	}
+
+	// Union-find over statements, joined on conflicting accesses.
+	parent := make([]int, len(assigns))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	for i := 0; i < len(assigns); i++ {
+		for j := i + 1; j < len(assigns); j++ {
+			if conflict(assigns[i], assigns[j]) {
+				union(i, j)
+			}
+		}
+	}
+
+	// Emit clusters in order of first appearance.
+	order := []int{}
+	members := map[int][]Stmt{}
+	for i, a := range assigns {
+		root := find(i)
+		if _, seen := members[root]; !seen {
+			order = append(order, root)
+		}
+		members[root] = append(members[root], a)
+	}
+	if len(order) == 1 {
+		return []Stmt{l}
+	}
+	out := make([]Stmt, 0, len(order))
+	for _, root := range order {
+		out = append(out, Loop{Var: l.Var, Lo: l.Lo, Hi: l.Hi, Body: members[root]})
+	}
+	return out
+}
+
+// conflict reports whether two assignments share a storage location name
+// with at least one write.
+func conflict(a, b Assign) bool {
+	aw, ar := accessSets(a)
+	bw, br := accessSets(b)
+	return intersects(aw, bw) || intersects(aw, br) || intersects(bw, ar)
+}
+
+// accessSets returns the written and read location names of an assignment.
+// Array and scalar namespaces are kept distinct by prefixing.
+func accessSets(a Assign) (writes, reads map[string]bool) {
+	writes = map[string]bool{}
+	reads = map[string]bool{}
+	if a.Dest != nil {
+		writes["a:"+a.Dest.Array] = true
+	} else {
+		writes["s:"+a.Scalar] = true
+	}
+	collectReads(a.E, reads)
+	return writes, reads
+}
+
+func collectReads(e Expr, into map[string]bool) {
+	switch x := e.(type) {
+	case Ref:
+		into["a:"+x.Array] = true
+	case ScalarRef:
+		into["s:"+string(x)] = true
+	case Bin:
+		collectReads(x.L, into)
+		collectReads(x.R, into)
+	}
+}
+
+func intersects(a, b map[string]bool) bool {
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxLoopBody returns the largest number of Assign statements in any loop of
+// the program (a proxy for generated loop-body size, used in tests and
+// reporting).
+func MaxLoopBody(p *Program) int {
+	var walk func(stmts []Stmt) int
+	walk = func(stmts []Stmt) int {
+		max := 0
+		for _, st := range stmts {
+			if l, ok := st.(Loop); ok {
+				n := 0
+				for _, s := range l.Body {
+					if _, isAssign := s.(Assign); isAssign {
+						n++
+					}
+				}
+				if n > max {
+					max = n
+				}
+				if m := walk(l.Body); m > max {
+					max = m
+				}
+			}
+		}
+		return max
+	}
+	return walk(p.Body)
+}
+
+// CountLoops returns the number of loops in the program.
+func CountLoops(p *Program) int {
+	var walk func(stmts []Stmt) int
+	walk = func(stmts []Stmt) int {
+		n := 0
+		for _, st := range stmts {
+			if l, ok := st.(Loop); ok {
+				n += 1 + walk(l.Body)
+			}
+		}
+		return n
+	}
+	return walk(p.Body)
+}

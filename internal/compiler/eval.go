@@ -1,0 +1,117 @@
+package compiler
+
+import "fmt"
+
+// Env is the evaluated state of a program: array contents and scalar values.
+type Env struct {
+	Arrays  map[string][]float64
+	Scalars map[string]float64
+	// DynamicStmts counts executed assignments (a rough work measure).
+	DynamicStmts uint64
+}
+
+// Eval runs the program's IR directly in Go. It is the golden model against
+// which generated machine code is differentially tested.
+func Eval(p *Program) (*Env, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	env := &Env{
+		Arrays:  make(map[string][]float64, len(p.Arrays)),
+		Scalars: make(map[string]float64, len(p.Scalars)),
+	}
+	for _, a := range p.Arrays {
+		env.Arrays[a.Name] = make([]float64, a.Len)
+	}
+	for _, s := range p.Scalars {
+		env.Scalars[s] = 0
+	}
+	ivars := map[string]int{}
+	if err := evalStmts(p, env, p.Body, ivars); err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+func evalStmts(p *Program, env *Env, stmts []Stmt, ivars map[string]int) error {
+	for _, st := range stmts {
+		switch x := st.(type) {
+		case Assign:
+			v, err := evalExpr(env, x.E, ivars)
+			if err != nil {
+				return err
+			}
+			env.DynamicStmts++
+			if x.Dest == nil {
+				env.Scalars[x.Scalar] = v
+				continue
+			}
+			idx := evalIndex(x.Dest.Index, ivars)
+			arr := env.Arrays[x.Dest.Array]
+			if idx < 0 || idx >= len(arr) {
+				return fmt.Errorf("compiler: store %s[%d] out of bounds (len %d)", x.Dest.Array, idx, len(arr))
+			}
+			arr[idx] = v
+		case Loop:
+			for i := x.Lo; i < x.Hi; i++ {
+				ivars[x.Var] = i
+				if err := evalStmts(p, env, x.Body, ivars); err != nil {
+					return err
+				}
+			}
+			delete(ivars, x.Var)
+		case Call:
+			pr := p.proc(x.Proc)
+			if err := evalStmts(p, env, pr.Body, ivars); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func evalExpr(env *Env, e Expr, ivars map[string]int) (float64, error) {
+	switch x := e.(type) {
+	case Const:
+		return float64(x), nil
+	case ScalarRef:
+		return env.Scalars[string(x)], nil
+	case IVar:
+		return float64(ivars[string(x)]), nil
+	case Ref:
+		idx := evalIndex(x.Index, ivars)
+		arr := env.Arrays[x.Array]
+		if idx < 0 || idx >= len(arr) {
+			return 0, fmt.Errorf("compiler: load %s[%d] out of bounds (len %d)", x.Array, idx, len(arr))
+		}
+		return arr[idx], nil
+	case Bin:
+		l, err := evalExpr(env, x.L, ivars)
+		if err != nil {
+			return 0, err
+		}
+		r, err := evalExpr(env, x.R, ivars)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case Add:
+			return l + r, nil
+		case Sub:
+			return l - r, nil
+		case Mul:
+			return l * r, nil
+		case Div:
+			return l / r, nil
+		}
+	}
+	return 0, fmt.Errorf("compiler: cannot evaluate %T", e)
+}
+
+func evalIndex(ix Index, ivars map[string]int) int {
+	v := ix.Base
+	for _, t := range ix.Terms {
+		v += t.Coef * ivars[t.Var]
+	}
+	return v
+}

@@ -1,0 +1,261 @@
+// Package compiler implements a small loop-nest compiler used to express the
+// paper's array-intensive workloads: a loop IR over float64 arrays, an IR
+// evaluator (the golden model for generated code), the loop *distribution*
+// transformation studied in the paper's Section 4 (Kennedy–McKinley style,
+// with a conservative name-based dependence test), and a code generator that
+// lowers the IR to the repository's assembly language with pointer
+// strength-reduction, producing the tight loop bodies the reuse-capable
+// issue queue captures.
+package compiler
+
+import "fmt"
+
+// Expr is an arithmetic expression over float64 values.
+type Expr interface{ exprNode() }
+
+// Const is a floating-point literal.
+type Const float64
+
+// ScalarRef reads a named scalar variable.
+type ScalarRef string
+
+// IVar reads a loop induction variable, converted to float64.
+type IVar string
+
+// Ref reads an array element. Index is affine in the enclosing loop
+// variables.
+type Ref struct {
+	Array string
+	Index Index
+}
+
+// BinOp is an arithmetic operator.
+type BinOp uint8
+
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+)
+
+func (op BinOp) String() string { return [...]string{"+", "-", "*", "/"}[op] }
+
+// Bin applies an operator to two subexpressions.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+func (Const) exprNode()     {}
+func (ScalarRef) exprNode() {}
+func (IVar) exprNode()      {}
+func (Ref) exprNode()       {}
+func (Bin) exprNode()       {}
+
+// Index is an affine index expression: Base + sum(Coef_i * Var_i).
+// Multi-dimensional arrays are expressed in flattened form (row major).
+type Index struct {
+	Base  int
+	Terms []IndexTerm
+}
+
+// IndexTerm is one linear term of an affine index.
+type IndexTerm struct {
+	Var  string
+	Coef int
+}
+
+// Idx builds an affine index: Idx(base, "i", ci, "j", cj, ...).
+func Idx(base int, pairs ...any) Index {
+	ix := Index{Base: base}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		ix.Terms = append(ix.Terms, IndexTerm{Var: pairs[i].(string), Coef: pairs[i+1].(int)})
+	}
+	return ix
+}
+
+// IdxVar is the common [v] index.
+func IdxVar(v string) Index { return Idx(0, v, 1) }
+
+// Stmt is a statement.
+type Stmt interface{ stmtNode() }
+
+// Assign stores an expression either into an array element (Dest != nil) or
+// into a scalar variable (Scalar != "").
+type Assign struct {
+	Dest   *Ref   // array destination, or nil
+	Scalar string // scalar destination when Dest is nil
+	E      Expr
+}
+
+// Loop is a counted loop: for Var := Lo; Var < Hi; Var++ { Body }.
+type Loop struct {
+	Var  string
+	Lo   int
+	Hi   int
+	Body []Stmt
+}
+
+// Call invokes a named procedure (a straight-line statement list).
+type Call struct{ Proc string }
+
+func (Assign) stmtNode() {}
+func (Loop) stmtNode()   {}
+func (Call) stmtNode()   {}
+
+// ArrayDecl declares a float64 array (flattened length Len).
+type ArrayDecl struct {
+	Name string
+	Len  int
+}
+
+// Proc is a named straight-line procedure (no nested calls or loops),
+// used to model procedure calls inside loops (paper §2.2.2).
+type Proc struct {
+	Name string
+	Body []Stmt
+}
+
+// Program is one kernel: declarations plus a statement list.
+type Program struct {
+	Name    string
+	Arrays  []ArrayDecl
+	Scalars []string // scalar float64 variables, initialized to 0
+	Procs   []Proc
+	Body    []Stmt
+}
+
+// Validate checks naming and structural constraints.
+func (p *Program) Validate() error {
+	arrays := map[string]int{}
+	for _, a := range p.Arrays {
+		if a.Len <= 0 {
+			return fmt.Errorf("compiler: array %s has length %d", a.Name, a.Len)
+		}
+		if _, dup := arrays[a.Name]; dup {
+			return fmt.Errorf("compiler: duplicate array %s", a.Name)
+		}
+		arrays[a.Name] = a.Len
+	}
+	scalars := map[string]bool{}
+	for _, s := range p.Scalars {
+		if scalars[s] {
+			return fmt.Errorf("compiler: duplicate scalar %s", s)
+		}
+		scalars[s] = true
+	}
+	procs := map[string]bool{}
+	for _, pr := range p.Procs {
+		if procs[pr.Name] {
+			return fmt.Errorf("compiler: duplicate proc %s", pr.Name)
+		}
+		procs[pr.Name] = true
+		for _, st := range pr.Body {
+			switch st.(type) {
+			case Loop, Call:
+				return fmt.Errorf("compiler: proc %s must be straight-line", pr.Name)
+			}
+		}
+	}
+	var checkStmts func(stmts []Stmt, vars map[string]bool) error
+	var checkExpr func(e Expr, vars map[string]bool) error
+	checkExpr = func(e Expr, vars map[string]bool) error {
+		switch x := e.(type) {
+		case Const:
+		case ScalarRef:
+			if !scalars[string(x)] {
+				return fmt.Errorf("compiler: undeclared scalar %q", string(x))
+			}
+		case IVar:
+			if !vars[string(x)] {
+				return fmt.Errorf("compiler: loop variable %q not in scope", string(x))
+			}
+		case Ref:
+			if _, ok := arrays[x.Array]; !ok {
+				return fmt.Errorf("compiler: undeclared array %q", x.Array)
+			}
+			for _, t := range x.Index.Terms {
+				if !vars[t.Var] {
+					return fmt.Errorf("compiler: index variable %q not in scope", t.Var)
+				}
+			}
+		case Bin:
+			if err := checkExpr(x.L, vars); err != nil {
+				return err
+			}
+			return checkExpr(x.R, vars)
+		default:
+			return fmt.Errorf("compiler: unknown expression %T", e)
+		}
+		return nil
+	}
+	checkStmts = func(stmts []Stmt, vars map[string]bool) error {
+		for _, st := range stmts {
+			switch x := st.(type) {
+			case Assign:
+				if x.Dest == nil && !scalars[x.Scalar] {
+					return fmt.Errorf("compiler: assign to undeclared scalar %q", x.Scalar)
+				}
+				if x.Dest != nil {
+					if err := checkExpr(*x.Dest, vars); err != nil {
+						return err
+					}
+				}
+				if err := checkExpr(x.E, vars); err != nil {
+					return err
+				}
+			case Loop:
+				if vars[x.Var] {
+					return fmt.Errorf("compiler: loop variable %q shadows an outer loop", x.Var)
+				}
+				if x.Hi < x.Lo {
+					return fmt.Errorf("compiler: loop %q has empty/negative range [%d,%d)", x.Var, x.Lo, x.Hi)
+				}
+				inner := map[string]bool{}
+				for k := range vars {
+					inner[k] = true
+				}
+				inner[x.Var] = true
+				if err := checkStmts(x.Body, inner); err != nil {
+					return err
+				}
+			case Call:
+				if !procs[x.Proc] {
+					return fmt.Errorf("compiler: call to undeclared proc %q", x.Proc)
+				}
+			default:
+				return fmt.Errorf("compiler: unknown statement %T", st)
+			}
+		}
+		return nil
+	}
+	if err := checkStmts(p.Body, map[string]bool{}); err != nil {
+		return err
+	}
+	for _, pr := range p.Procs {
+		if err := checkStmts(pr.Body, map[string]bool{}); err != nil {
+			return fmt.Errorf("proc %s: %w", pr.Name, err)
+		}
+	}
+	return nil
+}
+
+// ArrayLen returns the declared length of array name.
+func (p *Program) ArrayLen(name string) int {
+	for _, a := range p.Arrays {
+		if a.Name == name {
+			return a.Len
+		}
+	}
+	return 0
+}
+
+func (p *Program) proc(name string) *Proc {
+	for i := range p.Procs {
+		if p.Procs[i].Name == name {
+			return &p.Procs[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package compiler
+
+// Loop unrolling and loop fusion. Unrolling exists mainly as an ablation
+// against the paper's *hardware* unrolling (multi-iteration buffering):
+// software unrolling enlarges the static loop body, which can push a loop
+// past the issue queue's capture threshold — the opposite of loop
+// distribution's effect. Fusion is the inverse of distribution and uses the
+// same conservative name-based dependence test.
+
+// Unroll returns a copy of p with every innermost all-assign loop whose trip
+// count is divisible by factor unrolled by that factor. Loops that do not
+// qualify are left untouched. factor must be >= 2.
+func Unroll(p *Program, factor int) *Program {
+	if factor < 2 {
+		return p
+	}
+	out := *p
+	out.Body = unrollStmts(p.Body, factor)
+	return &out
+}
+
+func unrollStmts(stmts []Stmt, factor int) []Stmt {
+	var result []Stmt
+	for _, st := range stmts {
+		l, ok := st.(Loop)
+		if !ok {
+			result = append(result, st)
+			continue
+		}
+		l.Body = unrollStmts(l.Body, factor)
+		result = append(result, unrollLoop(l, factor))
+	}
+	return result
+}
+
+// unrollLoop rewrites
+//
+//	for v := Lo; v < Hi; v++ { S(v) }
+//
+// as
+//
+//	for u := 0; u < (Hi-Lo)/f; u++ { S(u*f+Lo+0); ... S(u*f+Lo+f-1) }
+//
+// substituting v := u*f + Lo + k in indices (affine) and expressions.
+func unrollLoop(l Loop, factor int) Stmt {
+	trip := l.Hi - l.Lo
+	if trip <= 0 || trip%factor != 0 {
+		return l
+	}
+	for _, st := range l.Body {
+		if _, ok := st.(Assign); !ok {
+			return l
+		}
+	}
+	u := l.Var + "_u"
+	var body []Stmt
+	for k := 0; k < factor; k++ {
+		for _, st := range l.Body {
+			a := st.(Assign)
+			na := Assign{Scalar: a.Scalar, E: substExpr(a.E, l.Var, u, factor, l.Lo+k)}
+			if a.Dest != nil {
+				d := Ref{Array: a.Dest.Array, Index: substIndex(a.Dest.Index, l.Var, u, factor, l.Lo+k)}
+				na.Dest = &d
+			}
+			body = append(body, na)
+		}
+	}
+	return Loop{Var: u, Lo: 0, Hi: trip / factor, Body: body}
+}
+
+// substIndex replaces occurrences of variable v in an affine index with
+// u*factor + off.
+func substIndex(ix Index, v, u string, factor, off int) Index {
+	out := Index{Base: ix.Base}
+	for _, t := range ix.Terms {
+		if t.Var == v {
+			out.Base += t.Coef * off
+			out.Terms = append(out.Terms, IndexTerm{Var: u, Coef: t.Coef * factor})
+		} else {
+			out.Terms = append(out.Terms, t)
+		}
+	}
+	return out
+}
+
+// substExpr replaces IVar(v) with u*factor + off and rewrites array indices.
+func substExpr(e Expr, v, u string, factor, off int) Expr {
+	switch x := e.(type) {
+	case IVar:
+		if string(x) == v {
+			return Bin{Op: Add,
+				L: Bin{Op: Mul, L: IVar(u), R: Const(float64(factor))},
+				R: Const(float64(off))}
+		}
+		return x
+	case Ref:
+		return Ref{Array: x.Array, Index: substIndex(x.Index, v, u, factor, off)}
+	case Bin:
+		return Bin{Op: x.Op, L: substExpr(x.L, v, u, factor, off), R: substExpr(x.R, v, u, factor, off)}
+	}
+	return e
+}
+
+// Fuse returns a copy of p in which adjacent loops with identical bounds are
+// merged when the conservative name-based dependence test proves them
+// independent (no array or scalar written by one and touched by the other).
+// It is the inverse of Distribute for independent statement groups.
+func Fuse(p *Program) *Program {
+	out := *p
+	out.Body = fuseStmts(p.Body)
+	return &out
+}
+
+func fuseStmts(stmts []Stmt) []Stmt {
+	var result []Stmt
+	for _, st := range stmts {
+		l, ok := st.(Loop)
+		if !ok {
+			result = append(result, st)
+			continue
+		}
+		l.Body = fuseStmts(l.Body)
+		if len(result) > 0 {
+			if prev, ok := result[len(result)-1].(Loop); ok && canFuse(prev, l) {
+				merged := Loop{Var: prev.Var, Lo: prev.Lo, Hi: prev.Hi,
+					Body: append(append([]Stmt{}, prev.Body...), renameLoopVar(l.Body, l.Var, prev.Var)...)}
+				result[len(result)-1] = merged
+				continue
+			}
+		}
+		result = append(result, l)
+	}
+	return result
+}
+
+// canFuse checks bounds equality, all-assign bodies, and independence.
+func canFuse(a, b Loop) bool {
+	if a.Lo != b.Lo || a.Hi != b.Hi {
+		return false
+	}
+	allAssign := func(body []Stmt) bool {
+		for _, st := range body {
+			if _, ok := st.(Assign); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if !allAssign(a.Body) || !allAssign(b.Body) {
+		return false
+	}
+	for _, sa := range a.Body {
+		for _, sb := range b.Body {
+			if conflict(sa.(Assign), sb.(Assign)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// renameLoopVar rewrites loop-variable references in assigns from old to new.
+func renameLoopVar(body []Stmt, old, new string) []Stmt {
+	out := make([]Stmt, 0, len(body))
+	for _, st := range body {
+		a := st.(Assign)
+		na := Assign{Scalar: a.Scalar, E: renameExpr(a.E, old, new)}
+		if a.Dest != nil {
+			d := Ref{Array: a.Dest.Array, Index: renameIndex(a.Dest.Index, old, new)}
+			na.Dest = &d
+		}
+		out = append(out, na)
+	}
+	return out
+}
+
+func renameIndex(ix Index, old, new string) Index {
+	out := Index{Base: ix.Base}
+	for _, t := range ix.Terms {
+		if t.Var == old {
+			t.Var = new
+		}
+		out.Terms = append(out.Terms, t)
+	}
+	return out
+}
+
+func renameExpr(e Expr, old, new string) Expr {
+	switch x := e.(type) {
+	case IVar:
+		if string(x) == old {
+			return IVar(new)
+		}
+		return x
+	case Ref:
+		return Ref{Array: x.Array, Index: renameIndex(x.Index, old, new)}
+	case Bin:
+		return Bin{Op: x.Op, L: renameExpr(x.L, old, new), R: renameExpr(x.R, old, new)}
+	}
+	return e
+}

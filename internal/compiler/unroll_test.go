@@ -1,0 +1,166 @@
+package compiler
+
+import "testing"
+
+func arraysEqual(t *testing.T, p1, p2 *Program) {
+	t.Helper()
+	e1, err := Eval(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Eval(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range p1.Arrays {
+		for i := range e1.Arrays[a.Name] {
+			if e1.Arrays[a.Name][i] != e2.Arrays[a.Name][i] {
+				t.Fatalf("%s[%d]: %v vs %v", a.Name, i, e1.Arrays[a.Name][i], e2.Arrays[a.Name][i])
+			}
+		}
+	}
+}
+
+func rampKernel(n int) *Program {
+	return &Program{
+		Name:   "ramp",
+		Arrays: []ArrayDecl{{Name: "a", Len: n}, {Name: "b", Len: n}},
+		Body: []Stmt{
+			Loop{Var: "i", Lo: 0, Hi: n, Body: []Stmt{
+				Assign{Dest: &Ref{Array: "a", Index: IdxVar("i")},
+					E: Bin{Add, Bin{Mul, IVar("i"), Const(2)}, Const(1)}},
+			}},
+			Loop{Var: "i", Lo: 0, Hi: n, Body: []Stmt{
+				Assign{Dest: &Ref{Array: "b", Index: IdxVar("i")},
+					E: Bin{Mul, Ref{Array: "a", Index: IdxVar("i")}, Const(3)}},
+			}},
+		},
+	}
+}
+
+func TestUnrollPreservesSemantics(t *testing.T) {
+	p := rampKernel(24)
+	for _, f := range []int{2, 3, 4, 6} {
+		u := Unroll(p, f)
+		if err := u.Validate(); err != nil {
+			t.Fatalf("factor %d: %v", f, err)
+		}
+		arraysEqual(t, p, u)
+	}
+}
+
+func TestUnrollEnlargesBody(t *testing.T) {
+	p := rampKernel(24)
+	u := Unroll(p, 4)
+	if MaxLoopBody(u) != 4*MaxLoopBody(p) {
+		t.Errorf("body %d -> %d, want 4x", MaxLoopBody(p), MaxLoopBody(u))
+	}
+	if CountLoops(u) != CountLoops(p) {
+		t.Error("unroll changed the loop count")
+	}
+}
+
+func TestUnrollSkipsNonDivisibleTrips(t *testing.T) {
+	p := rampKernel(25) // 25 % 4 != 0
+	u := Unroll(p, 4)
+	if MaxLoopBody(u) != MaxLoopBody(p) {
+		t.Error("non-divisible loop was unrolled")
+	}
+	arraysEqual(t, p, u)
+}
+
+func TestUnrollSkipsNestedLoops(t *testing.T) {
+	p := &Program{
+		Name:   "nest",
+		Arrays: []ArrayDecl{{Name: "a", Len: 64}},
+		Body: []Stmt{
+			Loop{Var: "i", Lo: 0, Hi: 8, Body: []Stmt{
+				Loop{Var: "j", Lo: 0, Hi: 8, Body: []Stmt{
+					Assign{Dest: &Ref{Array: "a", Index: Idx(0, "i", 8, "j", 1)}, E: IVar("j")},
+				}},
+			}},
+		},
+	}
+	u := Unroll(p, 2)
+	// The inner loop unrolls (all assigns); the outer (contains a loop)
+	// must not.
+	arraysEqual(t, p, u)
+	if CountLoops(u) != 2 {
+		t.Errorf("loops = %d", CountLoops(u))
+	}
+}
+
+func TestUnrolledCodeCompilesAndRuns(t *testing.T) {
+	p := rampKernel(32)
+	checkAgainstEval(t, Unroll(p, 4))
+}
+
+func TestFuseIndependentLoops(t *testing.T) {
+	p := rampKernel(16)
+	// The two loops conflict (loop 2 reads a, loop 1 writes it): no fusion.
+	f := Fuse(p)
+	if CountLoops(f) != 2 {
+		t.Fatalf("dependent loops fused: %d", CountLoops(f))
+	}
+	// Distribute-then-fuse on an independent pair round-trips.
+	ind := &Program{
+		Name:   "ind",
+		Arrays: []ArrayDecl{{Name: "x", Len: 8}, {Name: "y", Len: 8}},
+		Body: []Stmt{
+			Loop{Var: "i", Lo: 0, Hi: 8, Body: []Stmt{
+				Assign{Dest: &Ref{Array: "x", Index: IdxVar("i")}, E: IVar("i")},
+			}},
+			Loop{Var: "j", Lo: 0, Hi: 8, Body: []Stmt{
+				Assign{Dest: &Ref{Array: "y", Index: IdxVar("j")}, E: Bin{Mul, IVar("j"), Const(2)}},
+			}},
+		},
+	}
+	fused := Fuse(ind)
+	if CountLoops(fused) != 1 {
+		t.Fatalf("independent loops not fused: %d", CountLoops(fused))
+	}
+	if err := fused.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	arraysEqual(t, ind, fused)
+}
+
+func TestFuseIsInverseOfDistribute(t *testing.T) {
+	ind := &Program{
+		Name:   "pair",
+		Arrays: []ArrayDecl{{Name: "x", Len: 8}, {Name: "y", Len: 8}},
+		Body: []Stmt{
+			Loop{Var: "i", Lo: 0, Hi: 8, Body: []Stmt{
+				Assign{Dest: &Ref{Array: "x", Index: IdxVar("i")}, E: IVar("i")},
+				Assign{Dest: &Ref{Array: "y", Index: IdxVar("i")}, E: IVar("i")},
+			}},
+		},
+	}
+	d := Distribute(ind)
+	if CountLoops(d) != 2 {
+		t.Fatal("distribution did not split")
+	}
+	f := Fuse(d)
+	if CountLoops(f) != 1 {
+		t.Fatal("fusion did not rejoin the distributed loops")
+	}
+	arraysEqual(t, ind, f)
+}
+
+func TestFuseRespectsBounds(t *testing.T) {
+	p := &Program{
+		Name:   "bounds",
+		Arrays: []ArrayDecl{{Name: "x", Len: 16}, {Name: "y", Len: 16}},
+		Body: []Stmt{
+			Loop{Var: "i", Lo: 0, Hi: 8, Body: []Stmt{
+				Assign{Dest: &Ref{Array: "x", Index: IdxVar("i")}, E: IVar("i")},
+			}},
+			Loop{Var: "j", Lo: 0, Hi: 16, Body: []Stmt{
+				Assign{Dest: &Ref{Array: "y", Index: IdxVar("j")}, E: IVar("j")},
+			}},
+		},
+	}
+	if CountLoops(Fuse(p)) != 2 {
+		t.Fatal("loops with different bounds fused")
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+// NBLT is the non-bufferable loop table (paper §2.2.3): a small CAM managed
+// as a FIFO that holds the loop-ending instruction addresses of the most
+// recent loops found to be non-bufferable (outer loops, loops whose bodies
+// overflow the queue, loops exited during buffering). A detected loop that
+// hits in the NBLT is never buffered, which removes most buffering-revoke
+// thrash. A size of zero disables the table (every lookup misses).
+type NBLT struct {
+	addrs []uint32
+	valid []bool
+	next  int // FIFO insertion point
+
+	Lookups uint64
+	Hits    uint64
+	Inserts uint64
+}
+
+// NewNBLT creates a table with the given number of entries.
+func NewNBLT(size int) *NBLT {
+	return &NBLT{addrs: make([]uint32, size), valid: make([]bool, size)}
+}
+
+// Size returns the capacity.
+func (n *NBLT) Size() int { return len(n.addrs) }
+
+// Contains performs a CAM lookup for the loop ending at addr.
+func (n *NBLT) Contains(addr uint32) bool {
+	n.Lookups++
+	for i, a := range n.addrs {
+		if n.valid[i] && a == addr {
+			n.Hits++
+			return true
+		}
+	}
+	return false
+}
+
+// Insert registers addr, replacing the oldest entry when full. Inserting an
+// address already present refreshes nothing (the CAM simply holds it once).
+func (n *NBLT) Insert(addr uint32) {
+	if len(n.addrs) == 0 {
+		return
+	}
+	for i, a := range n.addrs {
+		if n.valid[i] && a == addr {
+			return
+		}
+	}
+	n.Inserts++
+	n.addrs[n.next] = addr
+	n.valid[n.next] = true
+	n.next = (n.next + 1) % len(n.addrs)
+}

@@ -1,0 +1,186 @@
+// Package core implements the paper's contribution: an issue queue that can
+// detect, buffer and reuse the instructions of tight loops so that the
+// pipeline front-end (instruction cache, branch predictor, fetch and decode
+// logic) can be gated while the queue supplies instructions by itself.
+//
+// The package provides:
+//
+//   - Queue: a collapsing issue queue whose entries carry the paper's two
+//     extra bits (classification bit, issue state bit) and the logical
+//     register list (LRL) contents needed to re-rename buffered entries.
+//   - NBLT: the non-bufferable loop table, a small FIFO CAM of loop-ending
+//     addresses that prevents buffering thrash (paper §2.2.3).
+//   - Controller: the loop detector and the Normal / Loop Buffering /
+//     Code Reuse state machine (paper Figure 2), driven by pipeline events.
+package core
+
+import (
+	"fmt"
+
+	"reuseiq/internal/isa"
+)
+
+// Entry is one issue queue slot. The first group of fields describes the
+// current dynamic instance occupying the slot; the second group is the
+// buffered (reusable) information recorded while the loop was captured.
+type Entry struct {
+	// Current instance.
+	Seq      uint64
+	PC       uint32
+	Inst     isa.Inst
+	ROBSlot  int
+	LSQSlot  int // -1 when not a memory operation
+	NumSrc   int
+	SrcPhys  [2]int
+	SrcKind  [2]isa.RegKind
+	HasDest  bool
+	DestPhys int
+	DestKind isa.RegKind
+
+	// Issued is the paper's issue state bit: the buffered instruction has
+	// been issued and may be reused (re-renamed) by the reuse pointer.
+	Issued bool
+	// Classified is the paper's classification bit: the instruction
+	// belongs to a buffered loop and must not be removed at issue.
+	Classified bool
+
+	// Recorded static prediction for control instructions: the dynamic
+	// prediction observed during Loop Buffering becomes the static
+	// prediction used during Code Reuse (paper §2.3).
+	StaticTaken  bool
+	StaticTarget uint32
+}
+
+// Queue is a collapsing issue queue: entries sit in program order; removing
+// an issued entry shifts younger entries down. Buffered (classified) entries
+// survive issue and are updated in place when reused.
+type Queue struct {
+	entries []Entry
+	size    int
+
+	// Activity counters for the power model.
+	Dispatches     uint64 // full entry writes (front-end dispatch path)
+	PartialUpdates uint64 // register-info + ROB-pointer updates (reuse path)
+	IssueReads     uint64 // payload reads at issue
+	Removals       uint64
+	Collapses      uint64 // entry positions shifted by collapsing
+	SelectScans    uint64 // entries examined by the select logic
+}
+
+// NewQueue creates an issue queue with the given capacity.
+func NewQueue(size int) *Queue {
+	if size <= 0 {
+		panic(fmt.Sprintf("core: queue size %d", size))
+	}
+	return &Queue{entries: make([]Entry, 0, size), size: size}
+}
+
+// Size and Len report capacity and occupancy; Free the open slots.
+func (q *Queue) Size() int { return q.size }
+func (q *Queue) Len() int  { return len(q.entries) }
+func (q *Queue) Free() int { return q.size - len(q.entries) }
+
+// Entry returns the entry at position i.
+func (q *Queue) Entry(i int) *Entry { return &q.entries[i] }
+
+// Dispatch appends a new entry in program order.
+func (q *Queue) Dispatch(e Entry) bool {
+	if q.Free() == 0 {
+		return false
+	}
+	q.entries = append(q.entries, e)
+	q.Dispatches++
+	return true
+}
+
+// MarkIssued records that the entry at position i has been selected. A
+// conventional entry is removed (and the queue collapses); a classified
+// entry stays, with its issue state bit set. It returns whether the entry
+// was removed (so callers iterating by position can adjust).
+func (q *Queue) MarkIssued(i int) bool {
+	q.IssueReads++
+	if q.entries[i].Classified {
+		q.entries[i].Issued = true
+		return false
+	}
+	q.removeAt(i)
+	return true
+}
+
+func (q *Queue) removeAt(i int) {
+	q.Removals++
+	q.Collapses += uint64(len(q.entries) - i - 1)
+	q.entries = append(q.entries[:i], q.entries[i+1:]...)
+}
+
+// SquashAfter removes all entries with Seq > seq.
+func (q *Queue) SquashAfter(seq uint64) {
+	kept := q.entries[:0]
+	for _, e := range q.entries {
+		if e.Seq <= seq {
+			kept = append(kept, e)
+		}
+	}
+	q.entries = kept
+}
+
+// Revoke clears the buffering state (paper §2.5): classified entries that
+// already issued are removed immediately; the classification bits of the
+// rest are cleared, turning them back into conventional entries.
+func (q *Queue) Revoke() {
+	kept := q.entries[:0]
+	for _, e := range q.entries {
+		if e.Classified && e.Issued {
+			q.Removals++
+			continue
+		}
+		e.Classified = false
+		kept = append(kept, e)
+	}
+	q.entries = kept
+}
+
+// ClassifiedIndices returns the positions of classified entries in buffered
+// program order.
+func (q *Queue) ClassifiedIndices() []int {
+	var idx []int
+	for i := range q.entries {
+		if q.entries[i].Classified {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// ClassifiedCount returns the number of buffered entries.
+func (q *Queue) ClassifiedCount() int {
+	n := 0
+	for i := range q.entries {
+		if q.entries[i].Classified {
+			n++
+		}
+	}
+	return n
+}
+
+// PartialUpdate rewires the entry at position i to a new dynamic instance
+// during Code Reuse. Only register information and the ROB/LSQ pointers
+// change (the paper's reduced-activity update); opcode, immediates and the
+// recorded static prediction stay.
+func (q *Queue) PartialUpdate(i int, seq uint64, robSlot, lsqSlot int, srcPhys [2]int, destPhys int) {
+	e := &q.entries[i]
+	e.Seq = seq
+	e.ROBSlot = robSlot
+	e.LSQSlot = lsqSlot
+	e.SrcPhys = srcPhys
+	e.DestPhys = destPhys
+	e.Issued = false
+	q.PartialUpdates++
+}
+
+// Walk calls f for each entry in position order.
+func (q *Queue) Walk(f func(i int, e *Entry)) {
+	for i := range q.entries {
+		f(i, &q.entries[i])
+	}
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"reuseiq/internal/altfe"
+	"reuseiq/internal/mem"
+	"reuseiq/internal/pipeline"
+	"reuseiq/internal/power"
+)
+
+// FrontEndComparison is an extension experiment (not a figure in the paper):
+// it puts the paper's reuse-capable issue queue side by side with the two
+// prior-art front-end power mechanisms its introduction cites — a 512B
+// filter cache and a 32-entry dynamic loop cache — on the same kernels and
+// machine (IQ=64). Reported per kernel: instruction-cache power savings,
+// overall power savings, and IPC change, each versus the plain baseline.
+type FrontEndComparison struct {
+	Kernels []string
+	// Indexed [kernel][mechanism]; mechanisms: filter, loopcache, reuse.
+	ICacheSave  map[string][3]float64
+	OverallSave map[string][3]float64 // per-cycle power (the paper's metric)
+	EPISave     map[string][3]float64 // energy per instruction (fair under slowdown)
+	IPCDelta    map[string][3]float64 // negative = slower than baseline
+	AvgICache   [3]float64
+	AvgOverall  [3]float64
+	AvgEPI      [3]float64
+	AvgIPC      [3]float64
+}
+
+// MechanismNames labels the comparison columns.
+var MechanismNames = [3]string{"filter", "loopcache", "reuse-iq"}
+
+// CompareFrontEnds runs the comparison at the paper's baseline configuration.
+func (s *Suite) CompareFrontEnds() (*FrontEndComparison, error) {
+	const iq = 64
+	f := &FrontEndComparison{
+		Kernels:     KernelNames(),
+		ICacheSave:  map[string][3]float64{},
+		OverallSave: map[string][3]float64{},
+		EPISave:     map[string][3]float64{},
+		IPCDelta:    map[string][3]float64{},
+	}
+
+	run := func(kernel string, mutate func(*pipeline.Config)) (pipeline.Machine, power.Report, error) {
+		mp, err := s.program(kernel, false)
+		if err != nil {
+			return pipeline.Machine{}, power.Report{}, err
+		}
+		cfg := pipeline.BaselineConfig().WithIQSize(iq)
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		m := pipeline.New(cfg, mp)
+		if err := m.Run(); err != nil {
+			return pipeline.Machine{}, power.Report{}, err
+		}
+		return *m, power.Analyze(m), nil
+	}
+
+	n := float64(len(f.Kernels))
+	for _, k := range f.Kernels {
+		baseM, baseR, err := run(k, nil)
+		if err != nil {
+			return nil, err
+		}
+		variants := []func(*pipeline.Config){
+			func(c *pipeline.Config) { c.Mem.L0I = mem.DefaultFilterCache() },
+			func(c *pipeline.Config) { c.LoopCache = &altfe.LoopCacheConfig{Entries: 32} },
+			func(c *pipeline.Config) { c.Reuse.Enabled = true; c.Reuse.NBLTSize = 8 },
+		}
+		var ic, ov, epi, ipc [3]float64
+		for i, mutate := range variants {
+			m, r, err := run(k, mutate)
+			if err != nil {
+				return nil, err
+			}
+			sv := power.Compare(baseR, r)
+			// For the filter cache, the relevant "instruction cache"
+			// saving is L1I + L0 together against the baseline L1I.
+			icSave := sv.Component[power.ICache]
+			if i == 0 {
+				combined := r.PerCycle(power.ICache) + r.PerCycle(power.FilterCache)
+				icSave = 1 - combined/baseR.PerCycle(power.ICache)
+			}
+			if i == 1 {
+				combined := r.PerCycle(power.ICache) + r.PerCycle(power.LoopCacheBuf)
+				icSave = 1 - combined/baseR.PerCycle(power.ICache)
+			}
+			ic[i] = icSave
+			ov[i] = sv.Overall
+			epi[i] = 1 - r.EPI()/baseR.EPI()
+			ipc[i] = m.IPC()/baseM.IPC() - 1
+			f.AvgICache[i] += icSave / n
+			f.AvgOverall[i] += sv.Overall / n
+			f.AvgEPI[i] += epi[i] / n
+			f.AvgIPC[i] += ipc[i] / n
+		}
+		f.ICacheSave[k] = ic
+		f.OverallSave[k] = ov
+		f.EPISave[k] = epi
+		f.IPCDelta[k] = ipc
+	}
+	return f, nil
+}
+
+func (f *FrontEndComparison) String() string {
+	var b strings.Builder
+	b.WriteString("Extension: reuse issue queue vs prior-art front ends (IQ=64, vs plain baseline)\n")
+	b.WriteString("  icache power savings (incl. the mechanism's own buffer):\n")
+	fmt.Fprintf(&b, "  %-8s  %9s  %9s  %9s\n", "", MechanismNames[0], MechanismNames[1], MechanismNames[2])
+	for _, k := range f.Kernels {
+		v := f.ICacheSave[k]
+		fmt.Fprintf(&b, "  %-8s  %8.1f%%  %8.1f%%  %8.1f%%\n", k, 100*v[0], 100*v[1], 100*v[2])
+	}
+	fmt.Fprintf(&b, "  %-8s  %8.1f%%  %8.1f%%  %8.1f%%\n", "average",
+		100*f.AvgICache[0], 100*f.AvgICache[1], 100*f.AvgICache[2])
+	b.WriteString("  overall power savings:\n")
+	for _, k := range f.Kernels {
+		v := f.OverallSave[k]
+		fmt.Fprintf(&b, "  %-8s  %8.1f%%  %8.1f%%  %8.1f%%\n", k, 100*v[0], 100*v[1], 100*v[2])
+	}
+	fmt.Fprintf(&b, "  %-8s  %8.1f%%  %8.1f%%  %8.1f%%\n", "average",
+		100*f.AvgOverall[0], 100*f.AvgOverall[1], 100*f.AvgOverall[2])
+	b.WriteString("  energy-per-instruction savings (fair under slowdowns):\n")
+	for _, k := range f.Kernels {
+		v := f.EPISave[k]
+		fmt.Fprintf(&b, "  %-8s  %8.1f%%  %8.1f%%  %8.1f%%\n", k, 100*v[0], 100*v[1], 100*v[2])
+	}
+	fmt.Fprintf(&b, "  %-8s  %8.1f%%  %8.1f%%  %8.1f%%\n", "average",
+		100*f.AvgEPI[0], 100*f.AvgEPI[1], 100*f.AvgEPI[2])
+	fmt.Fprintf(&b, "  IPC vs baseline (average): %+.2f%%  %+.2f%%  %+.2f%%\n",
+		100*f.AvgIPC[0], 100*f.AvgIPC[1], 100*f.AvgIPC[2])
+	return b.String()
+}

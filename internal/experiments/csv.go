@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV export for every figure, so the series can be re-plotted outside Go.
+// Each writer emits one header row followed by one row per kernel (plus an
+// average row where the figure has one). Values are fractions, not percent.
+
+func writeRow(w io.Writer, cells ...string) error {
+	for i, c := range cells {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, c); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+func f2s(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// WriteCSV emits Figure 5 as CSV.
+func (f *Fig5) WriteCSV(w io.Writer) error {
+	header := []string{"kernel"}
+	for _, iq := range f.Sizes {
+		header = append(header, fmt.Sprintf("iq%d", iq))
+	}
+	if err := writeRow(w, header...); err != nil {
+		return err
+	}
+	for _, k := range f.Kernels {
+		row := []string{k}
+		for _, v := range f.Gated[k] {
+			row = append(row, f2s(v))
+		}
+		if err := writeRow(w, row...); err != nil {
+			return err
+		}
+	}
+	row := []string{"average"}
+	for _, v := range f.Average {
+		row = append(row, f2s(v))
+	}
+	return writeRow(w, row...)
+}
+
+// WriteCSV emits Figure 6 as CSV (rows = component, columns = sizes).
+func (f *Fig6) WriteCSV(w io.Writer) error {
+	header := []string{"component"}
+	for _, iq := range f.Sizes {
+		header = append(header, fmt.Sprintf("iq%d", iq))
+	}
+	if err := writeRow(w, header...); err != nil {
+		return err
+	}
+	rows := []struct {
+		name string
+		vals []float64
+	}{
+		{"icache", f.ICache}, {"bpred", f.BPred}, {"issueq", f.IssueQ}, {"overhead", f.Overhead},
+	}
+	for _, r := range rows {
+		row := []string{r.name}
+		for _, v := range r.vals {
+			row = append(row, f2s(v))
+		}
+		if err := writeRow(w, row...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits Figure 7 as CSV.
+func (f *Fig7) WriteCSV(w io.Writer) error {
+	header := []string{"kernel"}
+	for _, iq := range f.Sizes {
+		header = append(header, fmt.Sprintf("iq%d", iq))
+	}
+	if err := writeRow(w, header...); err != nil {
+		return err
+	}
+	for _, k := range f.Kernels {
+		row := []string{k}
+		for _, v := range f.Overall[k] {
+			row = append(row, f2s(v))
+		}
+		if err := writeRow(w, row...); err != nil {
+			return err
+		}
+	}
+	row := []string{"average"}
+	for _, v := range f.Average {
+		row = append(row, f2s(v))
+	}
+	return writeRow(w, row...)
+}
+
+// WriteCSV emits Figure 8 as CSV.
+func (f *Fig8) WriteCSV(w io.Writer) error {
+	header := []string{"kernel"}
+	for _, iq := range f.Sizes {
+		header = append(header, fmt.Sprintf("iq%d", iq))
+	}
+	if err := writeRow(w, header...); err != nil {
+		return err
+	}
+	for _, k := range f.Kernels {
+		row := []string{k}
+		for _, v := range f.Degradation[k] {
+			row = append(row, f2s(v))
+		}
+		if err := writeRow(w, row...); err != nil {
+			return err
+		}
+	}
+	row := []string{"average"}
+	for _, v := range f.Average {
+		row = append(row, f2s(v))
+	}
+	return writeRow(w, row...)
+}
+
+// WriteCSV emits Figure 9 as CSV.
+func (f *Fig9) WriteCSV(w io.Writer) error {
+	if err := writeRow(w, "kernel", "original", "optimized"); err != nil {
+		return err
+	}
+	for i, k := range f.Kernels {
+		if err := writeRow(w, k, f2s(f.Original[i]), f2s(f.Optimized[i])); err != nil {
+			return err
+		}
+	}
+	return writeRow(w, "average", f2s(f.AvgOriginal), f2s(f.AvgOptimized))
+}

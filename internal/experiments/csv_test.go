@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig5CSV(t *testing.T) {
+	f := &Fig5{
+		Sizes:   []int{32, 64},
+		Kernels: []string{"a", "b"},
+		Gated:   map[string][]float64{"a": {0.1, 0.2}, "b": {0.3, 0.4}},
+		Average: []float64{0.2, 0.3},
+	}
+	var b strings.Builder
+	if err := f.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "kernel,iq32,iq64\na,0.1,0.2\nb,0.3,0.4\naverage,0.2,0.3\n"
+	if got != want {
+		t.Errorf("csv = %q, want %q", got, want)
+	}
+}
+
+func TestFig6CSV(t *testing.T) {
+	f := &Fig6{
+		Sizes:  []int{32},
+		ICache: []float64{0.5}, BPred: []float64{0.25},
+		IssueQ: []float64{0.125}, Overhead: []float64{0.01},
+	}
+	var b strings.Builder
+	if err := f.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, row := range []string{"component,iq32", "icache,0.5", "bpred,0.25", "issueq,0.125", "overhead,0.01"} {
+		if !strings.Contains(got, row) {
+			t.Errorf("csv missing %q:\n%s", row, got)
+		}
+	}
+}
+
+func TestFig9CSV(t *testing.T) {
+	f := &Fig9{
+		Kernels:  []string{"x"},
+		Original: []float64{0.1}, Optimized: []float64{0.2},
+		AvgOriginal: 0.1, AvgOptimized: 0.2,
+	}
+	var b strings.Builder
+	if err := f.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "kernel,original,optimized\nx,0.1,0.2\naverage,0.1,0.2\n" {
+		t.Errorf("csv = %q", b.String())
+	}
+}
+
+func TestFig78CSVShape(t *testing.T) {
+	f7 := &Fig7{Sizes: []int{64}, Kernels: []string{"k"},
+		Overall: map[string][]float64{"k": {0.12}}, Average: []float64{0.12}}
+	var b strings.Builder
+	if err := f7.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "kernel,iq64\n") {
+		t.Errorf("fig7 header wrong: %q", b.String())
+	}
+	f8 := &Fig8{Sizes: []int{64}, Kernels: []string{"k"},
+		Degradation: map[string][]float64{"k": {0.01}}, Average: []float64{0.01}}
+	b.Reset()
+	if err := f8.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "k,0.01") {
+		t.Errorf("fig8 csv wrong: %q", b.String())
+	}
+}

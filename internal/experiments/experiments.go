@@ -1,0 +1,209 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 3 and 4) plus the ablations called out in DESIGN.md:
+//
+//	Table 1   baseline processor configuration
+//	Table 2   benchmark list
+//	Figure 5  % of cycles with the pipeline front-end gated vs IQ size
+//	Figure 6  power reduction in icache / bpred / issue queue + overhead
+//	Figure 7  overall per-benchmark power reduction vs IQ size
+//	Figure 8  IPC degradation vs IQ size
+//	Figure 9  overall power reduction, original vs loop-distributed code
+//	A1        NBLT ablation (buffering revoke rates)
+//	A2        single- vs multi-iteration buffering strategy
+//
+// Runs are cached by configuration, so figures sharing the same simulations
+// (6, 7, 8 share Figure 5's runs) reuse them.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"reuseiq/internal/compiler"
+	"reuseiq/internal/core"
+	"reuseiq/internal/pipeline"
+	"reuseiq/internal/power"
+	"reuseiq/internal/prog"
+	"reuseiq/internal/workloads"
+)
+
+// DefaultSizes is the paper's issue-queue size sweep.
+var DefaultSizes = []int{32, 64, 128, 256}
+
+// RunResult is the outcome of one simulation.
+type RunResult struct {
+	Kernel      string
+	IQSize      int
+	Reuse       bool
+	Distributed bool
+
+	Cycles  uint64
+	Commits uint64
+	IPC     float64
+	Gated   float64 // fraction of cycles with the front end gated
+
+	Power power.Report
+	Core  core.Stats
+}
+
+type runKey struct {
+	kernel   string
+	iq       int
+	reuse    bool
+	dist     bool
+	strategy core.Strategy
+	nblt     int
+}
+
+// Suite runs and caches simulations.
+type Suite struct {
+	mu       sync.Mutex
+	programs map[string]*prog.Program // kernel(+dist) -> compiled image
+	results  map[runKey]RunResult
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// NewSuite creates an empty suite.
+func NewSuite() *Suite {
+	return &Suite{
+		programs: map[string]*prog.Program{},
+		results:  map[runKey]RunResult{},
+	}
+}
+
+func (s *Suite) program(kernel string, dist bool) (*prog.Program, error) {
+	id := kernel
+	if dist {
+		id += "+dist"
+	}
+	s.mu.Lock()
+	p, ok := s.programs[id]
+	s.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	k, ok2 := workloads.ByName(kernel)
+	if !ok2 {
+		return nil, fmt.Errorf("experiments: unknown kernel %q", kernel)
+	}
+	ir := k.Prog
+	if dist {
+		ir = compiler.Distribute(ir)
+	}
+	mp, _, err := compiler.Compile(ir)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: compile %s: %w", id, err)
+	}
+	s.mu.Lock()
+	s.programs[id] = mp
+	s.mu.Unlock()
+	return mp, nil
+}
+
+// Spec names one simulation.
+type Spec struct {
+	Kernel      string
+	IQSize      int
+	Reuse       bool
+	Distributed bool
+	Strategy    core.Strategy
+	NBLTSize    int // meaningful only when Reuse; -1 means default (8)
+}
+
+func (sp Spec) key() runKey {
+	nblt := sp.NBLTSize
+	if nblt < 0 {
+		nblt = 8
+	}
+	return runKey{sp.Kernel, sp.IQSize, sp.Reuse, sp.Distributed, sp.Strategy, nblt}
+}
+
+// Run executes (or returns the cached result of) one simulation.
+func (s *Suite) Run(sp Spec) (RunResult, error) {
+	k := sp.key()
+	s.mu.Lock()
+	if r, ok := s.results[k]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	mp, err := s.program(sp.Kernel, sp.Distributed)
+	if err != nil {
+		return RunResult{}, err
+	}
+	cfg := pipeline.DefaultConfig().WithIQSize(sp.IQSize)
+	cfg.Reuse.Enabled = sp.Reuse
+	cfg.Reuse.Strategy = sp.Strategy
+	cfg.Reuse.NBLTSize = k.nblt
+	m := pipeline.New(cfg, mp)
+	if err := m.Run(); err != nil {
+		return RunResult{}, fmt.Errorf("experiments: %s iq=%d reuse=%v: %w", sp.Kernel, sp.IQSize, sp.Reuse, err)
+	}
+	r := RunResult{
+		Kernel:      sp.Kernel,
+		IQSize:      sp.IQSize,
+		Reuse:       sp.Reuse,
+		Distributed: sp.Distributed,
+		Cycles:      m.C.Cycles,
+		Commits:     m.C.Commits,
+		IPC:         m.IPC(),
+		Gated:       m.GatedFraction(),
+		Power:       power.Analyze(m),
+		Core:        m.Ctl.S,
+	}
+	s.mu.Lock()
+	s.results[k] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// Prewarm runs the given specs in parallel, populating the cache.
+func (s *Suite) Prewarm(specs []Spec) error {
+	par := s.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, par)
+	errCh := make(chan error, len(specs))
+	var wg sync.WaitGroup
+	for _, sp := range specs {
+		wg.Add(1)
+		go func(sp Spec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if _, err := s.Run(sp); err != nil {
+				errCh <- err
+			}
+		}(sp)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// sweepSpecs returns the baseline+reuse runs for all kernels over the size
+// sweep (shared by Figures 5-8).
+func sweepSpecs(sizes []int) []Spec {
+	var specs []Spec
+	for _, k := range workloads.All() {
+		for _, iq := range sizes {
+			specs = append(specs,
+				Spec{Kernel: k.Name, IQSize: iq, Reuse: false, NBLTSize: -1},
+				Spec{Kernel: k.Name, IQSize: iq, Reuse: true, NBLTSize: -1})
+		}
+	}
+	return specs
+}
+
+// KernelNames returns the Table 2 kernel order.
+func KernelNames() []string {
+	names := make([]string, 0, 8)
+	for _, k := range workloads.All() {
+		names = append(names, k.Name)
+	}
+	return names
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"reuseiq/internal/core"
+)
+
+func TestTablesRender(t *testing.T) {
+	t1 := Table1()
+	for _, want := range []string{"64 entries", "bimod, 2048", "32KB, 2 way", "4 IALU, 1 IMULT"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, t1)
+		}
+	}
+	t2 := Table2()
+	for _, k := range KernelNames() {
+		if !strings.Contains(t2, k) {
+			t.Errorf("Table 2 missing %s", k)
+		}
+	}
+}
+
+func TestKernelNames(t *testing.T) {
+	names := KernelNames()
+	if len(names) != 8 || names[0] != "adi" || names[7] != "wss" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestRunCachesResults(t *testing.T) {
+	s := NewSuite()
+	sp := Spec{Kernel: "tsf", IQSize: 32, Reuse: true, NBLTSize: -1}
+	r1, err := s.Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Cycles == 0 {
+		t.Error("cached run differs or empty")
+	}
+	if len(s.results) != 1 {
+		t.Errorf("cache holds %d entries, want 1", len(s.results))
+	}
+}
+
+func TestRunUnknownKernel(t *testing.T) {
+	s := NewSuite()
+	if _, err := s.Run(Spec{Kernel: "nope", IQSize: 64}); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestDistributedRunsDiffer(t *testing.T) {
+	s := NewSuite()
+	orig, err := s.Run(Spec{Kernel: "btrix", IQSize: 64, Reuse: true, NBLTSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := s.Run(Spec{Kernel: "btrix", IQSize: 64, Reuse: true, Distributed: true, NBLTSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// btrix's ~90-instruction body cannot gate at IQ=64; after
+	// distribution its split loops can.
+	if dist.Gated <= orig.Gated {
+		t.Errorf("distribution did not raise gating: %.2f -> %.2f", orig.Gated, dist.Gated)
+	}
+}
+
+// One small end-to-end figure on a reduced size set, exercising the whole
+// harness path without the full sweep cost.
+func TestFigure5SmallSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations")
+	}
+	s := NewSuite()
+	f, err := s.Figure5([]int{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Kernels) != 8 || len(f.Average) != 1 {
+		t.Fatalf("shape: %d kernels, %d averages", len(f.Kernels), len(f.Average))
+	}
+	// The paper's claim: small-loop kernels gate heavily even at IQ=32.
+	for _, k := range []string{"aps", "tsf", "wss"} {
+		if f.Gated[k][0] < 0.5 {
+			t.Errorf("%s gated only %.1f%% at IQ=32", k, 100*f.Gated[k][0])
+		}
+	}
+	// Large-loop kernels barely gate at IQ=32.
+	for _, k := range []string{"btrix", "tomcat", "vpenta"} {
+		if f.Gated[k][0] > 0.3 {
+			t.Errorf("%s gated %.1f%% at IQ=32, expected little", k, 100*f.Gated[k][0])
+		}
+	}
+	out := f.String()
+	if !strings.Contains(out, "average") {
+		t.Error("rendering lacks average row")
+	}
+}
+
+func TestStrategySpecsDistinct(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations")
+	}
+	s := NewSuite()
+	multi, err := s.Run(Spec{Kernel: "tsf", IQSize: 64, Reuse: true, Strategy: core.StrategyMulti, NBLTSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := s.Run(Spec{Kernel: "tsf", IQSize: 64, Reuse: true, Strategy: core.StrategySingle, NBLTSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Core.IterationsBuffered <= single.Core.IterationsBuffered {
+		t.Error("strategies not distinguished in cache key or controller")
+	}
+}

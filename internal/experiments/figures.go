@@ -1,0 +1,475 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"reuseiq/internal/core"
+	"reuseiq/internal/pipeline"
+	"reuseiq/internal/power"
+	"reuseiq/internal/workloads"
+)
+
+// Table1 renders the baseline configuration (paper Table 1).
+func Table1() string {
+	cfg := pipeline.DefaultConfig()
+	var b strings.Builder
+	b.WriteString("Table 1: baseline configuration\n")
+	row := func(k, v string) { fmt.Fprintf(&b, "  %-22s %s\n", k, v) }
+	row("Issue Queue", fmt.Sprintf("%d entries", cfg.IQSize))
+	row("Load/Store Queue", fmt.Sprintf("%d entries", cfg.LSQSize))
+	row("ROB", fmt.Sprintf("%d entries", cfg.ROBSize))
+	row("Fetch Queue", fmt.Sprintf("%d entries", cfg.FetchQueueSize))
+	row("Fetch/Decode Width", fmt.Sprintf("%d inst. per cycle", cfg.FetchWidth))
+	row("Issue/Commit Width", fmt.Sprintf("%d inst. per cycle", cfg.IssueWidth))
+	row("Function Units", fmt.Sprintf("%d IALU, %d IMULT, %d FPALU, %d FPMULT",
+		cfg.FU.NumIntALU, cfg.FU.NumIntMul, cfg.FU.NumFPALU, cfg.FU.NumFPMul))
+	row("Branch Predictor", fmt.Sprintf("bimod, %d entries, RAS %d entries",
+		cfg.Bpred.BimodEntries, cfg.Bpred.RASEntries))
+	row("BTB", fmt.Sprintf("%d set %d way assoc.", cfg.Bpred.BTBSets, cfg.Bpred.BTBWays))
+	row("L1 ICache", fmt.Sprintf("%dKB, %d way, %d cycle",
+		cfg.Mem.L1I.SizeBytes()/1024, cfg.Mem.L1I.Ways, cfg.Mem.L1I.HitLat))
+	row("L1 DCache", fmt.Sprintf("%dKB, %d way, %d cycle",
+		cfg.Mem.L1D.SizeBytes()/1024, cfg.Mem.L1D.Ways, cfg.Mem.L1D.HitLat))
+	row("L2 UCache", fmt.Sprintf("%dKB, %d way, %d cycles",
+		cfg.Mem.L2.SizeBytes()/1024, cfg.Mem.L2.Ways, cfg.Mem.L2.HitLat))
+	row("TLB", fmt.Sprintf("ITLB: %d set %d way, DTLB: %d set %d way, %dKB page, %d cycle penalty",
+		cfg.Mem.ITLB.Sets, cfg.Mem.ITLB.Ways, cfg.Mem.DTLB.Sets, cfg.Mem.DTLB.Ways,
+		cfg.Mem.ITLB.PageBytes/1024, cfg.Mem.ITLB.MissLat))
+	row("Memory", fmt.Sprintf("%d cycles first chunk, %d cycles rest",
+		cfg.Mem.MemLatFirst, cfg.Mem.MemLatRest))
+	row("NBLT", fmt.Sprintf("%d entries", cfg.Reuse.NBLTSize))
+	return b.String()
+}
+
+// Table2 renders the benchmark list (paper Table 2).
+func Table2() string {
+	var b strings.Builder
+	b.WriteString("Table 2: array-intensive applications\n")
+	for _, k := range workloads.All() {
+		fmt.Fprintf(&b, "  %-8s %s\n", k.Name, k.Source)
+	}
+	return b.String()
+}
+
+// Fig5 holds Figure 5's data: gated-cycle fraction per kernel and size.
+type Fig5 struct {
+	Sizes   []int
+	Kernels []string
+	Gated   map[string][]float64 // kernel -> per-size fraction
+	Average []float64
+}
+
+// Figure5 measures the fraction of total execution cycles with the pipeline
+// front-end gated, per issue-queue size.
+func (s *Suite) Figure5(sizes []int) (*Fig5, error) {
+	if err := s.Prewarm(sweepSpecs(sizes)); err != nil {
+		return nil, err
+	}
+	f := &Fig5{Sizes: sizes, Kernels: KernelNames(), Gated: map[string][]float64{}}
+	f.Average = make([]float64, len(sizes))
+	for _, k := range f.Kernels {
+		row := make([]float64, len(sizes))
+		for i, iq := range sizes {
+			r, err := s.Run(Spec{Kernel: k, IQSize: iq, Reuse: true, NBLTSize: -1})
+			if err != nil {
+				return nil, err
+			}
+			row[i] = r.Gated
+			f.Average[i] += r.Gated / float64(len(f.Kernels))
+		}
+		f.Gated[k] = row
+	}
+	return f, nil
+}
+
+func (f *Fig5) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: pipeline front-end gated rate (in cycles)\n")
+	fmt.Fprintf(&b, "  %-8s", "")
+	for _, iq := range f.Sizes {
+		fmt.Fprintf(&b, "  IQ%-4d", iq)
+	}
+	b.WriteString("\n")
+	for _, k := range f.Kernels {
+		fmt.Fprintf(&b, "  %-8s", k)
+		for _, g := range f.Gated[k] {
+			fmt.Fprintf(&b, "  %5.1f%%", 100*g)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "  %-8s", "average")
+	for _, g := range f.Average {
+		fmt.Fprintf(&b, "  %5.1f%%", 100*g)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Fig6 holds Figure 6's data: average per-cycle power savings of the
+// instruction cache, branch predictor and issue queue, and the overhead
+// hardware's share of total power, per issue-queue size.
+type Fig6 struct {
+	Sizes    []int
+	ICache   []float64
+	BPred    []float64
+	IssueQ   []float64
+	Overhead []float64
+}
+
+// Figure6 computes component power reductions averaged over all kernels.
+func (s *Suite) Figure6(sizes []int) (*Fig6, error) {
+	if err := s.Prewarm(sweepSpecs(sizes)); err != nil {
+		return nil, err
+	}
+	f := &Fig6{Sizes: sizes,
+		ICache: make([]float64, len(sizes)), BPred: make([]float64, len(sizes)),
+		IssueQ: make([]float64, len(sizes)), Overhead: make([]float64, len(sizes))}
+	names := KernelNames()
+	for i, iq := range sizes {
+		for _, k := range names {
+			base, err := s.Run(Spec{Kernel: k, IQSize: iq, Reuse: false, NBLTSize: -1})
+			if err != nil {
+				return nil, err
+			}
+			reuse, err := s.Run(Spec{Kernel: k, IQSize: iq, Reuse: true, NBLTSize: -1})
+			if err != nil {
+				return nil, err
+			}
+			sv := power.Compare(base.Power, reuse.Power)
+			n := float64(len(names))
+			f.ICache[i] += sv.Component[power.ICache] / n
+			f.BPred[i] += sv.Component[power.BPred] / n
+			f.IssueQ[i] += sv.Component[power.IssueQueue] / n
+			f.Overhead[i] += sv.OverheadShare / n
+		}
+	}
+	return f, nil
+}
+
+func (f *Fig6) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 6: per-cycle power savings (average over benchmarks)\n")
+	fmt.Fprintf(&b, "  %-10s", "")
+	for _, iq := range f.Sizes {
+		fmt.Fprintf(&b, "  IQ%-4d", iq)
+	}
+	b.WriteString("\n")
+	row := func(name string, vals []float64) {
+		fmt.Fprintf(&b, "  %-10s", name)
+		for _, v := range vals {
+			fmt.Fprintf(&b, "  %5.1f%%", 100*v)
+		}
+		b.WriteString("\n")
+	}
+	row("icache", f.ICache)
+	row("bpred", f.BPred)
+	row("issueq", f.IssueQ)
+	row("overhead", f.Overhead)
+	return b.String()
+}
+
+// Fig7 holds Figure 7's data: overall per-cycle power reduction per kernel
+// and size.
+type Fig7 struct {
+	Sizes   []int
+	Kernels []string
+	Overall map[string][]float64
+	Average []float64
+}
+
+// Figure7 computes the whole-processor power reduction.
+func (s *Suite) Figure7(sizes []int) (*Fig7, error) {
+	if err := s.Prewarm(sweepSpecs(sizes)); err != nil {
+		return nil, err
+	}
+	f := &Fig7{Sizes: sizes, Kernels: KernelNames(), Overall: map[string][]float64{},
+		Average: make([]float64, len(sizes))}
+	for _, k := range f.Kernels {
+		row := make([]float64, len(sizes))
+		for i, iq := range sizes {
+			base, err := s.Run(Spec{Kernel: k, IQSize: iq, Reuse: false, NBLTSize: -1})
+			if err != nil {
+				return nil, err
+			}
+			reuse, err := s.Run(Spec{Kernel: k, IQSize: iq, Reuse: true, NBLTSize: -1})
+			if err != nil {
+				return nil, err
+			}
+			row[i] = power.Compare(base.Power, reuse.Power).Overall
+			f.Average[i] += row[i] / float64(len(f.Kernels))
+		}
+		f.Overall[k] = row
+	}
+	return f, nil
+}
+
+func (f *Fig7) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 7: overall power (per cycle) savings vs baseline\n")
+	fmt.Fprintf(&b, "  %-8s", "")
+	for _, iq := range f.Sizes {
+		fmt.Fprintf(&b, "  IQ%-4d", iq)
+	}
+	b.WriteString("\n")
+	for _, k := range f.Kernels {
+		fmt.Fprintf(&b, "  %-8s", k)
+		for _, v := range f.Overall[k] {
+			fmt.Fprintf(&b, "  %5.1f%%", 100*v)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "  %-8s", "average")
+	for _, v := range f.Average {
+		fmt.Fprintf(&b, "  %5.1f%%", 100*v)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Fig8 holds Figure 8's data: IPC degradation per kernel and size.
+type Fig8 struct {
+	Sizes       []int
+	Kernels     []string
+	Degradation map[string][]float64
+	Average     []float64
+}
+
+// Figure8 computes the performance impact: 1 - IPC(reuse)/IPC(baseline).
+func (s *Suite) Figure8(sizes []int) (*Fig8, error) {
+	if err := s.Prewarm(sweepSpecs(sizes)); err != nil {
+		return nil, err
+	}
+	f := &Fig8{Sizes: sizes, Kernels: KernelNames(), Degradation: map[string][]float64{},
+		Average: make([]float64, len(sizes))}
+	for _, k := range f.Kernels {
+		row := make([]float64, len(sizes))
+		for i, iq := range sizes {
+			base, err := s.Run(Spec{Kernel: k, IQSize: iq, Reuse: false, NBLTSize: -1})
+			if err != nil {
+				return nil, err
+			}
+			reuse, err := s.Run(Spec{Kernel: k, IQSize: iq, Reuse: true, NBLTSize: -1})
+			if err != nil {
+				return nil, err
+			}
+			row[i] = 1 - reuse.IPC/base.IPC
+			f.Average[i] += row[i] / float64(len(f.Kernels))
+		}
+		f.Degradation[k] = row
+	}
+	return f, nil
+}
+
+func (f *Fig8) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 8: performance (IPC) degradation vs baseline\n")
+	fmt.Fprintf(&b, "  %-8s", "")
+	for _, iq := range f.Sizes {
+		fmt.Fprintf(&b, "  IQ%-4d", iq)
+	}
+	b.WriteString("\n")
+	for _, k := range f.Kernels {
+		fmt.Fprintf(&b, "  %-8s", k)
+		for _, v := range f.Degradation[k] {
+			fmt.Fprintf(&b, "  %5.2f%%", 100*v)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "  %-8s", "average")
+	for _, v := range f.Average {
+		fmt.Fprintf(&b, "  %5.2f%%", 100*v)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Fig9 holds Figure 9's data: overall power reduction with original vs
+// loop-distributed code at the baseline 64-entry issue queue.
+type Fig9 struct {
+	Kernels                   []string
+	Original                  []float64
+	Optimized                 []float64
+	AvgOriginal, AvgOptimized float64
+	// Supporting series the paper quotes in the text.
+	GatedOriginal, GatedOptimized       float64
+	PerfLossOriginal, PerfLossOptimized float64
+}
+
+// Figure9 compares original and loop-distributed code at IQ=64.
+func (s *Suite) Figure9() (*Fig9, error) {
+	const iq = 64
+	f := &Fig9{Kernels: KernelNames()}
+	var specs []Spec
+	for _, k := range f.Kernels {
+		for _, reuse := range []bool{false, true} {
+			specs = append(specs,
+				Spec{Kernel: k, IQSize: iq, Reuse: reuse, NBLTSize: -1},
+				Spec{Kernel: k, IQSize: iq, Reuse: reuse, Distributed: true, NBLTSize: -1})
+		}
+	}
+	if err := s.Prewarm(specs); err != nil {
+		return nil, err
+	}
+	n := float64(len(f.Kernels))
+	for _, k := range f.Kernels {
+		get := func(reuse, dist bool) (RunResult, error) {
+			return s.Run(Spec{Kernel: k, IQSize: iq, Reuse: reuse, Distributed: dist, NBLTSize: -1})
+		}
+		ob, err := get(false, false)
+		if err != nil {
+			return nil, err
+		}
+		or, err := get(true, false)
+		if err != nil {
+			return nil, err
+		}
+		db, err := get(false, true)
+		if err != nil {
+			return nil, err
+		}
+		dr, err := get(true, true)
+		if err != nil {
+			return nil, err
+		}
+		f.Original = append(f.Original, power.Compare(ob.Power, or.Power).Overall)
+		f.Optimized = append(f.Optimized, power.Compare(db.Power, dr.Power).Overall)
+		f.AvgOriginal += f.Original[len(f.Original)-1] / n
+		f.AvgOptimized += f.Optimized[len(f.Optimized)-1] / n
+		f.GatedOriginal += or.Gated / n
+		f.GatedOptimized += dr.Gated / n
+		f.PerfLossOriginal += (1 - or.IPC/ob.IPC) / n
+		f.PerfLossOptimized += (1 - dr.IPC/db.IPC) / n
+	}
+	return f, nil
+}
+
+func (f *Fig9) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 9: impact of compiler optimization (loop distribution, IQ=64)\n")
+	fmt.Fprintf(&b, "  %-8s  %9s  %9s\n", "", "original", "optimized")
+	for i, k := range f.Kernels {
+		fmt.Fprintf(&b, "  %-8s  %8.1f%%  %8.1f%%\n", k, 100*f.Original[i], 100*f.Optimized[i])
+	}
+	fmt.Fprintf(&b, "  %-8s  %8.1f%%  %8.1f%%\n", "average", 100*f.AvgOriginal, 100*f.AvgOptimized)
+	fmt.Fprintf(&b, "  gated cycles: %.1f%% -> %.1f%%; IPC loss: %.1f%% -> %.1f%%\n",
+		100*f.GatedOriginal, 100*f.GatedOptimized,
+		100*f.PerfLossOriginal, 100*f.PerfLossOptimized)
+	return b.String()
+}
+
+// NBLTAblation holds A1's data: buffering revoke rates with and without the
+// non-bufferable loop table (paper §3 quotes ~40% -> <10%).
+type NBLTAblation struct {
+	Kernels             []string
+	RateWithout         []float64 // revokes / buffering attempts, NBLT disabled
+	RateWith            []float64 // NBLT = 8 entries
+	AvgWithout, AvgWith float64
+}
+
+// AblationNBLT measures revoke rates at IQ=64.
+func (s *Suite) AblationNBLT() (*NBLTAblation, error) {
+	const iq = 64
+	a := &NBLTAblation{Kernels: KernelNames()}
+	var specs []Spec
+	for _, k := range a.Kernels {
+		specs = append(specs,
+			Spec{Kernel: k, IQSize: iq, Reuse: true, NBLTSize: 0},
+			Spec{Kernel: k, IQSize: iq, Reuse: true, NBLTSize: 8})
+	}
+	if err := s.Prewarm(specs); err != nil {
+		return nil, err
+	}
+	rate := func(st core.Stats) float64 {
+		if st.Bufferings == 0 {
+			return 0
+		}
+		return float64(st.Revokes) / float64(st.Bufferings)
+	}
+	n := float64(len(a.Kernels))
+	for _, k := range a.Kernels {
+		off, err := s.Run(Spec{Kernel: k, IQSize: iq, Reuse: true, NBLTSize: 0})
+		if err != nil {
+			return nil, err
+		}
+		on, err := s.Run(Spec{Kernel: k, IQSize: iq, Reuse: true, NBLTSize: 8})
+		if err != nil {
+			return nil, err
+		}
+		a.RateWithout = append(a.RateWithout, rate(off.Core))
+		a.RateWith = append(a.RateWith, rate(on.Core))
+		a.AvgWithout += rate(off.Core) / n
+		a.AvgWith += rate(on.Core) / n
+	}
+	return a, nil
+}
+
+func (a *NBLTAblation) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation A1: buffering revoke rate, NBLT disabled vs 8 entries (IQ=64)\n")
+	fmt.Fprintf(&b, "  %-8s  %8s  %8s\n", "", "no NBLT", "NBLT=8")
+	for i, k := range a.Kernels {
+		fmt.Fprintf(&b, "  %-8s  %7.1f%%  %7.1f%%\n", k, 100*a.RateWithout[i], 100*a.RateWith[i])
+	}
+	fmt.Fprintf(&b, "  %-8s  %7.1f%%  %7.1f%%\n", "average", 100*a.AvgWithout, 100*a.AvgWith)
+	return b.String()
+}
+
+// StrategyAblation holds A2's data: single- vs multi-iteration buffering.
+type StrategyAblation struct {
+	Kernels []string
+	// Per kernel: gated fraction and IPC under each strategy at IQ=64.
+	GatedMulti, GatedSingle       []float64
+	IPCMulti, IPCSingle           []float64
+	AvgGatedMulti, AvgGatedSingle float64
+	AvgIPCMulti, AvgIPCSingle     float64
+}
+
+// AblationStrategy compares the paper's multi-iteration buffering against
+// single-iteration buffering (§2.2.1) at IQ=64.
+func (s *Suite) AblationStrategy() (*StrategyAblation, error) {
+	const iq = 64
+	a := &StrategyAblation{Kernels: KernelNames()}
+	var specs []Spec
+	for _, k := range a.Kernels {
+		specs = append(specs,
+			Spec{Kernel: k, IQSize: iq, Reuse: true, Strategy: core.StrategyMulti, NBLTSize: -1},
+			Spec{Kernel: k, IQSize: iq, Reuse: true, Strategy: core.StrategySingle, NBLTSize: -1})
+	}
+	if err := s.Prewarm(specs); err != nil {
+		return nil, err
+	}
+	n := float64(len(a.Kernels))
+	for _, k := range a.Kernels {
+		multi, err := s.Run(Spec{Kernel: k, IQSize: iq, Reuse: true, Strategy: core.StrategyMulti, NBLTSize: -1})
+		if err != nil {
+			return nil, err
+		}
+		single, err := s.Run(Spec{Kernel: k, IQSize: iq, Reuse: true, Strategy: core.StrategySingle, NBLTSize: -1})
+		if err != nil {
+			return nil, err
+		}
+		a.GatedMulti = append(a.GatedMulti, multi.Gated)
+		a.GatedSingle = append(a.GatedSingle, single.Gated)
+		a.IPCMulti = append(a.IPCMulti, multi.IPC)
+		a.IPCSingle = append(a.IPCSingle, single.IPC)
+		a.AvgGatedMulti += multi.Gated / n
+		a.AvgGatedSingle += single.Gated / n
+		a.AvgIPCMulti += multi.IPC / n
+		a.AvgIPCSingle += single.IPC / n
+	}
+	return a, nil
+}
+
+func (a *StrategyAblation) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation A2: multi- vs single-iteration buffering (IQ=64)\n")
+	fmt.Fprintf(&b, "  %-8s  %11s  %11s  %9s  %9s\n", "", "gated multi", "gated single", "IPC multi", "IPC single")
+	for i, k := range a.Kernels {
+		fmt.Fprintf(&b, "  %-8s  %10.1f%%  %11.1f%%  %9.2f  %9.2f\n",
+			k, 100*a.GatedMulti[i], 100*a.GatedSingle[i], a.IPCMulti[i], a.IPCSingle[i])
+	}
+	fmt.Fprintf(&b, "  %-8s  %10.1f%%  %11.1f%%  %9.2f  %9.2f\n",
+		"average", 100*a.AvgGatedMulti, 100*a.AvgGatedSingle, a.AvgIPCMulti, a.AvgIPCSingle)
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"reuseiq/internal/compiler"
+	"reuseiq/internal/pipeline"
+	"reuseiq/internal/power"
+	"reuseiq/internal/workloads"
+)
+
+// UnrollAblation (A3) contrasts the paper's *hardware* loop unrolling
+// (multi-iteration buffering automatically unrolls the loop into the issue
+// queue, §2.2.1) with *software* unrolling by the compiler: unrolled code
+// enlarges the static loop body, so small-loop kernels can stop fitting the
+// queue — the opposite of loop distribution. Measured at IQ=64 with the
+// reuse mechanism on.
+type UnrollAblation struct {
+	Kernels                            []string
+	Factor                             int
+	GatedOriginal                      []float64
+	GatedUnrolled                      []float64
+	SaveOriginal                       []float64 // overall power saving vs matching baseline
+	SaveUnrolled                       []float64
+	AvgGatedOriginal, AvgGatedUnrolled float64
+	AvgSaveOriginal, AvgSaveUnrolled   float64
+}
+
+// AblationUnroll runs the software-unrolling ablation.
+func (s *Suite) AblationUnroll(factor int) (*UnrollAblation, error) {
+	const iq = 64
+	a := &UnrollAblation{Kernels: KernelNames(), Factor: factor}
+	n := float64(len(a.Kernels))
+	for _, kname := range a.Kernels {
+		k, _ := workloads.ByName(kname)
+		for _, unrolled := range []bool{false, true} {
+			ir := k.Prog
+			if unrolled {
+				ir = compiler.Unroll(ir, factor)
+			}
+			mp, _, err := compiler.Compile(ir)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: unroll %s: %w", kname, err)
+			}
+			base := pipeline.New(pipeline.BaselineConfig().WithIQSize(iq), mp)
+			if err := base.Run(); err != nil {
+				return nil, err
+			}
+			reuse := pipeline.New(pipeline.DefaultConfig().WithIQSize(iq), mp)
+			if err := reuse.Run(); err != nil {
+				return nil, err
+			}
+			save := power.Compare(power.Analyze(base), power.Analyze(reuse)).Overall
+			if unrolled {
+				a.GatedUnrolled = append(a.GatedUnrolled, reuse.GatedFraction())
+				a.SaveUnrolled = append(a.SaveUnrolled, save)
+				a.AvgGatedUnrolled += reuse.GatedFraction() / n
+				a.AvgSaveUnrolled += save / n
+			} else {
+				a.GatedOriginal = append(a.GatedOriginal, reuse.GatedFraction())
+				a.SaveOriginal = append(a.SaveOriginal, save)
+				a.AvgGatedOriginal += reuse.GatedFraction() / n
+				a.AvgSaveOriginal += save / n
+			}
+		}
+	}
+	return a, nil
+}
+
+func (a *UnrollAblation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation A3: software unrolling x%d vs hardware unrolling (IQ=64)\n", a.Factor)
+	fmt.Fprintf(&b, "  %-8s  %11s  %11s  %10s  %10s\n", "",
+		"gated orig", fmt.Sprintf("gated x%d", a.Factor),
+		"save orig", fmt.Sprintf("save x%d", a.Factor))
+	for i, k := range a.Kernels {
+		fmt.Fprintf(&b, "  %-8s  %10.1f%%  %10.1f%%  %9.1f%%  %9.1f%%\n",
+			k, 100*a.GatedOriginal[i], 100*a.GatedUnrolled[i],
+			100*a.SaveOriginal[i], 100*a.SaveUnrolled[i])
+	}
+	fmt.Fprintf(&b, "  %-8s  %10.1f%%  %10.1f%%  %9.1f%%  %9.1f%%\n", "average",
+		100*a.AvgGatedOriginal, 100*a.AvgGatedUnrolled,
+		100*a.AvgSaveOriginal, 100*a.AvgSaveUnrolled)
+	return b.String()
+}
+
+// NBLTSizeSweep measures how the revoke rate and gated fraction move as the
+// non-bufferable loop table grows from 0 to 16 entries (the paper fixes 8;
+// this shows the knee). Averaged over all kernels at IQ=64.
+type NBLTSizeSweep struct {
+	Sizes      []int
+	RevokeRate []float64
+	Gated      []float64
+}
+
+// SweepNBLTSizes runs the NBLT size sweep.
+func (s *Suite) SweepNBLTSizes(sizes []int) (*NBLTSizeSweep, error) {
+	const iq = 64
+	sw := &NBLTSizeSweep{Sizes: sizes}
+	names := KernelNames()
+	n := float64(len(names))
+	for _, nblt := range sizes {
+		var rate, gated float64
+		for _, k := range names {
+			r, err := s.Run(Spec{Kernel: k, IQSize: iq, Reuse: true, NBLTSize: nblt})
+			if err != nil {
+				return nil, err
+			}
+			if r.Core.Bufferings > 0 {
+				rate += float64(r.Core.Revokes) / float64(r.Core.Bufferings) / n
+			}
+			gated += r.Gated / n
+		}
+		sw.RevokeRate = append(sw.RevokeRate, rate)
+		sw.Gated = append(sw.Gated, gated)
+	}
+	return sw, nil
+}
+
+func (sw *NBLTSizeSweep) String() string {
+	var b strings.Builder
+	b.WriteString("NBLT size sweep (IQ=64, averages over benchmarks)\n")
+	fmt.Fprintf(&b, "  %-8s", "entries")
+	for _, s := range sw.Sizes {
+		fmt.Fprintf(&b, "  %6d", s)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  %-8s", "revoke")
+	for _, v := range sw.RevokeRate {
+		fmt.Fprintf(&b, "  %5.1f%%", 100*v)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  %-8s", "gated")
+	for _, v := range sw.Gated {
+		fmt.Fprintf(&b, "  %5.1f%%", 100*v)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

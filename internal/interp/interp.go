@@ -1,0 +1,141 @@
+// Package interp is a simple in-order functional interpreter for the ISA.
+// It serves as the golden model for differential testing of the out-of-order
+// pipeline: both must produce identical architectural register and memory
+// state for every program.
+package interp
+
+import (
+	"fmt"
+
+	"reuseiq/internal/isa"
+	"reuseiq/internal/prog"
+)
+
+// State is the architectural machine state.
+type State struct {
+	PC  uint32
+	Int [isa.NumIntRegs]int32
+	FP  [isa.NumFPRegs]float64
+	Mem *prog.Memory
+	// Insts counts dynamically executed instructions (including NOPs,
+	// excluding the final HALT).
+	Insts uint64
+	// Branches and Taken count executed conditional branches.
+	Branches, Taken uint64
+}
+
+// Machine executes programs one instruction at a time.
+type Machine struct {
+	Prog  *prog.Program
+	State State
+	// MaxInsts bounds execution; 0 means DefaultMaxInsts.
+	MaxInsts uint64
+}
+
+// DefaultMaxInsts bounds runaway programs in tests.
+const DefaultMaxInsts = 200_000_000
+
+// New creates a machine with a private copy of the program's data image and
+// the conventional initial register state (SP at the stack top).
+func New(p *prog.Program) *Machine {
+	m := &Machine{Prog: p}
+	m.State.PC = p.Entry
+	m.State.Mem = p.Data.Clone()
+	m.State.Int[isa.RegSP] = int32(prog.StackTop)
+	return m
+}
+
+// Step executes one instruction. It returns (halted, error).
+func (m *Machine) Step() (bool, error) {
+	s := &m.State
+	in, ok := m.Prog.InstAt(s.PC)
+	if !ok {
+		return false, fmt.Errorf("interp: PC 0x%08x outside text segment", s.PC)
+	}
+	ops := isa.Operands{PC: s.PC}
+	info := in.Op.Info()
+	if info.ReadsRs {
+		if info.RsFP {
+			ops.FA = s.FP[in.Rs]
+		} else {
+			ops.A = s.Int[in.Rs]
+		}
+	}
+	if info.ReadsRt {
+		if info.RtFP {
+			ops.FB = s.FP[in.Rt]
+		} else {
+			ops.B = s.Int[in.Rt]
+		}
+	}
+	r := isa.Eval(in, ops)
+	if r.Halt {
+		return true, nil
+	}
+
+	// Memory access.
+	switch in.Op {
+	case isa.OpLW:
+		r.I = s.Mem.ReadI32(r.Addr)
+	case isa.OpLB:
+		r.I = int32(int8(s.Mem.Read8(r.Addr)))
+	case isa.OpLBU:
+		r.I = int32(s.Mem.Read8(r.Addr))
+	case isa.OpLH:
+		r.I = int32(int16(s.Mem.Read16(r.Addr)))
+	case isa.OpLHU:
+		r.I = int32(s.Mem.Read16(r.Addr))
+	case isa.OpLD:
+		r.F = s.Mem.ReadF64(r.Addr)
+	case isa.OpSW:
+		s.Mem.WriteI32(r.Addr, r.StoreI)
+	case isa.OpSB:
+		s.Mem.Write8(r.Addr, byte(r.StoreI))
+	case isa.OpSH:
+		s.Mem.Write16(r.Addr, uint16(r.StoreI))
+	case isa.OpSD:
+		s.Mem.WriteF64(r.Addr, r.StoreF)
+	}
+
+	// Register writeback.
+	if d, ok := in.Dest(); ok {
+		if d.Kind == isa.KindFP {
+			s.FP[d.Num] = r.F
+		} else {
+			s.Int[d.Num] = r.I
+		}
+	}
+
+	// Next PC.
+	if r.Taken {
+		s.PC = r.Target
+	} else {
+		s.PC += 4
+	}
+	s.Insts++
+	if info.Class == isa.ClassBranch {
+		s.Branches++
+		if r.Taken {
+			s.Taken++
+		}
+	}
+	return false, nil
+}
+
+// Run executes until HALT, the instruction budget, or an error.
+func (m *Machine) Run() error {
+	max := m.MaxInsts
+	if max == 0 {
+		max = DefaultMaxInsts
+	}
+	for m.State.Insts < max {
+		halted, err := m.Step()
+		if err != nil {
+			return err
+		}
+		if halted {
+			return nil
+		}
+	}
+	return fmt.Errorf("interp: instruction budget of %d exhausted at PC 0x%08x", max, m.State.PC)
+}

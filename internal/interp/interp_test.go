@@ -1,0 +1,263 @@
+package interp
+
+import (
+	"testing"
+
+	"reuseiq/internal/asm"
+	"reuseiq/internal/isa"
+	"reuseiq/internal/prog"
+)
+
+func run(t *testing.T, src string) *Machine {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestArithmeticLoop(t *testing.T) {
+	m := run(t, `
+	li   $r2, 0       # sum
+	li   $r3, 10      # i
+loop:	add  $r2, $r2, $r3
+	addi $r3, $r3, -1
+	bne  $r3, $zero, loop
+	halt
+	`)
+	if got := m.State.Int[2]; got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+	if m.State.Branches != 10 || m.State.Taken != 9 {
+		t.Errorf("branches = %d taken = %d", m.State.Branches, m.State.Taken)
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	m := run(t, `
+	.data
+arr:	.word 10, 20, 30
+out:	.space 4
+bout:	.space 4
+	.text
+	la  $r5, arr
+	lw  $r2, 0($r5)
+	lw  $r3, 4($r5)
+	add $r4, $r2, $r3
+	la  $r6, out
+	sw  $r4, 0($r6)
+	lb  $r7, 0($r5)
+	sb  $r7, 6($r6)
+	halt
+	`)
+	out := m.Prog.Symbols["out"]
+	if got := m.State.Mem.ReadI32(out); got != 30 {
+		t.Errorf("out = %d", got)
+	}
+	if got := m.State.Mem.Read8(m.Prog.Symbols["bout"] + 2); got != 10 {
+		t.Errorf("out byte = %d", got)
+	}
+}
+
+func TestFPKernel(t *testing.T) {
+	m := run(t, `
+	.data
+a:	.double 1.5, 2.5, 3.5
+s:	.space 8
+	.text
+	la   $r5, a
+	li   $r3, 3
+	la   $r6, s
+	cvt.d.w $f0, $zero     # sum = 0.0
+loop:	l.d  $f2, 0($r5)
+	add.d $f0, $f0, $f2
+	addi $r5, $r5, 8
+	addi $r3, $r3, -1
+	bne  $r3, $zero, loop
+	s.d  $f0, 0($r6)
+	halt
+	`)
+	if got := m.State.Mem.ReadF64(m.Prog.Symbols["s"]); got != 7.5 {
+		t.Errorf("sum = %v, want 7.5", got)
+	}
+}
+
+func TestProcedureCall(t *testing.T) {
+	m := run(t, `
+main:	li   $a0, 6
+	jal  fact
+	move $r9, $v0
+	halt
+
+# fact(n): iterative factorial, result in $v0.
+fact:	li   $v0, 1
+floop:	blez $a0, fdone
+	mul  $v0, $v0, $a0
+	addi $a0, $a0, -1
+	j    floop
+fdone:	jr   $ra
+	`)
+	if got := m.State.Int[9]; got != 720 {
+		t.Errorf("fact(6) = %d, want 720", got)
+	}
+}
+
+func TestRecursionWithStack(t *testing.T) {
+	m := run(t, `
+main:	li   $a0, 10
+	jal  fib
+	move $r9, $v0
+	halt
+
+# fib(n) recursive, callee saves $ra/$a0 on the stack.
+fib:	slti $at, $a0, 2
+	beq  $at, $zero, frec
+	move $v0, $a0
+	jr   $ra
+frec:	addi $sp, $sp, -12
+	sw   $ra, 0($sp)
+	sw   $a0, 4($sp)
+	addi $a0, $a0, -1
+	jal  fib
+	sw   $v0, 8($sp)
+	lw   $a0, 4($sp)
+	addi $a0, $a0, -2
+	jal  fib
+	lw   $r8, 8($sp)
+	add  $v0, $v0, $r8
+	lw   $ra, 0($sp)
+	addi $sp, $sp, 12
+	jr   $ra
+	`)
+	if got := m.State.Int[9]; got != 55 {
+		t.Errorf("fib(10) = %d, want 55", got)
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	m := run(t, `
+	addi $zero, $zero, 42
+	li   $r2, 7
+	add  $r3, $zero, $r2
+	halt
+	`)
+	if m.State.Int[0] != 0 {
+		t.Errorf("$zero = %d", m.State.Int[0])
+	}
+	if m.State.Int[3] != 7 {
+		t.Errorf("r3 = %d", m.State.Int[3])
+	}
+}
+
+func TestHaltStopsExecution(t *testing.T) {
+	m := run(t, `
+	li $r2, 1
+	halt
+	li $r2, 2
+	halt
+	`)
+	if m.State.Int[2] != 1 {
+		t.Errorf("executed past halt: r2 = %d", m.State.Int[2])
+	}
+	// Instruction count excludes the halt itself.
+	if m.State.Insts != 1 {
+		t.Errorf("insts = %d, want 1", m.State.Insts)
+	}
+}
+
+func TestInstructionBudget(t *testing.T) {
+	p, err := asm.Assemble("spin: j spin\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p)
+	m.MaxInsts = 1000
+	if err := m.Run(); err == nil {
+		t.Fatal("infinite loop terminated without error")
+	}
+}
+
+func TestPCOutsideText(t *testing.T) {
+	p, err := asm.Assemble("jr $r2\nhalt") // r2 = 0 -> jump to address 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p)
+	if err := m.Run(); err == nil {
+		t.Fatal("jump outside text did not error")
+	}
+}
+
+func TestInitialState(t *testing.T) {
+	p, _ := asm.Assemble("halt")
+	m := New(p)
+	if m.State.Int[isa.RegSP] != int32(prog.StackTop) {
+		t.Errorf("sp = 0x%x", uint32(m.State.Int[isa.RegSP]))
+	}
+	if m.State.PC != prog.TextBase {
+		t.Errorf("pc = 0x%x", m.State.PC)
+	}
+}
+
+func TestRunsDoNotShareMemory(t *testing.T) {
+	p := asm.MustAssemble(`
+	.data
+x:	.word 5
+	.text
+	la $r5, x
+	lw $r2, 0($r5)
+	addi $r2, $r2, 1
+	sw $r2, 0($r5)
+	halt
+	`)
+	m1 := New(p)
+	if err := m1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(p)
+	if err := m2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	x := p.Symbols["x"]
+	if got := m2.State.Mem.ReadI32(x); got != 6 {
+		t.Errorf("second run saw x = %d, runs share memory", got)
+	}
+	if p.Data.ReadI32(x) != 5 {
+		t.Error("program image mutated")
+	}
+}
+
+func TestHalfwordOps(t *testing.T) {
+	m := run(t, `
+	.data
+buf:	.space 16
+	.text
+	la   $r5, buf
+	li   $r2, -2
+	sh   $r2, 0($r5)
+	li   $r3, 40000
+	sh   $r3, 4($r5)
+	lh   $r6, 0($r5)
+	lhu  $r7, 0($r5)
+	lh   $r8, 4($r5)
+	lhu  $r9, 4($r5)
+	halt
+	`)
+	if m.State.Int[6] != -2 {
+		t.Errorf("lh = %d, want -2", m.State.Int[6])
+	}
+	if m.State.Int[7] != 65534 {
+		t.Errorf("lhu = %d, want 65534", m.State.Int[7])
+	}
+	if m.State.Int[8] != 40000-65536 {
+		t.Errorf("lh(40000) = %d, want %d", m.State.Int[8], 40000-65536)
+	}
+	if m.State.Int[9] != 40000 {
+		t.Errorf("lhu(40000) = %d", m.State.Int[9])
+	}
+}

@@ -1,0 +1,182 @@
+package isa
+
+import "fmt"
+
+// Binary encoding, MIPS-flavoured:
+//
+//	R-format: opc(6) rs(5) rt(5) rd(5) shamt(5) funct(6), primary opcode 0
+//	F-format: opc(6) fs(5) ft(5) fd(5) 0(5)     funct(6), primary opcode 0x11
+//	I-format: opc(6) rs(5) rt(5) imm(16)
+//	J-format: opc(6) target(26)                  (word-scaled absolute target)
+const (
+	opcR  = 0x00
+	opcFP = 0x11
+)
+
+type encoding struct {
+	opc   uint32
+	funct uint32 // R/F formats only
+}
+
+var opEncoding = map[Op]encoding{
+	OpADD:  {opcR, 0x20},
+	OpSUB:  {opcR, 0x22},
+	OpAND:  {opcR, 0x24},
+	OpOR:   {opcR, 0x25},
+	OpXOR:  {opcR, 0x26},
+	OpNOR:  {opcR, 0x27},
+	OpSLT:  {opcR, 0x2a},
+	OpSLTU: {opcR, 0x2b},
+	OpSLL:  {opcR, 0x00},
+	OpSRL:  {opcR, 0x02},
+	OpSRA:  {opcR, 0x03},
+	OpSLLV: {opcR, 0x04},
+	OpSRLV: {opcR, 0x06},
+	OpSRAV: {opcR, 0x07},
+	OpMUL:  {opcR, 0x18},
+	OpDIVQ: {opcR, 0x1a},
+	OpREM:  {opcR, 0x1b},
+	OpJR:   {opcR, 0x08},
+	OpJALR: {opcR, 0x09},
+	OpNOP:  {opcR, 0x3e},
+	OpHALT: {opcR, 0x3f},
+
+	OpJ:   {0x02, 0},
+	OpJAL: {0x03, 0},
+
+	OpBEQ:   {0x04, 0},
+	OpBNE:   {0x05, 0},
+	OpBLEZ:  {0x06, 0},
+	OpBGTZ:  {0x07, 0},
+	OpBLTZ:  {0x01, 0},
+	OpBGEZ:  {0x1d, 0},
+	OpADDI:  {0x08, 0},
+	OpSLTI:  {0x0a, 0},
+	OpSLTIU: {0x0b, 0},
+	OpANDI:  {0x0c, 0},
+	OpORI:   {0x0d, 0},
+	OpXORI:  {0x0e, 0},
+	OpLUI:   {0x0f, 0},
+	OpLB:    {0x20, 0},
+	OpLH:    {0x21, 0},
+	OpLW:    {0x23, 0},
+	OpLBU:   {0x24, 0},
+	OpLHU:   {0x25, 0},
+	OpSB:    {0x28, 0},
+	OpSH:    {0x29, 0},
+	OpSW:    {0x2b, 0},
+	OpLD:    {0x35, 0},
+	OpSD:    {0x3d, 0},
+
+	OpADDD:  {opcFP, 0x00},
+	OpSUBD:  {opcFP, 0x01},
+	OpMULD:  {opcFP, 0x02},
+	OpDIVD:  {opcFP, 0x03},
+	OpNEGD:  {opcFP, 0x07},
+	OpABSD:  {opcFP, 0x05},
+	OpMOVD:  {opcFP, 0x06},
+	OpCVTIF: {opcFP, 0x20},
+	OpCVTFI: {opcFP, 0x24},
+	OpCLTD:  {opcFP, 0x3c},
+	OpCLED:  {opcFP, 0x3e},
+	OpCEQD:  {opcFP, 0x32},
+}
+
+var decodeR, decodeFP [64]Op
+var decodeI [64]Op
+
+func init() {
+	for op, e := range opEncoding {
+		switch e.opc {
+		case opcR:
+			decodeR[e.funct] = op
+		case opcFP:
+			decodeFP[e.funct] = op
+		default:
+			decodeI[e.opc] = op
+		}
+	}
+}
+
+// Encode packs in into its 32-bit machine representation.
+func Encode(in Inst) (uint32, error) {
+	e, ok := opEncoding[in.Op]
+	if !ok {
+		return 0, fmt.Errorf("isa: cannot encode op %v", in.Op)
+	}
+	info := in.Op.Info()
+	switch {
+	case e.opc == opcR || e.opc == opcFP:
+		w := e.opc<<26 | uint32(in.Rs&31)<<21 | uint32(in.Rt&31)<<16 | uint32(in.Rd&31)<<11 | e.funct
+		if info.UsesShamt {
+			if in.Imm < 0 || in.Imm > 31 {
+				return 0, fmt.Errorf("isa: shift amount %d out of range in %v", in.Imm, in)
+			}
+			w |= uint32(in.Imm) << 6
+		}
+		return w, nil
+	case info.Fmt == FmtJ:
+		if in.Target&3 != 0 {
+			return 0, fmt.Errorf("isa: unaligned jump target 0x%x", in.Target)
+		}
+		word := in.Target >> 2
+		if word >= 1<<26 {
+			return 0, fmt.Errorf("isa: jump target 0x%x out of 26-bit range", in.Target)
+		}
+		return e.opc<<26 | word, nil
+	default: // I-format
+		if info.SignedImm {
+			if in.Imm < -(1<<15) || in.Imm >= 1<<15 {
+				return 0, fmt.Errorf("isa: immediate %d out of signed 16-bit range in %v", in.Imm, in)
+			}
+		} else if in.Imm < 0 || in.Imm >= 1<<16 {
+			return 0, fmt.Errorf("isa: immediate %d out of unsigned 16-bit range in %v", in.Imm, in)
+		}
+		return e.opc<<26 | uint32(in.Rs&31)<<21 | uint32(in.Rt&31)<<16 | uint32(uint16(in.Imm)), nil
+	}
+}
+
+// Decode unpacks a 32-bit machine word into an instruction.
+func Decode(w uint32) (Inst, error) {
+	opc := w >> 26
+	rs := uint8(w >> 21 & 31)
+	rt := uint8(w >> 16 & 31)
+	rd := uint8(w >> 11 & 31)
+	shamt := int32(w >> 6 & 31)
+	funct := w & 63
+
+	switch opc {
+	case opcR:
+		op := decodeR[funct]
+		if !op.Valid() {
+			return Inst{}, fmt.Errorf("isa: unknown R-format funct 0x%x in word 0x%08x", funct, w)
+		}
+		in := Inst{Op: op, Rd: rd, Rs: rs, Rt: rt}
+		if op.Info().UsesShamt {
+			in.Imm = shamt
+		}
+		return in, nil
+	case opcFP:
+		op := decodeFP[funct]
+		if !op.Valid() {
+			return Inst{}, fmt.Errorf("isa: unknown FP funct 0x%x in word 0x%08x", funct, w)
+		}
+		return Inst{Op: op, Rd: rd, Rs: rs, Rt: rt}, nil
+	case 0x02, 0x03:
+		op := OpJ
+		if opc == 0x03 {
+			op = OpJAL
+		}
+		return Inst{Op: op, Target: (w & (1<<26 - 1)) << 2}, nil
+	default:
+		op := decodeI[opc]
+		if !op.Valid() {
+			return Inst{}, fmt.Errorf("isa: unknown opcode 0x%x in word 0x%08x", opc, w)
+		}
+		imm := int32(uint32(uint16(w)))
+		if op.Info().SignedImm {
+			imm = int32(int16(w))
+		}
+		return Inst{Op: op, Rs: rs, Rt: rt, Imm: imm}, nil
+	}
+}

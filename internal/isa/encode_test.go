@@ -1,0 +1,183 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sampleInsts covers every op with representative operands.
+func sampleInsts() []Inst {
+	return []Inst{
+		{Op: OpADD, Rd: 3, Rs: 1, Rt: 2},
+		{Op: OpSUB, Rd: 31, Rs: 30, Rt: 29},
+		{Op: OpAND, Rd: 5, Rs: 6, Rt: 7},
+		{Op: OpOR, Rd: 8, Rs: 9, Rt: 10},
+		{Op: OpXOR, Rd: 1, Rs: 2, Rt: 3},
+		{Op: OpNOR, Rd: 4, Rs: 5, Rt: 6},
+		{Op: OpSLT, Rd: 7, Rs: 8, Rt: 9},
+		{Op: OpSLTU, Rd: 10, Rs: 11, Rt: 12},
+		{Op: OpSLL, Rd: 2, Rt: 3, Imm: 31},
+		{Op: OpSRL, Rd: 2, Rt: 3, Imm: 0},
+		{Op: OpSRA, Rd: 2, Rt: 3, Imm: 16},
+		{Op: OpSLLV, Rd: 2, Rt: 3, Rs: 4},
+		{Op: OpSRLV, Rd: 2, Rt: 3, Rs: 4},
+		{Op: OpSRAV, Rd: 2, Rt: 3, Rs: 4},
+		{Op: OpMUL, Rd: 13, Rs: 14, Rt: 15},
+		{Op: OpDIVQ, Rd: 16, Rs: 17, Rt: 18},
+		{Op: OpREM, Rd: 19, Rs: 20, Rt: 21},
+		{Op: OpADDI, Rt: 1, Rs: 2, Imm: -32768},
+		{Op: OpANDI, Rt: 1, Rs: 2, Imm: 65535},
+		{Op: OpORI, Rt: 1, Rs: 2, Imm: 4097},
+		{Op: OpXORI, Rt: 1, Rs: 2, Imm: 0},
+		{Op: OpSLTI, Rt: 1, Rs: 2, Imm: 32767},
+		{Op: OpSLTIU, Rt: 1, Rs: 2, Imm: -1},
+		{Op: OpLUI, Rt: 1, Imm: 0x1000},
+		{Op: OpLW, Rt: 4, Rs: 5, Imm: -4},
+		{Op: OpLB, Rt: 4, Rs: 5, Imm: 100},
+		{Op: OpLBU, Rt: 4, Rs: 5, Imm: 0},
+		{Op: OpLH, Rt: 4, Rs: 5, Imm: 2},
+		{Op: OpLHU, Rt: 4, Rs: 5, Imm: -2},
+		{Op: OpSW, Rt: 4, Rs: 5, Imm: 8},
+		{Op: OpSB, Rt: 4, Rs: 5, Imm: -1},
+		{Op: OpSH, Rt: 4, Rs: 5, Imm: 6},
+		{Op: OpLD, Rt: 6, Rs: 5, Imm: 16},
+		{Op: OpSD, Rt: 6, Rs: 5, Imm: -16},
+		{Op: OpBEQ, Rs: 1, Rt: 2, Imm: -10},
+		{Op: OpBNE, Rs: 1, Rt: 2, Imm: 10},
+		{Op: OpBLEZ, Rs: 1, Imm: 5},
+		{Op: OpBGTZ, Rs: 1, Imm: -5},
+		{Op: OpBLTZ, Rs: 1, Imm: 0},
+		{Op: OpBGEZ, Rs: 1, Imm: 100},
+		{Op: OpJ, Target: 0x0040_0000},
+		{Op: OpJAL, Target: 0x0040_1ffc},
+		{Op: OpJR, Rs: 31},
+		{Op: OpJALR, Rd: 31, Rs: 4},
+		{Op: OpADDD, Rd: 1, Rs: 2, Rt: 3},
+		{Op: OpSUBD, Rd: 4, Rs: 5, Rt: 6},
+		{Op: OpMULD, Rd: 7, Rs: 8, Rt: 9},
+		{Op: OpDIVD, Rd: 10, Rs: 11, Rt: 12},
+		{Op: OpNEGD, Rd: 1, Rs: 2},
+		{Op: OpABSD, Rd: 3, Rs: 4},
+		{Op: OpMOVD, Rd: 5, Rs: 6},
+		{Op: OpCVTIF, Rd: 1, Rs: 9},
+		{Op: OpCVTFI, Rd: 9, Rs: 1},
+		{Op: OpCLTD, Rd: 2, Rs: 3, Rt: 4},
+		{Op: OpCLED, Rd: 2, Rs: 3, Rt: 4},
+		{Op: OpCEQD, Rd: 2, Rs: 3, Rt: 4},
+		{Op: OpNOP},
+		{Op: OpHALT},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, in := range sampleInsts() {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%v)) = 0x%08x: %v", in, w, err)
+		}
+		// Canonicalize: encoding drops register fields that the op does
+		// not use, so compare through re-encoding.
+		w2, err := Encode(got)
+		if err != nil {
+			t.Fatalf("re-Encode(%v): %v", got, err)
+		}
+		if w2 != w {
+			t.Errorf("round trip of %v: 0x%08x -> %v -> 0x%08x", in, w, got, w2)
+		}
+		if got.Op != in.Op {
+			t.Errorf("op changed: %v -> %v", in.Op, got.Op)
+		}
+	}
+}
+
+func TestSampleCoversAllOps(t *testing.T) {
+	seen := map[Op]bool{}
+	for _, in := range sampleInsts() {
+		seen[in.Op] = true
+	}
+	for op := OpInvalid + 1; op < numOps; op++ {
+		if !seen[op] {
+			t.Errorf("op %v missing from encode/decode samples", op)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	cases := []Inst{
+		{Op: OpInvalid},
+		{Op: OpADDI, Imm: 1 << 15},      // signed overflow
+		{Op: OpADDI, Imm: -(1<<15 + 1)}, // signed underflow
+		{Op: OpANDI, Imm: -1},           // negative for unsigned imm
+		{Op: OpANDI, Imm: 1 << 16},      // unsigned overflow
+		{Op: OpSLL, Imm: 32},            // shamt range
+		{Op: OpSLL, Imm: -1},            //
+		{Op: OpJ, Target: 2},            // unaligned
+		{Op: OpJ, Target: 1 << 28},      // out of 26-bit word range
+	}
+	for _, in := range cases {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%+v) succeeded, want error", in)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	words := []uint32{
+		0x0000_0033,        // R-format, undefined funct 0x33
+		0x4400_0033,        // FP, undefined funct
+		0xfc00_0000,        // undefined primary opcode 0x3f
+		uint32(0x39) << 26, // undefined primary opcode
+	}
+	for _, w := range words {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("Decode(0x%08x) succeeded, want error", w)
+		}
+	}
+}
+
+// TestDecodeTotality: Decode never panics on arbitrary words, and any word it
+// accepts re-encodes to itself.
+func TestDecodeTotality(t *testing.T) {
+	f := func(w uint32) bool {
+		in, err := Decode(w)
+		if err != nil {
+			return true
+		}
+		w2, err := Encode(in)
+		if err != nil {
+			// Decoding accepted a word that encodes fields the op
+			// cannot express (never expected).
+			t.Logf("decoded %v from 0x%08x but cannot re-encode: %v", in, w, err)
+			return false
+		}
+		// Re-encoding may canonicalize don't-care bits; decoding again
+		// must reach a fixed point.
+		in2, err := Decode(w2)
+		if err != nil {
+			return false
+		}
+		w3, err := Encode(in2)
+		return err == nil && w3 == w2
+	}
+	cfg := &quick.Config{MaxCount: 20000, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpByName(t *testing.T) {
+	for op := OpInvalid + 1; op < numOps; op++ {
+		got, ok := OpByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v; want %v", op.String(), got, ok, op)
+		}
+	}
+	if _, ok := OpByName("bogus"); ok {
+		t.Error("OpByName(bogus) succeeded")
+	}
+}

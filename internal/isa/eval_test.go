@@ -1,0 +1,380 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func evalII(op Op, a, b int32) int32 {
+	return Eval(Inst{Op: op}, Operands{A: a, B: b}).I
+}
+
+func TestEvalIntALU(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int32
+		want int32
+	}{
+		{OpADD, 2, 3, 5},
+		{OpADD, math.MaxInt32, 1, math.MinInt32}, // wraparound
+		{OpSUB, 2, 3, -1},
+		{OpAND, 0b1100, 0b1010, 0b1000},
+		{OpOR, 0b1100, 0b1010, 0b1110},
+		{OpXOR, 0b1100, 0b1010, 0b0110},
+		{OpNOR, 0, 0, -1},
+		{OpSLT, -1, 0, 1},
+		{OpSLT, 0, -1, 0},
+		{OpSLTU, -1, 0, 0}, // 0xffffffff < 0 unsigned is false
+		{OpSLTU, 0, -1, 1},
+		{OpSLLV, 3, 1, 8},
+		{OpSRLV, 1, -2, 0x7fffffff},
+		{OpSRAV, 1, -2, -1},
+		{OpMUL, 7, -3, -21},
+		{OpMUL, 1 << 20, 1 << 20, 0}, // low 32 bits
+		{OpDIVQ, 7, 2, 3},
+		{OpDIVQ, -7, 2, -3},
+		{OpREM, 7, 2, 1},
+		{OpREM, -7, 2, -1},
+	}
+	for _, c := range cases {
+		if got := evalII(c.op, c.a, c.b); got != c.want {
+			t.Errorf("%v(%d, %d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalShiftImmediates(t *testing.T) {
+	if got := Eval(Inst{Op: OpSLL, Imm: 4}, Operands{B: 3}).I; got != 48 {
+		t.Errorf("sll 3<<4 = %d, want 48", got)
+	}
+	if got := Eval(Inst{Op: OpSRL, Imm: 1}, Operands{B: -2}).I; got != 0x7fffffff {
+		t.Errorf("srl -2>>1 = %d", got)
+	}
+	if got := Eval(Inst{Op: OpSRA, Imm: 1}, Operands{B: -2}).I; got != -1 {
+		t.Errorf("sra -2>>1 = %d", got)
+	}
+}
+
+func TestEvalDivideEdges(t *testing.T) {
+	r := Eval(Inst{Op: OpDIVQ}, Operands{A: 5, B: 0})
+	if !r.DivByZero || r.I != 0 {
+		t.Errorf("div by zero: %+v", r)
+	}
+	r = Eval(Inst{Op: OpREM}, Operands{A: 5, B: 0})
+	if !r.DivByZero || r.I != 0 {
+		t.Errorf("rem by zero: %+v", r)
+	}
+	r = Eval(Inst{Op: OpDIVQ}, Operands{A: math.MinInt32, B: -1})
+	if r.I != math.MinInt32 {
+		t.Errorf("MinInt32 / -1 = %d, want MinInt32", r.I)
+	}
+	r = Eval(Inst{Op: OpREM}, Operands{A: math.MinInt32, B: -1})
+	if r.I != 0 {
+		t.Errorf("MinInt32 %% -1 = %d, want 0", r.I)
+	}
+}
+
+func TestEvalImmediates(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a    int32
+		imm  int32
+		want int32
+	}{
+		{OpADDI, 5, -3, 2},
+		{OpANDI, 0xff, 0x0f, 0x0f},
+		{OpORI, 0xf0, 0x0f, 0xff},
+		{OpXORI, 0xff, 0x0f, 0xf0},
+		{OpSLTI, -5, -4, 1},
+		{OpSLTIU, 5, -1, 1}, // imm 0xffffffff unsigned
+		{OpLUI, 0, 0x1234, 0x12340000},
+	}
+	for _, c := range cases {
+		got := Eval(Inst{Op: c.op, Imm: c.imm}, Operands{A: c.a}).I
+		if got != c.want {
+			t.Errorf("%v(a=%d, imm=%d) = %d, want %d", c.op, c.a, c.imm, got, c.want)
+		}
+	}
+}
+
+func TestEvalMemory(t *testing.T) {
+	r := Eval(Inst{Op: OpLW, Imm: -8}, Operands{A: 0x1000})
+	if r.Addr != 0xff8 {
+		t.Errorf("lw addr = 0x%x", r.Addr)
+	}
+	r = Eval(Inst{Op: OpSW, Imm: 4}, Operands{A: 0x1000, B: 42})
+	if r.Addr != 0x1004 || r.StoreI != 42 {
+		t.Errorf("sw = %+v", r)
+	}
+	r = Eval(Inst{Op: OpSD, Imm: 0}, Operands{A: 0x2000, FB: 2.5})
+	if r.Addr != 0x2000 || r.StoreF != 2.5 {
+		t.Errorf("s.d = %+v", r)
+	}
+}
+
+func TestEvalBranches(t *testing.T) {
+	cases := []struct {
+		op    Op
+		a, b  int32
+		taken bool
+	}{
+		{OpBEQ, 1, 1, true},
+		{OpBEQ, 1, 2, false},
+		{OpBNE, 1, 2, true},
+		{OpBNE, 2, 2, false},
+		{OpBLEZ, 0, 0, true},
+		{OpBLEZ, 1, 0, false},
+		{OpBGTZ, 1, 0, true},
+		{OpBGTZ, 0, 0, false},
+		{OpBLTZ, -1, 0, true},
+		{OpBLTZ, 0, 0, false},
+		{OpBGEZ, 0, 0, true},
+		{OpBGEZ, -1, 0, false},
+	}
+	for _, c := range cases {
+		in := Inst{Op: c.op, Imm: -2}
+		r := Eval(in, Operands{A: c.a, B: c.b, PC: 0x100})
+		if r.Taken != c.taken {
+			t.Errorf("%v(%d,%d).Taken = %v, want %v", c.op, c.a, c.b, r.Taken, c.taken)
+		}
+		if c.taken && r.Target != 0x100+4-8 {
+			t.Errorf("%v target = 0x%x, want 0x%x", c.op, r.Target, 0x100+4-8)
+		}
+	}
+}
+
+func TestEvalJumps(t *testing.T) {
+	r := Eval(Inst{Op: OpJ, Target: 0x400100}, Operands{PC: 0x400000})
+	if !r.Taken || r.Target != 0x400100 {
+		t.Errorf("j: %+v", r)
+	}
+	r = Eval(Inst{Op: OpJAL, Target: 0x400100}, Operands{PC: 0x400010})
+	if !r.Taken || r.Target != 0x400100 || uint32(r.I) != 0x400014 {
+		t.Errorf("jal: %+v", r)
+	}
+	r = Eval(Inst{Op: OpJR}, Operands{A: 0x400abc})
+	if !r.Taken || r.Target != 0x400abc {
+		t.Errorf("jr: %+v", r)
+	}
+	r = Eval(Inst{Op: OpJALR}, Operands{A: 0x400abc, PC: 0x400020})
+	if !r.Taken || r.Target != 0x400abc || uint32(r.I) != 0x400024 {
+		t.Errorf("jalr: %+v", r)
+	}
+}
+
+func TestEvalFP(t *testing.T) {
+	fp := func(op Op, a, b float64) float64 {
+		return Eval(Inst{Op: op}, Operands{FA: a, FB: b}).F
+	}
+	if got := fp(OpADDD, 1.5, 2.25); got != 3.75 {
+		t.Errorf("add.d = %v", got)
+	}
+	if got := fp(OpSUBD, 1.5, 2.25); got != -0.75 {
+		t.Errorf("sub.d = %v", got)
+	}
+	if got := fp(OpMULD, 1.5, 2.0); got != 3.0 {
+		t.Errorf("mul.d = %v", got)
+	}
+	if got := fp(OpDIVD, 3.0, 2.0); got != 1.5 {
+		t.Errorf("div.d = %v", got)
+	}
+	if got := fp(OpNEGD, 1.5, 0); got != -1.5 {
+		t.Errorf("neg.d = %v", got)
+	}
+	if got := fp(OpABSD, -1.5, 0); got != 1.5 {
+		t.Errorf("abs.d = %v", got)
+	}
+	if got := fp(OpMOVD, 7.5, 0); got != 7.5 {
+		t.Errorf("mov.d = %v", got)
+	}
+	if got := Eval(Inst{Op: OpCVTIF}, Operands{A: -3}).F; got != -3.0 {
+		t.Errorf("cvt.d.w = %v", got)
+	}
+	if got := Eval(Inst{Op: OpCVTFI}, Operands{FA: -3.7}).I; got != -3 {
+		t.Errorf("cvt.w.d = %v", got)
+	}
+	cmp := func(op Op, a, b float64) int32 {
+		return Eval(Inst{Op: op}, Operands{FA: a, FB: b}).I
+	}
+	if cmp(OpCLTD, 1, 2) != 1 || cmp(OpCLTD, 2, 1) != 0 || cmp(OpCLTD, 1, 1) != 0 {
+		t.Error("c.lt.d wrong")
+	}
+	if cmp(OpCLED, 1, 1) != 1 || cmp(OpCLED, 2, 1) != 0 {
+		t.Error("c.le.d wrong")
+	}
+	if cmp(OpCEQD, 1, 1) != 1 || cmp(OpCEQD, 1, 2) != 0 {
+		t.Error("c.eq.d wrong")
+	}
+}
+
+func TestEvalCvtSaturation(t *testing.T) {
+	if got := Eval(Inst{Op: OpCVTFI}, Operands{FA: math.NaN()}).I; got != 0 {
+		t.Errorf("cvt NaN = %d", got)
+	}
+	if got := Eval(Inst{Op: OpCVTFI}, Operands{FA: 1e30}).I; got != math.MaxInt32 {
+		t.Errorf("cvt +inf-ish = %d", got)
+	}
+	if got := Eval(Inst{Op: OpCVTFI}, Operands{FA: -1e30}).I; got != math.MinInt32 {
+		t.Errorf("cvt -inf-ish = %d", got)
+	}
+}
+
+func TestEvalHalt(t *testing.T) {
+	if !Eval(Inst{Op: OpHALT}, Operands{}).Halt {
+		t.Error("halt not flagged")
+	}
+	if Eval(Inst{Op: OpNOP}, Operands{}).Halt {
+		t.Error("nop flagged halt")
+	}
+}
+
+// Property: SLT agrees with Go's signed comparison for all inputs.
+func TestEvalSLTProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		want := int32(0)
+		if a < b {
+			want = 1
+		}
+		return evalII(OpSLT, a, b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ADD/SUB are inverses modulo 2^32.
+func TestEvalAddSubInverse(t *testing.T) {
+	f := func(a, b int32) bool {
+		return evalII(OpSUB, evalII(OpADD, a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DIVQ/REM satisfy a = q*b + r with |r| < |b| for b != 0 (except
+// the MinInt32/-1 overflow case, which hardware saturates).
+func TestEvalDivRemProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		if b == 0 || (a == math.MinInt32 && b == -1) {
+			return true
+		}
+		q := evalII(OpDIVQ, a, b)
+		r := evalII(OpREM, a, b)
+		return q*b+r == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSourcesAndDest(t *testing.T) {
+	in := Inst{Op: OpADD, Rd: 3, Rs: 1, Rt: 2}
+	srcs := in.Sources()
+	if len(srcs) != 2 || srcs[0] != IntReg(1) || srcs[1] != IntReg(2) {
+		t.Errorf("add sources = %v", srcs)
+	}
+	d, ok := in.Dest()
+	if !ok || d != IntReg(3) {
+		t.Errorf("add dest = %v, %v", d, ok)
+	}
+
+	// Writes to $zero are suppressed.
+	in = Inst{Op: OpADD, Rd: 0, Rs: 1, Rt: 2}
+	if _, ok := in.Dest(); ok {
+		t.Error("write to $zero reported as dest")
+	}
+
+	// JAL implicitly writes $ra.
+	in = Inst{Op: OpJAL, Target: 0x400000}
+	d, ok = in.Dest()
+	if !ok || d != IntReg(RegRA) {
+		t.Errorf("jal dest = %v, %v", d, ok)
+	}
+
+	// Stores have no destination.
+	in = Inst{Op: OpSW, Rs: 1, Rt: 2}
+	if _, ok := in.Dest(); ok {
+		t.Error("sw reported a dest")
+	}
+
+	// Mixed-kind ops.
+	in = Inst{Op: OpCVTIF, Rd: 2, Rs: 5}
+	srcs = in.Sources()
+	if len(srcs) != 1 || srcs[0] != IntReg(5) {
+		t.Errorf("cvt.d.w sources = %v", srcs)
+	}
+	d, _ = in.Dest()
+	if d != FPReg(2) {
+		t.Errorf("cvt.d.w dest = %v", d)
+	}
+
+	// FP store reads an FP rt.
+	in = Inst{Op: OpSD, Rs: 1, Rt: 4}
+	srcs = in.Sources()
+	if len(srcs) != 2 || srcs[0] != IntReg(1) || srcs[1] != FPReg(4) {
+		t.Errorf("s.d sources = %v", srcs)
+	}
+
+	// L.D writes an FP destination held in rt.
+	in = Inst{Op: OpLD, Rs: 1, Rt: 4}
+	d, ok = in.Dest()
+	if !ok || d != FPReg(4) {
+		t.Errorf("l.d dest = %v, %v", d, ok)
+	}
+}
+
+func TestStaticTarget(t *testing.T) {
+	br := Inst{Op: OpBNE, Imm: -3}
+	if tgt, ok := br.StaticTarget(0x400020); !ok || tgt != 0x400020+4-12 {
+		t.Errorf("bne static target = 0x%x, %v", tgt, ok)
+	}
+	j := Inst{Op: OpJ, Target: 0x400100}
+	if tgt, ok := j.StaticTarget(0); !ok || tgt != 0x400100 {
+		t.Errorf("j static target = 0x%x, %v", tgt, ok)
+	}
+	jal := Inst{Op: OpJAL, Target: 0x400200}
+	if tgt, ok := jal.StaticTarget(0); !ok || tgt != 0x400200 {
+		t.Errorf("jal static target = 0x%x, %v", tgt, ok)
+	}
+	jr := Inst{Op: OpJR, Rs: 31}
+	if _, ok := jr.StaticTarget(0); ok {
+		t.Error("jr has a static target")
+	}
+}
+
+func TestDisasmSmoke(t *testing.T) {
+	for _, in := range sampleInsts() {
+		s := in.Disasm(0x400000)
+		if s == "" {
+			t.Errorf("empty disassembly for %+v", in)
+		}
+	}
+	if got := (Inst{Op: OpADD, Rd: 3, Rs: 1, Rt: 2}).Disasm(0); got != "add $r3, $at, $r2" && got != "add $r3, $r1, $r2" {
+		t.Logf("add disasm: %q", got)
+	}
+}
+
+// Property: Eval never panics and produces well-defined results for every
+// defined op over arbitrary operand values (total function).
+func TestEvalTotality(t *testing.T) {
+	f := func(opRaw uint8, a, b int32, fa, fb float64, imm int16, pc uint32) bool {
+		op := Op(opRaw % uint8(NumOps))
+		if !op.Valid() {
+			return true
+		}
+		in := Inst{Op: op, Imm: int32(imm), Target: pc &^ 3}
+		r := Eval(in, Operands{A: a, B: b, FA: fa, FB: fb, PC: pc &^ 3})
+		// Branch targets must be PC-relative-consistent when taken.
+		if op.Info().Class == ClassBranch && r.Taken {
+			if r.Target != in.BranchTarget(pc&^3) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,291 @@
+// Package isa defines the 32-bit MIPS-like instruction set simulated by this
+// repository: opcodes, instruction formats, binary encoding, register
+// conventions, and the pure evaluation semantics shared by the functional
+// interpreter and the out-of-order pipeline model.
+//
+// The ISA is deliberately close to MIPS-I (the paper models a MIPS
+// R10000-style datapath) with two simplifications that do not affect the
+// mechanism under study: there are no branch delay slots, and multiply/divide
+// write a general-purpose destination register directly instead of HI/LO.
+package isa
+
+import "fmt"
+
+// Op identifies one operation of the instruction set.
+type Op uint8
+
+// Integer ALU, shift and compare operations (R-format unless noted).
+const (
+	OpInvalid Op = iota
+
+	OpADD  // rd = rs + rt
+	OpSUB  // rd = rs - rt
+	OpAND  // rd = rs & rt
+	OpOR   // rd = rs | rt
+	OpXOR  // rd = rs ^ rt
+	OpNOR  // rd = ^(rs | rt)
+	OpSLT  // rd = (rs < rt) signed
+	OpSLTU // rd = (rs < rt) unsigned
+	OpSLL  // rd = rt << shamt
+	OpSRL  // rd = rt >> shamt (logical)
+	OpSRA  // rd = rt >> shamt (arithmetic)
+	OpSLLV // rd = rt << (rs&31)
+	OpSRLV // rd = rt >> (rs&31) (logical)
+	OpSRAV // rd = rt >> (rs&31) (arithmetic)
+	OpMUL  // rd = rs * rt (low 32 bits)
+	OpDIVQ // rd = rs / rt (signed quotient; 0 if rt == 0)
+	OpREM  // rd = rs % rt (signed remainder; 0 if rt == 0)
+
+	// Immediate forms (I-format).
+	OpADDI  // rt = rs + imm
+	OpANDI  // rt = rs & uimm
+	OpORI   // rt = rs | uimm
+	OpXORI  // rt = rs ^ uimm
+	OpSLTI  // rt = (rs < imm) signed
+	OpSLTIU // rt = (rs < imm) unsigned
+	OpLUI   // rt = imm << 16
+
+	// Memory (I-format; address = rs + imm).
+	OpLW  // rt = mem32[rs+imm]
+	OpLB  // rt = sx8(mem8[rs+imm])
+	OpLBU // rt = zx8(mem8[rs+imm])
+	OpLH  // rt = sx16(mem16[rs+imm])
+	OpLHU // rt = zx16(mem16[rs+imm])
+	OpSW  // mem32[rs+imm] = rt
+	OpSB  // mem8[rs+imm] = rt
+	OpSH  // mem16[rs+imm] = rt
+	OpLD  // ft = mem64[rs+imm] (FP double load)
+	OpSD  // mem64[rs+imm] = ft (FP double store)
+
+	// Control (I-format branches, J-format jumps, R-format register jumps).
+	OpBEQ  // if rs == rt goto PC+4+imm*4
+	OpBNE  // if rs != rt goto PC+4+imm*4
+	OpBLEZ // if rs <= 0 goto ...
+	OpBGTZ // if rs > 0 goto ...
+	OpBLTZ // if rs < 0 goto ...
+	OpBGEZ // if rs >= 0 goto ...
+	OpJ    // goto target
+	OpJAL  // r31 = PC+4; goto target
+	OpJR   // goto rs
+	OpJALR // rd = PC+4; goto rs
+
+	// Floating point, double precision (F-format: fd, fs, ft).
+	OpADDD // fd = fs + ft
+	OpSUBD // fd = fs - ft
+	OpMULD // fd = fs * ft
+	OpDIVD // fd = fs / ft
+	OpNEGD // fd = -fs
+	OpABSD // fd = |fs|
+	OpMOVD // fd = fs
+
+	// Int <-> FP conversions and FP compares writing an integer register.
+	OpCVTIF // ft(fp dest) = double(rs)   — convert int to double
+	OpCVTFI // rd(int dest) = int32(fs)   — truncate double to int
+	OpCLTD  // rd = (fs < ft) ? 1 : 0
+	OpCLED  // rd = (fs <= ft) ? 1 : 0
+	OpCEQD  // rd = (fs == ft) ? 1 : 0
+
+	// Miscellaneous.
+	OpNOP  // no operation
+	OpHALT // stop simulation when this instruction commits
+
+	numOps
+)
+
+// NumOps is the number of defined operations (for table sizing in tests).
+const NumOps = int(numOps)
+
+// Class groups operations by the pipeline resources they use.
+type Class uint8
+
+const (
+	ClassNop    Class = iota
+	ClassIntALU       // single-cycle integer ALU / shift / compare
+	ClassIntMul       // integer multiply / divide
+	ClassFPALU        // FP add/sub/compare/convert/move
+	ClassFPMul        // FP multiply
+	ClassFPDiv        // FP divide (uses the FP multiplier, long latency)
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional branch
+	ClassJump   // unconditional direct jump
+	ClassCall   // direct or indirect call (writes link register)
+	ClassReturn // indirect jump (JR)
+	ClassHalt
+)
+
+// Format describes how an instruction's fields map onto the 32-bit encoding.
+type Format uint8
+
+const (
+	FmtR Format = iota // rd, rs, rt (+shamt)
+	FmtI               // rt, rs, imm16
+	FmtJ               // target26
+	FmtF               // fd, fs, ft (FP register operands)
+)
+
+// Info is the static description of one operation.
+type Info struct {
+	Name  string
+	Class Class
+	Fmt   Format
+
+	// Register usage. Source and destination register kinds depend on the
+	// op (e.g. CVTIF reads an int register and writes an FP register).
+	ReadsRs, ReadsRt bool
+	RsFP, RtFP       bool // whether the rs/rt source is an FP register
+	WritesDest       bool
+	DestFP           bool
+	// DestIsRt is true for I-format ops whose destination sits in the rt
+	// field rather than rd.
+	DestIsRt bool
+
+	// UsesShamt is true for constant shifts (imm holds the shift amount).
+	UsesShamt bool
+	// SignedImm is true when the 16-bit immediate is sign-extended.
+	SignedImm bool
+}
+
+var infos = [numOps]Info{
+	OpInvalid: {Name: "invalid", Class: ClassNop, Fmt: FmtR},
+
+	OpADD:  {Name: "add", Class: ClassIntALU, Fmt: FmtR, ReadsRs: true, ReadsRt: true, WritesDest: true},
+	OpSUB:  {Name: "sub", Class: ClassIntALU, Fmt: FmtR, ReadsRs: true, ReadsRt: true, WritesDest: true},
+	OpAND:  {Name: "and", Class: ClassIntALU, Fmt: FmtR, ReadsRs: true, ReadsRt: true, WritesDest: true},
+	OpOR:   {Name: "or", Class: ClassIntALU, Fmt: FmtR, ReadsRs: true, ReadsRt: true, WritesDest: true},
+	OpXOR:  {Name: "xor", Class: ClassIntALU, Fmt: FmtR, ReadsRs: true, ReadsRt: true, WritesDest: true},
+	OpNOR:  {Name: "nor", Class: ClassIntALU, Fmt: FmtR, ReadsRs: true, ReadsRt: true, WritesDest: true},
+	OpSLT:  {Name: "slt", Class: ClassIntALU, Fmt: FmtR, ReadsRs: true, ReadsRt: true, WritesDest: true},
+	OpSLTU: {Name: "sltu", Class: ClassIntALU, Fmt: FmtR, ReadsRs: true, ReadsRt: true, WritesDest: true},
+	OpSLL:  {Name: "sll", Class: ClassIntALU, Fmt: FmtR, ReadsRt: true, WritesDest: true, UsesShamt: true},
+	OpSRL:  {Name: "srl", Class: ClassIntALU, Fmt: FmtR, ReadsRt: true, WritesDest: true, UsesShamt: true},
+	OpSRA:  {Name: "sra", Class: ClassIntALU, Fmt: FmtR, ReadsRt: true, WritesDest: true, UsesShamt: true},
+	OpSLLV: {Name: "sllv", Class: ClassIntALU, Fmt: FmtR, ReadsRs: true, ReadsRt: true, WritesDest: true},
+	OpSRLV: {Name: "srlv", Class: ClassIntALU, Fmt: FmtR, ReadsRs: true, ReadsRt: true, WritesDest: true},
+	OpSRAV: {Name: "srav", Class: ClassIntALU, Fmt: FmtR, ReadsRs: true, ReadsRt: true, WritesDest: true},
+	OpMUL:  {Name: "mul", Class: ClassIntMul, Fmt: FmtR, ReadsRs: true, ReadsRt: true, WritesDest: true},
+	OpDIVQ: {Name: "divq", Class: ClassIntMul, Fmt: FmtR, ReadsRs: true, ReadsRt: true, WritesDest: true},
+	OpREM:  {Name: "rem", Class: ClassIntMul, Fmt: FmtR, ReadsRs: true, ReadsRt: true, WritesDest: true},
+
+	OpADDI:  {Name: "addi", Class: ClassIntALU, Fmt: FmtI, ReadsRs: true, WritesDest: true, DestIsRt: true, SignedImm: true},
+	OpANDI:  {Name: "andi", Class: ClassIntALU, Fmt: FmtI, ReadsRs: true, WritesDest: true, DestIsRt: true},
+	OpORI:   {Name: "ori", Class: ClassIntALU, Fmt: FmtI, ReadsRs: true, WritesDest: true, DestIsRt: true},
+	OpXORI:  {Name: "xori", Class: ClassIntALU, Fmt: FmtI, ReadsRs: true, WritesDest: true, DestIsRt: true},
+	OpSLTI:  {Name: "slti", Class: ClassIntALU, Fmt: FmtI, ReadsRs: true, WritesDest: true, DestIsRt: true, SignedImm: true},
+	OpSLTIU: {Name: "sltiu", Class: ClassIntALU, Fmt: FmtI, ReadsRs: true, WritesDest: true, DestIsRt: true, SignedImm: true},
+	OpLUI:   {Name: "lui", Class: ClassIntALU, Fmt: FmtI, WritesDest: true, DestIsRt: true},
+
+	OpLW:  {Name: "lw", Class: ClassLoad, Fmt: FmtI, ReadsRs: true, WritesDest: true, DestIsRt: true, SignedImm: true},
+	OpLB:  {Name: "lb", Class: ClassLoad, Fmt: FmtI, ReadsRs: true, WritesDest: true, DestIsRt: true, SignedImm: true},
+	OpLBU: {Name: "lbu", Class: ClassLoad, Fmt: FmtI, ReadsRs: true, WritesDest: true, DestIsRt: true, SignedImm: true},
+	OpLH:  {Name: "lh", Class: ClassLoad, Fmt: FmtI, ReadsRs: true, WritesDest: true, DestIsRt: true, SignedImm: true},
+	OpLHU: {Name: "lhu", Class: ClassLoad, Fmt: FmtI, ReadsRs: true, WritesDest: true, DestIsRt: true, SignedImm: true},
+	OpSW:  {Name: "sw", Class: ClassStore, Fmt: FmtI, ReadsRs: true, ReadsRt: true, SignedImm: true},
+	OpSB:  {Name: "sb", Class: ClassStore, Fmt: FmtI, ReadsRs: true, ReadsRt: true, SignedImm: true},
+	OpSH:  {Name: "sh", Class: ClassStore, Fmt: FmtI, ReadsRs: true, ReadsRt: true, SignedImm: true},
+	OpLD:  {Name: "l.d", Class: ClassLoad, Fmt: FmtI, ReadsRs: true, WritesDest: true, DestIsRt: true, DestFP: true, SignedImm: true},
+	OpSD:  {Name: "s.d", Class: ClassStore, Fmt: FmtI, ReadsRs: true, ReadsRt: true, RtFP: true, SignedImm: true},
+
+	OpBEQ:  {Name: "beq", Class: ClassBranch, Fmt: FmtI, ReadsRs: true, ReadsRt: true, SignedImm: true},
+	OpBNE:  {Name: "bne", Class: ClassBranch, Fmt: FmtI, ReadsRs: true, ReadsRt: true, SignedImm: true},
+	OpBLEZ: {Name: "blez", Class: ClassBranch, Fmt: FmtI, ReadsRs: true, SignedImm: true},
+	OpBGTZ: {Name: "bgtz", Class: ClassBranch, Fmt: FmtI, ReadsRs: true, SignedImm: true},
+	OpBLTZ: {Name: "bltz", Class: ClassBranch, Fmt: FmtI, ReadsRs: true, SignedImm: true},
+	OpBGEZ: {Name: "bgez", Class: ClassBranch, Fmt: FmtI, ReadsRs: true, SignedImm: true},
+	OpJ:    {Name: "j", Class: ClassJump, Fmt: FmtJ},
+	OpJAL:  {Name: "jal", Class: ClassCall, Fmt: FmtJ, WritesDest: true},
+	OpJR:   {Name: "jr", Class: ClassReturn, Fmt: FmtR, ReadsRs: true},
+	OpJALR: {Name: "jalr", Class: ClassCall, Fmt: FmtR, ReadsRs: true, WritesDest: true},
+
+	OpADDD: {Name: "add.d", Class: ClassFPALU, Fmt: FmtF, ReadsRs: true, ReadsRt: true, RsFP: true, RtFP: true, WritesDest: true, DestFP: true},
+	OpSUBD: {Name: "sub.d", Class: ClassFPALU, Fmt: FmtF, ReadsRs: true, ReadsRt: true, RsFP: true, RtFP: true, WritesDest: true, DestFP: true},
+	OpMULD: {Name: "mul.d", Class: ClassFPMul, Fmt: FmtF, ReadsRs: true, ReadsRt: true, RsFP: true, RtFP: true, WritesDest: true, DestFP: true},
+	OpDIVD: {Name: "div.d", Class: ClassFPDiv, Fmt: FmtF, ReadsRs: true, ReadsRt: true, RsFP: true, RtFP: true, WritesDest: true, DestFP: true},
+	OpNEGD: {Name: "neg.d", Class: ClassFPALU, Fmt: FmtF, ReadsRs: true, RsFP: true, WritesDest: true, DestFP: true},
+	OpABSD: {Name: "abs.d", Class: ClassFPALU, Fmt: FmtF, ReadsRs: true, RsFP: true, WritesDest: true, DestFP: true},
+	OpMOVD: {Name: "mov.d", Class: ClassFPALU, Fmt: FmtF, ReadsRs: true, RsFP: true, WritesDest: true, DestFP: true},
+
+	OpCVTIF: {Name: "cvt.d.w", Class: ClassFPALU, Fmt: FmtF, ReadsRs: true, WritesDest: true, DestFP: true},
+	OpCVTFI: {Name: "cvt.w.d", Class: ClassFPALU, Fmt: FmtF, ReadsRs: true, RsFP: true, WritesDest: true},
+	OpCLTD:  {Name: "c.lt.d", Class: ClassFPALU, Fmt: FmtF, ReadsRs: true, ReadsRt: true, RsFP: true, RtFP: true, WritesDest: true},
+	OpCLED:  {Name: "c.le.d", Class: ClassFPALU, Fmt: FmtF, ReadsRs: true, ReadsRt: true, RsFP: true, RtFP: true, WritesDest: true},
+	OpCEQD:  {Name: "c.eq.d", Class: ClassFPALU, Fmt: FmtF, ReadsRs: true, ReadsRt: true, RsFP: true, RtFP: true, WritesDest: true},
+
+	OpNOP:  {Name: "nop", Class: ClassNop, Fmt: FmtR},
+	OpHALT: {Name: "halt", Class: ClassHalt, Fmt: FmtR},
+}
+
+// Lookup returns the static description of op.
+func (op Op) Info() Info {
+	if int(op) >= int(numOps) {
+		return infos[OpInvalid]
+	}
+	return infos[op]
+}
+
+// String returns the assembler mnemonic for op.
+func (op Op) String() string { return op.Info().Name }
+
+// Valid reports whether op is a defined operation other than OpInvalid.
+func (op Op) Valid() bool { return op > OpInvalid && op < numOps }
+
+// IsControl reports whether op can redirect the PC.
+func (op Op) IsControl() bool {
+	switch op.Info().Class {
+	case ClassBranch, ClassJump, ClassCall, ClassReturn:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether op accesses data memory.
+func (op Op) IsMem() bool {
+	c := op.Info().Class
+	return c == ClassLoad || c == ClassStore
+}
+
+// OpByName returns the operation with the given assembler mnemonic.
+func OpByName(name string) (Op, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for op := OpInvalid + 1; op < numOps; op++ {
+		m[infos[op].Name] = op
+	}
+	return m
+}()
+
+func (c Class) String() string {
+	switch c {
+	case ClassNop:
+		return "nop"
+	case ClassIntALU:
+		return "ialu"
+	case ClassIntMul:
+		return "imul"
+	case ClassFPALU:
+		return "fpalu"
+	case ClassFPMul:
+		return "fpmul"
+	case ClassFPDiv:
+		return "fpdiv"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassBranch:
+		return "branch"
+	case ClassJump:
+		return "jump"
+	case ClassCall:
+		return "call"
+	case ClassReturn:
+		return "return"
+	case ClassHalt:
+		return "halt"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}

@@ -1,0 +1,106 @@
+package isa
+
+import "fmt"
+
+// NumIntRegs and NumFPRegs are the architectural register file sizes.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+)
+
+// Conventional integer register assignments (MIPS o32-flavoured).
+const (
+	RegZero = 0  // hardwired zero
+	RegV0   = 2  // result
+	RegA0   = 4  // first argument
+	RegSP   = 29 // stack pointer
+	RegFP   = 30 // frame pointer
+	RegRA   = 31 // return address / link register
+)
+
+// RegKind distinguishes the two architectural register files.
+type RegKind uint8
+
+const (
+	KindInt RegKind = iota
+	KindFP
+)
+
+// Reg names one architectural register.
+type Reg struct {
+	Kind RegKind
+	Num  uint8
+}
+
+// IntReg and FPReg are convenience constructors.
+func IntReg(n uint8) Reg { return Reg{KindInt, n} }
+func FPReg(n uint8) Reg  { return Reg{KindFP, n} }
+
+// IsZero reports whether r is the hardwired integer zero register.
+func (r Reg) IsZero() bool { return r.Kind == KindInt && r.Num == RegZero }
+
+func (r Reg) String() string {
+	if r.Kind == KindFP {
+		return fmt.Sprintf("$f%d", r.Num)
+	}
+	switch r.Num {
+	case RegZero:
+		return "$zero"
+	case RegSP:
+		return "$sp"
+	case RegRA:
+		return "$ra"
+	}
+	return fmt.Sprintf("$r%d", r.Num)
+}
+
+// Sources returns the architectural registers read by in (0 to 2 entries).
+func (in Inst) Sources() []Reg {
+	info := in.Op.Info()
+	var srcs []Reg
+	if info.ReadsRs {
+		kind := KindInt
+		if info.RsFP {
+			kind = KindFP
+		}
+		srcs = append(srcs, Reg{kind, in.Rs})
+	}
+	if info.ReadsRt {
+		kind := KindInt
+		if info.RtFP {
+			kind = KindFP
+		}
+		srcs = append(srcs, Reg{kind, in.Rt})
+	}
+	return srcs
+}
+
+// Dest returns the architectural destination register of in, if any.
+// The integer zero register is never reported as a destination.
+func (in Inst) Dest() (Reg, bool) {
+	info := in.Op.Info()
+	if !info.WritesDest {
+		return Reg{}, false
+	}
+	var r Reg
+	switch {
+	case in.Op == OpJAL:
+		r = IntReg(RegRA)
+	case info.DestIsRt:
+		kind := KindInt
+		if info.DestFP {
+			kind = KindFP
+		}
+		r = Reg{kind, in.Rt}
+	default:
+		kind := KindInt
+		if info.DestFP {
+			kind = KindFP
+		}
+		r = Reg{kind, in.Rd}
+	}
+	if r.IsZero() {
+		return Reg{}, false
+	}
+	return r, true
+}

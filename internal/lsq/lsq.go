@@ -1,0 +1,161 @@
+// Package lsq implements the load/store queue: memory operations are
+// allocated in program order at dispatch, compute their addresses at
+// execute, and stores update memory only at commit, so wrong-path execution
+// can never corrupt architectural memory state. Loads forward from older
+// resolved stores and wait conservatively while any older store address is
+// unknown.
+package lsq
+
+// Entry is one in-flight memory operation.
+type Entry struct {
+	Seq     uint64
+	IsStore bool
+	IsFP    bool  // double-width FP access
+	Size    uint8 // access size in bytes (1, 4, or 8)
+
+	AddrReady bool
+	Addr      uint32
+
+	// Store data, captured at execute.
+	DataReady bool
+	DataI     int32
+	DataF     float64
+
+	Done bool // executed (loads: value obtained; stores: addr+data ready)
+}
+
+// LSQ is the load/store queue.
+type LSQ struct {
+	ring  []Entry
+	head  int
+	count int
+
+	Allocs         uint64
+	Searches       uint64 // associative searches by loads
+	Forwards       uint64 // store-to-load forwards
+	ConflictStalls uint64 // load issue attempts blocked by unknown store addresses
+}
+
+// New creates a queue with the given capacity.
+func New(size int) *LSQ {
+	return &LSQ{ring: make([]Entry, size)}
+}
+
+// Size and Len report capacity and occupancy.
+func (q *LSQ) Size() int { return len(q.ring) }
+func (q *LSQ) Len() int  { return q.count }
+
+// Full reports whether an allocation would fail.
+func (q *LSQ) Full() bool { return q.count == len(q.ring) }
+
+// Alloc appends a memory operation, returning its stable slot.
+func (q *LSQ) Alloc(e Entry) (int, bool) {
+	if q.Full() {
+		return 0, false
+	}
+	slot := (q.head + q.count) % len(q.ring)
+	q.ring[slot] = e
+	q.count++
+	q.Allocs++
+	return slot, true
+}
+
+// Get returns the entry in slot.
+func (q *LSQ) Get(slot int) *Entry { return &q.ring[slot] }
+
+// Head returns the oldest entry, or nil.
+func (q *LSQ) Head() *Entry {
+	if q.count == 0 {
+		return nil
+	}
+	return &q.ring[q.head]
+}
+
+// PopHead removes the oldest entry (when its instruction commits).
+func (q *LSQ) PopHead() Entry {
+	if q.count == 0 {
+		panic("lsq: pop of empty queue")
+	}
+	e := q.ring[q.head]
+	q.head = (q.head + 1) % len(q.ring)
+	q.count--
+	return e
+}
+
+// SquashAfter drops all entries with Seq > seq.
+func (q *LSQ) SquashAfter(seq uint64) {
+	for q.count > 0 {
+		tail := (q.head + q.count - 1) % len(q.ring)
+		if q.ring[tail].Seq <= seq {
+			return
+		}
+		q.count--
+	}
+}
+
+// OlderStoreAddrsKnown reports whether every store older than seq has a
+// resolved address. Loads issue only when this holds (conservative
+// disambiguation).
+func (q *LSQ) OlderStoreAddrsKnown(seq uint64) bool {
+	for i := 0; i < q.count; i++ {
+		e := &q.ring[(q.head+i)%len(q.ring)]
+		if e.Seq >= seq {
+			break
+		}
+		if e.IsStore && !e.AddrReady {
+			q.ConflictStalls++
+			return false
+		}
+	}
+	return true
+}
+
+// ForwardResult describes the outcome of a load's associative search.
+type ForwardResult int
+
+const (
+	// FromMemory: no older store overlaps; read the data cache.
+	FromMemory ForwardResult = iota
+	// Forwarded: the youngest older matching store supplies the data.
+	Forwarded
+	// MustWait: an older store overlaps with mismatched size/alignment
+	// (or unresolved address); the load must retry later.
+	MustWait
+)
+
+// SearchForLoad performs the load's associative search against older stores.
+// On Forwarded, dataI/dataF carry the store's value.
+func (q *LSQ) SearchForLoad(seq uint64, addr uint32, size uint8) (ForwardResult, int32, float64) {
+	q.Searches++
+	// Scan from youngest older entry to oldest; first overlap decides.
+	for i := q.count - 1; i >= 0; i-- {
+		e := &q.ring[(q.head+i)%len(q.ring)]
+		if e.Seq >= seq || !e.IsStore {
+			continue
+		}
+		if !e.AddrReady {
+			return MustWait, 0, 0
+		}
+		if !overlaps(e.Addr, uint32(e.Size), addr, uint32(size)) {
+			continue
+		}
+		if e.Addr == addr && e.Size == size && e.DataReady {
+			q.Forwards++
+			return Forwarded, e.DataI, e.DataF
+		}
+		return MustWait, 0, 0
+	}
+	return FromMemory, 0, 0
+}
+
+func overlaps(a1, s1, a2, s2 uint32) bool {
+	return a1 < a2+s2 && a2 < a1+s1
+}
+
+// Walk calls f over all entries in program order.
+func (q *LSQ) Walk(f func(slot int, e *Entry)) {
+	for i := 0; i < q.count; i++ {
+		slot := (q.head + i) % len(q.ring)
+		f(slot, &q.ring[slot])
+	}
+}

@@ -1,0 +1,175 @@
+package lsq
+
+import "testing"
+
+func store(seq uint64, addr uint32, size uint8, data int32, resolved bool) Entry {
+	return Entry{Seq: seq, IsStore: true, Size: size, Addr: addr,
+		AddrReady: resolved, DataReady: resolved, DataI: data}
+}
+
+func load(seq uint64, size uint8) Entry {
+	return Entry{Seq: seq, Size: size}
+}
+
+func TestAllocPopOrder(t *testing.T) {
+	q := New(4)
+	q.Alloc(load(1, 4))
+	q.Alloc(store(2, 0x100, 4, 7, true))
+	if q.Len() != 2 || q.Full() {
+		t.Fatalf("len=%d", q.Len())
+	}
+	if q.PopHead().Seq != 1 || q.PopHead().Seq != 2 {
+		t.Fatal("pop order wrong")
+	}
+}
+
+func TestOlderStoreAddrsKnown(t *testing.T) {
+	q := New(8)
+	q.Alloc(store(1, 0x100, 4, 7, true))
+	q.Alloc(store(2, 0, 4, 0, false)) // unresolved
+	q.Alloc(load(3, 4))
+	if q.OlderStoreAddrsKnown(3) {
+		t.Fatal("unresolved older store not detected")
+	}
+	q.Get(1).AddrReady = true
+	if !q.OlderStoreAddrsKnown(3) {
+		t.Fatal("resolved stores still block")
+	}
+	// A younger store must not block an older load.
+	q.Alloc(store(5, 0, 4, 0, false))
+	if !q.OlderStoreAddrsKnown(3) {
+		t.Fatal("younger store blocked older load")
+	}
+}
+
+func TestForwardExactMatch(t *testing.T) {
+	q := New(8)
+	q.Alloc(store(1, 0x100, 4, 42, true))
+	q.Alloc(load(2, 4))
+	res, dI, _ := q.SearchForLoad(2, 0x100, 4)
+	if res != Forwarded || dI != 42 {
+		t.Fatalf("res=%v dI=%d", res, dI)
+	}
+	if q.Forwards != 1 {
+		t.Errorf("forwards = %d", q.Forwards)
+	}
+}
+
+func TestForwardYoungestOlderWins(t *testing.T) {
+	q := New(8)
+	q.Alloc(store(1, 0x100, 4, 1, true))
+	q.Alloc(store(2, 0x100, 4, 2, true))
+	q.Alloc(load(3, 4))
+	res, dI, _ := q.SearchForLoad(3, 0x100, 4)
+	if res != Forwarded || dI != 2 {
+		t.Fatalf("got %v %d, want the younger store's value 2", res, dI)
+	}
+}
+
+func TestForwardIgnoresYoungerStores(t *testing.T) {
+	q := New(8)
+	q.Alloc(load(1, 4))
+	q.Alloc(store(2, 0x100, 4, 9, true))
+	res, _, _ := q.SearchForLoad(1, 0x100, 4)
+	if res != FromMemory {
+		t.Fatalf("res = %v, want FromMemory", res)
+	}
+}
+
+func TestForwardNoOverlapGoesToMemory(t *testing.T) {
+	q := New(8)
+	q.Alloc(store(1, 0x100, 4, 9, true))
+	q.Alloc(load(2, 4))
+	res, _, _ := q.SearchForLoad(2, 0x104, 4)
+	if res != FromMemory {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestPartialOverlapMustWait(t *testing.T) {
+	q := New(8)
+	q.Alloc(store(1, 0x100, 1, 0xff, true)) // byte store
+	q.Alloc(load(2, 4))
+	res, _, _ := q.SearchForLoad(2, 0x100, 4) // word load overlapping the byte
+	if res != MustWait {
+		t.Fatalf("res = %v, want MustWait on size mismatch", res)
+	}
+	// Byte load at a different offset within the same word: no overlap.
+	res, _, _ = q.SearchForLoad(2, 0x101, 1)
+	if res != FromMemory {
+		t.Fatalf("res = %v, want FromMemory for disjoint byte", res)
+	}
+}
+
+func TestUnresolvedOlderStoreMustWait(t *testing.T) {
+	q := New(8)
+	q.Alloc(store(1, 0, 4, 0, false))
+	q.Alloc(load(2, 4))
+	res, _, _ := q.SearchForLoad(2, 0x100, 4)
+	if res != MustWait {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestFPForwarding(t *testing.T) {
+	q := New(8)
+	s := Entry{Seq: 1, IsStore: true, IsFP: true, Size: 8, Addr: 0x200,
+		AddrReady: true, DataReady: true, DataF: 2.5}
+	q.Alloc(s)
+	q.Alloc(Entry{Seq: 2, Size: 8, IsFP: true})
+	res, _, dF := q.SearchForLoad(2, 0x200, 8)
+	if res != Forwarded || dF != 2.5 {
+		t.Fatalf("res=%v dF=%v", res, dF)
+	}
+}
+
+func TestSquashAfter(t *testing.T) {
+	q := New(8)
+	for i := 1; i <= 5; i++ {
+		q.Alloc(load(uint64(i), 4))
+	}
+	q.SquashAfter(2)
+	if q.Len() != 2 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	q.Walk(func(slot int, e *Entry) {
+		if e.Seq > 2 {
+			t.Errorf("seq %d survived", e.Seq)
+		}
+	})
+}
+
+func TestRingWraparound(t *testing.T) {
+	q := New(3)
+	q.Alloc(load(1, 4))
+	q.Alloc(load(2, 4))
+	q.PopHead()
+	q.Alloc(load(3, 4))
+	q.Alloc(load(4, 4)) // wraps into slot 0
+	if q.Len() != 3 || !q.Full() {
+		t.Fatalf("len=%d", q.Len())
+	}
+	if q.Head().Seq != 2 {
+		t.Errorf("head seq = %d", q.Head().Seq)
+	}
+}
+
+func TestOverlapHelper(t *testing.T) {
+	cases := []struct {
+		a1, s1, a2, s2 uint32
+		want           bool
+	}{
+		{0x100, 4, 0x100, 4, true},
+		{0x100, 4, 0x104, 4, false},
+		{0x100, 4, 0x103, 1, true},
+		{0x100, 1, 0x100, 4, true},
+		{0x100, 8, 0x104, 4, true},
+		{0x104, 4, 0x100, 8, true},
+		{0x100, 1, 0x101, 1, false},
+	}
+	for _, c := range cases {
+		if got := overlaps(c.a1, c.s1, c.a2, c.s2); got != c.want {
+			t.Errorf("overlaps(0x%x,%d, 0x%x,%d) = %v", c.a1, c.s1, c.a2, c.s2, got)
+		}
+	}
+}

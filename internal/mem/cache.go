@@ -1,0 +1,149 @@
+// Package mem models the timing and activity of the memory hierarchy: set
+// associative caches with LRU replacement and write-back/write-allocate
+// policy, translation lookaside buffers, and a simple DRAM latency model.
+// Data values live in prog.Memory; this package tracks tags only.
+package mem
+
+import "fmt"
+
+// CacheConfig describes one cache.
+type CacheConfig struct {
+	Name      string
+	Sets      int // number of sets (power of two)
+	Ways      int
+	LineBytes int // line size (power of two)
+	HitLat    int // access latency in cycles
+}
+
+// SizeBytes returns the total data capacity.
+func (c CacheConfig) SizeBytes() int { return c.Sets * c.Ways * c.LineBytes }
+
+// Validate reports configuration errors.
+func (c CacheConfig) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("mem: %s: sets %d not a positive power of two", c.Name, c.Sets)
+	}
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("mem: %s: line size %d not a positive power of two", c.Name, c.LineBytes)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("mem: %s: ways %d", c.Name, c.Ways)
+	}
+	if c.HitLat <= 0 {
+		return fmt.Errorf("mem: %s: hit latency %d", c.Name, c.HitLat)
+	}
+	return nil
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint32
+	lru   uint64 // last-use stamp
+}
+
+// Cache is a set-associative tag array with LRU replacement.
+type Cache struct {
+	cfg              CacheConfig
+	sets             [][]line
+	stamp            uint64
+	offBits, setBits uint
+
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// NewCache builds a cache; invalid configurations panic (they are programmer
+// errors in fixed experiment tables).
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{cfg: cfg}
+	c.sets = make([][]line, cfg.Sets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	for c.cfg.LineBytes>>(c.offBits+1) > 0 {
+		c.offBits++
+	}
+	for c.cfg.Sets>>(c.setBits+1) > 0 {
+		c.setBits++
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Access touches addr. write marks the line dirty. It returns whether the
+// access hit and whether a dirty line was evicted (write-back traffic).
+func (c *Cache) Access(addr uint32, write bool) (hit, writeback bool) {
+	c.Accesses++
+	c.stamp++
+	set := (addr >> c.offBits) & (uint32(c.cfg.Sets) - 1)
+	tag := addr >> (c.offBits + c.setBits)
+	lines := c.sets[set]
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			lines[i].lru = c.stamp
+			if write {
+				lines[i].dirty = true
+			}
+			return true, false
+		}
+	}
+	c.Misses++
+	// Choose victim: invalid first, else least recently used.
+	victim := 0
+	for i := range lines {
+		if !lines[i].valid {
+			victim = i
+			break
+		}
+		if lines[i].lru < lines[victim].lru {
+			victim = i
+		}
+	}
+	writeback = lines[victim].valid && lines[victim].dirty
+	if writeback {
+		c.Writebacks++
+	}
+	lines[victim] = line{valid: true, dirty: write, tag: tag, lru: c.stamp}
+	return false, writeback
+}
+
+// Probe reports whether addr currently hits, without updating any state.
+func (c *Cache) Probe(addr uint32) bool {
+	set := (addr >> c.offBits) & (uint32(c.cfg.Sets) - 1)
+	tag := addr >> (c.offBits + c.setBits)
+	for _, l := range c.sets[set] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates all lines and returns the number of dirty lines dropped.
+func (c *Cache) Flush() int {
+	dirty := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && set[i].dirty {
+				dirty++
+			}
+			set[i] = line{}
+		}
+	}
+	return dirty
+}
+
+// MissRate returns misses/accesses.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}

@@ -1,0 +1,148 @@
+package mem
+
+// TLBConfig describes a translation lookaside buffer.
+type TLBConfig struct {
+	Name      string
+	Sets      int
+	Ways      int
+	PageBytes int
+	MissLat   int // software/hardware walk penalty in cycles
+}
+
+// TLB is a small cache of page numbers.
+type TLB struct {
+	cache   *Cache
+	missLat int
+}
+
+// NewTLB builds a TLB.
+func NewTLB(cfg TLBConfig) *TLB {
+	return &TLB{
+		cache: NewCache(CacheConfig{
+			Name: cfg.Name, Sets: cfg.Sets, Ways: cfg.Ways,
+			LineBytes: cfg.PageBytes, HitLat: 1,
+		}),
+		missLat: cfg.MissLat,
+	}
+}
+
+// Access translates addr, returning the added latency (0 on hit).
+func (t *TLB) Access(addr uint32) int {
+	if hit, _ := t.cache.Access(addr, false); hit {
+		return 0
+	}
+	return t.missLat
+}
+
+// Accesses and Misses expose activity counts for the power model.
+func (t *TLB) Accesses() uint64 { return t.cache.Accesses }
+func (t *TLB) Misses() uint64   { return t.cache.Misses }
+
+// HierarchyConfig describes the full memory system (paper Table 1 defaults
+// via DefaultHierarchy).
+type HierarchyConfig struct {
+	L1I, L1D, L2 CacheConfig
+	// L0I, when Sets > 0, enables a filter cache (Kin et al.) in front of
+	// the L1 instruction cache: hits avoid the L1I access; misses pay one
+	// extra cycle.
+	L0I        CacheConfig
+	ITLB, DTLB TLBConfig
+	// MemLatFirst is the latency of the first chunk from DRAM; MemLatRest
+	// of each following chunk (the paper uses 80 and 8).
+	MemLatFirst, MemLatRest int
+}
+
+// DefaultHierarchy returns the paper's Table 1 memory configuration.
+func DefaultHierarchy() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:         CacheConfig{Name: "il1", Sets: 512, Ways: 2, LineBytes: 32, HitLat: 1},
+		L1D:         CacheConfig{Name: "dl1", Sets: 256, Ways: 4, LineBytes: 32, HitLat: 1},
+		L2:          CacheConfig{Name: "ul2", Sets: 1024, Ways: 4, LineBytes: 64, HitLat: 8},
+		ITLB:        TLBConfig{Name: "itlb", Sets: 16, Ways: 4, PageBytes: 4096, MissLat: 3},
+		DTLB:        TLBConfig{Name: "dtlb", Sets: 32, Ways: 4, PageBytes: 4096, MissLat: 3},
+		MemLatFirst: 80,
+		MemLatRest:  8,
+	}
+}
+
+// Hierarchy ties the caches together and computes access latencies.
+type Hierarchy struct {
+	L1I, L1D, L2 *Cache
+	L0I          *Cache // nil unless the filter cache is configured
+	ITLB, DTLB   *TLB
+	cfg          HierarchyConfig
+
+	// L2WritebackAccesses counts L2 writes caused by dirty L1D evictions.
+	// They occur off the critical path and are tracked for the power model
+	// only (the victim's address is no longer known exactly, so the L2 tag
+	// state is left untouched).
+	L2WritebackAccesses uint64
+}
+
+// NewHierarchy instantiates the configured memory system.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	h := &Hierarchy{
+		L1I:  NewCache(cfg.L1I),
+		L1D:  NewCache(cfg.L1D),
+		L2:   NewCache(cfg.L2),
+		ITLB: NewTLB(cfg.ITLB),
+		DTLB: NewTLB(cfg.DTLB),
+		cfg:  cfg,
+	}
+	if cfg.L0I.Sets > 0 {
+		h.L0I = NewCache(cfg.L0I)
+	}
+	return h
+}
+
+// DefaultFilterCache returns a 512B direct-mapped L0 instruction cache, the
+// size class the filter-cache papers evaluate.
+func DefaultFilterCache() CacheConfig {
+	return CacheConfig{Name: "il0", Sets: 32, Ways: 1, LineBytes: 16, HitLat: 1}
+}
+
+// memLat returns the DRAM latency for filling a cache line of lineBytes,
+// fetched in 8-byte chunks.
+func (h *Hierarchy) memLat(lineBytes int) int {
+	chunks := lineBytes / 8
+	if chunks < 1 {
+		chunks = 1
+	}
+	return h.cfg.MemLatFirst + (chunks-1)*h.cfg.MemLatRest
+}
+
+// FetchInst returns the latency of an instruction fetch at addr.
+func (h *Hierarchy) FetchInst(addr uint32) int {
+	lat := h.cfg.L1I.HitLat + h.ITLB.Access(addr)
+	if h.L0I != nil {
+		if hit, _ := h.L0I.Access(addr, false); hit {
+			return lat // filter-cache hit: the L1I stays idle
+		}
+		lat++ // filter-cache miss penalty before probing L1I
+	}
+	if hit, _ := h.L1I.Access(addr, false); hit {
+		return lat
+	}
+	lat += h.cfg.L2.HitLat
+	if hit, _ := h.L2.Access(addr, false); hit {
+		return lat
+	}
+	return lat + h.memLat(h.cfg.L2.LineBytes)
+}
+
+// AccessData returns the latency of a data access at addr.
+func (h *Hierarchy) AccessData(addr uint32, write bool) int {
+	lat := h.cfg.L1D.HitLat + h.DTLB.Access(addr)
+	hit, wb := h.L1D.Access(addr, write)
+	if wb {
+		h.L2WritebackAccesses++
+	}
+	if hit {
+		return lat
+	}
+	lat += h.cfg.L2.HitLat
+	if hit, _ := h.L2.Access(addr, false); hit {
+		return lat
+	}
+	return lat + h.memLat(h.cfg.L2.LineBytes)
+}

@@ -1,0 +1,204 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallCache() *Cache {
+	return NewCache(CacheConfig{Name: "t", Sets: 4, Ways: 2, LineBytes: 16, HitLat: 1})
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := smallCache()
+	if hit, _ := c.Access(0x100, false); hit {
+		t.Fatal("cold access hit")
+	}
+	if hit, _ := c.Access(0x100, false); !hit {
+		t.Fatal("second access missed")
+	}
+	// Same line, different offset.
+	if hit, _ := c.Access(0x10f, false); !hit {
+		t.Fatal("same-line access missed")
+	}
+	// Next line misses.
+	if hit, _ := c.Access(0x110, false); hit {
+		t.Fatal("next-line access hit")
+	}
+	if c.Accesses != 4 || c.Misses != 2 {
+		t.Errorf("accesses=%d misses=%d", c.Accesses, c.Misses)
+	}
+}
+
+func TestCacheLRUReplacement(t *testing.T) {
+	c := smallCache() // 4 sets x 2 ways, 16B lines: set = (addr>>4)&3
+	// Three addresses mapping to set 0: 0x000, 0x040, 0x080.
+	c.Access(0x000, false)
+	c.Access(0x040, false)
+	c.Access(0x000, false) // refresh 0x000
+	c.Access(0x080, false) // evicts 0x040 (LRU)
+	if !c.Probe(0x000) {
+		t.Error("0x000 evicted despite being MRU")
+	}
+	if c.Probe(0x040) {
+		t.Error("0x040 survived; LRU broken")
+	}
+	if !c.Probe(0x080) {
+		t.Error("0x080 missing")
+	}
+}
+
+func TestCacheWritebackOnDirtyEviction(t *testing.T) {
+	c := smallCache()
+	c.Access(0x000, true) // dirty
+	c.Access(0x040, false)
+	_, wb := c.Access(0x080, false) // evicts dirty 0x000
+	if !wb {
+		t.Fatal("dirty eviction did not report writeback")
+	}
+	if c.Writebacks != 1 {
+		t.Errorf("writebacks = %d", c.Writebacks)
+	}
+	// Clean eviction: no writeback.
+	c.Access(0x0c0, false) // evicts clean 0x040
+	if c.Writebacks != 1 {
+		t.Errorf("clean eviction wrote back")
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := smallCache()
+	c.Access(0x000, true)
+	c.Access(0x040, false)
+	if dirty := c.Flush(); dirty != 1 {
+		t.Errorf("flush dropped %d dirty lines, want 1", dirty)
+	}
+	if c.Probe(0x000) || c.Probe(0x040) {
+		t.Error("lines survived flush")
+	}
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	bad := []CacheConfig{
+		{Name: "a", Sets: 3, Ways: 1, LineBytes: 16, HitLat: 1},
+		{Name: "b", Sets: 4, Ways: 0, LineBytes: 16, HitLat: 1},
+		{Name: "c", Sets: 4, Ways: 1, LineBytes: 3, HitLat: 1},
+		{Name: "d", Sets: 4, Ways: 1, LineBytes: 16, HitLat: 0},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v validated", cfg)
+		}
+	}
+	if err := (CacheConfig{Name: "ok", Sets: 512, Ways: 2, LineBytes: 32, HitLat: 1}).Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestCacheSizeBytes(t *testing.T) {
+	cfg := CacheConfig{Name: "il1", Sets: 512, Ways: 2, LineBytes: 32, HitLat: 1}
+	if cfg.SizeBytes() != 32*1024 {
+		t.Errorf("size = %d, want 32KB", cfg.SizeBytes())
+	}
+}
+
+// Property: a second access to any address always hits (no pathological
+// aliasing within a single access pair).
+func TestCacheSecondAccessHits(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "p", Sets: 64, Ways: 4, LineBytes: 32, HitLat: 1})
+	f := func(addr uint32) bool {
+		c.Access(addr, false)
+		hit, _ := c.Access(addr, false)
+		return hit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLB(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Name: "t", Sets: 4, Ways: 2, PageBytes: 4096, MissLat: 3})
+	if lat := tlb.Access(0x1000); lat != 3 {
+		t.Errorf("cold TLB access latency = %d", lat)
+	}
+	if lat := tlb.Access(0x1abc); lat != 0 {
+		t.Errorf("same-page access latency = %d", lat)
+	}
+	if lat := tlb.Access(0x2000); lat != 3 {
+		t.Errorf("new page latency = %d", lat)
+	}
+	if tlb.Accesses() != 3 || tlb.Misses() != 2 {
+		t.Errorf("accesses=%d misses=%d", tlb.Accesses(), tlb.Misses())
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	addr := uint32(0x0040_0000)
+
+	// Cold: ITLB miss + L1 miss + L2 miss + memory.
+	cold := h.FetchInst(addr)
+	wantMem := 80 + 7*8 // 64B L2 line in 8B chunks
+	if cold != 1+3+8+wantMem {
+		t.Errorf("cold fetch latency = %d, want %d", cold, 1+3+8+wantMem)
+	}
+	// Warm: everything hits.
+	if warm := h.FetchInst(addr); warm != 1 {
+		t.Errorf("warm fetch latency = %d", warm)
+	}
+	// Same line, adjacent instruction: hits.
+	if lat := h.FetchInst(addr + 4); lat != 1 {
+		t.Errorf("adjacent fetch latency = %d", lat)
+	}
+
+	// Data access path.
+	dcold := h.AccessData(0x1000_0000, false)
+	if dcold != 1+3+8+wantMem {
+		t.Errorf("cold data latency = %d", dcold)
+	}
+	if dwarm := h.AccessData(0x1000_0000, true); dwarm != 1 {
+		t.Errorf("warm data latency = %d", dwarm)
+	}
+}
+
+func TestHierarchyL2SharedBetweenIAndD(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	addr := uint32(0x0040_0000)
+	h.FetchInst(addr) // fills L2 line
+	// A data access to the same line: L1D misses, L2 hits.
+	lat := h.AccessData(addr, false)
+	want := 1 + 3 + 8 // L1D hitlat + DTLB miss + L2 hit
+	if lat != want {
+		t.Errorf("data access after fetch = %d, want %d (L2 hit)", lat, want)
+	}
+}
+
+func TestHierarchyWritebackCounter(t *testing.T) {
+	cfg := DefaultHierarchy()
+	cfg.L1D = CacheConfig{Name: "dl1", Sets: 1, Ways: 1, LineBytes: 32, HitLat: 1}
+	h := NewHierarchy(cfg)
+	h.AccessData(0x0000, true)  // dirty line
+	h.AccessData(0x1000, false) // evicts dirty line
+	if h.L2WritebackAccesses != 1 {
+		t.Errorf("writeback accesses = %d", h.L2WritebackAccesses)
+	}
+}
+
+func TestDefaultHierarchyMatchesPaperTable1(t *testing.T) {
+	cfg := DefaultHierarchy()
+	if cfg.L1I.SizeBytes() != 32*1024 || cfg.L1I.Ways != 2 || cfg.L1I.HitLat != 1 {
+		t.Errorf("L1I = %+v", cfg.L1I)
+	}
+	if cfg.L1D.SizeBytes() != 32*1024 || cfg.L1D.Ways != 4 || cfg.L1D.HitLat != 1 {
+		t.Errorf("L1D = %+v", cfg.L1D)
+	}
+	if cfg.L2.SizeBytes() != 256*1024 || cfg.L2.Ways != 4 || cfg.L2.HitLat != 8 {
+		t.Errorf("L2 = %+v", cfg.L2)
+	}
+	if cfg.ITLB.Sets != 16 || cfg.DTLB.Sets != 32 || cfg.ITLB.MissLat != 3 {
+		t.Errorf("TLBs = %+v %+v", cfg.ITLB, cfg.DTLB)
+	}
+	if cfg.MemLatFirst != 80 || cfg.MemLatRest != 8 {
+		t.Errorf("memory latency = %d/%d", cfg.MemLatFirst, cfg.MemLatRest)
+	}
+}

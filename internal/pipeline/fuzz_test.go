@@ -1,0 +1,96 @@
+package pipeline
+
+import (
+	"testing"
+
+	"reuseiq/internal/asm"
+	"reuseiq/internal/interp"
+	"reuseiq/internal/progen"
+)
+
+// TestFuzzDifferential runs randomly generated programs on the functional
+// interpreter, the baseline pipeline, and the reuse pipeline at several
+// issue-queue sizes, and requires identical architectural outcomes. This is
+// the broadest correctness net over renaming, recovery, forwarding and the
+// reuse state machine.
+func TestFuzzDifferential(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 10
+	}
+	cfgs := []Config{
+		BaselineConfig(),
+		DefaultConfig(),
+		DefaultConfig().WithIQSize(32),
+		DefaultConfig().WithIQSize(128),
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		src := progen.Generate(seed, progen.DefaultConfig())
+		p, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		g := interp.New(p)
+		g.MaxInsts = 20_000_000
+		if err := g.Run(); err != nil {
+			t.Fatalf("seed %d interp: %v", seed, err)
+		}
+		for ci, cfg := range cfgs {
+			m := New(cfg, p)
+			if err := m.Run(); err != nil {
+				t.Fatalf("seed %d cfg %d: %v\n%s", seed, ci, err, m.stateSummary())
+			}
+			if uint64(m.C.Commits) != g.State.Insts {
+				t.Errorf("seed %d cfg %d: committed %d, interp executed %d",
+					seed, ci, m.C.Commits, g.State.Insts)
+			}
+			// $at (r1) and $r21 are scratch; everything else must match.
+			for i := 2; i < 32; i++ {
+				if g.State.Int[i] != m.ArchInt(i) {
+					t.Fatalf("seed %d cfg %d: $r%d = %d, interp %d\nprogram:\n%s",
+						seed, ci, i, m.ArchInt(i), g.State.Int[i], src)
+				}
+			}
+			for i := 0; i < 32; i++ {
+				gv, mv := g.State.FP[i], m.ArchFP(i)
+				if gv != mv && !(gv != gv && mv != mv) {
+					t.Fatalf("seed %d cfg %d: $f%d = %v, interp %v", seed, ci, i, mv, gv)
+				}
+			}
+			if !g.State.Mem.Equal(m.Mem) {
+				t.Fatalf("seed %d cfg %d: memory differs", seed, ci)
+			}
+		}
+	}
+}
+
+// TestFuzzLargePrograms stresses deeper nesting and longer blocks with
+// fewer seeds.
+func TestFuzzLargePrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long fuzz")
+	}
+	cfg := progen.Config{MaxDepth: 4, MaxBlock: 16, MaxTrip: 20, Procs: 3}
+	for seed := int64(100); seed < 110; seed++ {
+		src := progen.Generate(seed, cfg)
+		p, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		g := interp.New(p)
+		g.MaxInsts = 50_000_000
+		if err := g.Run(); err != nil {
+			t.Fatalf("seed %d interp: %v", seed, err)
+		}
+		m := New(DefaultConfig(), p)
+		if err := m.Run(); err != nil {
+			t.Fatalf("seed %d pipeline: %v", seed, err)
+		}
+		if uint64(m.C.Commits) != g.State.Insts {
+			t.Errorf("seed %d: commits %d vs %d", seed, m.C.Commits, g.State.Insts)
+		}
+		if !g.State.Mem.Equal(m.Mem) {
+			t.Fatalf("seed %d: memory differs", seed)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"reuseiq/internal/altfe"
+	"reuseiq/internal/bpred"
+	"reuseiq/internal/core"
+	"reuseiq/internal/fu"
+	"reuseiq/internal/isa"
+	"reuseiq/internal/lsq"
+	"reuseiq/internal/mem"
+	"reuseiq/internal/prog"
+	"reuseiq/internal/rename"
+	"reuseiq/internal/rob"
+	"reuseiq/internal/trace"
+)
+
+// Counters are the pipeline-level activity counters consumed by the power
+// model and the experiment harness (component-internal counters live on the
+// components themselves).
+type Counters struct {
+	Cycles      uint64
+	Commits     uint64
+	GatedCycles uint64 // cycles with the front end gated (Code Reuse)
+
+	Fetches      uint64 // instructions fetched (including wrong path)
+	FetchCycles  uint64 // cycles the fetch stage was active (not gated/stalled)
+	Decodes      uint64
+	FrontRenames uint64 // instructions dispatched from the front end
+	ReuseRenames uint64 // instances dispatched by the reuse pointer
+
+	BranchesCommitted uint64
+	TakenCommitted    uint64
+	Mispredicts       uint64 // resolved mispredictions (recoveries)
+	LoadsCommitted    uint64
+	StoresCommitted   uint64
+	ReusedCommitted   uint64 // committed instances that came from the reuse path
+	LoopCacheSupplies uint64 // fetches served by the prior-art loop cache
+
+	// WakeupBroadcasts counts result-tag broadcasts into the issue queue;
+	// WakeupOccupancySum accumulates queue occupancy at each broadcast so
+	// the power model can charge CAM energy proportional to live entries.
+	WakeupBroadcasts    uint64
+	WakeupOccupancySum  uint64
+	IssueCycleScans     uint64 // occupancy examined by select logic, summed per cycle
+	DispatchStallIQ     uint64
+	DispatchStallROB    uint64
+	DispatchStallLSQ    uint64
+	DispatchStallRegs   uint64
+	StoreCommitAccesses uint64 // data cache writes performed at commit
+}
+
+type fetched struct {
+	pc         uint32
+	in         isa.Inst
+	isControl  bool
+	predTaken  bool
+	predTarget uint32
+}
+
+type execEntry struct {
+	robSlot int
+	seq     uint64
+	done    uint64 // completion cycle
+	valI    int32
+	valF    float64
+}
+
+// Machine is one simulated processor instance bound to a program.
+type Machine struct {
+	Cfg  Config
+	Prog *prog.Program
+
+	Mem  *prog.Memory // architectural data memory (committed state)
+	Hier *mem.Hierarchy
+	BP   *bpred.Predictor
+	RF   *rename.RegFile
+	ROB  *rob.ROB
+	LSQ  *lsq.LSQ
+	IQ   *core.Queue
+	Ctl  *core.Controller
+	FUs  *fu.Pool
+	LC   *altfe.LoopCache // nil unless a loop cache is configured
+
+	C Counters
+
+	cycle           uint64
+	nextSeq         uint64
+	fetchPC         uint32
+	fetchStallUntil uint64
+	fetchHalted     bool
+	fetchQ          []fetched
+	decodeLat       []fetched
+	execQ           []execEntry
+	halted          bool
+	lastCommit      uint64
+
+	// commitLog, when enabled via LogCommits, records the PC of every
+	// committed instruction (used by differential tests).
+	commitLog  []uint32
+	LogCommits bool
+
+	// DebugIssue, when non-nil, receives a line per issued instruction
+	// (debugging aid for tests).
+	DebugIssue func(seq uint64, pc uint32, desc string)
+
+	// Trace, when non-nil, receives one line per notable event.
+	Trace func(format string, args ...any)
+
+	// Rec, when non-nil, records per-instruction pipeline timing for the
+	// first Rec.Max dispatched instructions.
+	Rec *trace.Recorder
+}
+
+// New builds a machine for p under cfg.
+func New(cfg Config, p *prog.Program) *Machine {
+	cfg = cfg.normalized()
+	m := &Machine{
+		Cfg:  cfg,
+		Prog: p,
+		Mem:  p.Data.Clone(),
+		Hier: mem.NewHierarchy(cfg.Mem),
+		BP:   bpred.New(cfg.Bpred),
+		RF:   rename.MustNew(cfg.IntPhysRegs, cfg.FPPhysRegs),
+		ROB:  rob.New(cfg.ROBSize),
+		LSQ:  lsq.New(cfg.LSQSize),
+		FUs:  fu.NewPool(cfg.FU),
+	}
+	m.IQ = core.NewQueue(cfg.IQSize)
+	m.Ctl = core.NewController(cfg.Reuse, m.IQ)
+	if cfg.LoopCache != nil {
+		m.LC = altfe.NewLoopCache(*cfg.LoopCache)
+	}
+	m.fetchPC = p.Entry
+	m.RF.SetArchInt(isa.RegSP, int32(prog.StackTop))
+	return m
+}
+
+// Halted reports whether the program's HALT has committed.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Cycle returns the current cycle number.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// IPC returns committed instructions per cycle.
+func (m *Machine) IPC() float64 {
+	if m.C.Cycles == 0 {
+		return 0
+	}
+	return float64(m.C.Commits) / float64(m.C.Cycles)
+}
+
+// GatedFraction returns the fraction of execution cycles with the pipeline
+// front end gated (paper Figure 5).
+func (m *Machine) GatedFraction() float64 {
+	if m.C.Cycles == 0 {
+		return 0
+	}
+	return float64(m.C.GatedCycles) / float64(m.C.Cycles)
+}
+
+// Step advances the machine by one cycle. Stage order is back to front so
+// that a latch drained by a later stage can be refilled in the same cycle.
+func (m *Machine) Step() {
+	m.cycle++
+	m.C.Cycles++
+	if m.Ctl.GateActive() {
+		m.C.GatedCycles++
+	}
+	m.commit()
+	if m.halted {
+		return
+	}
+	m.writeback()
+	m.issue()
+	m.dispatch()
+	m.decode()
+	m.fetch()
+}
+
+// Run executes until HALT commits, returning an error on cycle budget
+// exhaustion or deadlock.
+func (m *Machine) Run() error {
+	for !m.halted {
+		m.Step()
+		if m.cycle >= m.Cfg.MaxCycles {
+			return fmt.Errorf("pipeline: cycle budget %d exhausted (%d committed)", m.Cfg.MaxCycles, m.C.Commits)
+		}
+		if m.cycle-m.lastCommit > m.Cfg.WatchdogCycles {
+			return fmt.Errorf("pipeline: no commit for %d cycles at cycle %d (%s)",
+				m.Cfg.WatchdogCycles, m.cycle, m.stateSummary())
+		}
+	}
+	return nil
+}
+
+func (m *Machine) stateSummary() string {
+	s := fmt.Sprintf("state=%v rob=%d/%d iq=%d/%d lsq=%d/%d fetchPC=0x%x",
+		m.Ctl.State(), m.ROB.Len(), m.ROB.Size(), m.IQ.Len(), m.IQ.Size(),
+		m.LSQ.Len(), m.LSQ.Size(), m.fetchPC)
+	if h := m.ROB.Head(); h != nil {
+		s += fmt.Sprintf(" head={seq=%d pc=0x%x %s done=%v}", h.Seq, h.PC, h.Inst.Disasm(h.PC), h.Done)
+	}
+	return s
+}
+
+// ArchInt returns the committed architectural value of integer register n.
+func (m *Machine) ArchInt(n int) int32 { return m.RF.ArchInt(n) }
+
+// ArchFP returns the committed architectural value of FP register n.
+func (m *Machine) ArchFP(n int) float64 { return m.RF.ArchFP(n) }
+
+func (m *Machine) tracef(format string, args ...any) {
+	if m.Trace != nil {
+		m.Trace(format, args...)
+	}
+}

@@ -1,0 +1,104 @@
+package pipeline
+
+import "reuseiq/internal/stats"
+
+// StatsSet exports every counter of the machine and its components as an
+// ordered stats.Set, for uniform text reporting and for diffing two runs.
+func (m *Machine) StatsSet() *stats.Set {
+	s := &stats.Set{}
+	put := func(name string, v uint64) { s.Put(name, v) }
+
+	put("sim.cycles", m.C.Cycles)
+	put("sim.commits", m.C.Commits)
+	put("sim.gated_cycles", m.C.GatedCycles)
+	put("sim.mispredicts", m.C.Mispredicts)
+
+	put("fetch.insts", m.C.Fetches)
+	put("fetch.cycles", m.C.FetchCycles)
+	put("decode.insts", m.C.Decodes)
+	put("rename.front", m.C.FrontRenames)
+	put("rename.reuse", m.C.ReuseRenames)
+	put("dispatch.stall.rob", m.C.DispatchStallROB)
+	put("dispatch.stall.iq", m.C.DispatchStallIQ)
+	put("dispatch.stall.lsq", m.C.DispatchStallLSQ)
+	put("dispatch.stall.regs", m.C.DispatchStallRegs)
+
+	put("commit.branches", m.C.BranchesCommitted)
+	put("commit.taken", m.C.TakenCommitted)
+	put("commit.loads", m.C.LoadsCommitted)
+	put("commit.stores", m.C.StoresCommitted)
+	put("commit.reused", m.C.ReusedCommitted)
+
+	ctl := m.Ctl.S
+	put("reuse.detections", ctl.Detections)
+	put("reuse.nblt_filtered", ctl.NBLTFiltered)
+	put("reuse.bufferings", ctl.Bufferings)
+	put("reuse.iterations_buffered", ctl.IterationsBuffered)
+	put("reuse.buffered_insts", ctl.BufferedInsts)
+	put("reuse.promotions", ctl.Promotions)
+	put("reuse.renames", ctl.ReuseRenames)
+	put("reuse.exits", ctl.ReuseExits)
+	put("reuse.revokes", ctl.Revokes)
+	put("reuse.revokes.inner", ctl.RevokesInner)
+	put("reuse.revokes.exit", ctl.RevokesExit)
+	put("reuse.revokes.full", ctl.RevokesFull)
+	put("reuse.revokes.recovery", ctl.RevokesRecovery)
+
+	put("iq.dispatches", m.IQ.Dispatches)
+	put("iq.partial_updates", m.IQ.PartialUpdates)
+	put("iq.issue_reads", m.IQ.IssueReads)
+	put("iq.removals", m.IQ.Removals)
+	put("iq.collapses", m.IQ.Collapses)
+	put("iq.wakeup_broadcasts", m.C.WakeupBroadcasts)
+
+	put("lsq.allocs", m.LSQ.Allocs)
+	put("lsq.searches", m.LSQ.Searches)
+	put("lsq.forwards", m.LSQ.Forwards)
+	put("lsq.conflict_stalls", m.LSQ.ConflictStalls)
+
+	put("rob.allocs", m.ROB.Allocs)
+	put("rob.commits", m.ROB.Commits)
+	put("regfile.reads", m.RF.Reads)
+	put("regfile.writes", m.RF.Writes)
+	put("rename.map_reads", m.RF.MapReads)
+	put("rename.renames", m.RF.Renames)
+
+	put("bpred.lookups", m.BP.Lookups)
+	put("bpred.updates", m.BP.Updates)
+	put("bpred.btb_lookups", m.BP.BTBLookups)
+	put("bpred.btb_updates", m.BP.BTBUpdates)
+	put("bpred.ras_ops", m.BP.RASOps)
+
+	put("il1.accesses", m.Hier.L1I.Accesses)
+	put("il1.misses", m.Hier.L1I.Misses)
+	put("dl1.accesses", m.Hier.L1D.Accesses)
+	put("dl1.misses", m.Hier.L1D.Misses)
+	put("dl1.writebacks", m.Hier.L1D.Writebacks)
+	put("ul2.accesses", m.Hier.L2.Accesses)
+	put("ul2.misses", m.Hier.L2.Misses)
+	put("itlb.misses", m.Hier.ITLB.Misses())
+	put("dtlb.misses", m.Hier.DTLB.Misses())
+	if m.Hier.L0I != nil {
+		put("il0.accesses", m.Hier.L0I.Accesses)
+		put("il0.misses", m.Hier.L0I.Misses)
+	}
+	if m.LC != nil {
+		put("loopcache.supplies", m.C.LoopCacheSupplies)
+		put("loopcache.fills", m.LC.Fills)
+		put("loopcache.detects", m.LC.Detects)
+	}
+
+	nblt := m.Ctl.NBLT()
+	put("nblt.lookups", nblt.Lookups)
+	put("nblt.hits", nblt.Hits)
+	put("nblt.inserts", nblt.Inserts)
+
+	for k := 0; k < len(m.FUs.Ops); k++ {
+		put("fu."+fuKindName(k), m.FUs.Ops[k])
+	}
+	return s
+}
+
+func fuKindName(k int) string {
+	return [...]string{"ialu", "imul", "fpalu", "fpmul", "memport"}[k]
+}

@@ -1,0 +1,35 @@
+package pipeline
+
+import (
+	"testing"
+
+	"reuseiq/internal/asm"
+)
+
+func TestStatsSetConsistency(t *testing.T) {
+	p := asm.MustAssemble(`
+	li $r3, 500
+l:	addi $r3, $r3, -1
+	bne $r3, $zero, l
+	halt
+	`)
+	m := runPipe(t, DefaultConfig(), p)
+	s := m.StatsSet()
+	if s.Get("sim.commits") != m.C.Commits {
+		t.Error("commit counter mismatch")
+	}
+	if s.Get("rob.allocs") != s.Get("rename.front")+s.Get("rename.reuse") {
+		t.Errorf("rob allocs %d != renames %d+%d",
+			s.Get("rob.allocs"), s.Get("rename.front"), s.Get("rename.reuse"))
+	}
+	if s.Get("sim.gated_cycles") == 0 || s.Get("reuse.promotions") == 0 {
+		t.Error("reuse counters missing from stats set")
+	}
+	if s.Get("il1.accesses") == 0 {
+		t.Error("cache counters missing")
+	}
+	// Rendering is stable and non-empty.
+	if len(s.String()) < 100 {
+		t.Error("stats rendering too short")
+	}
+}

@@ -1,0 +1,435 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"reuseiq/internal/core"
+	"reuseiq/internal/isa"
+	"reuseiq/internal/lsq"
+	"reuseiq/internal/rob"
+)
+
+// ---------------------------------------------------------------- commit --
+
+func (m *Machine) commit() {
+	for i := 0; i < m.Cfg.CommitWidth && !m.ROB.Empty(); i++ {
+		h := m.ROB.Head()
+		if !h.Done {
+			return
+		}
+		if h.Halt {
+			m.halted = true
+			m.lastCommit = m.cycle
+			return
+		}
+		if h.IsStore {
+			m.commitStore()
+		}
+		if h.IsLoad {
+			m.LSQ.PopHead()
+		}
+		if h.HasDest {
+			m.RF.Release(h.Dest.Kind, h.OldPhys)
+		}
+		cls := h.Inst.Op.Info().Class
+		if cls == isa.ClassBranch {
+			m.C.BranchesCommitted++
+			if h.ActTaken {
+				m.C.TakenCommitted++
+			}
+		}
+		// Train the predictor with correct-path outcomes. Code Reuse
+		// gates prediction lookups (paper §2.3) but commit-side updates
+		// continue, keeping the tables warm for the loop exit.
+		if h.Inst.Op.IsControl() {
+			m.BP.Update(h.PC, h.Inst, h.ActTaken, h.ActTarget)
+		}
+		switch {
+		case h.IsLoad:
+			m.C.LoadsCommitted++
+		case h.IsStore:
+			m.C.StoresCommitted++
+		}
+		if h.Reused {
+			m.C.ReusedCommitted++
+		}
+		if m.LogCommits {
+			m.commitLog = append(m.commitLog, h.PC)
+		}
+		if m.Rec != nil {
+			m.Rec.OnCommit(h.Seq, m.cycle)
+		}
+		m.ROB.PopHead()
+		m.C.Commits++
+		m.lastCommit = m.cycle
+	}
+}
+
+// commitStore writes the ROB head's store to architectural memory and the
+// data cache.
+func (m *Machine) commitStore() {
+	e := m.LSQ.PopHead()
+	if !e.IsStore || !e.AddrReady {
+		panic("pipeline: committing store with unresolved LSQ head")
+	}
+	h := m.ROB.Head()
+	switch h.Inst.Op {
+	case isa.OpSW:
+		m.Mem.WriteI32(e.Addr, e.DataI)
+	case isa.OpSB:
+		m.Mem.Write8(e.Addr, byte(e.DataI))
+	case isa.OpSH:
+		m.Mem.Write16(e.Addr, uint16(e.DataI))
+	case isa.OpSD:
+		m.Mem.WriteF64(e.Addr, e.DataF)
+	}
+	m.Hier.AccessData(e.Addr, true)
+	m.C.StoreCommitAccesses++
+}
+
+// ------------------------------------------------------------- writeback --
+
+func (m *Machine) writeback() {
+	// Collect completions for this cycle in program order; older results
+	// must write back (and possibly trigger recovery) before younger ones.
+	var done []execEntry
+	kept := m.execQ[:0]
+	for _, e := range m.execQ {
+		if e.done <= m.cycle {
+			done = append(done, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	m.execQ = kept
+	sort.Slice(done, func(i, j int) bool { return done[i].seq < done[j].seq })
+
+	// barrier guards against completions squashed by a recovery triggered
+	// earlier in this same batch (their execQ entries were already drained
+	// into done, so the recovery-time filter cannot catch them).
+	barrier := ^uint64(0)
+	for _, e := range done {
+		if e.seq > barrier {
+			continue
+		}
+		r := m.ROB.Get(e.robSlot)
+		if r.Seq != e.seq {
+			continue // squashed while in flight
+		}
+		if r.HasDest {
+			if r.Dest.Kind == isa.KindFP {
+				m.RF.WriteFP(r.NewPhys, e.valF)
+			} else {
+				m.RF.WriteInt(r.NewPhys, e.valI)
+			}
+			// Result-tag broadcast wakes up issue queue consumers.
+			m.C.WakeupBroadcasts++
+			m.C.WakeupOccupancySum += uint64(m.IQ.Len())
+		}
+		r.Done = true
+		if m.Rec != nil {
+			m.Rec.OnComplete(r.Seq, m.cycle)
+		}
+		if r.Inst.Op.IsControl() {
+			r.Mispred = r.ActTarget != predictedNextPC(r)
+			if r.Mispred {
+				m.recover(r)
+				barrier = r.Seq
+			}
+		}
+	}
+}
+
+// predictedNextPC returns the next PC the front end followed after this
+// control instruction.
+func predictedNextPC(e *rob.Entry) uint32 {
+	if e.PredTaken {
+		return e.PredTarget
+	}
+	return e.PC + 4
+}
+
+// recover squashes everything younger than the mispredicted control
+// instruction e, rolls back the rename map, redirects fetch, and informs the
+// reuse controller (revoking a buffering or exiting Code Reuse).
+func (m *Machine) recover(e *rob.Entry) {
+	m.C.Mispredicts++
+	m.tracef("cycle %d: mispredict seq=%d pc=0x%x -> 0x%x (state %v)",
+		m.cycle, e.Seq, e.PC, e.ActTarget, m.Ctl.State())
+
+	// Order matters: the controller must clean up classification bits
+	// (removing dead buffered entries) before the seq-based squash.
+	m.Ctl.OnRecovery()
+
+	removed := m.ROB.SquashAfter(e.Seq)
+	for i := range removed {
+		en := &removed[i]
+		if en.HasDest {
+			m.RF.Rollback(en.Dest, en.NewPhys, en.OldPhys)
+		}
+		if m.Rec != nil {
+			m.Rec.OnSquash(en.Seq)
+		}
+	}
+	m.IQ.SquashAfter(e.Seq)
+	m.LSQ.SquashAfter(e.Seq)
+	kept := m.execQ[:0]
+	for _, x := range m.execQ {
+		if x.seq <= e.Seq {
+			kept = append(kept, x)
+		}
+	}
+	m.execQ = kept
+	m.fetchQ = m.fetchQ[:0]
+	m.decodeLat = m.decodeLat[:0]
+	m.fetchPC = e.ActTarget
+	m.fetchStallUntil = m.cycle + uint64(m.Cfg.MispredictPenalty)
+	m.fetchHalted = false
+	if m.LC != nil {
+		m.LC.OnRedirect()
+	}
+}
+
+// ----------------------------------------------------------------- issue --
+
+func (m *Machine) issue() {
+	m.C.IssueCycleScans += uint64(m.IQ.Len())
+	m.IQ.SelectScans += uint64(m.IQ.Len())
+
+	m.resolveStoreAddresses()
+
+	// Select ready entries oldest first. Candidate positions are captured
+	// before any removal; removals during issue shift later positions left,
+	// which is compensated below.
+	type cand struct {
+		seq uint64
+		pos int
+	}
+	var cands []cand
+	m.IQ.Walk(func(i int, e *core.Entry) {
+		if e.Issued {
+			return
+		}
+		for s := 0; s < e.NumSrc; s++ {
+			if !m.RF.Ready(e.SrcKind[s], e.SrcPhys[s]) {
+				return
+			}
+		}
+		cands = append(cands, cand{seq: e.Seq, pos: i})
+	})
+	sort.Slice(cands, func(i, j int) bool { return cands[i].seq < cands[j].seq })
+
+	issued := 0
+	var removed []int // original positions removed this cycle
+	for _, c := range cands {
+		if issued >= m.Cfg.IssueWidth {
+			break
+		}
+		pos := c.pos
+		for _, r := range removed {
+			if r < c.pos {
+				pos--
+			}
+		}
+		ok, wasRemoved := m.tryIssueEntry(pos)
+		if ok {
+			issued++
+			if wasRemoved {
+				removed = append(removed, c.pos)
+			}
+		}
+	}
+}
+
+// resolveStoreAddresses performs store address generation separately from
+// store data capture (as the R10000 and SimpleScalar do): a store whose base
+// register is ready publishes its address to the LSQ even while its data
+// operand is still being computed. Without this split, the conservative
+// "loads wait for older store addresses" rule would serialize every load
+// behind dependent stores and destroy memory-level parallelism.
+func (m *Machine) resolveStoreAddresses() {
+	resolved := 0
+	m.IQ.Walk(func(i int, e *core.Entry) {
+		if resolved >= m.Cfg.IssueWidth || e.Issued || e.LSQSlot < 0 {
+			return
+		}
+		if e.Inst.Op.Info().Class != isa.ClassStore {
+			return
+		}
+		le := m.LSQ.Get(e.LSQSlot)
+		if le.AddrReady || le.Seq != e.Seq {
+			return
+		}
+		// The base register is the first source (rs).
+		if !m.RF.Ready(e.SrcKind[0], e.SrcPhys[0]) {
+			return
+		}
+		base := m.RF.ReadInt(e.SrcPhys[0])
+		le.Addr = uint32(base + e.Inst.Imm)
+		le.AddrReady = true
+		resolved++
+	})
+}
+
+// tryIssueEntry attempts to issue the queue entry at position pos. It
+// reports whether the instruction issued, and whether its queue entry was
+// removed (conventional entries are; classified entries stay).
+func (m *Machine) tryIssueEntry(pos int) (issued, removed bool) {
+	// Snapshot the entry: MarkIssued may remove it and collapse the queue,
+	// invalidating pointers into the entry slice.
+	e := *m.IQ.Entry(pos)
+	op := e.Inst.Op
+	cls := op.Info().Class
+
+	// Loads: conservative disambiguation before consuming a port.
+	if cls == isa.ClassLoad && !m.LSQ.OlderStoreAddrsKnown(e.Seq) {
+		return false, false
+	}
+
+	if !m.FUs.Available(op, m.cycle) {
+		return false, false
+	}
+
+	// Read operands from the physical register file.
+	ops := isa.Operands{PC: e.PC}
+	info := op.Info()
+	srcIdx := 0
+	if info.ReadsRs {
+		if info.RsFP {
+			ops.FA = m.RF.ReadFP(e.SrcPhys[srcIdx])
+		} else {
+			ops.A = m.RF.ReadInt(e.SrcPhys[srcIdx])
+		}
+		srcIdx++
+	}
+	if info.ReadsRt {
+		if info.RtFP {
+			ops.FB = m.RF.ReadFP(e.SrcPhys[srcIdx])
+		} else {
+			ops.B = m.RF.ReadInt(e.SrcPhys[srcIdx])
+		}
+	}
+	r := isa.Eval(e.Inst, ops)
+
+	var lat int
+	var valI int32
+	var valF float64
+	switch cls {
+	case isa.ClassLoad:
+		res, dI, dF := m.LSQ.SearchForLoad(e.Seq, r.Addr, memSize(op))
+		if res == lsq.MustWait {
+			return false, false
+		}
+		if _, ok := m.FUs.TryIssue(op, m.cycle); !ok {
+			return false, false
+		}
+		le := m.LSQ.Get(e.LSQSlot)
+		le.AddrReady = true
+		le.Addr = r.Addr
+		le.Done = true
+		if res == lsq.Forwarded {
+			lat = 2 // address generation + bypass
+			valI, valF = applyLoadSemantics(op, dI, dF)
+		} else {
+			lat = 1 + m.Hier.AccessData(r.Addr, false)
+			valI, valF = m.loadFromMemory(op, r.Addr)
+		}
+	case isa.ClassStore:
+		if _, ok := m.FUs.TryIssue(op, m.cycle); !ok {
+			return false, false
+		}
+		le := m.LSQ.Get(e.LSQSlot)
+		le.AddrReady = true
+		le.Addr = r.Addr
+		le.DataReady = true
+		le.DataI = r.StoreI
+		le.DataF = r.StoreF
+		le.Done = true
+		lat = 1
+	default:
+		l, ok := m.FUs.TryIssue(op, m.cycle)
+		if !ok {
+			return false, false
+		}
+		lat = l
+		valI, valF = r.I, r.F
+	}
+
+	// Record control resolution in the ROB for the writeback check.
+	re := m.ROB.Get(e.ROBSlot)
+	if op.IsControl() {
+		re.ActTaken = r.Taken
+		if r.Taken {
+			re.ActTarget = r.Target
+		} else {
+			re.ActTarget = e.PC + 4
+		}
+	}
+
+	if m.DebugIssue != nil {
+		m.DebugIssue(e.Seq, e.PC, fmtIssue(&e, ops, valI))
+	}
+	if m.Rec != nil {
+		m.Rec.OnIssue(e.Seq, m.cycle)
+	}
+	removed = m.IQ.MarkIssued(pos)
+	m.execQ = append(m.execQ, execEntry{
+		robSlot: e.ROBSlot, seq: e.Seq, done: m.cycle + uint64(lat),
+		valI: valI, valF: valF,
+	})
+	return true, removed
+}
+
+func memSize(op isa.Op) uint8 {
+	switch op {
+	case isa.OpLB, isa.OpLBU, isa.OpSB:
+		return 1
+	case isa.OpLH, isa.OpLHU, isa.OpSH:
+		return 2
+	case isa.OpLD, isa.OpSD:
+		return 8
+	}
+	return 4
+}
+
+// applyLoadSemantics narrows a forwarded store value the way the load would
+// read it from memory (sign or zero extension for sub-word loads).
+func applyLoadSemantics(op isa.Op, dI int32, dF float64) (int32, float64) {
+	switch op {
+	case isa.OpLB:
+		return int32(int8(dI)), 0
+	case isa.OpLBU:
+		return int32(uint8(dI)), 0
+	case isa.OpLH:
+		return int32(int16(dI)), 0
+	case isa.OpLHU:
+		return int32(uint16(dI)), 0
+	case isa.OpLD:
+		return 0, dF
+	}
+	return dI, 0
+}
+
+func (m *Machine) loadFromMemory(op isa.Op, addr uint32) (int32, float64) {
+	switch op {
+	case isa.OpLW:
+		return m.Mem.ReadI32(addr), 0
+	case isa.OpLB:
+		return int32(int8(m.Mem.Read8(addr))), 0
+	case isa.OpLBU:
+		return int32(m.Mem.Read8(addr)), 0
+	case isa.OpLH:
+		return int32(int16(m.Mem.Read16(addr))), 0
+	case isa.OpLHU:
+		return int32(m.Mem.Read16(addr)), 0
+	case isa.OpLD:
+		return 0, m.Mem.ReadF64(addr)
+	}
+	panic("pipeline: not a load: " + op.String())
+}
+
+func fmtIssue(e *core.Entry, ops isa.Operands, valI int32) string {
+	return fmt.Sprintf("issue seq=%d pc=0x%x %-24s A=%d B=%d src=%v val=%d",
+		e.Seq, e.PC, e.Inst.Disasm(e.PC), ops.A, ops.B, e.SrcPhys[:e.NumSrc], valI)
+}

@@ -1,0 +1,122 @@
+package power
+
+import "math"
+
+// This file derives per-access energies from structure geometry the way
+// Wattch derives them from CACTI-style array models: an SRAM/CAM access
+// charges the row decoder, the selected wordline, the bitlines of every
+// column, and the sense amplifiers. The absolute scale is normalized so
+// that one access to the baseline 32KB 2-way instruction cache costs 1.0
+// units, making geometry-derived parameters directly comparable with
+// DefaultParams.
+
+// ArrayGeometry describes one SRAM array.
+type ArrayGeometry struct {
+	Rows int
+	Cols int // bits per row
+	// Ports is the number of simultaneously usable ports; energy per
+	// access grows roughly linearly with the port count (extra wordlines
+	// and bitlines per cell).
+	Ports int
+}
+
+// accessEnergy returns the relative energy of one array access:
+//
+//	E = (decode + wordline + bitline + sense) scaled by port count
+//
+// with decode ~ log2(rows), wordline ~ cols, bitline ~ rows, sense ~ cols.
+// Constants reflect the relative capacitance weights used by Wattch's
+// simplified model.
+func (g ArrayGeometry) accessEnergy() float64 {
+	rows := float64(max(g.Rows, 1))
+	cols := float64(max(g.Cols, 1))
+	ports := float64(max(g.Ports, 1))
+	decode := 0.15 * math.Log2(rows+1)
+	wordline := 0.0018 * cols
+	bitline := 0.0020 * rows * 0.12 // bitline swing is partial (low-swing sensing)
+	sense := 0.0011 * cols
+	return ports * (decode + wordline + bitline + sense)
+}
+
+// camEnergy returns the relative energy of a fully associative match over
+// the array: every row's taglines and match line are driven.
+func (g ArrayGeometry) camEnergy() float64 {
+	rows := float64(max(g.Rows, 1))
+	cols := float64(max(g.Cols, 1))
+	return 0.0009 * rows * cols
+}
+
+// CacheGeometry maps a set-associative cache onto an SRAM array: data plus
+// tag bits per way in each row.
+func CacheGeometry(sets, ways, lineBytes, ports int) ArrayGeometry {
+	tagBits := 32 // generous tag+state estimate
+	return ArrayGeometry{
+		Rows:  sets,
+		Cols:  ways * (lineBytes*8 + tagBits),
+		Ports: ports,
+	}
+}
+
+// GeometryParams derives a Params set from structure geometry for the given
+// issue-queue size, normalized to the baseline instruction cache. The
+// reuse-overhead, FU and clock terms have no array geometry and keep their
+// calibrated defaults.
+func GeometryParams(iqSize int) Params {
+	p := DefaultParams()
+
+	il1 := CacheGeometry(512, 2, 32, 1).accessEnergy()
+	norm := func(e float64) float64 { return e / il1 }
+
+	p.ICacheAccess = 1.0
+	p.ITLBAccess = norm(ArrayGeometry{Rows: 64, Cols: 40, Ports: 1}.accessEnergy())
+	p.BpredDir = norm(ArrayGeometry{Rows: 2048, Cols: 2, Ports: 1}.accessEnergy())
+	p.BpredBTB = norm(CacheGeometry(512, 4, 4, 1).accessEnergy())
+	p.BpredRAS = norm(ArrayGeometry{Rows: 8, Cols: 32, Ports: 1}.accessEnergy())
+	p.DCacheAccess = norm(CacheGeometry(256, 4, 32, 2).accessEnergy())
+	p.DTLBAccess = norm(ArrayGeometry{Rows: 128, Cols: 40, Ports: 1}.accessEnergy())
+	p.L2Access = norm(CacheGeometry(1024, 4, 64, 1).accessEnergy())
+	p.L0Access = norm(CacheGeometry(32, 1, 16, 1).accessEnergy())
+
+	// Rename map: 32 entries of ~8-bit physical tags, multi-ported.
+	p.RenameMapOp = norm(ArrayGeometry{Rows: 32, Cols: 8, Ports: 8}.accessEnergy())
+	// Register file: ~96 regs x 64 bits, heavily ported.
+	p.RegRead = norm(ArrayGeometry{Rows: 96, Cols: 64, Ports: 8}.accessEnergy()) / 8
+	p.RegWrite = p.RegRead * 1.25
+
+	// Issue queue: each entry holds ~80 payload bits; dispatch writes a
+	// full entry, issue reads it, and each wakeup drives the source-tag
+	// CAM of the whole window (handled per entry by the caller).
+	iqArr := ArrayGeometry{Rows: iqSize, Cols: 80, Ports: 4}
+	p.IQDispatch = norm(iqArr.accessEnergy()) * 64 / float64(iqSize) // caller rescales by iqScale
+	p.IQIssueRead = p.IQDispatch * 0.55
+	p.IQPartialUpdate = p.IQDispatch * 0.33 // register info + ROB pointer only
+	wakeupCAM := ArrayGeometry{Rows: iqSize, Cols: 2 * 8, Ports: 1}
+	p.IQWakeupPerEntry = norm(wakeupCAM.camEnergy()) / float64(iqSize)
+
+	// LSQ: address CAM search + entry write.
+	lsqArr := ArrayGeometry{Rows: 32, Cols: 96, Ports: 2}
+	p.LSQDispatch = norm(lsqArr.accessEnergy()) / 2
+	p.LSQSearch = norm(ArrayGeometry{Rows: 32, Cols: 32, Ports: 1}.camEnergy())
+
+	// ROB: wide entries, sequential ports.
+	p.ROBOp = norm(ArrayGeometry{Rows: 64, Cols: 96, Ports: 8}.accessEnergy()) / 6
+
+	// Reuse-mechanism overhead from its actual structure sizes: the LRL
+	// (15 bits per entry) and the 8-entry NBLT CAM.
+	lrl := ArrayGeometry{Rows: iqSize, Cols: 15, Ports: 4}
+	p.LRLWrite = norm(lrl.accessEnergy()) * 8 / float64(iqSize)
+	p.LRLRead = p.LRLWrite * 0.8
+	nblt := ArrayGeometry{Rows: 8, Cols: 32, Ports: 1}
+	p.NBLTLookup = norm(nblt.camEnergy())
+	p.NBLTInsert = norm(nblt.accessEnergy())
+	p.LoopCacheOp = norm(ArrayGeometry{Rows: 32, Cols: 32, Ports: 1}.accessEnergy())
+
+	return p
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

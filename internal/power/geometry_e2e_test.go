@@ -1,0 +1,105 @@
+package power_test
+
+import (
+	"testing"
+
+	"reuseiq/internal/compiler"
+	"reuseiq/internal/pipeline"
+	"reuseiq/internal/power"
+	"reuseiq/internal/workloads"
+)
+
+// The geometry-derived parameter set must reproduce the paper's headline
+// qualitative results end to end, proving the conclusions do not depend on
+// the hand-calibrated constants.
+func TestGeometryParamsReproduceHeadlines(t *testing.T) {
+	k, _ := workloads.ByName("aps") // small tight loop: gates everywhere
+	mp, _, err := compiler.Compile(k.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, iq := range []int{32, 64} {
+		params := power.GeometryParams(iq)
+		base := pipeline.New(pipeline.BaselineConfig().WithIQSize(iq), mp)
+		if err := base.Run(); err != nil {
+			t.Fatal(err)
+		}
+		reuse := pipeline.New(pipeline.DefaultConfig().WithIQSize(iq), mp)
+		if err := reuse.Run(); err != nil {
+			t.Fatal(err)
+		}
+		s := power.Compare(power.AnalyzeWith(base, params), power.AnalyzeWith(reuse, params))
+		if s.Component[power.ICache] < 0.3 || s.Component[power.ICache] > 0.99 {
+			t.Errorf("iq=%d: geometry icache saving = %.2f, outside plausible band",
+				iq, s.Component[power.ICache])
+		}
+		if s.Overall <= 0 {
+			t.Errorf("iq=%d: geometry overall saving = %.3f, want positive", iq, s.Overall)
+		}
+		if s.Component[power.BPred] <= 0 {
+			t.Errorf("iq=%d: geometry bpred saving = %.3f, want positive", iq, s.Component[power.BPred])
+		}
+		if s.OverheadShare <= 0 || s.OverheadShare > 0.05 {
+			t.Errorf("iq=%d: geometry overhead share = %.4f", iq, s.OverheadShare)
+		}
+	}
+}
+
+// A kernel that cannot gate (btrix at IQ=64) must show near-zero savings
+// under geometry parameters too.
+func TestGeometryParamsNoGatingNoSavings(t *testing.T) {
+	k, _ := workloads.ByName("btrix")
+	mp, _, err := compiler.Compile(k.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := power.GeometryParams(64)
+	base := pipeline.New(pipeline.BaselineConfig(), mp)
+	if err := base.Run(); err != nil {
+		t.Fatal(err)
+	}
+	reuse := pipeline.New(pipeline.DefaultConfig(), mp)
+	if err := reuse.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := power.Compare(power.AnalyzeWith(base, params), power.AnalyzeWith(reuse, params))
+	if s.Overall > 0.10 || s.Overall < -0.05 {
+		t.Errorf("non-gating kernel shows overall saving %.3f under geometry params", s.Overall)
+	}
+}
+
+// Regression guard on the calibration: the baseline per-component power
+// shares must stay near the Wattch-era breakdowns the model was calibrated
+// to, so future parameter edits cannot silently distort every figure.
+func TestBaselineComponentShares(t *testing.T) {
+	k, _ := workloads.ByName("aps")
+	mp, _, err := compiler.Compile(k.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := pipeline.New(pipeline.BaselineConfig(), mp)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	r := power.Analyze(m)
+	total := r.Total()
+	share := func(c power.Component) float64 { return r.Energy[c] / total }
+	bands := []struct {
+		c      power.Component
+		lo, hi float64
+	}{
+		{power.ICache, 0.04, 0.20},
+		{power.IssueQueue, 0.08, 0.30},
+		{power.Clock, 0.10, 0.35},
+		{power.FuncUnits, 0.05, 0.30},
+		{power.DCache, 0.03, 0.20},
+		{power.RegFile, 0.03, 0.20},
+		{power.BPred, 0.002, 0.10},
+		{power.Decode, 0.005, 0.10},
+	}
+	for _, b := range bands {
+		if s := share(b.c); s < b.lo || s > b.hi {
+			t.Errorf("%v share = %.3f, outside calibration band [%.3f, %.3f]", b.c, s, b.lo, b.hi)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAccessEnergyMonotoneInSize(t *testing.T) {
+	small := ArrayGeometry{Rows: 32, Cols: 32, Ports: 1}.accessEnergy()
+	tallRows := ArrayGeometry{Rows: 256, Cols: 32, Ports: 1}.accessEnergy()
+	wideCols := ArrayGeometry{Rows: 32, Cols: 256, Ports: 1}.accessEnergy()
+	if tallRows <= small || wideCols <= small {
+		t.Errorf("energy not monotone: small=%v rows=%v cols=%v", small, tallRows, wideCols)
+	}
+	onePort := ArrayGeometry{Rows: 64, Cols: 64, Ports: 1}.accessEnergy()
+	fourPort := ArrayGeometry{Rows: 64, Cols: 64, Ports: 4}.accessEnergy()
+	if fourPort != 4*onePort {
+		t.Errorf("port scaling: %v vs 4x%v", fourPort, onePort)
+	}
+}
+
+func TestCamEnergyScalesWithEntries(t *testing.T) {
+	small := ArrayGeometry{Rows: 16, Cols: 16}.camEnergy()
+	big := ArrayGeometry{Rows: 64, Cols: 16}.camEnergy()
+	if math.Abs(big/small-4) > 1e-9 {
+		t.Errorf("CAM energy should scale linearly with rows: %v vs %v", small, big)
+	}
+}
+
+func TestGeometryParamsNormalization(t *testing.T) {
+	p := GeometryParams(64)
+	if p.ICacheAccess != 1.0 {
+		t.Errorf("icache access = %v, must be the normalization anchor", p.ICacheAccess)
+	}
+	// Sanity ordering: at equal port counts a bigger array costs more
+	// (the dual-ported L1D legitimately exceeds the single-ported L2, so
+	// compare like for like); the tiny filter cache costs less than L1I;
+	// the bimodal table costs less than the BTB.
+	l1dOnePort := CacheGeometry(256, 4, 32, 1).accessEnergy()
+	l2OnePort := CacheGeometry(1024, 4, 64, 1).accessEnergy()
+	if !(l2OnePort > l1dOnePort) {
+		t.Errorf("L2 (%v) should cost more than L1D (%v) at equal ports", l2OnePort, l1dOnePort)
+	}
+	if !(p.L0Access < p.ICacheAccess) {
+		t.Errorf("filter cache (%v) should cost less than L1I (1.0)", p.L0Access)
+	}
+	if !(p.BpredDir < p.BpredBTB) {
+		t.Errorf("bimod (%v) should cost less than BTB (%v)", p.BpredDir, p.BpredBTB)
+	}
+	// Partial update must be cheaper than a full dispatch write (the
+	// paper's power argument for the reuse state).
+	if !(p.IQPartialUpdate < p.IQDispatch) {
+		t.Errorf("partial update (%v) not cheaper than dispatch (%v)", p.IQPartialUpdate, p.IQDispatch)
+	}
+	// Overhead structures are small.
+	if p.LRLWrite > 0.2 || p.NBLTLookup > 0.2 {
+		t.Errorf("overhead energies too large: lrl=%v nblt=%v", p.LRLWrite, p.NBLTLookup)
+	}
+}
+
+func TestGeometryParamsCloseToCalibrated(t *testing.T) {
+	// The geometry-derived energies should land within an order of
+	// magnitude of the hand-calibrated defaults — they model the same
+	// structures.
+	g := GeometryParams(64)
+	d := DefaultParams()
+	within := func(name string, got, want float64) {
+		ratio := got / want
+		if ratio < 0.1 || ratio > 10 {
+			t.Errorf("%s: geometry %v vs calibrated %v (ratio %.2f)", name, got, want, ratio)
+		}
+	}
+	within("dcache", g.DCacheAccess, d.DCacheAccess)
+	within("l2", g.L2Access, d.L2Access)
+	within("bpredDir", g.BpredDir, d.BpredDir)
+	within("bpredBTB", g.BpredBTB, d.BpredBTB)
+	within("iqDispatch", g.IQDispatch, d.IQDispatch)
+	within("regRead", g.RegRead, d.RegRead)
+	within("lsqSearch", g.LSQSearch, d.LSQSearch)
+}
+
+func TestGeometryParamsScaleWithIQ(t *testing.T) {
+	p64 := GeometryParams(64)
+	p256 := GeometryParams(256)
+	// Per-entry wakeup energy is size-independent (the caller multiplies
+	// by window size); dispatch is pre-divided by iqScale so the caller's
+	// rescaling reproduces the geometry. Check the raw invariant instead:
+	// dispatch * iqScale must grow with the window.
+	d64 := p64.IQDispatch * 1
+	d256 := p256.IQDispatch * 4
+	if d256 <= d64 {
+		t.Errorf("issue-queue write energy did not grow with size: %v vs %v", d64, d256)
+	}
+}

@@ -1,0 +1,361 @@
+// Package power implements a Wattch-style architectural power model: every
+// microarchitectural structure is charged a per-access dynamic energy scaled
+// by its geometry, plus a per-cycle floor of 10% of its peak dynamic power
+// (Wattch's cc3 conditional-clocking discipline — idle or gated structures
+// still leak and receive a gated clock).
+//
+// Energies are expressed in normalized units, not watts: the per-access
+// constants are calibrated so the baseline per-component shares match the
+// breakdowns published for Wattch-era 4-wide out-of-order processors. The
+// paper's results are relative (power reduction against the conventional
+// baseline), which such a calibration preserves.
+package power
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"reuseiq/internal/pipeline"
+)
+
+// Component identifies one power-modeled structure.
+type Component int
+
+const (
+	ICache Component = iota
+	FetchLogic
+	BPred
+	Decode
+	RenameTable
+	IssueQueue
+	LSQ
+	RegFile
+	FuncUnits
+	ROB
+	DCache
+	L2Cache
+	Clock
+	// Overhead is the paper's added hardware: the logical register list,
+	// the NBLT, and the classification/issue-state bits.
+	Overhead
+	// FilterCache and LoopCacheBuf are the prior-art comparators' added
+	// hardware (zero unless configured).
+	FilterCache
+	LoopCacheBuf
+	NumComponents
+)
+
+var componentNames = [NumComponents]string{
+	"icache", "fetch", "bpred", "decode", "rename", "issueq", "lsq",
+	"regfile", "fu", "rob", "dcache", "l2", "clock", "overhead",
+	"filtercache", "loopcache",
+}
+
+func (c Component) String() string { return componentNames[c] }
+
+// FrontEnd reports whether the component belongs to the gated pipeline
+// front-end (the stages before register renaming).
+func (c Component) FrontEnd() bool {
+	switch c {
+	case ICache, FetchLogic, BPred, Decode:
+		return true
+	}
+	return false
+}
+
+// Params holds the per-event energies (normalized units) and cc3 floors.
+// Geometry-dependent terms are scaled at Analyze time from the pipeline
+// configuration.
+type Params struct {
+	// Instruction delivery.
+	ICacheAccess  float64
+	ITLBAccess    float64
+	FetchPerInst  float64
+	BpredDir      float64 // bimodal counter read/update
+	BpredBTB      float64
+	BpredRAS      float64
+	DecodePerInst float64
+
+	// Rename and register file.
+	RenameMapOp float64 // map table read or write
+	RegRead     float64
+	RegWrite    float64
+
+	// Issue queue (scaled by IQSize/64 where the paper's CAM/select
+	// structures grow with entries).
+	IQDispatch       float64 // full entry write
+	IQWakeupPerEntry float64 // tag comparison per live entry per broadcast
+	IQSelectPerEntry float64 // selection logic per entry per cycle
+	IQIssueRead      float64 // payload read at issue
+	IQCollapse       float64 // one entry-position shift
+	IQPartialUpdate  float64 // reuse-path update (register info + ROB ptr)
+
+	// Memory order and data supply.
+	LSQDispatch  float64
+	LSQSearch    float64 // associative load search, scaled by LSQSize/32
+	DCacheAccess float64
+	DTLBAccess   float64
+	L2Access     float64
+
+	// Back end.
+	ROBOp         float64    // alloc or commit read, scaled by ROBSize/64
+	FUOp          [5]float64 // indexed by fu.Kind: IntALU, IntMul, FPALU, FPMul, MemPort
+	ClockPerCycle float64
+
+	// Prior-art comparators (charged only when configured).
+	L0Access    float64 // 512B filter cache
+	LoopCacheOp float64 // loop-cache buffer read/write
+
+	// Reuse-mechanism overhead.
+	LRLWrite       float64 // 15 bits per entry (paper §2.2)
+	LRLRead        float64
+	NBLTLookup     float64 // 8-entry CAM
+	NBLTInsert     float64
+	ReuseBitsFloor float64 // per-cycle floor for the added bits/logic
+
+	// FloorFrac is the cc3 idle fraction (Wattch: 10% of peak).
+	FloorFrac float64
+}
+
+// DefaultParams returns the calibrated energy constants.
+func DefaultParams() Params {
+	return Params{
+		ICacheAccess:  1.00,
+		ITLBAccess:    0.08,
+		FetchPerInst:  0.10,
+		BpredDir:      0.35,
+		BpredBTB:      0.45,
+		BpredRAS:      0.06,
+		DecodePerInst: 0.22,
+
+		RenameMapOp: 0.10,
+		RegRead:     0.22,
+		RegWrite:    0.28,
+
+		IQDispatch:       0.45,
+		IQWakeupPerEntry: 0.007,
+		IQSelectPerEntry: 0.003,
+		IQIssueRead:      0.25,
+		IQCollapse:       0.02,
+		IQPartialUpdate:  0.15,
+
+		LSQDispatch:  0.22,
+		LSQSearch:    0.30,
+		DCacheAccess: 2.00,
+		DTLBAccess:   0.10,
+		L2Access:     3.00,
+
+		ROBOp:         0.26,
+		FUOp:          [5]float64{0.80, 1.80, 1.50, 2.40, 0.45},
+		ClockPerCycle: 2.60,
+
+		L0Access:    0.14,
+		LoopCacheOp: 0.10,
+
+		LRLWrite:       0.05,
+		LRLRead:        0.04,
+		NBLTLookup:     0.07,
+		NBLTInsert:     0.06,
+		ReuseBitsFloor: 0.045,
+
+		FloorFrac: 0.10,
+	}
+}
+
+// Report is the energy accounting of one run.
+type Report struct {
+	Cycles  uint64
+	Commits uint64
+	// Energy is total energy per component (normalized units).
+	Energy [NumComponents]float64
+}
+
+// Total returns the run's total energy.
+func (r Report) Total() float64 {
+	t := 0.0
+	for _, e := range r.Energy {
+		t += e
+	}
+	return t
+}
+
+// PerCycle returns component c's average per-cycle power.
+func (r Report) PerCycle(c Component) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return r.Energy[c] / float64(r.Cycles)
+}
+
+// TotalPerCycle returns the average per-cycle power of the whole processor.
+func (r Report) TotalPerCycle() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return r.Total() / float64(r.Cycles)
+}
+
+// EPI returns energy per committed instruction.
+func (r Report) EPI() float64 {
+	if r.Commits == 0 {
+		return 0
+	}
+	return r.Total() / float64(r.Commits)
+}
+
+// String renders the per-component breakdown, largest first.
+func (r Report) String() string {
+	type row struct {
+		c Component
+		e float64
+	}
+	rows := make([]row, 0, NumComponents)
+	for c := Component(0); c < NumComponents; c++ {
+		rows = append(rows, row{c, r.Energy[c]})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].e > rows[j].e })
+	var b strings.Builder
+	total := r.Total()
+	fmt.Fprintf(&b, "total energy %.1f units over %d cycles (%.3f/cycle)\n", total, r.Cycles, r.TotalPerCycle())
+	for _, rw := range rows {
+		fmt.Fprintf(&b, "  %-9s %12.1f  (%5.1f%%)\n", rw.c, rw.e, 100*rw.e/total)
+	}
+	return b.String()
+}
+
+// Analyze computes the energy report for a finished machine.
+func Analyze(m *pipeline.Machine) Report {
+	return AnalyzeWith(m, DefaultParams())
+}
+
+// AnalyzeWith computes the energy report using explicit parameters.
+func AnalyzeWith(m *pipeline.Machine, p Params) Report {
+	cfg := m.Cfg
+	iqScale := float64(cfg.IQSize) / 64
+	lsqScale := float64(cfg.LSQSize) / 32
+	robScale := float64(cfg.ROBSize) / 64
+
+	var r Report
+	r.Cycles = m.C.Cycles
+	r.Commits = m.C.Commits
+	cyc := float64(m.C.Cycles)
+	w := float64(cfg.FetchWidth)
+
+	add := func(c Component, dynamic, peakPerCycle float64) {
+		r.Energy[c] += dynamic + p.FloorFrac*peakPerCycle*cyc
+	}
+
+	// Instruction cache (+ ITLB folded in).
+	add(ICache,
+		float64(m.Hier.L1I.Accesses)*p.ICacheAccess+float64(m.Hier.ITLB.Accesses())*p.ITLBAccess,
+		p.ICacheAccess+p.ITLBAccess)
+
+	// Fetch logic: next-PC generation and the fetch queue.
+	add(FetchLogic, float64(m.C.Fetches)*p.FetchPerInst, w*p.FetchPerInst)
+
+	// Branch predictor: direction counters, BTB, RAS.
+	bp := m.BP
+	bpDyn := float64(bp.Lookups+bp.Updates)*p.BpredDir +
+		float64(bp.BTBLookups+bp.BTBUpdates)*p.BpredBTB +
+		float64(bp.RASOps)*p.BpredRAS
+	add(BPred, bpDyn, p.BpredDir+p.BpredBTB+p.BpredRAS)
+
+	add(Decode, float64(m.C.Decodes)*p.DecodePerInst, w*p.DecodePerInst)
+
+	add(RenameTable, float64(m.RF.MapReads+m.RF.Renames)*p.RenameMapOp, 3*w*p.RenameMapOp)
+
+	// Issue queue: dispatch writes, wakeup CAM, select, issue reads,
+	// collapsing shifts, and the reuse path's partial updates.
+	// Wakeup energy follows Wattch: each result broadcast drives the tag
+	// lines of the whole window, so it scales with the queue size rather
+	// than with instantaneous occupancy.
+	iq := m.IQ
+	iqDyn := float64(iq.Dispatches)*p.IQDispatch*iqScale +
+		float64(m.C.WakeupBroadcasts)*float64(cfg.IQSize)*p.IQWakeupPerEntry +
+		float64(m.C.IssueCycleScans)*p.IQSelectPerEntry +
+		float64(iq.IssueReads)*p.IQIssueRead*iqScale +
+		float64(iq.Collapses)*p.IQCollapse +
+		float64(iq.PartialUpdates)*p.IQPartialUpdate*iqScale
+	iqPeak := w*p.IQDispatch*iqScale + w*p.IQWakeupPerEntry*float64(cfg.IQSize) +
+		p.IQSelectPerEntry*float64(cfg.IQSize) + w*p.IQIssueRead*iqScale
+	add(IssueQueue, iqDyn, iqPeak)
+
+	add(LSQ,
+		float64(m.LSQ.Allocs)*p.LSQDispatch*lsqScale+float64(m.LSQ.Searches)*p.LSQSearch*lsqScale,
+		2*(p.LSQDispatch+p.LSQSearch)*lsqScale)
+
+	add(RegFile, float64(m.RF.Reads)*p.RegRead+float64(m.RF.Writes)*p.RegWrite,
+		2*w*p.RegRead+w*p.RegWrite)
+
+	fuDyn := 0.0
+	fuPeak := 0.0
+	for k := 0; k < len(m.FUs.Ops); k++ {
+		fuDyn += float64(m.FUs.Ops[k]) * p.FUOp[k]
+		fuPeak += p.FUOp[k]
+	}
+	add(FuncUnits, fuDyn, fuPeak)
+
+	add(ROB, float64(m.ROB.Allocs+m.ROB.Commits)*p.ROBOp*robScale, 2*w*p.ROBOp*robScale)
+
+	add(DCache,
+		float64(m.Hier.L1D.Accesses)*p.DCacheAccess+float64(m.Hier.DTLB.Accesses())*p.DTLBAccess,
+		2*(p.DCacheAccess+p.DTLBAccess))
+
+	add(L2Cache,
+		float64(m.Hier.L2.Accesses+m.Hier.L2WritebackAccesses)*p.L2Access,
+		0.2*p.L2Access)
+
+	// Global clock tree: scaled mildly by window size.
+	r.Energy[Clock] += (p.ClockPerCycle * (0.8 + 0.2*iqScale)) * cyc
+
+	// Prior-art comparator hardware.
+	if m.Hier.L0I != nil {
+		add(FilterCache, float64(m.Hier.L0I.Accesses)*p.L0Access, p.L0Access)
+	}
+	if m.LC != nil {
+		add(LoopCacheBuf, float64(m.LC.Supplies+m.LC.Fills)*p.LoopCacheOp, p.LoopCacheOp)
+	}
+
+	// Reuse-mechanism overhead hardware.
+	if cfg.Reuse.Enabled {
+		ctl := m.Ctl
+		ovDyn := float64(ctl.S.BufferedInsts)*p.LRLWrite +
+			float64(ctl.S.ReuseRenames)*p.LRLRead +
+			float64(ctl.NBLT().Lookups)*p.NBLTLookup +
+			float64(ctl.NBLT().Inserts)*p.NBLTInsert
+		r.Energy[Overhead] += ovDyn + p.ReuseBitsFloor*cyc
+	}
+
+	return r
+}
+
+// Saving describes a relative per-cycle power reduction of the reuse design
+// against the baseline: positive means the reuse design uses less power.
+type Saving struct {
+	Component [NumComponents]float64
+	Overall   float64
+	// OverheadShare is the overhead hardware's share of the reuse run's
+	// total power (paper Figure 6 reports it alongside the savings).
+	OverheadShare float64
+}
+
+// Compare computes per-cycle power savings of reuse vs base.
+func Compare(base, reuse Report) Saving {
+	var s Saving
+	for c := Component(0); c < NumComponents; c++ {
+		b := base.PerCycle(c)
+		if b > 0 {
+			s.Component[c] = 1 - reuse.PerCycle(c)/b
+		}
+	}
+	bt := base.TotalPerCycle()
+	if bt > 0 {
+		s.Overall = 1 - reuse.TotalPerCycle()/bt
+	}
+	rt := reuse.TotalPerCycle()
+	if rt > 0 {
+		s.OverheadShare = reuse.PerCycle(Overhead) / rt
+	}
+	return s
+}

@@ -1,0 +1,156 @@
+package power
+
+import (
+	"strings"
+	"testing"
+
+	"reuseiq/internal/asm"
+	"reuseiq/internal/pipeline"
+)
+
+func runLoop(t *testing.T, reuse bool, iq int) *pipeline.Machine {
+	t.Helper()
+	p := asm.MustAssemble(`
+	li   $r2, 0
+	li   $r3, 3000
+loop:	add  $r2, $r2, $r3
+	addi $r3, $r3, -1
+	bne  $r3, $zero, loop
+	halt
+	`)
+	cfg := pipeline.DefaultConfig().WithIQSize(iq)
+	cfg.Reuse.Enabled = reuse
+	m := pipeline.New(cfg, p)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestReportBasics(t *testing.T) {
+	m := runLoop(t, false, 64)
+	r := Analyze(m)
+	if r.Cycles != m.C.Cycles || r.Commits != m.C.Commits {
+		t.Error("report cycle/commit counts wrong")
+	}
+	if r.Total() <= 0 {
+		t.Fatal("zero total energy")
+	}
+	sum := 0.0
+	for c := Component(0); c < NumComponents; c++ {
+		if r.Energy[c] < 0 {
+			t.Errorf("negative energy for %v", c)
+		}
+		sum += r.Energy[c]
+	}
+	if diff := sum - r.Total(); diff > 1e-9 || diff < -1e-9 {
+		t.Error("Total does not equal the component sum")
+	}
+	if r.TotalPerCycle() <= 0 || r.EPI() <= 0 {
+		t.Error("per-cycle/EPI not positive")
+	}
+}
+
+func TestBaselineHasNoOverheadEnergy(t *testing.T) {
+	m := runLoop(t, false, 64)
+	r := Analyze(m)
+	if r.Energy[Overhead] != 0 {
+		t.Errorf("baseline overhead energy = %v", r.Energy[Overhead])
+	}
+	mr := runLoop(t, true, 64)
+	rr := Analyze(mr)
+	if rr.Energy[Overhead] <= 0 {
+		t.Error("reuse run has no overhead energy")
+	}
+}
+
+func TestGatingSavesFrontEndPower(t *testing.T) {
+	base := Analyze(runLoop(t, false, 64))
+	reuse := Analyze(runLoop(t, true, 64))
+	s := Compare(base, reuse)
+	for _, c := range []Component{ICache, FetchLogic, Decode} {
+		if s.Component[c] <= 0.3 {
+			t.Errorf("%v saving = %.2f, expected large for a fully gated loop", c, s.Component[c])
+		}
+	}
+	if s.Overall <= 0 {
+		t.Errorf("overall saving = %.3f", s.Overall)
+	}
+	if s.OverheadShare <= 0 || s.OverheadShare > 0.05 {
+		t.Errorf("overhead share = %.4f, want small positive", s.OverheadShare)
+	}
+}
+
+// The cc3 floor guarantees gated components never drop below 10% of their
+// baseline peak: savings can never reach 100%.
+func TestFloorBoundsSavings(t *testing.T) {
+	base := Analyze(runLoop(t, false, 64))
+	reuse := Analyze(runLoop(t, true, 64))
+	s := Compare(base, reuse)
+	for c := Component(0); c < NumComponents; c++ {
+		if s.Component[c] >= 1.0 {
+			t.Errorf("%v saving = %.3f, floor should bound it below 1", c, s.Component[c])
+		}
+	}
+}
+
+// Larger queues must cost more issue-queue energy per access (geometry
+// scaling).
+func TestIQEnergyScalesWithSize(t *testing.T) {
+	small := Analyze(runLoop(t, false, 32))
+	big := Analyze(runLoop(t, false, 256))
+	if big.PerCycle(IssueQueue) <= small.PerCycle(IssueQueue) {
+		t.Errorf("issueq per-cycle power did not grow with size: %.3f vs %.3f",
+			small.PerCycle(IssueQueue), big.PerCycle(IssueQueue))
+	}
+	if big.PerCycle(Clock) <= small.PerCycle(Clock) {
+		t.Error("clock power did not grow with window size")
+	}
+}
+
+func TestCompareAgainstSelfIsZero(t *testing.T) {
+	r := Analyze(runLoop(t, false, 64))
+	s := Compare(r, r)
+	if s.Overall != 0 {
+		t.Errorf("self-comparison overall = %v", s.Overall)
+	}
+	for c := Component(0); c < NumComponents; c++ {
+		if s.Component[c] != 0 && c != Overhead {
+			t.Errorf("self-comparison %v = %v", c, s.Component[c])
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Analyze(runLoop(t, true, 64))
+	out := r.String()
+	for _, want := range []string{"icache", "issueq", "total energy", "overhead"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestComponentNames(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Component(0); c < NumComponents; c++ {
+		n := c.String()
+		if n == "" || seen[n] {
+			t.Errorf("bad or duplicate component name %q", n)
+		}
+		seen[n] = true
+	}
+	if !ICache.FrontEnd() || !BPred.FrontEnd() || !Decode.FrontEnd() || !FetchLogic.FrontEnd() {
+		t.Error("front-end classification wrong")
+	}
+	if IssueQueue.FrontEnd() || DCache.FrontEnd() {
+		t.Error("back-end component classified as front end")
+	}
+}
+
+func TestEmptyReportSafe(t *testing.T) {
+	var r Report
+	if r.TotalPerCycle() != 0 || r.EPI() != 0 || r.PerCycle(ICache) != 0 {
+		t.Error("zero-cycle report not safe")
+	}
+}

@@ -1,0 +1,150 @@
+package prog
+
+import "math"
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Memory is a sparse little-endian byte-addressable memory. Reads of
+// untouched locations return zero, so speculative wrong-path loads are
+// always safe.
+type Memory struct {
+	pages map[uint32]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory image.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32]*[pageSize]byte)}
+}
+
+// Clone returns a deep copy of m, used to give each simulation run a private
+// copy of the initial image.
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for pn, pg := range m.pages {
+		np := *pg
+		c.pages[pn] = &np
+	}
+	return c
+}
+
+func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
+	pn := addr >> pageShift
+	pg := m.pages[pn]
+	if pg == nil && create {
+		pg = new([pageSize]byte)
+		m.pages[pn] = pg
+	}
+	return pg
+}
+
+// Read8 returns the byte at addr.
+func (m *Memory) Read8(addr uint32) byte {
+	if pg := m.page(addr, false); pg != nil {
+		return pg[addr&pageMask]
+	}
+	return 0
+}
+
+// Write8 stores one byte at addr.
+func (m *Memory) Write8(addr uint32, v byte) {
+	m.page(addr, true)[addr&pageMask] = v
+}
+
+// Read32 returns the little-endian 32-bit word at addr (no alignment
+// requirement; crossing pages is handled).
+func (m *Memory) Read32(addr uint32) uint32 {
+	// Fast path: whole word within one page.
+	if addr&pageMask <= pageSize-4 {
+		if pg := m.page(addr, false); pg != nil {
+			o := addr & pageMask
+			return uint32(pg[o]) | uint32(pg[o+1])<<8 | uint32(pg[o+2])<<16 | uint32(pg[o+3])<<24
+		}
+		return 0
+	}
+	var v uint32
+	for i := uint32(0); i < 4; i++ {
+		v |= uint32(m.Read8(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+// Write32 stores a little-endian 32-bit word at addr.
+func (m *Memory) Write32(addr uint32, v uint32) {
+	if addr&pageMask <= pageSize-4 {
+		pg := m.page(addr, true)
+		o := addr & pageMask
+		pg[o] = byte(v)
+		pg[o+1] = byte(v >> 8)
+		pg[o+2] = byte(v >> 16)
+		pg[o+3] = byte(v >> 24)
+		return
+	}
+	for i := uint32(0); i < 4; i++ {
+		m.Write8(addr+i, byte(v>>(8*i)))
+	}
+}
+
+// Read16 returns the little-endian 16-bit value at addr.
+func (m *Memory) Read16(addr uint32) uint16 {
+	return uint16(m.Read8(addr)) | uint16(m.Read8(addr+1))<<8
+}
+
+// Write16 stores a little-endian 16-bit value at addr.
+func (m *Memory) Write16(addr uint32, v uint16) {
+	m.Write8(addr, byte(v))
+	m.Write8(addr+1, byte(v>>8))
+}
+
+// Read64 returns the little-endian 64-bit value at addr.
+func (m *Memory) Read64(addr uint32) uint64 {
+	return uint64(m.Read32(addr)) | uint64(m.Read32(addr+4))<<32
+}
+
+// Write64 stores a little-endian 64-bit value at addr.
+func (m *Memory) Write64(addr uint32, v uint64) {
+	m.Write32(addr, uint32(v))
+	m.Write32(addr+4, uint32(v>>32))
+}
+
+// ReadF64 returns the float64 stored at addr.
+func (m *Memory) ReadF64(addr uint32) float64 {
+	return math.Float64frombits(m.Read64(addr))
+}
+
+// WriteF64 stores a float64 at addr.
+func (m *Memory) WriteF64(addr uint32, v float64) {
+	m.Write64(addr, math.Float64bits(v))
+}
+
+// ReadI32 and WriteI32 are signed conveniences.
+func (m *Memory) ReadI32(addr uint32) int32     { return int32(m.Read32(addr)) }
+func (m *Memory) WriteI32(addr uint32, v int32) { m.Write32(addr, uint32(v)) }
+
+// Pages returns the number of touched pages (for tests and diffing).
+func (m *Memory) Pages() int { return len(m.pages) }
+
+// Equal reports whether two memories have identical contents.
+func (m *Memory) Equal(o *Memory) bool {
+	return m.subset(o) && o.subset(m)
+}
+
+// subset reports whether every nonzero byte of m matches o.
+func (m *Memory) subset(o *Memory) bool {
+	for pn, pg := range m.pages {
+		og := o.pages[pn]
+		for i, b := range pg {
+			var ob byte
+			if og != nil {
+				ob = og[i]
+			}
+			if b != ob {
+				return false
+			}
+		}
+	}
+	return true
+}

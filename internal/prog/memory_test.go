@@ -1,0 +1,116 @@
+package prog
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryBasic(t *testing.T) {
+	m := NewMemory()
+	if got := m.Read32(0x1000); got != 0 {
+		t.Errorf("untouched read = %d", got)
+	}
+	m.Write32(0x1000, 0xdeadbeef)
+	if got := m.Read32(0x1000); got != 0xdeadbeef {
+		t.Errorf("read back = 0x%x", got)
+	}
+	// Little-endian byte order.
+	if got := m.Read8(0x1000); got != 0xef {
+		t.Errorf("low byte = 0x%x", got)
+	}
+	if got := m.Read8(0x1003); got != 0xde {
+		t.Errorf("high byte = 0x%x", got)
+	}
+}
+
+func TestMemoryPageCrossing(t *testing.T) {
+	m := NewMemory()
+	addr := uint32(pageSize - 2) // word spans two pages
+	m.Write32(addr, 0x11223344)
+	if got := m.Read32(addr); got != 0x11223344 {
+		t.Errorf("cross-page read = 0x%x", got)
+	}
+	if m.Pages() != 2 {
+		t.Errorf("pages = %d, want 2", m.Pages())
+	}
+}
+
+func TestMemoryF64(t *testing.T) {
+	m := NewMemory()
+	vals := []float64{0, 1.5, -2.25, math.Pi, math.Inf(1), math.SmallestNonzeroFloat64}
+	for i, v := range vals {
+		a := uint32(0x2000 + 8*i)
+		m.WriteF64(a, v)
+		if got := m.ReadF64(a); got != v {
+			t.Errorf("f64 at 0x%x = %v, want %v", a, got, v)
+		}
+	}
+	m.WriteF64(0x3000, math.NaN())
+	if !math.IsNaN(m.ReadF64(0x3000)) {
+		t.Error("NaN did not round-trip")
+	}
+}
+
+func TestMemoryCloneIsolation(t *testing.T) {
+	m := NewMemory()
+	m.Write32(0x100, 7)
+	c := m.Clone()
+	c.Write32(0x100, 9)
+	c.Write32(0x9000, 1)
+	if m.Read32(0x100) != 7 {
+		t.Error("clone write leaked into original")
+	}
+	if m.Read32(0x9000) != 0 {
+		t.Error("clone page leaked into original")
+	}
+	if c.Read32(0x100) != 9 {
+		t.Error("clone lost its own write")
+	}
+}
+
+func TestMemoryEqual(t *testing.T) {
+	a, b := NewMemory(), NewMemory()
+	if !a.Equal(b) {
+		t.Error("empty memories differ")
+	}
+	a.Write32(0x50, 1)
+	if a.Equal(b) {
+		t.Error("differing memories compare equal")
+	}
+	b.Write32(0x50, 1)
+	if !a.Equal(b) {
+		t.Error("identical memories differ")
+	}
+	// A zero write materializes a page but must not affect equality.
+	b.Write32(0x7000, 0)
+	if !a.Equal(b) {
+		t.Error("zero-filled page broke equality")
+	}
+}
+
+// Property: Write32 then Read32 round-trips at arbitrary addresses.
+func TestMemoryRoundTripProperty(t *testing.T) {
+	m := NewMemory()
+	f := func(addr, v uint32) bool {
+		m.Write32(addr, v)
+		return m.Read32(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: byte writes compose into the same word little-endian.
+func TestMemoryByteComposition(t *testing.T) {
+	f := func(addr, v uint32) bool {
+		m := NewMemory()
+		for i := uint32(0); i < 4; i++ {
+			m.Write8(addr+i, byte(v>>(8*i)))
+		}
+		return m.Read32(addr) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+// Package prog defines the loaded-program representation shared by the
+// functional interpreter and the pipeline simulator: a decoded text segment,
+// a sparse byte-addressable data memory image, and the standard address-space
+// layout (MIPS-flavoured).
+package prog
+
+import (
+	"fmt"
+
+	"reuseiq/internal/isa"
+)
+
+// Standard address-space layout.
+const (
+	TextBase  = 0x0040_0000 // first instruction
+	DataBase  = 0x1000_0000 // static data segment
+	StackTop  = 0x7fff_0000 // initial stack pointer (grows down)
+	StackSize = 1 << 20     // reserved stack region, for bounds sanity checks
+)
+
+// Program is a loaded executable image.
+type Program struct {
+	// Text holds the decoded instructions, laid out contiguously from
+	// TextBase. Words holds the corresponding encoded machine words.
+	Text  []isa.Inst
+	Words []uint32
+	// Entry is the address of the first instruction to execute.
+	Entry uint32
+	// Data is the initial data memory image (copied before each run).
+	Data *Memory
+	// Symbols maps label names to addresses (text or data), for tooling.
+	Symbols map[string]uint32
+}
+
+// New creates a program from decoded instructions, encoding each one.
+func New(text []isa.Inst) (*Program, error) {
+	p := &Program{
+		Text:    text,
+		Words:   make([]uint32, len(text)),
+		Entry:   TextBase,
+		Data:    NewMemory(),
+		Symbols: map[string]uint32{},
+	}
+	for i, in := range text {
+		w, err := isa.Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("prog: instruction %d (%v): %w", i, in, err)
+		}
+		p.Words[i] = w
+	}
+	return p, nil
+}
+
+// InstAt returns the instruction at byte address addr, or false when addr is
+// outside the text segment or unaligned.
+func (p *Program) InstAt(addr uint32) (isa.Inst, bool) {
+	if addr < TextBase || addr&3 != 0 {
+		return isa.Inst{}, false
+	}
+	idx := (addr - TextBase) / 4
+	if int(idx) >= len(p.Text) {
+		return isa.Inst{}, false
+	}
+	return p.Text[idx], true
+}
+
+// TextEnd returns the address one past the last instruction.
+func (p *Program) TextEnd() uint32 { return TextBase + uint32(len(p.Text))*4 }
+
+// Addr returns the address of instruction index idx.
+func Addr(idx int) uint32 { return TextBase + uint32(idx)*4 }
+
+// Index returns the text-segment index of address addr.
+func Index(addr uint32) int { return int(addr-TextBase) / 4 }
+
+// Disasm renders the whole text segment, one instruction per line.
+func (p *Program) Disasm() string {
+	s := ""
+	for i, in := range p.Text {
+		pc := Addr(i)
+		s += fmt.Sprintf("0x%08x: %s\n", pc, in.Disasm(pc))
+	}
+	return s
+}

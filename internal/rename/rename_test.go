@@ -1,0 +1,197 @@
+package rename
+
+import (
+	"testing"
+
+	"reuseiq/internal/isa"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(32, 64); err == nil {
+		t.Error("accepted too few integer physical registers")
+	}
+	if _, err := New(64, 32); err == nil {
+		t.Error("accepted too few FP physical registers")
+	}
+	if _, err := New(96, 96); err != nil {
+		t.Errorf("rejected valid sizes: %v", err)
+	}
+}
+
+func TestInitialMapping(t *testing.T) {
+	r := MustNew(96, 96)
+	for i := 0; i < isa.NumIntRegs; i++ {
+		p := r.Lookup(isa.IntReg(uint8(i)))
+		if p != i {
+			t.Errorf("int r%d -> %d", i, p)
+		}
+		if !r.Ready(isa.KindInt, p) {
+			t.Errorf("initial int phys %d not ready", p)
+		}
+	}
+	if r.FreeInt() != 96-32 || r.FreeFP() != 96-32 {
+		t.Errorf("free = %d/%d", r.FreeInt(), r.FreeFP())
+	}
+}
+
+func TestRenameAllocatesAndClearsReady(t *testing.T) {
+	r := MustNew(96, 96)
+	d := isa.IntReg(5)
+	newP, oldP := r.Rename(d)
+	if oldP != 5 {
+		t.Errorf("old phys = %d", oldP)
+	}
+	if r.Lookup(d) != newP {
+		t.Error("map not updated")
+	}
+	if r.Ready(isa.KindInt, newP) {
+		t.Error("new phys ready before writeback")
+	}
+	r.WriteInt(newP, 42)
+	if !r.Ready(isa.KindInt, newP) || r.ReadInt(newP) != 42 {
+		t.Error("writeback failed")
+	}
+}
+
+func TestRenameRollbackChain(t *testing.T) {
+	r := MustNew(96, 96)
+	d := isa.IntReg(7)
+	p1, o1 := r.Rename(d)
+	p2, o2 := r.Rename(d)
+	if o2 != p1 {
+		t.Fatalf("second rename old = %d, want %d", o2, p1)
+	}
+	free := r.FreeInt()
+	// Roll back youngest first.
+	r.Rollback(d, p2, o2)
+	if r.Lookup(d) != p1 {
+		t.Error("first rollback wrong")
+	}
+	r.Rollback(d, p1, o1)
+	if r.Lookup(d) != 7 {
+		t.Error("second rollback wrong")
+	}
+	if r.FreeInt() != free+2 {
+		t.Error("rollback did not return registers to the free list")
+	}
+}
+
+func TestOutOfOrderRollbackPanics(t *testing.T) {
+	r := MustNew(96, 96)
+	d := isa.IntReg(7)
+	p1, o1 := r.Rename(d)
+	r.Rename(d)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order rollback did not panic")
+		}
+	}()
+	r.Rollback(d, p1, o1) // oldest first: wrong
+}
+
+func TestReleaseRecycles(t *testing.T) {
+	r := MustNew(33, 33) // exactly one spare int register
+	d := isa.IntReg(3)
+	if !r.CanRename(d) {
+		t.Fatal("no free register at start")
+	}
+	p1, o1 := r.Rename(d)
+	if r.CanRename(d) {
+		t.Fatal("free list should be empty")
+	}
+	// Commit: release the old mapping; the single spare cycles.
+	r.Release(isa.KindInt, o1)
+	if !r.CanRename(d) {
+		t.Fatal("release did not free a register")
+	}
+	p2, o2 := r.Rename(d)
+	if o2 != p1 || p2 != o1 {
+		t.Errorf("recycling wrong: p1=%d o1=%d p2=%d o2=%d", p1, o1, p2, o2)
+	}
+}
+
+func TestFPIndependentFromInt(t *testing.T) {
+	r := MustNew(96, 96)
+	fd := isa.FPReg(4)
+	newP, _ := r.Rename(fd)
+	r.WriteFP(newP, 2.5)
+	if r.ReadFP(newP) != 2.5 {
+		t.Error("FP value lost")
+	}
+	if r.Lookup(isa.IntReg(4)) != 4 {
+		t.Error("FP rename disturbed the integer map")
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	r := MustNew(96, 96)
+	r.WriteInt(0, 99)
+	if r.ReadInt(0) != 0 {
+		t.Error("physical register 0 was written")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("renaming $zero did not panic")
+		}
+	}()
+	r.Rename(isa.IntReg(0))
+}
+
+func TestArchAccessors(t *testing.T) {
+	r := MustNew(96, 96)
+	r.SetArchInt(29, 1234)
+	if r.ArchInt(29) != 1234 {
+		t.Error("SetArchInt/ArchInt broken")
+	}
+	p, _ := r.Rename(isa.IntReg(29))
+	r.WriteInt(p, 999)
+	if r.ArchInt(29) != 999 {
+		t.Error("ArchInt does not follow the map")
+	}
+}
+
+func TestActivityCounters(t *testing.T) {
+	r := MustNew(96, 96)
+	r.Lookup(isa.IntReg(1))
+	r.Rename(isa.IntReg(2))
+	r.ReadInt(0)
+	r.WriteInt(40, 1)
+	if r.MapReads != 1 || r.Renames != 1 || r.Reads != 1 || r.Writes != 1 {
+		t.Errorf("counters: %d %d %d %d", r.MapReads, r.Renames, r.Reads, r.Writes)
+	}
+}
+
+// Exhausting and refilling the free list across many rename/release rounds
+// keeps the mapping consistent (mini stress test).
+func TestRenameStress(t *testing.T) {
+	r := MustNew(40, 40)
+	type pending struct {
+		d    isa.Reg
+		newP int
+		oldP int
+	}
+	var inflight []pending
+	val := int32(0)
+	for round := 0; round < 1000; round++ {
+		d := isa.IntReg(uint8(2 + round%8))
+		if r.CanRename(d) {
+			newP, oldP := r.Rename(d)
+			val++
+			r.WriteInt(newP, val)
+			inflight = append(inflight, pending{d, newP, oldP})
+		}
+		if len(inflight) > 4 {
+			// Commit the oldest.
+			p := inflight[0]
+			inflight = inflight[1:]
+			r.Release(isa.KindInt, p.oldP)
+		}
+	}
+	// Every architectural register must resolve to a ready physical reg.
+	for i := 0; i < isa.NumIntRegs; i++ {
+		p := r.Lookup(isa.IntReg(uint8(i)))
+		if !r.Ready(isa.KindInt, p) {
+			t.Errorf("r%d maps to unready phys %d", i, p)
+		}
+	}
+}

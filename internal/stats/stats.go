@@ -1,0 +1,78 @@
+// Package stats provides ordered named counters for simulator components and
+// a uniform reporting format shared by the CLI tools and the benchmark
+// harness.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Set is an ordered collection of named uint64 counters. The zero value is
+// ready to use.
+type Set struct {
+	names  []string
+	values map[string]uint64
+}
+
+// Add increments counter name by n, creating it if needed.
+func (s *Set) Add(name string, n uint64) {
+	if s.values == nil {
+		s.values = make(map[string]uint64)
+	}
+	if _, ok := s.values[name]; !ok {
+		s.names = append(s.names, name)
+	}
+	s.values[name] += n
+}
+
+// Inc increments counter name by one.
+func (s *Set) Inc(name string) { s.Add(name, 1) }
+
+// Get returns the value of counter name (zero if absent).
+func (s *Set) Get(name string) uint64 { return s.values[name] }
+
+// Set assigns counter name to v.
+func (s *Set) Put(name string, v uint64) {
+	if s.values == nil {
+		s.values = make(map[string]uint64)
+	}
+	if _, ok := s.values[name]; !ok {
+		s.names = append(s.names, name)
+	}
+	s.values[name] = v
+}
+
+// Names returns the counter names in insertion order.
+func (s *Set) Names() []string { return append([]string(nil), s.names...) }
+
+// Merge adds every counter of o into s.
+func (s *Set) Merge(o *Set) {
+	for _, n := range o.names {
+		s.Add(n, o.values[n])
+	}
+}
+
+// String renders the counters, one per line, sorted by name for stable
+// output.
+func (s *Set) String() string {
+	names := s.Names()
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-32s %12d\n", n, s.values[n])
+	}
+	return b.String()
+}
+
+// Ratio returns a/b as a float, or 0 when b is zero.
+func Ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Pct returns 100*a/b, or 0 when b is zero.
+func Pct(a, b uint64) float64 { return 100 * Ratio(a, b) }

@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounters(t *testing.T) {
+	var s Set
+	s.Inc("a")
+	s.Add("a", 4)
+	s.Add("b", 2)
+	if s.Get("a") != 5 || s.Get("b") != 2 || s.Get("absent") != 0 {
+		t.Errorf("a=%d b=%d", s.Get("a"), s.Get("b"))
+	}
+	s.Put("a", 1)
+	if s.Get("a") != 1 {
+		t.Error("Put failed")
+	}
+}
+
+func TestNamesInsertionOrder(t *testing.T) {
+	var s Set
+	s.Inc("z")
+	s.Inc("a")
+	s.Inc("z")
+	names := s.Names()
+	if len(names) != 2 || names[0] != "z" || names[1] != "a" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Set
+	a.Add("x", 1)
+	b.Add("x", 2)
+	b.Add("y", 3)
+	a.Merge(&b)
+	if a.Get("x") != 3 || a.Get("y") != 3 {
+		t.Errorf("merged x=%d y=%d", a.Get("x"), a.Get("y"))
+	}
+}
+
+func TestStringSorted(t *testing.T) {
+	var s Set
+	s.Add("zz", 1)
+	s.Add("aa", 2)
+	out := s.String()
+	if strings.Index(out, "aa") > strings.Index(out, "zz") {
+		t.Errorf("output not sorted:\n%s", out)
+	}
+}
+
+func TestRatios(t *testing.T) {
+	if Ratio(1, 0) != 0 || Pct(1, 0) != 0 {
+		t.Error("division by zero not guarded")
+	}
+	if Ratio(1, 4) != 0.25 || Pct(1, 4) != 25 {
+		t.Error("ratio math wrong")
+	}
+}

@@ -1,0 +1,177 @@
+// Package trace records per-instruction pipeline timing (dispatch, issue,
+// completion, commit cycles) and renders a textual pipeline diagram, in the
+// spirit of SimpleScalar's ptrace. It is used for debugging the simulator
+// and for teaching how the reuse mechanism changes instruction flow: reused
+// instances appear with an 'R' marker and no fetch/decode occupancy.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// InstRecord is the lifetime of one dynamic instruction.
+type InstRecord struct {
+	Seq      uint64
+	PC       uint32
+	Disasm   string
+	Reused   bool
+	Dispatch uint64 // cycle the instruction entered the window
+	Issue    uint64 // 0 until issued
+	Complete uint64 // 0 until written back
+	Commit   uint64 // 0 until committed
+	Squashed bool
+}
+
+// Recorder collects the first Max instruction records of a run. The zero
+// value is unusable; use New.
+type Recorder struct {
+	Max     int
+	records map[uint64]*InstRecord
+	order   []uint64
+}
+
+// New creates a recorder keeping at most max instructions.
+func New(max int) *Recorder {
+	return &Recorder{Max: max, records: map[uint64]*InstRecord{}}
+}
+
+// OnDispatch starts a record. Extra calls beyond Max are ignored.
+func (r *Recorder) OnDispatch(seq uint64, pc uint32, disasm string, reused bool, cycle uint64) {
+	if len(r.order) >= r.Max {
+		return
+	}
+	r.records[seq] = &InstRecord{Seq: seq, PC: pc, Disasm: disasm, Reused: reused, Dispatch: cycle}
+	r.order = append(r.order, seq)
+}
+
+// OnIssue, OnComplete, OnCommit and OnSquash stamp lifecycle events.
+func (r *Recorder) OnIssue(seq, cycle uint64) {
+	if rec := r.records[seq]; rec != nil {
+		rec.Issue = cycle
+	}
+}
+
+func (r *Recorder) OnComplete(seq, cycle uint64) {
+	if rec := r.records[seq]; rec != nil {
+		rec.Complete = cycle
+	}
+}
+
+func (r *Recorder) OnCommit(seq, cycle uint64) {
+	if rec := r.records[seq]; rec != nil {
+		rec.Commit = cycle
+	}
+}
+
+func (r *Recorder) OnSquash(seq uint64) {
+	if rec := r.records[seq]; rec != nil {
+		rec.Squashed = true
+	}
+}
+
+// Records returns the collected records in dispatch order.
+func (r *Recorder) Records() []InstRecord {
+	out := make([]InstRecord, 0, len(r.order))
+	for _, seq := range r.order {
+		out = append(out, *r.records[seq])
+	}
+	return out
+}
+
+// Render writes a pipeline diagram: one row per instruction, one column per
+// cycle, with D=dispatch, I=issue, C=complete, T=commit (retire), '=' while
+// in flight, 'x' for squashed instructions, and 'R' prefixing reused
+// instances.
+func (r *Recorder) Render(w io.Writer) {
+	recs := r.Records()
+	if len(recs) == 0 {
+		fmt.Fprintln(w, "trace: no instructions recorded")
+		return
+	}
+	lo := recs[0].Dispatch
+	hi := lo
+	for _, rec := range recs {
+		for _, c := range []uint64{rec.Dispatch, rec.Issue, rec.Complete, rec.Commit} {
+			if c > hi {
+				hi = c
+			}
+		}
+	}
+	if hi-lo > 200 {
+		hi = lo + 200 // keep rows printable
+	}
+	fmt.Fprintf(w, "pipeline trace, cycles %d..%d (D=dispatch I=issue C=complete T=retire)\n", lo, hi)
+	for _, rec := range recs {
+		row := make([]byte, hi-lo+1)
+		for i := range row {
+			row[i] = ' '
+		}
+		mark := func(cycle uint64, ch byte) {
+			if cycle >= lo && cycle <= hi {
+				row[cycle-lo] = ch
+			}
+		}
+		// In-flight shading between dispatch and the last known event.
+		last := rec.Dispatch
+		for _, c := range []uint64{rec.Issue, rec.Complete, rec.Commit} {
+			if c > last {
+				last = c
+			}
+		}
+		for c := rec.Dispatch; c <= last && c <= hi; c++ {
+			row[c-lo] = '='
+		}
+		mark(rec.Dispatch, 'D')
+		if rec.Issue > 0 {
+			mark(rec.Issue, 'I')
+		}
+		if rec.Complete > 0 {
+			mark(rec.Complete, 'C')
+		}
+		if rec.Commit > 0 {
+			mark(rec.Commit, 'T')
+		}
+		flag := ' '
+		if rec.Reused {
+			flag = 'R'
+		}
+		if rec.Squashed {
+			flag = 'x'
+		}
+		fmt.Fprintf(w, "%5d %c %-26s |%s|\n", rec.Seq, flag, truncate(rec.Disasm, 26), row)
+	}
+}
+
+// Stats summarizes recorded latencies: average dispatch-to-issue and
+// dispatch-to-commit cycles over committed instructions.
+func (r *Recorder) Stats() (avgWait, avgLifetime float64, committed int) {
+	var wait, life uint64
+	for _, rec := range r.Records() {
+		if rec.Commit == 0 || rec.Squashed {
+			continue
+		}
+		committed++
+		if rec.Issue >= rec.Dispatch {
+			wait += rec.Issue - rec.Dispatch
+		}
+		life += rec.Commit - rec.Dispatch
+	}
+	if committed == 0 {
+		return 0, 0, 0
+	}
+	return float64(wait) / float64(committed), float64(life) / float64(committed), committed
+}
+
+// SortBySeq normalizes record order (helper for tests).
+func SortBySeq(recs []InstRecord) {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

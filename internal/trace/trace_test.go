@@ -1,0 +1,99 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"reuseiq/internal/asm"
+	"reuseiq/internal/pipeline"
+	"reuseiq/internal/trace"
+)
+
+func TestRecorderLifecycle(t *testing.T) {
+	r := trace.New(4)
+	r.OnDispatch(1, 0x400000, "addi $r2, $zero, 1", false, 10)
+	r.OnIssue(1, 11)
+	r.OnComplete(1, 12)
+	r.OnCommit(1, 13)
+	recs := r.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	got := recs[0]
+	if got.Dispatch != 10 || got.Issue != 11 || got.Complete != 12 || got.Commit != 13 {
+		t.Errorf("record = %+v", got)
+	}
+}
+
+func TestRecorderCapacity(t *testing.T) {
+	r := trace.New(2)
+	for seq := uint64(1); seq <= 5; seq++ {
+		r.OnDispatch(seq, 0, "nop", false, seq)
+	}
+	if len(r.Records()) != 2 {
+		t.Errorf("kept %d records, want 2", len(r.Records()))
+	}
+	// Events for untracked instructions must be ignored safely.
+	r.OnIssue(99, 5)
+	r.OnSquash(98)
+}
+
+func TestRecorderSquash(t *testing.T) {
+	r := trace.New(4)
+	r.OnDispatch(1, 0, "bne ...", false, 5)
+	r.OnSquash(1)
+	if !r.Records()[0].Squashed {
+		t.Error("squash not recorded")
+	}
+}
+
+func TestStatsIgnoreSquashed(t *testing.T) {
+	r := trace.New(4)
+	r.OnDispatch(1, 0, "a", false, 10)
+	r.OnIssue(1, 12)
+	r.OnCommit(1, 20)
+	r.OnDispatch(2, 0, "b", false, 11)
+	r.OnSquash(2)
+	wait, life, n := r.Stats()
+	if n != 1 || wait != 2 || life != 10 {
+		t.Errorf("stats = %v %v %v", wait, life, n)
+	}
+}
+
+func TestRenderEndToEnd(t *testing.T) {
+	p := asm.MustAssemble(`
+	li   $r3, 200
+loop:	addi $r3, $r3, -1
+	bne  $r3, $zero, loop
+	halt
+	`)
+	m := pipeline.New(pipeline.DefaultConfig(), p)
+	m.Rec = trace.New(150)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	m.Rec.Render(&b)
+	out := b.String()
+	for _, want := range []string{"pipeline trace", "D", "T", "addi"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	// The reused instances of this tight loop must appear with the R flag.
+	if !strings.Contains(out, " R ") {
+		t.Error("no reused instance marked in the trace")
+	}
+	wait, life, n := m.Rec.Stats()
+	if n == 0 || life < wait {
+		t.Errorf("stats wait=%v life=%v n=%d", wait, life, n)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var b strings.Builder
+	trace.New(4).Render(&b)
+	if !strings.Contains(b.String(), "no instructions") {
+		t.Error("empty render message missing")
+	}
+}

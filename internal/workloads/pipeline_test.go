@@ -1,0 +1,69 @@
+package workloads
+
+import (
+	"testing"
+
+	"reuseiq/internal/compiler"
+	"reuseiq/internal/interp"
+	"reuseiq/internal/pipeline"
+)
+
+// Every kernel's generated code must produce identical array contents on the
+// out-of-order reuse pipeline and on the functional interpreter — the
+// end-to-end correctness statement for the whole experiment stack.
+func TestKernelsCorrectOnPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full kernel simulations")
+	}
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			mp, _, err := compiler.Compile(k.Prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := interp.New(mp)
+			g.MaxInsts = 100_000_000
+			if err := g.Run(); err != nil {
+				t.Fatal(err)
+			}
+			m := pipeline.New(pipeline.DefaultConfig(), mp)
+			if err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if uint64(m.C.Commits) != g.State.Insts {
+				t.Errorf("committed %d, interp executed %d", m.C.Commits, g.State.Insts)
+			}
+			if !g.State.Mem.Equal(m.Mem) {
+				t.Fatal("final memory differs between pipeline and interpreter")
+			}
+		})
+	}
+}
+
+// The distributed variants must also be pipeline-correct (Figure 9's runs
+// depend on it).
+func TestDistributedKernelsCorrectOnPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full kernel simulations")
+	}
+	for _, name := range []string{"btrix", "tomcat", "adi"} {
+		k, _ := ByName(name)
+		mp, _, err := compiler.Compile(compiler.Distribute(k.Prog))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := interp.New(mp)
+		g.MaxInsts = 100_000_000
+		if err := g.Run(); err != nil {
+			t.Fatal(err)
+		}
+		m := pipeline.New(pipeline.DefaultConfig(), mp)
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !g.State.Mem.Equal(m.Mem) {
+			t.Fatalf("%s distributed: memory differs", name)
+		}
+	}
+}
