@@ -1,0 +1,25 @@
+# Tier-1 verification: everything must build, vet clean, and pass the full
+# test suite under the race detector (the experiment harness runs
+# simulations concurrently, so -race is part of the gate, not an extra).
+.PHONY: check build vet test race fuzz bench
+
+check: build vet race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Coverage-guided fuzzing of the assembler (see internal/asm/fuzz_test.go).
+fuzz:
+	go test -fuzz=FuzzAssemble -fuzztime=30s ./internal/asm/
+
+bench:
+	go test -bench=. -benchmem

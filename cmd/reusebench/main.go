@@ -8,6 +8,10 @@
 //	reusebench -figure 5        # one figure (5, 6, 7, 8 or 9)
 //	reusebench -ablation nblt   # one ablation (nblt or strategy)
 //	reusebench -extension frontends  # compare vs filter cache / loop cache
+//	reusebench -forcefail adi:64     # sabotage one cell; sweep still completes
+//
+// A simulation that aborts (watchdog, cycle budget) does not abort the
+// sweep: the cell is rendered as "fail" and excluded from averages.
 package main
 
 import (
@@ -15,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"reuseiq/internal/experiments"
@@ -26,9 +32,24 @@ func main() {
 	ablation := flag.String("ablation", "", "run one ablation (nblt, nbltsweep, strategy or unroll)")
 	extension := flag.String("extension", "", "run an extension experiment (frontends)")
 	csvDir := flag.String("csv", "", "also write each figure's data as CSV into this directory")
+	forcefail := flag.String("forcefail", "", "force runs of kernel[:iq] to fail, to demonstrate degraded sweeps")
 	flag.Parse()
 
 	s := experiments.NewSuite()
+	if *forcefail != "" {
+		kernel, iqSize := *forcefail, 0
+		if i := strings.IndexByte(kernel, ':'); i >= 0 {
+			n, err := strconv.Atoi(kernel[i+1:])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "reusebench: bad -forcefail %q: %v\n", *forcefail, err)
+				os.Exit(1)
+			}
+			kernel, iqSize = kernel[:i], n
+		}
+		s.Sabotage = func(sp experiments.Spec) bool {
+			return sp.Kernel == kernel && (iqSize == 0 || sp.IQSize == iqSize)
+		}
+	}
 	start := time.Now()
 	all := *table == 0 && *figure == 0 && *ablation == "" && *extension == ""
 

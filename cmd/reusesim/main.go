@@ -11,6 +11,8 @@
 //	reusesim -kernel aps -compare        # run baseline + reuse, show savings
 //	reusesim -asm prog.s -disasm         # print the loaded program and exit
 //	reusesim -kernel aps -pipetrace 40   # pipeline diagram of the first 40 insts
+//	reusesim -kernel aps -verify         # cross-check every commit (lockstep)
+//	reusesim -kernel aps -chaos 42       # seeded fault injection
 package main
 
 import (
@@ -19,12 +21,20 @@ import (
 	"os"
 
 	"reuseiq/internal/asm"
+	"reuseiq/internal/chaos"
 	"reuseiq/internal/compiler"
+	"reuseiq/internal/lockstep"
 	"reuseiq/internal/pipeline"
 	"reuseiq/internal/power"
 	"reuseiq/internal/prog"
 	"reuseiq/internal/trace"
 	"reuseiq/internal/workloads"
+)
+
+// Set from flags; read by run().
+var (
+	verifyRuns bool
+	chaosSeed  int64 // 0 disables injection
 )
 
 func main() {
@@ -38,7 +48,11 @@ func main() {
 	emitAsm := flag.Bool("S", false, "print the generated assembly for a kernel and exit")
 	pipetrace := flag.Int("pipetrace", 0, "record and print a pipeline diagram of the first N instructions")
 	statsFlag := flag.Bool("stats", false, "print the full counter set instead of the summary")
+	verify := flag.Bool("verify", false, "run under the lockstep oracle and invariant checker")
+	chaosFlag := flag.Int64("chaos", 0, "enable seeded fault injection (nonzero seed)")
 	flag.Parse()
+	verifyRuns = *verify
+	chaosSeed = *chaosFlag
 
 	p, src, err := load(*kernel, *asmFile, *distribute)
 	if err != nil {
@@ -70,7 +84,13 @@ func main() {
 	if *pipetrace > 0 {
 		cfg := pipeline.DefaultConfig().WithIQSize(*iq)
 		cfg.Reuse.Enabled = !*baseline
+		if chaosSeed != 0 {
+			cfg.Chaos = chaos.DefaultConfig(chaosSeed)
+		}
 		m := pipeline.New(cfg, p)
+		if verifyRuns {
+			lockstep.Attach(m, p)
+		}
 		m.Rec = trace.New(*pipetrace)
 		if err := m.Run(); err != nil {
 			fmt.Fprintln(os.Stderr, "reusesim:", err)
@@ -132,10 +152,25 @@ func load(kernel, asmFile string, distribute bool) (*prog.Program, string, error
 func run(p *prog.Program, iq int, reuse bool) *pipeline.Machine {
 	cfg := pipeline.DefaultConfig().WithIQSize(iq)
 	cfg.Reuse.Enabled = reuse
+	if chaosSeed != 0 {
+		cfg.Chaos = chaos.DefaultConfig(chaosSeed)
+	}
 	m := pipeline.New(cfg, p)
+	var o *lockstep.Oracle
+	if verifyRuns {
+		o = lockstep.Attach(m, p)
+	}
 	if err := m.Run(); err != nil {
 		fmt.Fprintln(os.Stderr, "reusesim:", err)
 		os.Exit(1)
+	}
+	if o != nil {
+		fmt.Printf("verified: %d commits cross-checked against the golden model\n", o.Commits)
+	}
+	if m.Chaos != nil {
+		c := m.Chaos.C
+		fmt.Printf("chaos: %d forced revokes, %d flipped predictions, %d fetch stalls, %d jittered issues\n",
+			c.ForcedRevokes, c.FlippedPredictions, c.FetchStalls, c.JitteredIssues)
 	}
 	return m
 }

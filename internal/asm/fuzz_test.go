@@ -1,0 +1,52 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"reuseiq/internal/progen"
+)
+
+// FuzzAssemble feeds arbitrary source text to the assembler. Malformed input
+// must come back as a returned error, never a panic, and anything that does
+// assemble must survive the disassemble -> reassemble round trip with
+// identical machine words. Run it with:
+//
+//	go test -fuzz=FuzzAssemble -fuzztime=30s ./internal/asm/
+func FuzzAssemble(f *testing.F) {
+	f.Add("\t.text\nmain:\taddi $r2, $zero, 7\n\thalt\n")
+	f.Add(progen.Generate(3, progen.DefaultConfig()))
+	f.Add("\t.data\nbuf:\t.space 64\nx:\t.word 1, -2, 3\n\t.text\n\tla $r2, buf\n\tsw $r3, 4($r2)\n\thalt\n")
+	f.Add(".text\n.data\n.text\nl:")
+	f.Add("\tlw $r4, -4($r5)\n\tbeq $r1, $r2, nowhere\n")
+	f.Add("\tadd $r1\n\taddi $r2, $r3\n\tsll $r2, $r3, 99\n")
+	f.Add("\t.word 99999999999999999999\n\t.space -1\n")
+	f.Add("label: label:\n\tjal 123garbage\n\tc.le.d $r10, $f11\n")
+	f.Add("\tadd.d $f1, $f2, $r3\n\tlui $r2, 65536\n\taddi $r2, $r3, 32768\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		var b strings.Builder
+		b.WriteString("\t.text\n")
+		for i, in := range p.Text {
+			fmt.Fprintf(&b, "\t%s\n", in.Disasm(uint32(0x0040_0000+4*i)))
+		}
+		p2, err := Assemble(b.String())
+		if err != nil {
+			t.Fatalf("disassembly does not re-assemble: %v\nsource:\n%s", err, src)
+		}
+		if len(p2.Words) != len(p.Words) {
+			t.Fatalf("%d instructions round-tripped to %d\nsource:\n%s",
+				len(p.Words), len(p2.Words), src)
+		}
+		for i := range p.Words {
+			if p.Words[i] != p2.Words[i] {
+				t.Fatalf("inst %d: 0x%08x -> %q -> 0x%08x\nsource:\n%s",
+					i, p.Words[i], p.Text[i].Disasm(uint32(0x0040_0000+4*i)), p2.Words[i], src)
+			}
+		}
+	})
+}

@@ -1,0 +1,134 @@
+// Package chaos implements deterministic, seeded fault injection for the
+// pipeline simulator. Its purpose is to exercise the recovery-sensitive
+// machinery — buffering revokes, misprediction recovery inside the Loop
+// Buffering and Code Reuse states, fetch restart, late writebacks — far more
+// often than real workloads trigger it, while keeping architectural
+// correctness intact: every injected fault is either a performance event
+// (stalls, latency jitter) or one the pipeline already knows how to recover
+// from (a misprediction, a revoked buffering).
+//
+// All injection decisions come from a single seeded PRNG, so a failing run
+// is reproducible from its seed alone.
+package chaos
+
+import "math/rand"
+
+// Config parameterizes the injector. Probabilities are per opportunity
+// (per cycle, per predicted branch, per issued instruction); zero disables
+// that fault class.
+type Config struct {
+	// Enabled turns injection on. When false the pipeline creates no
+	// injector at all.
+	Enabled bool
+	// Seed makes every injection decision reproducible.
+	Seed int64
+
+	// RevokeProb is the per-cycle probability of forcing a buffering
+	// revoke while the controller is in the Loop Buffering state.
+	RevokeProb float64
+	// FlipProb is the probability of inverting the predicted direction of
+	// a conditional branch at fetch (a guaranteed misprediction or a
+	// guaranteed correct prediction, depending on the true outcome).
+	FlipProb float64
+	// StallProb is the per-fetch-cycle probability of injecting a fetch
+	// stall storm of StallCycles cycles.
+	StallProb   float64
+	StallCycles int
+	// JitterProb is the probability of inflating an issued instruction's
+	// result latency by 1..JitterMax extra cycles.
+	JitterProb float64
+	JitterMax  int
+}
+
+// DefaultConfig returns a configuration that injects faults frequently
+// enough to hammer the recovery machinery on short programs without
+// drowning forward progress.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Enabled:     true,
+		Seed:        seed,
+		RevokeProb:  0.02,
+		FlipProb:    0.05,
+		StallProb:   0.01,
+		StallCycles: 8,
+		JitterProb:  0.05,
+		JitterMax:   3,
+	}
+}
+
+// Counters records how many faults of each class were actually injected.
+// Tests assert these are nonzero to prove the paths were exercised.
+type Counters struct {
+	ForcedRevokes      uint64 // bufferings revoked by injection
+	FlippedPredictions uint64 // branch directions inverted at fetch
+	FetchStalls        uint64 // stall storms injected
+	JitteredIssues     uint64 // issued instructions with inflated latency
+}
+
+// Injector rolls the dice. All methods are safe on a nil receiver (no-op),
+// so the pipeline's fast paths need no nil checks at each call site.
+type Injector struct {
+	cfg Config
+	rng *rand.Rand
+
+	C Counters
+}
+
+// New creates an injector from cfg, or nil when cfg.Enabled is false.
+func New(cfg Config) *Injector {
+	if !cfg.Enabled {
+		return nil
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// RollRevoke reports whether a forced buffering revoke should be attempted
+// this cycle. The caller increments C.ForcedRevokes only when the controller
+// actually was in a revocable state.
+func (j *Injector) RollRevoke() bool {
+	if j == nil || j.cfg.RevokeProb <= 0 {
+		return false
+	}
+	return j.rng.Float64() < j.cfg.RevokeProb
+}
+
+// CountRevoke records a forced revoke that actually happened.
+func (j *Injector) CountRevoke() { j.C.ForcedRevokes++ }
+
+// FlipPrediction reports whether to invert the predicted direction of the
+// conditional branch being fetched, counting the flips it orders.
+func (j *Injector) FlipPrediction() bool {
+	if j == nil || j.cfg.FlipProb <= 0 {
+		return false
+	}
+	if j.rng.Float64() < j.cfg.FlipProb {
+		j.C.FlippedPredictions++
+		return true
+	}
+	return false
+}
+
+// FetchStall returns the length of an injected fetch stall storm, or zero.
+func (j *Injector) FetchStall() int {
+	if j == nil || j.cfg.StallProb <= 0 || j.cfg.StallCycles <= 0 {
+		return 0
+	}
+	if j.rng.Float64() < j.cfg.StallProb {
+		j.C.FetchStalls++
+		return j.cfg.StallCycles
+	}
+	return 0
+}
+
+// Jitter returns extra result-latency cycles for the instruction being
+// issued, or zero.
+func (j *Injector) Jitter() int {
+	if j == nil || j.cfg.JitterProb <= 0 || j.cfg.JitterMax <= 0 {
+		return 0
+	}
+	if j.rng.Float64() < j.cfg.JitterProb {
+		j.C.JitteredIssues++
+		return 1 + j.rng.Intn(j.cfg.JitterMax)
+	}
+	return 0
+}

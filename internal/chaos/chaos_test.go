@@ -1,0 +1,52 @@
+package chaos
+
+import "testing"
+
+// A nil injector (injection disabled) must be inert and safe.
+func TestNilInjectorIsSafe(t *testing.T) {
+	var j *Injector
+	if j.RollRevoke() || j.FlipPrediction() {
+		t.Error("nil injector rolled true")
+	}
+	if j.FetchStall() != 0 || j.Jitter() != 0 {
+		t.Error("nil injector injected")
+	}
+	if New(Config{Enabled: false}) != nil {
+		t.Error("New with Enabled=false should return nil")
+	}
+}
+
+// The same seed must produce the same decision stream.
+func TestDeterminism(t *testing.T) {
+	run := func() (flips, stalls, jitters uint64, sum int) {
+		j := New(DefaultConfig(42))
+		for i := 0; i < 10_000; i++ {
+			j.FlipPrediction()
+			sum += j.FetchStall()
+			sum += j.Jitter()
+		}
+		return j.C.FlippedPredictions, j.C.FetchStalls, j.C.JitteredIssues, sum
+	}
+	f1, s1, g1, sum1 := run()
+	f2, s2, g2, sum2 := run()
+	if f1 != f2 || s1 != s2 || g1 != g2 || sum1 != sum2 {
+		t.Fatalf("same seed diverged: (%d %d %d %d) vs (%d %d %d %d)",
+			f1, s1, g1, sum1, f2, s2, g2, sum2)
+	}
+	if f1 == 0 || s1 == 0 || g1 == 0 {
+		t.Fatalf("default config injected nothing: flips=%d stalls=%d jitters=%d", f1, s1, g1)
+	}
+}
+
+// Jitter must stay within its configured bound.
+func TestJitterBound(t *testing.T) {
+	cfg := DefaultConfig(7)
+	cfg.JitterProb = 1
+	cfg.JitterMax = 3
+	j := New(cfg)
+	for i := 0; i < 1000; i++ {
+		if v := j.Jitter(); v < 1 || v > 3 {
+			t.Fatalf("jitter %d outside [1,3]", v)
+		}
+	}
+}

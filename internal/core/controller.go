@@ -70,6 +70,7 @@ type Stats struct {
 	RevokesExit        uint64 // execution left the loop during buffering
 	RevokesFull        uint64 // queue filled before the loop end was met
 	RevokesRecovery    uint64 // branch misprediction during buffering
+	RevokesForced      uint64 // external fault injection (chaos testing)
 }
 
 // Controller implements the loop detector and state machine. The pipeline
@@ -194,6 +195,24 @@ func (c *Controller) OnDispatch(pc uint32, in isa.Inst, predTaken bool, predTarg
 	}
 	return info
 }
+
+// ForceRevoke aborts a buffering in progress, as if the loop had turned out
+// to be non-capturable. It exists for fault injection (chaos testing): the
+// revoke machinery is exercised on demand without waiting for a workload to
+// trigger it naturally. The loop is not registered in the NBLT — the fault
+// is transient, not a property of the loop. It reports whether a buffering
+// was actually revoked.
+func (c *Controller) ForceRevoke() bool {
+	if c.state != Buffering {
+		return false
+	}
+	c.revoke(&c.S.RevokesForced, false)
+	return true
+}
+
+// ReuseOrd returns the reuse pointer as an ordinal over classified entries
+// (meaningful only during Reuse; exposed for invariant checking).
+func (c *Controller) ReuseOrd() int { return c.reuseOrd }
 
 // OnIQFull is called when dispatch stalls because the queue is full. During
 // buffering this means the loop (possibly including callee code) cannot be

@@ -24,6 +24,17 @@ func NewNBLT(size int) *NBLT {
 // Size returns the capacity.
 func (n *NBLT) Size() int { return len(n.addrs) }
 
+// Len returns the number of valid entries.
+func (n *NBLT) Len() int {
+	c := 0
+	for _, v := range n.valid {
+		if v {
+			c++
+		}
+	}
+	return c
+}
+
 // Contains performs a CAM lookup for the loop ending at addr.
 func (n *NBLT) Contains(addr uint32) bool {
 	n.Lookups++

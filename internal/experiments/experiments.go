@@ -16,6 +16,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -45,7 +46,19 @@ type RunResult struct {
 
 	Power power.Report
 	Core  core.Stats
+
+	// Err marks a degraded partial result: the simulation aborted (watchdog
+	// deadlock or cycle budget) even after a retry, and the stats above
+	// cover only the cycles before the abort. Figures render such cells as
+	// "fail" and exclude them from averages.
+	Err error
+	// Retried reports that the run only completed (or finally failed) after
+	// a retry with an enlarged cycle budget.
+	Retried bool
 }
+
+// Failed reports whether this is a degraded partial result.
+func (r RunResult) Failed() bool { return r.Err != nil }
 
 type runKey struct {
 	kernel   string
@@ -63,6 +76,11 @@ type Suite struct {
 	results  map[runKey]RunResult
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
+	// Sabotage, when non-nil, marks specs that must fail: matching runs get
+	// a tiny cycle budget so they deterministically abort. It exists to
+	// exercise the degrade-to-partial path end to end (tests and
+	// cmd/reusebench -forcefail).
+	Sabotage func(Spec) bool
 }
 
 // NewSuite creates an empty suite.
@@ -121,6 +139,12 @@ func (sp Spec) key() runKey {
 }
 
 // Run executes (or returns the cached result of) one simulation.
+//
+// A simulation abort (watchdog deadlock, cycle budget) does not fail the
+// call: the run is retried once with a 4x cycle budget, and if it aborts
+// again the partial statistics are cached and returned with Err set and a
+// nil error, so a figure sweep always completes with the failed cell marked.
+// A non-nil error means a setup problem (unknown kernel, compile failure).
 func (s *Suite) Run(sp Spec) (RunResult, error) {
 	k := sp.key()
 	s.mu.Lock()
@@ -138,9 +162,28 @@ func (s *Suite) Run(sp Spec) (RunResult, error) {
 	cfg.Reuse.Enabled = sp.Reuse
 	cfg.Reuse.Strategy = sp.Strategy
 	cfg.Reuse.NBLTSize = k.nblt
+	if s.Sabotage != nil && s.Sabotage(sp) {
+		cfg.MaxCycles = 100
+	}
+
 	m := pipeline.New(cfg, mp)
-	if err := m.Run(); err != nil {
-		return RunResult{}, fmt.Errorf("experiments: %s iq=%d reuse=%v: %w", sp.Kernel, sp.IQSize, sp.Reuse, err)
+	runErr := m.Run()
+	retried := false
+	if runErr != nil {
+		// Retry once with a larger budget: a legitimate workload can
+		// outgrow the default cycle budget, and a wedged one fails again
+		// quickly via the watchdog.
+		retried = true
+		budget := cfg.MaxCycles
+		if budget == 0 {
+			budget = pipeline.DefaultMaxCycles
+		}
+		cfg.MaxCycles = 4 * budget
+		m = pipeline.New(cfg, mp)
+		if runErr = m.Run(); runErr != nil {
+			runErr = fmt.Errorf("experiments: %s iq=%d reuse=%v (after retry): %w",
+				sp.Kernel, sp.IQSize, sp.Reuse, runErr)
+		}
 	}
 	r := RunResult{
 		Kernel:      sp.Kernel,
@@ -153,6 +196,8 @@ func (s *Suite) Run(sp Spec) (RunResult, error) {
 		Gated:       m.GatedFraction(),
 		Power:       power.Analyze(m),
 		Core:        m.Ctl.S,
+		Err:         runErr,
+		Retried:     retried,
 	}
 	s.mu.Lock()
 	s.results[k] = r
@@ -160,29 +205,29 @@ func (s *Suite) Run(sp Spec) (RunResult, error) {
 	return r, nil
 }
 
-// Prewarm runs the given specs in parallel, populating the cache.
+// Prewarm runs the given specs in parallel, populating the cache. All
+// failures are collected and joined, not just the first.
 func (s *Suite) Prewarm(specs []Spec) error {
 	par := s.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
 	sem := make(chan struct{}, par)
-	errCh := make(chan error, len(specs))
+	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
-	for _, sp := range specs {
+	for i, sp := range specs {
 		wg.Add(1)
-		go func(sp Spec) {
+		go func(i int, sp Spec) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			if _, err := s.Run(sp); err != nil {
-				errCh <- err
+				errs[i] = fmt.Errorf("%s iq=%d reuse=%v: %w", sp.Kernel, sp.IQSize, sp.Reuse, err)
 			}
-		}(sp)
+		}(i, sp)
 	}
 	wg.Wait()
-	close(errCh)
-	return <-errCh
+	return errors.Join(errs...)
 }
 
 // sweepSpecs returns the baseline+reuse runs for all kernels over the size

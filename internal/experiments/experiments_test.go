@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -119,5 +120,85 @@ func TestStrategySpecsDistinct(t *testing.T) {
 	}
 	if multi.Core.IterationsBuffered <= single.Core.IterationsBuffered {
 		t.Error("strategies not distinguished in cache key or controller")
+	}
+}
+
+// TestSabotagedSweepCompletes forces one cell of the Figure 5 sweep to fail
+// and requires the figure to complete anyway: the cell renders as "fail",
+// valid cells keep real data, and the averages skip the failed kernel.
+func TestSabotagedSweepCompletes(t *testing.T) {
+	s := NewSuite()
+	s.Sabotage = func(sp Spec) bool {
+		return sp.Kernel == "adi" && sp.IQSize == 64 && sp.Reuse
+	}
+	sizes := []int{32, 64}
+	f, err := s.Figure5(sizes)
+	if err != nil {
+		t.Fatalf("sabotaged sweep aborted: %v", err)
+	}
+	row := f.Gated["adi"]
+	if !math.IsNaN(row[1]) {
+		t.Errorf("sabotaged cell = %v, want NaN", row[1])
+	}
+	if math.IsNaN(row[0]) {
+		t.Error("healthy cell of the sabotaged kernel went NaN")
+	}
+	if math.IsNaN(f.Average[1]) || f.Average[1] <= 0 {
+		t.Errorf("average over surviving kernels = %v", f.Average[1])
+	}
+	out := f.String()
+	if !strings.Contains(out, "fail") {
+		t.Errorf("rendered figure does not mark the failed cell:\n%s", out)
+	}
+
+	// The failed run is cached as a degraded partial, not an error.
+	r, err := s.Run(Spec{Kernel: "adi", IQSize: 64, Reuse: true, NBLTSize: -1})
+	if err != nil {
+		t.Fatalf("degraded cell returned error: %v", err)
+	}
+	if !r.Failed() || !r.Retried {
+		t.Errorf("degraded cell: Err=%v Retried=%v", r.Err, r.Retried)
+	}
+	if r.Cycles == 0 {
+		t.Error("degraded cell carries no partial statistics")
+	}
+}
+
+// TestFigure7SkipsFailedCells checks the comparison figures, which need both
+// the baseline and reuse runs of a cell, under sabotage of only the baseline.
+func TestFigure7SkipsFailedCells(t *testing.T) {
+	s := NewSuite()
+	s.Sabotage = func(sp Spec) bool {
+		return sp.Kernel == "aps" && sp.IQSize == 32 && !sp.Reuse
+	}
+	f, err := s.Figure7([]int{32})
+	if err != nil {
+		t.Fatalf("sabotaged comparison aborted: %v", err)
+	}
+	if !math.IsNaN(f.Overall["aps"][0]) {
+		t.Errorf("aps cell = %v, want NaN", f.Overall["aps"][0])
+	}
+	if math.IsNaN(f.Average[0]) {
+		t.Error("average went NaN despite surviving kernels")
+	}
+}
+
+// TestPrewarmJoinsErrors requires Prewarm to report every setup failure, not
+// only the first.
+func TestPrewarmJoinsErrors(t *testing.T) {
+	s := NewSuite()
+	err := s.Prewarm([]Spec{
+		{Kernel: "no-such-kernel-a", IQSize: 64},
+		{Kernel: "adi", IQSize: 32, NBLTSize: -1},
+		{Kernel: "no-such-kernel-b", IQSize: 64},
+	})
+	if err == nil {
+		t.Fatal("Prewarm swallowed setup errors")
+	}
+	msg := err.Error()
+	for _, want := range []string{"no-such-kernel-a", "no-such-kernel-b"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("joined error missing %q: %v", want, msg)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"reuseiq/internal/core"
@@ -9,6 +10,43 @@ import (
 	"reuseiq/internal/power"
 	"reuseiq/internal/workloads"
 )
+
+// Degraded runs appear in figure data as NaN cells; they render as "fail"
+// and are excluded from averages.
+
+// num formats v with verb, or right-aligns "fail" to width when v is NaN.
+func num(v float64, verb string, width int) string {
+	if math.IsNaN(v) {
+		return fmt.Sprintf("%*s", width, "fail")
+	}
+	return fmt.Sprintf(verb, v)
+}
+
+// pct formats 100*v with verb, or right-aligns "fail" to width when v is NaN.
+func pct(v float64, verb string, width int) string {
+	return num(100*v, verb, width)
+}
+
+// colMeans averages each of cols columns across rows, skipping NaN cells. A
+// column with no valid cells averages to NaN.
+func colMeans(rows [][]float64, cols int) []float64 {
+	out := make([]float64, cols)
+	for i := range out {
+		sum, n := 0.0, 0
+		for _, row := range rows {
+			if !math.IsNaN(row[i]) {
+				sum += row[i]
+				n++
+			}
+		}
+		if n == 0 {
+			out[i] = math.NaN()
+		} else {
+			out[i] = sum / float64(n)
+		}
+	}
+	return out
+}
 
 // Table1 renders the baseline configuration (paper Table 1).
 func Table1() string {
@@ -67,7 +105,7 @@ func (s *Suite) Figure5(sizes []int) (*Fig5, error) {
 		return nil, err
 	}
 	f := &Fig5{Sizes: sizes, Kernels: KernelNames(), Gated: map[string][]float64{}}
-	f.Average = make([]float64, len(sizes))
+	rows := make([][]float64, 0, len(f.Kernels))
 	for _, k := range f.Kernels {
 		row := make([]float64, len(sizes))
 		for i, iq := range sizes {
@@ -75,11 +113,16 @@ func (s *Suite) Figure5(sizes []int) (*Fig5, error) {
 			if err != nil {
 				return nil, err
 			}
+			if r.Failed() {
+				row[i] = math.NaN()
+				continue
+			}
 			row[i] = r.Gated
-			f.Average[i] += r.Gated / float64(len(f.Kernels))
 		}
 		f.Gated[k] = row
+		rows = append(rows, row)
 	}
+	f.Average = colMeans(rows, len(sizes))
 	return f, nil
 }
 
@@ -94,13 +137,13 @@ func (f *Fig5) String() string {
 	for _, k := range f.Kernels {
 		fmt.Fprintf(&b, "  %-8s", k)
 		for _, g := range f.Gated[k] {
-			fmt.Fprintf(&b, "  %5.1f%%", 100*g)
+			b.WriteString("  " + pct(g, "%5.1f%%", 6))
 		}
 		b.WriteString("\n")
 	}
 	fmt.Fprintf(&b, "  %-8s", "average")
 	for _, g := range f.Average {
-		fmt.Fprintf(&b, "  %5.1f%%", 100*g)
+		b.WriteString("  " + pct(g, "%5.1f%%", 6))
 	}
 	b.WriteString("\n")
 	return b.String()
@@ -127,6 +170,9 @@ func (s *Suite) Figure6(sizes []int) (*Fig6, error) {
 		IssueQ: make([]float64, len(sizes)), Overhead: make([]float64, len(sizes))}
 	names := KernelNames()
 	for i, iq := range sizes {
+		// Average over the kernels whose baseline and reuse runs both
+		// completed; a column with none is NaN.
+		n := 0.0
 		for _, k := range names {
 			base, err := s.Run(Spec{Kernel: k, IQSize: iq, Reuse: false, NBLTSize: -1})
 			if err != nil {
@@ -136,13 +182,23 @@ func (s *Suite) Figure6(sizes []int) (*Fig6, error) {
 			if err != nil {
 				return nil, err
 			}
+			if base.Failed() || reuse.Failed() {
+				continue
+			}
 			sv := power.Compare(base.Power, reuse.Power)
-			n := float64(len(names))
-			f.ICache[i] += sv.Component[power.ICache] / n
-			f.BPred[i] += sv.Component[power.BPred] / n
-			f.IssueQ[i] += sv.Component[power.IssueQueue] / n
-			f.Overhead[i] += sv.OverheadShare / n
+			f.ICache[i] += sv.Component[power.ICache]
+			f.BPred[i] += sv.Component[power.BPred]
+			f.IssueQ[i] += sv.Component[power.IssueQueue]
+			f.Overhead[i] += sv.OverheadShare
+			n++
 		}
+		if n == 0 {
+			n = math.NaN()
+		}
+		f.ICache[i] /= n
+		f.BPred[i] /= n
+		f.IssueQ[i] /= n
+		f.Overhead[i] /= n
 	}
 	return f, nil
 }
@@ -158,7 +214,7 @@ func (f *Fig6) String() string {
 	row := func(name string, vals []float64) {
 		fmt.Fprintf(&b, "  %-10s", name)
 		for _, v := range vals {
-			fmt.Fprintf(&b, "  %5.1f%%", 100*v)
+			b.WriteString("  " + pct(v, "%5.1f%%", 6))
 		}
 		b.WriteString("\n")
 	}
@@ -183,8 +239,8 @@ func (s *Suite) Figure7(sizes []int) (*Fig7, error) {
 	if err := s.Prewarm(sweepSpecs(sizes)); err != nil {
 		return nil, err
 	}
-	f := &Fig7{Sizes: sizes, Kernels: KernelNames(), Overall: map[string][]float64{},
-		Average: make([]float64, len(sizes))}
+	f := &Fig7{Sizes: sizes, Kernels: KernelNames(), Overall: map[string][]float64{}}
+	rows := make([][]float64, 0, len(f.Kernels))
 	for _, k := range f.Kernels {
 		row := make([]float64, len(sizes))
 		for i, iq := range sizes {
@@ -196,11 +252,16 @@ func (s *Suite) Figure7(sizes []int) (*Fig7, error) {
 			if err != nil {
 				return nil, err
 			}
+			if base.Failed() || reuse.Failed() {
+				row[i] = math.NaN()
+				continue
+			}
 			row[i] = power.Compare(base.Power, reuse.Power).Overall
-			f.Average[i] += row[i] / float64(len(f.Kernels))
 		}
 		f.Overall[k] = row
+		rows = append(rows, row)
 	}
+	f.Average = colMeans(rows, len(sizes))
 	return f, nil
 }
 
@@ -215,13 +276,13 @@ func (f *Fig7) String() string {
 	for _, k := range f.Kernels {
 		fmt.Fprintf(&b, "  %-8s", k)
 		for _, v := range f.Overall[k] {
-			fmt.Fprintf(&b, "  %5.1f%%", 100*v)
+			b.WriteString("  " + pct(v, "%5.1f%%", 6))
 		}
 		b.WriteString("\n")
 	}
 	fmt.Fprintf(&b, "  %-8s", "average")
 	for _, v := range f.Average {
-		fmt.Fprintf(&b, "  %5.1f%%", 100*v)
+		b.WriteString("  " + pct(v, "%5.1f%%", 6))
 	}
 	b.WriteString("\n")
 	return b.String()
@@ -240,8 +301,8 @@ func (s *Suite) Figure8(sizes []int) (*Fig8, error) {
 	if err := s.Prewarm(sweepSpecs(sizes)); err != nil {
 		return nil, err
 	}
-	f := &Fig8{Sizes: sizes, Kernels: KernelNames(), Degradation: map[string][]float64{},
-		Average: make([]float64, len(sizes))}
+	f := &Fig8{Sizes: sizes, Kernels: KernelNames(), Degradation: map[string][]float64{}}
+	rows := make([][]float64, 0, len(f.Kernels))
 	for _, k := range f.Kernels {
 		row := make([]float64, len(sizes))
 		for i, iq := range sizes {
@@ -253,11 +314,16 @@ func (s *Suite) Figure8(sizes []int) (*Fig8, error) {
 			if err != nil {
 				return nil, err
 			}
+			if base.Failed() || reuse.Failed() {
+				row[i] = math.NaN()
+				continue
+			}
 			row[i] = 1 - reuse.IPC/base.IPC
-			f.Average[i] += row[i] / float64(len(f.Kernels))
 		}
 		f.Degradation[k] = row
+		rows = append(rows, row)
 	}
+	f.Average = colMeans(rows, len(sizes))
 	return f, nil
 }
 
@@ -272,13 +338,13 @@ func (f *Fig8) String() string {
 	for _, k := range f.Kernels {
 		fmt.Fprintf(&b, "  %-8s", k)
 		for _, v := range f.Degradation[k] {
-			fmt.Fprintf(&b, "  %5.2f%%", 100*v)
+			b.WriteString("  " + pct(v, "%5.2f%%", 6))
 		}
 		b.WriteString("\n")
 	}
 	fmt.Fprintf(&b, "  %-8s", "average")
 	for _, v := range f.Average {
-		fmt.Fprintf(&b, "  %5.2f%%", 100*v)
+		b.WriteString("  " + pct(v, "%5.2f%%", 6))
 	}
 	b.WriteString("\n")
 	return b.String()
@@ -311,7 +377,7 @@ func (s *Suite) Figure9() (*Fig9, error) {
 	if err := s.Prewarm(specs); err != nil {
 		return nil, err
 	}
-	n := float64(len(f.Kernels))
+	n := 0.0
 	for _, k := range f.Kernels {
 		get := func(reuse, dist bool) (RunResult, error) {
 			return s.Run(Spec{Kernel: k, IQSize: iq, Reuse: reuse, Distributed: dist, NBLTSize: -1})
@@ -332,15 +398,30 @@ func (s *Suite) Figure9() (*Fig9, error) {
 		if err != nil {
 			return nil, err
 		}
+		if ob.Failed() || or.Failed() || db.Failed() || dr.Failed() {
+			f.Original = append(f.Original, math.NaN())
+			f.Optimized = append(f.Optimized, math.NaN())
+			continue
+		}
 		f.Original = append(f.Original, power.Compare(ob.Power, or.Power).Overall)
 		f.Optimized = append(f.Optimized, power.Compare(db.Power, dr.Power).Overall)
-		f.AvgOriginal += f.Original[len(f.Original)-1] / n
-		f.AvgOptimized += f.Optimized[len(f.Optimized)-1] / n
-		f.GatedOriginal += or.Gated / n
-		f.GatedOptimized += dr.Gated / n
-		f.PerfLossOriginal += (1 - or.IPC/ob.IPC) / n
-		f.PerfLossOptimized += (1 - dr.IPC/db.IPC) / n
+		f.AvgOriginal += f.Original[len(f.Original)-1]
+		f.AvgOptimized += f.Optimized[len(f.Optimized)-1]
+		f.GatedOriginal += or.Gated
+		f.GatedOptimized += dr.Gated
+		f.PerfLossOriginal += (1 - or.IPC/ob.IPC)
+		f.PerfLossOptimized += (1 - dr.IPC/db.IPC)
+		n++
 	}
+	if n == 0 {
+		n = math.NaN()
+	}
+	f.AvgOriginal /= n
+	f.AvgOptimized /= n
+	f.GatedOriginal /= n
+	f.GatedOptimized /= n
+	f.PerfLossOriginal /= n
+	f.PerfLossOptimized /= n
 	return f, nil
 }
 
@@ -349,12 +430,14 @@ func (f *Fig9) String() string {
 	b.WriteString("Figure 9: impact of compiler optimization (loop distribution, IQ=64)\n")
 	fmt.Fprintf(&b, "  %-8s  %9s  %9s\n", "", "original", "optimized")
 	for i, k := range f.Kernels {
-		fmt.Fprintf(&b, "  %-8s  %8.1f%%  %8.1f%%\n", k, 100*f.Original[i], 100*f.Optimized[i])
+		fmt.Fprintf(&b, "  %-8s  %s  %s\n", k,
+			pct(f.Original[i], "%8.1f%%", 9), pct(f.Optimized[i], "%8.1f%%", 9))
 	}
-	fmt.Fprintf(&b, "  %-8s  %8.1f%%  %8.1f%%\n", "average", 100*f.AvgOriginal, 100*f.AvgOptimized)
-	fmt.Fprintf(&b, "  gated cycles: %.1f%% -> %.1f%%; IPC loss: %.1f%% -> %.1f%%\n",
-		100*f.GatedOriginal, 100*f.GatedOptimized,
-		100*f.PerfLossOriginal, 100*f.PerfLossOptimized)
+	fmt.Fprintf(&b, "  %-8s  %s  %s\n", "average",
+		pct(f.AvgOriginal, "%8.1f%%", 9), pct(f.AvgOptimized, "%8.1f%%", 9))
+	fmt.Fprintf(&b, "  gated cycles: %s -> %s; IPC loss: %s -> %s\n",
+		pct(f.GatedOriginal, "%.1f%%", 4), pct(f.GatedOptimized, "%.1f%%", 4),
+		pct(f.PerfLossOriginal, "%.1f%%", 4), pct(f.PerfLossOptimized, "%.1f%%", 4))
 	return b.String()
 }
 
@@ -386,7 +469,7 @@ func (s *Suite) AblationNBLT() (*NBLTAblation, error) {
 		}
 		return float64(st.Revokes) / float64(st.Bufferings)
 	}
-	n := float64(len(a.Kernels))
+	n := 0.0
 	for _, k := range a.Kernels {
 		off, err := s.Run(Spec{Kernel: k, IQSize: iq, Reuse: true, NBLTSize: 0})
 		if err != nil {
@@ -396,11 +479,22 @@ func (s *Suite) AblationNBLT() (*NBLTAblation, error) {
 		if err != nil {
 			return nil, err
 		}
+		if off.Failed() || on.Failed() {
+			a.RateWithout = append(a.RateWithout, math.NaN())
+			a.RateWith = append(a.RateWith, math.NaN())
+			continue
+		}
 		a.RateWithout = append(a.RateWithout, rate(off.Core))
 		a.RateWith = append(a.RateWith, rate(on.Core))
-		a.AvgWithout += rate(off.Core) / n
-		a.AvgWith += rate(on.Core) / n
+		a.AvgWithout += rate(off.Core)
+		a.AvgWith += rate(on.Core)
+		n++
 	}
+	if n == 0 {
+		n = math.NaN()
+	}
+	a.AvgWithout /= n
+	a.AvgWith /= n
 	return a, nil
 }
 
@@ -409,9 +503,11 @@ func (a *NBLTAblation) String() string {
 	b.WriteString("Ablation A1: buffering revoke rate, NBLT disabled vs 8 entries (IQ=64)\n")
 	fmt.Fprintf(&b, "  %-8s  %8s  %8s\n", "", "no NBLT", "NBLT=8")
 	for i, k := range a.Kernels {
-		fmt.Fprintf(&b, "  %-8s  %7.1f%%  %7.1f%%\n", k, 100*a.RateWithout[i], 100*a.RateWith[i])
+		fmt.Fprintf(&b, "  %-8s  %s  %s\n", k,
+			pct(a.RateWithout[i], "%7.1f%%", 8), pct(a.RateWith[i], "%7.1f%%", 8))
 	}
-	fmt.Fprintf(&b, "  %-8s  %7.1f%%  %7.1f%%\n", "average", 100*a.AvgWithout, 100*a.AvgWith)
+	fmt.Fprintf(&b, "  %-8s  %s  %s\n", "average",
+		pct(a.AvgWithout, "%7.1f%%", 8), pct(a.AvgWith, "%7.1f%%", 8))
 	return b.String()
 }
 
@@ -439,7 +535,7 @@ func (s *Suite) AblationStrategy() (*StrategyAblation, error) {
 	if err := s.Prewarm(specs); err != nil {
 		return nil, err
 	}
-	n := float64(len(a.Kernels))
+	n := 0.0
 	for _, k := range a.Kernels {
 		multi, err := s.Run(Spec{Kernel: k, IQSize: iq, Reuse: true, Strategy: core.StrategyMulti, NBLTSize: -1})
 		if err != nil {
@@ -449,15 +545,30 @@ func (s *Suite) AblationStrategy() (*StrategyAblation, error) {
 		if err != nil {
 			return nil, err
 		}
+		if multi.Failed() || single.Failed() {
+			a.GatedMulti = append(a.GatedMulti, math.NaN())
+			a.GatedSingle = append(a.GatedSingle, math.NaN())
+			a.IPCMulti = append(a.IPCMulti, math.NaN())
+			a.IPCSingle = append(a.IPCSingle, math.NaN())
+			continue
+		}
 		a.GatedMulti = append(a.GatedMulti, multi.Gated)
 		a.GatedSingle = append(a.GatedSingle, single.Gated)
 		a.IPCMulti = append(a.IPCMulti, multi.IPC)
 		a.IPCSingle = append(a.IPCSingle, single.IPC)
-		a.AvgGatedMulti += multi.Gated / n
-		a.AvgGatedSingle += single.Gated / n
-		a.AvgIPCMulti += multi.IPC / n
-		a.AvgIPCSingle += single.IPC / n
+		a.AvgGatedMulti += multi.Gated
+		a.AvgGatedSingle += single.Gated
+		a.AvgIPCMulti += multi.IPC
+		a.AvgIPCSingle += single.IPC
+		n++
 	}
+	if n == 0 {
+		n = math.NaN()
+	}
+	a.AvgGatedMulti /= n
+	a.AvgGatedSingle /= n
+	a.AvgIPCMulti /= n
+	a.AvgIPCSingle /= n
 	return a, nil
 }
 
@@ -466,10 +577,12 @@ func (a *StrategyAblation) String() string {
 	b.WriteString("Ablation A2: multi- vs single-iteration buffering (IQ=64)\n")
 	fmt.Fprintf(&b, "  %-8s  %11s  %11s  %9s  %9s\n", "", "gated multi", "gated single", "IPC multi", "IPC single")
 	for i, k := range a.Kernels {
-		fmt.Fprintf(&b, "  %-8s  %10.1f%%  %11.1f%%  %9.2f  %9.2f\n",
-			k, 100*a.GatedMulti[i], 100*a.GatedSingle[i], a.IPCMulti[i], a.IPCSingle[i])
+		fmt.Fprintf(&b, "  %-8s  %s  %s  %s  %s\n",
+			k, pct(a.GatedMulti[i], "%10.1f%%", 11), pct(a.GatedSingle[i], "%11.1f%%", 12),
+			num(a.IPCMulti[i], "%9.2f", 9), num(a.IPCSingle[i], "%9.2f", 9))
 	}
-	fmt.Fprintf(&b, "  %-8s  %10.1f%%  %11.1f%%  %9.2f  %9.2f\n",
-		"average", 100*a.AvgGatedMulti, 100*a.AvgGatedSingle, a.AvgIPCMulti, a.AvgIPCSingle)
+	fmt.Fprintf(&b, "  %-8s  %s  %s  %s  %s\n",
+		"average", pct(a.AvgGatedMulti, "%10.1f%%", 11), pct(a.AvgGatedSingle, "%11.1f%%", 12),
+		num(a.AvgIPCMulti, "%9.2f", 9), num(a.AvgIPCSingle, "%9.2f", 9))
 	return b.String()
 }

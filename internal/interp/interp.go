@@ -32,6 +32,38 @@ type Machine struct {
 	MaxInsts uint64
 }
 
+// Effect is the structured record of one executed instruction's
+// architectural effects. The lockstep oracle compares it field by field
+// against what the pipeline commits.
+type Effect struct {
+	PC   uint32
+	Inst isa.Inst
+
+	// Halted is set when the instruction was HALT; no other field besides
+	// PC and Inst is meaningful then.
+	Halted bool
+
+	// Destination register write, when the instruction has one.
+	HasDest bool
+	Dest    isa.Reg
+	DestI   int32   // written value (integer destinations)
+	DestF   float64 // written value (FP destinations)
+
+	// Store effect, when the instruction is a store.
+	IsStore   bool
+	StoreAddr uint32
+	StoreI    int32
+	StoreF    float64
+
+	// Load effect, when the instruction is a load.
+	IsLoad   bool
+	LoadAddr uint32
+
+	// Control flow.
+	Taken  bool
+	NextPC uint32
+}
+
 // DefaultMaxInsts bounds runaway programs in tests.
 const DefaultMaxInsts = 200_000_000
 
@@ -45,13 +77,15 @@ func New(p *prog.Program) *Machine {
 	return m
 }
 
-// Step executes one instruction. It returns (halted, error).
-func (m *Machine) Step() (bool, error) {
+// Step executes one instruction and returns its architectural effects.
+// Effect.Halted reports HALT; machine state is unchanged in that case.
+func (m *Machine) Step() (Effect, error) {
 	s := &m.State
 	in, ok := m.Prog.InstAt(s.PC)
 	if !ok {
-		return false, fmt.Errorf("interp: PC 0x%08x outside text segment", s.PC)
+		return Effect{}, fmt.Errorf("interp: PC 0x%08x outside text segment", s.PC)
 	}
+	ef := Effect{PC: s.PC, Inst: in}
 	ops := isa.Operands{PC: s.PC}
 	info := in.Op.Info()
 	if info.ReadsRs {
@@ -70,10 +104,21 @@ func (m *Machine) Step() (bool, error) {
 	}
 	r := isa.Eval(in, ops)
 	if r.Halt {
-		return true, nil
+		ef.Halted = true
+		return ef, nil
 	}
 
 	// Memory access.
+	switch info.Class {
+	case isa.ClassLoad:
+		ef.IsLoad = true
+		ef.LoadAddr = r.Addr
+	case isa.ClassStore:
+		ef.IsStore = true
+		ef.StoreAddr = r.Addr
+		ef.StoreI = r.StoreI
+		ef.StoreF = r.StoreF
+	}
 	switch in.Op {
 	case isa.OpLW:
 		r.I = s.Mem.ReadI32(r.Addr)
@@ -99,19 +144,25 @@ func (m *Machine) Step() (bool, error) {
 
 	// Register writeback.
 	if d, ok := in.Dest(); ok {
+		ef.HasDest = true
+		ef.Dest = d
 		if d.Kind == isa.KindFP {
 			s.FP[d.Num] = r.F
+			ef.DestF = r.F
 		} else {
 			s.Int[d.Num] = r.I
+			ef.DestI = r.I
 		}
 	}
 
 	// Next PC.
+	ef.Taken = r.Taken
 	if r.Taken {
 		s.PC = r.Target
 	} else {
 		s.PC += 4
 	}
+	ef.NextPC = s.PC
 	s.Insts++
 	if info.Class == isa.ClassBranch {
 		s.Branches++
@@ -119,7 +170,7 @@ func (m *Machine) Step() (bool, error) {
 			s.Taken++
 		}
 	}
-	return false, nil
+	return ef, nil
 }
 
 // Run executes until HALT, the instruction budget, or an error.
@@ -129,11 +180,11 @@ func (m *Machine) Run() error {
 		max = DefaultMaxInsts
 	}
 	for m.State.Insts < max {
-		halted, err := m.Step()
+		ef, err := m.Step()
 		if err != nil {
 			return err
 		}
-		if halted {
+		if ef.Halted {
 			return nil
 		}
 	}

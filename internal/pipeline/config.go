@@ -9,6 +9,7 @@ package pipeline
 import (
 	"reuseiq/internal/altfe"
 	"reuseiq/internal/bpred"
+	"reuseiq/internal/chaos"
 	"reuseiq/internal/core"
 	"reuseiq/internal/fu"
 	"reuseiq/internal/mem"
@@ -44,6 +45,11 @@ type Config struct {
 	// fetch path (for comparison experiments; normally combined with
 	// Reuse.Enabled = false). A filter cache is enabled via Mem.L0I.
 	LoopCache *altfe.LoopCacheConfig
+
+	// Chaos configures deterministic fault injection (forced revokes,
+	// flipped predictions, stall storms, latency jitter). Disabled by
+	// default; timing-only, so architectural results are unaffected.
+	Chaos chaos.Config
 
 	// MaxCycles bounds a run (0 = DefaultMaxCycles). WatchdogCycles aborts
 	// when no instruction commits for that long (0 = DefaultWatchdog).

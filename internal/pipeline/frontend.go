@@ -244,6 +244,12 @@ func (m *Machine) fetch() {
 	if m.Ctl.GateActive() || m.fetchHalted || m.cycle < m.fetchStallUntil {
 		return
 	}
+	// Fault injection: a fetch stall storm (e.g. an instruction-fetch
+	// backend hiccup). Purely a timing event.
+	if n := m.Chaos.FetchStall(); n > 0 {
+		m.fetchStallUntil = m.cycle + uint64(n)
+		return
+	}
 	m.C.FetchCycles++
 	for n := 0; n < m.Cfg.FetchWidth && len(m.fetchQ) < m.Cfg.FetchQueueSize; n++ {
 		in, ok := m.Prog.InstAt(m.fetchPC)
@@ -271,6 +277,12 @@ func (m *Machine) fetch() {
 			p := m.BP.Predict(m.fetchPC, in)
 			f.predTaken = p.Taken
 			f.predTarget = p.Target
+			// Fault injection: invert a conditional branch's predicted
+			// direction. The target is static for conditional branches,
+			// so the flip is recoverable like any misprediction.
+			if in.Op.Info().Class == isa.ClassBranch && m.Chaos.FlipPrediction() {
+				f.predTaken = !f.predTaken
+			}
 		}
 		if m.LC != nil {
 			m.LC.Observe(m.fetchPC, in, f.predTaken)

@@ -1,28 +1,69 @@
-package pipeline
+package pipeline_test
 
 import (
 	"testing"
 
 	"reuseiq/internal/asm"
+	"reuseiq/internal/chaos"
 	"reuseiq/internal/interp"
+	"reuseiq/internal/lockstep"
+	"reuseiq/internal/pipeline"
+	"reuseiq/internal/prog"
 	"reuseiq/internal/progen"
 )
 
+// checkEndState compares the drained pipeline's architectural state against a
+// completed interpreter run.
+func checkEndState(t *testing.T, tag string, src string, g *interp.Machine, m *pipeline.Machine) {
+	t.Helper()
+	if uint64(m.C.Commits) != g.State.Insts {
+		t.Errorf("%s: committed %d, interp executed %d", tag, m.C.Commits, g.State.Insts)
+	}
+	// $at (r1) and $r21 are scratch; everything else must match.
+	for i := 2; i < 32; i++ {
+		if g.State.Int[i] != m.ArchInt(i) {
+			t.Fatalf("%s: $r%d = %d, interp %d\nprogram:\n%s",
+				tag, i, m.ArchInt(i), g.State.Int[i], src)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		gv, mv := g.State.FP[i], m.ArchFP(i)
+		if gv != mv && !(gv != gv && mv != mv) {
+			t.Fatalf("%s: $f%d = %v, interp %v", tag, i, mv, gv)
+		}
+	}
+	if !g.State.Mem.Equal(m.Mem) {
+		t.Fatalf("%s: memory differs", tag)
+	}
+}
+
+func runInterp(t *testing.T, tag string, p *prog.Program, maxInsts uint64) *interp.Machine {
+	t.Helper()
+	g := interp.New(p)
+	g.MaxInsts = maxInsts
+	if err := g.Run(); err != nil {
+		t.Fatalf("%s interp: %v", tag, err)
+	}
+	return g
+}
+
 // TestFuzzDifferential runs randomly generated programs on the functional
 // interpreter, the baseline pipeline, and the reuse pipeline at several
-// issue-queue sizes, and requires identical architectural outcomes. This is
-// the broadest correctness net over renaming, recovery, forwarding and the
-// reuse state machine.
+// issue-queue sizes, and requires identical architectural outcomes. Every
+// pipeline runs under the lockstep oracle and invariant checker, so a bug is
+// reported at the first divergent commit (cycle, seq, disassembly) rather
+// than as an end-state diff after millions of instructions; the end-state
+// comparison stays as a safety net behind the oracle.
 func TestFuzzDifferential(t *testing.T) {
 	seeds := 60
 	if testing.Short() {
 		seeds = 10
 	}
-	cfgs := []Config{
-		BaselineConfig(),
-		DefaultConfig(),
-		DefaultConfig().WithIQSize(32),
-		DefaultConfig().WithIQSize(128),
+	cfgs := []pipeline.Config{
+		pipeline.BaselineConfig(),
+		pipeline.DefaultConfig(),
+		pipeline.DefaultConfig().WithIQSize(32),
+		pipeline.DefaultConfig().WithIQSize(128),
 	}
 	for seed := int64(0); seed < int64(seeds); seed++ {
 		src := progen.Generate(seed, progen.DefaultConfig())
@@ -30,38 +71,65 @@ func TestFuzzDifferential(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		g := interp.New(p)
-		g.MaxInsts = 20_000_000
-		if err := g.Run(); err != nil {
-			t.Fatalf("seed %d interp: %v", seed, err)
-		}
+		g := runInterp(t, "fuzz", p, 20_000_000)
 		for ci, cfg := range cfgs {
-			m := New(cfg, p)
+			tag := t.Name()
+			m := pipeline.New(cfg, p)
+			lockstep.Attach(m, p)
 			if err := m.Run(); err != nil {
-				t.Fatalf("seed %d cfg %d: %v\n%s", seed, ci, err, m.stateSummary())
+				t.Fatalf("seed %d cfg %d: %v\n%s", seed, ci, err, m.StateSummary())
 			}
-			if uint64(m.C.Commits) != g.State.Insts {
-				t.Errorf("seed %d cfg %d: committed %d, interp executed %d",
-					seed, ci, m.C.Commits, g.State.Insts)
-			}
-			// $at (r1) and $r21 are scratch; everything else must match.
-			for i := 2; i < 32; i++ {
-				if g.State.Int[i] != m.ArchInt(i) {
-					t.Fatalf("seed %d cfg %d: $r%d = %d, interp %d\nprogram:\n%s",
-						seed, ci, i, m.ArchInt(i), g.State.Int[i], src)
-				}
-			}
-			for i := 0; i < 32; i++ {
-				gv, mv := g.State.FP[i], m.ArchFP(i)
-				if gv != mv && !(gv != gv && mv != mv) {
-					t.Fatalf("seed %d cfg %d: $f%d = %v, interp %v", seed, ci, i, mv, gv)
-				}
-			}
-			if !g.State.Mem.Equal(m.Mem) {
-				t.Fatalf("seed %d cfg %d: memory differs", seed, ci)
-			}
+			checkEndState(t, tag, src, g, m)
 		}
 	}
+}
+
+// TestChaosDifferential runs the differential fuzz under fault injection at a
+// fixed seed: forced buffering revokes, flipped branch predictions, fetch
+// stall storms, and latency jitter all fire (asserted via the injection
+// counters), and every run must still match the golden model commit by
+// commit. This proves the recovery machinery survives fault rates far above
+// anything real workloads produce.
+func TestChaosDifferential(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 8
+	}
+	var agg chaos.Counters
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		src := progen.Generate(seed, progen.DefaultConfig())
+		p, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		g := runInterp(t, "chaos", p, 20_000_000)
+		cfg := pipeline.DefaultConfig()
+		cfg.Chaos = chaos.DefaultConfig(0xC4A05 + seed)
+		m := pipeline.New(cfg, p)
+		lockstep.Attach(m, p)
+		if err := m.Run(); err != nil {
+			t.Fatalf("seed %d under chaos: %v\n%s", seed, err, m.StateSummary())
+		}
+		checkEndState(t, "chaos", src, g, m)
+		agg.ForcedRevokes += m.Chaos.C.ForcedRevokes
+		agg.FlippedPredictions += m.Chaos.C.FlippedPredictions
+		agg.FetchStalls += m.Chaos.C.FetchStalls
+		agg.JitteredIssues += m.Chaos.C.JitteredIssues
+	}
+	if agg.ForcedRevokes == 0 {
+		t.Error("chaos never forced a buffering revoke")
+	}
+	if agg.FlippedPredictions == 0 {
+		t.Error("chaos never flipped a prediction")
+	}
+	if agg.FetchStalls == 0 {
+		t.Error("chaos never injected a fetch stall")
+	}
+	if agg.JitteredIssues == 0 {
+		t.Error("chaos never jittered an issue latency")
+	}
+	t.Logf("injected: %d revokes, %d flips, %d stalls, %d jitters",
+		agg.ForcedRevokes, agg.FlippedPredictions, agg.FetchStalls, agg.JitteredIssues)
 }
 
 // TestFuzzLargePrograms stresses deeper nesting and longer blocks with
@@ -77,20 +145,12 @@ func TestFuzzLargePrograms(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		g := interp.New(p)
-		g.MaxInsts = 50_000_000
-		if err := g.Run(); err != nil {
-			t.Fatalf("seed %d interp: %v", seed, err)
-		}
-		m := New(DefaultConfig(), p)
+		g := runInterp(t, "large", p, 50_000_000)
+		m := pipeline.New(pipeline.DefaultConfig(), p)
+		lockstep.Attach(m, p)
 		if err := m.Run(); err != nil {
 			t.Fatalf("seed %d pipeline: %v", seed, err)
 		}
-		if uint64(m.C.Commits) != g.State.Insts {
-			t.Errorf("seed %d: commits %d vs %d", seed, m.C.Commits, g.State.Insts)
-		}
-		if !g.State.Mem.Equal(m.Mem) {
-			t.Fatalf("seed %d: memory differs", seed)
-		}
+		checkEndState(t, "large", src, g, m)
 	}
 }

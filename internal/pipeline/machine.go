@@ -5,6 +5,7 @@ import (
 
 	"reuseiq/internal/altfe"
 	"reuseiq/internal/bpred"
+	"reuseiq/internal/chaos"
 	"reuseiq/internal/core"
 	"reuseiq/internal/fu"
 	"reuseiq/internal/isa"
@@ -59,6 +60,40 @@ type fetched struct {
 	predTarget uint32
 }
 
+// Commit is the structured record of one committed instruction, handed to
+// the OnCommit hook. It mirrors interp.Effect so the lockstep oracle can
+// compare the two field by field.
+type Commit struct {
+	Cycle  uint64
+	Seq    uint64
+	PC     uint32
+	Inst   isa.Inst
+	Reused bool // supplied by the reuse pointer, not the front end
+
+	// Halted is set for the committing HALT; no effect fields are valid.
+	Halted bool
+
+	// Destination register write.
+	HasDest bool
+	Dest    isa.Reg
+	DestI   int32
+	DestF   float64
+
+	// Store effect (memory written at commit).
+	IsStore   bool
+	StoreAddr uint32
+	StoreI    int32
+	StoreF    float64
+
+	// Load effect.
+	IsLoad   bool
+	LoadAddr uint32
+
+	// Control-flow resolution (valid for control instructions).
+	Taken  bool
+	Target uint32
+}
+
 type execEntry struct {
 	robSlot int
 	seq     uint64
@@ -101,6 +136,23 @@ type Machine struct {
 	commitLog  []uint32
 	LogCommits bool
 
+	// Chaos is the fault injector, non-nil when Cfg.Chaos.Enabled. Its
+	// counters record how many faults were actually injected.
+	Chaos *chaos.Injector
+
+	// OnCommit, when non-nil, observes every committed instruction in
+	// program order (the lockstep oracle's hook). A returned error stops
+	// the machine: Run returns it, and no further cycles execute.
+	OnCommit func(Commit) error
+
+	// OnCycle, when non-nil, runs after every completed cycle (the
+	// invariant checker's hook). A returned error stops the machine like
+	// an OnCommit error.
+	OnCycle func() error
+
+	// hookErr latches the first error returned by OnCommit or OnCycle.
+	hookErr error
+
 	// DebugIssue, when non-nil, receives a line per issued instruction
 	// (debugging aid for tests).
 	DebugIssue func(seq uint64, pc uint32, desc string)
@@ -129,6 +181,7 @@ func New(cfg Config, p *prog.Program) *Machine {
 	}
 	m.IQ = core.NewQueue(cfg.IQSize)
 	m.Ctl = core.NewController(cfg.Reuse, m.IQ)
+	m.Chaos = chaos.New(cfg.Chaos)
 	if cfg.LoopCache != nil {
 		m.LC = altfe.NewLoopCache(*cfg.LoopCache)
 	}
@@ -168,8 +221,14 @@ func (m *Machine) Step() {
 	if m.Ctl.GateActive() {
 		m.C.GatedCycles++
 	}
+	// Fault injection: a forced buffering revoke is a controller-level
+	// event independent of any stage, so it fires at the cycle boundary.
+	if m.Chaos.RollRevoke() && m.Ctl.ForceRevoke() {
+		m.Chaos.CountRevoke()
+		m.tracef("cycle %d: chaos revoked buffering", m.cycle)
+	}
 	m.commit()
-	if m.halted {
+	if m.halted || m.hookErr != nil {
 		return
 	}
 	m.writeback()
@@ -177,6 +236,11 @@ func (m *Machine) Step() {
 	m.dispatch()
 	m.decode()
 	m.fetch()
+	if m.OnCycle != nil {
+		if err := m.OnCycle(); err != nil {
+			m.hookErr = err
+		}
+	}
 }
 
 // Run executes until HALT commits, returning an error on cycle budget
@@ -184,16 +248,24 @@ func (m *Machine) Step() {
 func (m *Machine) Run() error {
 	for !m.halted {
 		m.Step()
+		if m.hookErr != nil {
+			return m.hookErr
+		}
 		if m.cycle >= m.Cfg.MaxCycles {
-			return fmt.Errorf("pipeline: cycle budget %d exhausted (%d committed)", m.Cfg.MaxCycles, m.C.Commits)
+			return fmt.Errorf("pipeline: cycle budget %d exhausted (%d committed; %s)",
+				m.Cfg.MaxCycles, m.C.Commits, m.stateSummary())
 		}
 		if m.cycle-m.lastCommit > m.Cfg.WatchdogCycles {
 			return fmt.Errorf("pipeline: no commit for %d cycles at cycle %d (%s)",
 				m.Cfg.WatchdogCycles, m.cycle, m.stateSummary())
 		}
 	}
-	return nil
+	return m.hookErr
 }
+
+// StateSummary renders a one-line snapshot of the machine's queues, the
+// reuse-capable issue queue (RIQ) state and the ROB head, for diagnostics.
+func (m *Machine) StateSummary() string { return m.stateSummary() }
 
 func (m *Machine) stateSummary() string {
 	s := fmt.Sprintf("state=%v rob=%d/%d iq=%d/%d lsq=%d/%d fetchPC=0x%x",

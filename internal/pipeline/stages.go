@@ -21,13 +21,40 @@ func (m *Machine) commit() {
 		if h.Halt {
 			m.halted = true
 			m.lastCommit = m.cycle
+			if m.OnCommit != nil {
+				if err := m.OnCommit(Commit{
+					Cycle: m.cycle, Seq: h.Seq, PC: h.PC, Inst: h.Inst,
+					Reused: h.Reused, Halted: true,
+				}); err != nil {
+					m.hookErr = err
+				}
+			}
 			return
 		}
+		var c Commit
+		if m.OnCommit != nil {
+			c = Commit{
+				Cycle: m.cycle, Seq: h.Seq, PC: h.PC, Inst: h.Inst,
+				Reused: h.Reused, IsLoad: h.IsLoad, IsStore: h.IsStore,
+				Taken: h.ActTaken, Target: h.ActTarget,
+			}
+			if h.HasDest {
+				c.HasDest = true
+				c.Dest = h.Dest
+				if h.Dest.Kind == isa.KindFP {
+					c.DestF = m.RF.PeekFP(h.NewPhys)
+				} else {
+					c.DestI = m.RF.PeekInt(h.NewPhys)
+				}
+			}
+		}
 		if h.IsStore {
-			m.commitStore()
+			e := m.commitStore()
+			c.StoreAddr, c.StoreI, c.StoreF = e.Addr, e.DataI, e.DataF
 		}
 		if h.IsLoad {
-			m.LSQ.PopHead()
+			e := m.LSQ.PopHead()
+			c.LoadAddr = e.Addr
 		}
 		if h.HasDest {
 			m.RF.Release(h.Dest.Kind, h.OldPhys)
@@ -60,6 +87,12 @@ func (m *Machine) commit() {
 		if m.Rec != nil {
 			m.Rec.OnCommit(h.Seq, m.cycle)
 		}
+		if m.OnCommit != nil {
+			if err := m.OnCommit(c); err != nil {
+				m.hookErr = err
+				return
+			}
+		}
 		m.ROB.PopHead()
 		m.C.Commits++
 		m.lastCommit = m.cycle
@@ -67,8 +100,9 @@ func (m *Machine) commit() {
 }
 
 // commitStore writes the ROB head's store to architectural memory and the
-// data cache.
-func (m *Machine) commitStore() {
+// data cache, returning the drained LSQ entry (address and data) for the
+// OnCommit record.
+func (m *Machine) commitStore() lsq.Entry {
 	e := m.LSQ.PopHead()
 	if !e.IsStore || !e.AddrReady {
 		panic("pipeline: committing store with unresolved LSQ head")
@@ -86,6 +120,7 @@ func (m *Machine) commitStore() {
 	}
 	m.Hier.AccessData(e.Addr, true)
 	m.C.StoreCommitAccesses++
+	return e
 }
 
 // ------------------------------------------------------------- writeback --
@@ -355,6 +390,8 @@ func (m *Machine) tryIssueEntry(pos int) (issued, removed bool) {
 		lat = l
 		valI, valF = r.I, r.F
 	}
+	// Fault injection: inflate the result latency, modeling a slow unit.
+	lat += m.Chaos.Jitter()
 
 	// Record control resolution in the ROB for the writeback check.
 	re := m.ROB.Get(e.ROBSlot)

@@ -1,0 +1,60 @@
+package pipeline_test
+
+import (
+	"strings"
+	"testing"
+
+	"reuseiq/internal/asm"
+	"reuseiq/internal/pipeline"
+)
+
+// A machine configured with no integer ALUs can never issue the ALU op at
+// the ROB head, so the watchdog must fire — and its error must name the
+// stuck instruction (seq, pc, disassembly) so a deadlock is debuggable from
+// the message alone.
+func TestWatchdogNamesROBHead(t *testing.T) {
+	p := asm.MustAssemble(`
+	.text
+main:	addi $r2, $zero, 7
+	addi $r3, $r2, 1
+	halt
+	`)
+	cfg := pipeline.DefaultConfig()
+	cfg.FU.NumIntALU = 0
+	cfg.WatchdogCycles = 200
+	m := pipeline.New(cfg, p)
+	err := m.Run()
+	if err == nil {
+		t.Fatal("deadlocked machine ran to completion")
+	}
+	msg := err.Error()
+	for _, want := range []string{"no commit for 200 cycles", "head={seq=1", "addi", "done=false"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("watchdog error %q missing %q", msg, want)
+		}
+	}
+}
+
+// The cycle-budget abort must carry the same machine snapshot.
+func TestCycleBudgetNamesROBHead(t *testing.T) {
+	p := asm.MustAssemble(`
+	.text
+main:	addi $r2, $zero, 7
+loop:	addi $r2, $r2, 1
+	bne $r2, $zero, loop
+	halt
+	`)
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxCycles = 300
+	m := pipeline.New(cfg, p)
+	err := m.Run()
+	if err == nil {
+		t.Fatal("unbounded loop finished inside a 300-cycle budget")
+	}
+	msg := err.Error()
+	for _, want := range []string{"cycle budget 300 exhausted", "head={seq="} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("budget error %q missing %q", msg, want)
+		}
+	}
+}

@@ -27,6 +27,10 @@ type RegFile struct {
 	MapReads uint64 // map-table read operations
 	Reads    uint64 // physical register file reads
 	Writes   uint64 // physical register file writes
+
+	// scratch is reused by CheckInvariants, which runs every cycle under
+	// the lockstep invariant checker and must not allocate.
+	scratch []bool
 }
 
 // New creates a rename unit with the given physical register counts. Each
@@ -176,6 +180,53 @@ func (r *RegFile) WriteFP(p int, v float64) {
 	r.Writes++
 	r.fpVals[p] = v
 	r.fpReady[p] = true
+}
+
+// PeekInt returns the value of integer physical register p without charging
+// a register-file read to the power model (verification use only).
+func (r *RegFile) PeekInt(p int) int32 { return r.intVals[p] }
+
+// PeekFP returns the value of FP physical register p without charging a
+// read to the power model (verification use only).
+func (r *RegFile) PeekFP(p int) float64 { return r.fpVals[p] }
+
+// CheckInvariants verifies map-table/free-list consistency for both register
+// kinds: a free list must not contain duplicates, and no physical register
+// may be simultaneously mapped and free. (Physical registers held by
+// in-flight ROB entries as previous mappings are legitimately in neither
+// set.) It returns a descriptive error at the first violation.
+func (r *RegFile) CheckInvariants() error {
+	if n := max(len(r.intVals), len(r.fpVals)); len(r.scratch) < n {
+		r.scratch = make([]bool, n)
+	}
+	check := func(kind string, mapped []int, free []int, phys int) error {
+		seen := r.scratch[:phys]
+		for i := range seen {
+			seen[i] = false
+		}
+		for _, p := range free {
+			if p < 0 || p >= phys {
+				return fmt.Errorf("rename: %s free list holds out-of-range p%d", kind, p)
+			}
+			if seen[p] {
+				return fmt.Errorf("rename: %s free list holds p%d twice", kind, p)
+			}
+			seen[p] = true
+		}
+		for a, p := range mapped {
+			if p < 0 || p >= phys {
+				return fmt.Errorf("rename: %s map of a%d holds out-of-range p%d", kind, a, p)
+			}
+			if seen[p] {
+				return fmt.Errorf("rename: %s p%d is both mapped (a%d) and free", kind, p, a)
+			}
+		}
+		return nil
+	}
+	if err := check("int", r.intMap[:], r.intFree, len(r.intVals)); err != nil {
+		return err
+	}
+	return check("fp", r.fpMap[:], r.fpFree, len(r.fpVals))
 }
 
 // ArchInt returns the committed architectural value of integer register n
