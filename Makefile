@@ -1,7 +1,7 @@
 # Tier-1 verification: everything must build, vet clean, and pass the full
 # test suite under the race detector (the experiment harness runs
 # simulations concurrently, so -race is part of the gate, not an extra).
-.PHONY: check build vet test race fuzz bench
+.PHONY: check build vet test race fuzz bench bench-baseline bench-all
 
 check: build vet race
 
@@ -21,5 +21,20 @@ race:
 fuzz:
 	go test -fuzz=FuzzAssemble -fuzztime=30s ./internal/asm/
 
+# Perf-regression gate: run the hot-loop benchmark and compare against the
+# checked-in baseline with cmd/benchdiff (a benchstat stand-in; no external
+# tools). Fails on a >10% ns/op or allocs/op regression of
+# BenchmarkSimulatorSpeed. Regenerate the baseline with bench-baseline after
+# an intentional perf change — on the same machine, so deltas mean something.
 bench:
+	@mkdir -p bench
+	go test -run '^$$' -bench '^BenchmarkSimulatorSpeed$$' -benchmem -count 3 . | tee bench/latest.txt
+	go run ./cmd/benchdiff bench/baseline.txt bench/latest.txt
+
+bench-baseline:
+	@mkdir -p bench
+	go test -run '^$$' -bench '^BenchmarkSimulatorSpeed$$' -benchmem -count 3 . | tee bench/baseline.txt
+
+# The full benchmark suite (tables, figures, ablations), no regression gate.
+bench-all:
 	go test -bench=. -benchmem

@@ -1,0 +1,48 @@
+//go:build !race
+
+// testing.AllocsPerRun is noisy under the race detector, so this file is
+// excluded from -race runs; plain `go test` exercises it.
+
+package reuseiq
+
+import (
+	"testing"
+
+	"reuseiq/internal/asm"
+	"reuseiq/internal/pipeline"
+)
+
+// TestSteadyStateZeroAllocs pins the tentpole property of the slot-based
+// simulator core: once a machine is warmed up (scratch buffers sized, the
+// loop captured and the front end gated), stepping it allocates nothing.
+// Any regression here — a map in a stage, a slice that escapes, a
+// fmt.Sprintf on the hot path — fails the test before it shows up as a
+// throughput loss in BenchmarkSimulatorSpeed.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	p := asm.MustAssemble(`
+	li   $r2, 0
+	li   $r3, 2000000
+loop:	add  $r2, $r2, $r3
+	addi $r3, $r3, -1
+	bne  $r3, $zero, loop
+	halt
+	`)
+	m := pipeline.New(pipeline.DefaultConfig(), p)
+	defer m.Release()
+	for i := 0; i < 5000 && !m.Halted(); i++ {
+		m.Step()
+	}
+	if m.Halted() {
+		t.Fatal("machine halted during warmup; loop too short for the measurement")
+	}
+	if m.GatedFraction() == 0 {
+		t.Fatal("front end never gated during warmup; reuse did not engage")
+	}
+	avg := testing.AllocsPerRun(5000, func() { m.Step() })
+	if m.Halted() {
+		t.Fatal("machine halted during measurement; loop too short")
+	}
+	if avg != 0 {
+		t.Errorf("steady-state Step allocates %.3f objects/cycle, want 0", avg)
+	}
+}

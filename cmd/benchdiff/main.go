@@ -1,0 +1,138 @@
+// Command benchdiff compares two `go test -bench` output files and fails on
+// performance regressions. It is the repo's stand-in for benchstat, written
+// against the same text format so `make bench` needs no external tooling:
+//
+//	benchdiff old.txt new.txt
+//	benchdiff -threshold 10 -watch BenchmarkSimulatorSpeed old.txt new.txt
+//
+// Every benchmark present in both files is reported. The exit status is 1
+// when a watched benchmark's ns/op or allocs/op regresses by more than the
+// threshold. With -count > 1 runs per benchmark, the best (minimum) value of
+// each metric is used, which is robust to scheduler noise.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics maps unit ("ns/op", "allocs/op", ...) to the best observed value.
+type metrics map[string]float64
+
+func parseFile(path string) (map[string]metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]metrics{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix so baselines survive a core-count change.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m := out[name]
+		if m == nil {
+			m = metrics{}
+			out[name] = m
+		}
+		// fields[1] is the iteration count; then (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			if old, ok := m[unit]; !ok || v < old {
+				m[unit] = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return out, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "maximum allowed regression in percent")
+	watch := flag.String("watch", "BenchmarkSimulatorSpeed", "comma-separated benchmarks whose regression fails the run")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-watch names] old.txt new.txt")
+		os.Exit(2)
+	}
+	old, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v (run `make bench-baseline` to create the baseline)\n", err)
+		os.Exit(2)
+	}
+	cur, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	watched := map[string]bool{}
+	for _, w := range strings.Split(*watch, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			watched[w] = true
+		}
+	}
+
+	var names []string
+	for name := range cur {
+		if _, ok := old[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no common benchmarks between the two files")
+		os.Exit(2)
+	}
+
+	failed := false
+	fmt.Printf("%-34s %-12s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+	for _, name := range names {
+		for _, unit := range []string{"ns/op", "B/op", "allocs/op"} {
+			ov, ook := old[name][unit]
+			nv, nok := cur[name][unit]
+			if !ook || !nok {
+				continue
+			}
+			delta := 0.0
+			if ov != 0 {
+				delta = (nv - ov) / ov * 100
+			} else if nv != 0 {
+				delta = 100 // from zero: any growth is a full regression
+			}
+			mark := ""
+			if watched[name] && unit != "B/op" && delta > *threshold {
+				mark = "  REGRESSION"
+				failed = true
+			}
+			fmt.Printf("%-34s %-12s %14.1f %14.1f %+8.1f%%%s\n", name, unit, ov, nv, delta, mark)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: watched benchmark regressed more than %.0f%%\n", *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("ok: no watched benchmark regressed more than %.0f%%\n", *threshold)
+}

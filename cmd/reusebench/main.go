@@ -12,19 +12,46 @@
 //
 // A simulation that aborts (watchdog, cycle budget) does not abort the
 // sweep: the cell is rendered as "fail" and excluded from averages.
+//
+// Alongside the text report, a machine-readable throughput summary is
+// written to BENCH_simcore.json (disable with -benchjson ""): simulated
+// cycles, cycles/sec, ns/cycle, allocs/cycle and per-section wall time.
+// CI and the perf-regression harness consume it; the text report stays
+// byte-stable across timing jitter.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"reuseiq/internal/experiments"
 )
+
+// benchReport is the machine-readable throughput summary. Cycle totals come
+// from the Suite cache (each configuration simulated exactly once), so
+// cycles/sec is true simulation throughput, not inflated by cache hits.
+type benchReport struct {
+	SimulatedCycles uint64         `json:"simulated_cycles"`
+	WallNS          int64          `json:"wall_ns"`
+	Wall            string         `json:"wall"`
+	CyclesPerSec    float64        `json:"cycles_per_sec"`
+	NSPerCycle      float64        `json:"ns_per_cycle"`
+	AllocsPerCycle  float64        `json:"allocs_per_cycle"`
+	Sections        []benchSection `json:"sections"`
+}
+
+type benchSection struct {
+	Name   string `json:"name"`
+	Wall   string `json:"wall"`
+	WallNS int64  `json:"wall_ns"`
+}
 
 func main() {
 	table := flag.Int("table", 0, "regenerate one table (1 or 2)")
@@ -33,6 +60,7 @@ func main() {
 	extension := flag.String("extension", "", "run an extension experiment (frontends)")
 	csvDir := flag.String("csv", "", "also write each figure's data as CSV into this directory")
 	forcefail := flag.String("forcefail", "", "force runs of kernel[:iq] to fail, to demonstrate degraded sweeps")
+	benchJSON := flag.String("benchjson", "BENCH_simcore.json", "write the throughput summary to this file (empty disables)")
 	flag.Parse()
 
 	s := experiments.NewSuite()
@@ -50,6 +78,8 @@ func main() {
 			return sp.Kernel == kernel && (iqSize == 0 || sp.IQSize == iqSize)
 		}
 	}
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	all := *table == 0 && *figure == 0 && *ablation == "" && *extension == ""
 
@@ -73,87 +103,140 @@ func main() {
 			fail(err)
 		}
 	}
+	var sections []benchSection
+	timed := func(name string, f func()) {
+		t0 := time.Now()
+		f()
+		d := time.Since(t0)
+		sections = append(sections, benchSection{
+			Name: name, Wall: d.Round(time.Millisecond).String(), WallNS: d.Nanoseconds(),
+		})
+	}
 
 	if all || *table == 1 {
-		fmt.Println(experiments.Table1())
+		timed("table1", func() { fmt.Println(experiments.Table1()) })
 	}
 	if all || *table == 2 {
-		fmt.Println(experiments.Table2())
+		timed("table2", func() { fmt.Println(experiments.Table2()) })
 	}
 	if all || *figure == 5 {
-		f, err := s.Figure5(experiments.DefaultSizes)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(f)
-		writeCSV("figure5.csv", func(w *os.File) error { return f.WriteCSV(w) })
+		timed("figure5", func() {
+			f, err := s.Figure5(experiments.DefaultSizes)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(f)
+			writeCSV("figure5.csv", func(w *os.File) error { return f.WriteCSV(w) })
+		})
 	}
 	if all || *figure == 6 {
-		f, err := s.Figure6(experiments.DefaultSizes)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(f)
-		writeCSV("figure6.csv", func(w *os.File) error { return f.WriteCSV(w) })
+		timed("figure6", func() {
+			f, err := s.Figure6(experiments.DefaultSizes)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(f)
+			writeCSV("figure6.csv", func(w *os.File) error { return f.WriteCSV(w) })
+		})
 	}
 	if all || *figure == 7 {
-		f, err := s.Figure7(experiments.DefaultSizes)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(f)
-		writeCSV("figure7.csv", func(w *os.File) error { return f.WriteCSV(w) })
+		timed("figure7", func() {
+			f, err := s.Figure7(experiments.DefaultSizes)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(f)
+			writeCSV("figure7.csv", func(w *os.File) error { return f.WriteCSV(w) })
+		})
 	}
 	if all || *figure == 8 {
-		f, err := s.Figure8(experiments.DefaultSizes)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(f)
-		writeCSV("figure8.csv", func(w *os.File) error { return f.WriteCSV(w) })
+		timed("figure8", func() {
+			f, err := s.Figure8(experiments.DefaultSizes)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(f)
+			writeCSV("figure8.csv", func(w *os.File) error { return f.WriteCSV(w) })
+		})
 	}
 	if all || *figure == 9 {
-		f, err := s.Figure9()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(f)
-		writeCSV("figure9.csv", func(w *os.File) error { return f.WriteCSV(w) })
+		timed("figure9", func() {
+			f, err := s.Figure9()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(f)
+			writeCSV("figure9.csv", func(w *os.File) error { return f.WriteCSV(w) })
+		})
 	}
 	if all || *ablation == "nblt" {
-		a, err := s.AblationNBLT()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(a)
+		timed("ablation_nblt", func() {
+			a, err := s.AblationNBLT()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(a)
+		})
 	}
 	if all || *ablation == "strategy" {
-		a, err := s.AblationStrategy()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(a)
+		timed("ablation_strategy", func() {
+			a, err := s.AblationStrategy()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(a)
+		})
 	}
 	if all || *ablation == "nbltsweep" {
-		sw, err := s.SweepNBLTSizes([]int{0, 2, 4, 8, 16})
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(sw)
+		timed("ablation_nbltsweep", func() {
+			sw, err := s.SweepNBLTSizes([]int{0, 2, 4, 8, 16})
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(sw)
+		})
 	}
 	if all || *ablation == "unroll" {
-		a, err := s.AblationUnroll(4)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(a)
+		timed("ablation_unroll", func() {
+			a, err := s.AblationUnroll(4)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(a)
+		})
 	}
 	if all || *extension == "frontends" {
-		c, err := s.CompareFrontEnds()
+		timed("extension_frontends", func() {
+			c, err := s.CompareFrontEnds()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(c)
+		})
+	}
+
+	if *benchJSON != "" {
+		wall := time.Since(start)
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		rep := benchReport{
+			SimulatedCycles: s.TotalCycles(),
+			WallNS:          wall.Nanoseconds(),
+			Wall:            wall.Round(time.Millisecond).String(),
+			Sections:        sections,
+		}
+		if rep.SimulatedCycles > 0 {
+			rep.CyclesPerSec = float64(rep.SimulatedCycles) / wall.Seconds()
+			rep.NSPerCycle = float64(wall.Nanoseconds()) / float64(rep.SimulatedCycles)
+			rep.AllocsPerCycle = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(rep.SimulatedCycles)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(c)
+		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
 	}
 	fmt.Printf("(completed in %s)\n", time.Since(start).Round(time.Second))
 }

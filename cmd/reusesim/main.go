@@ -13,12 +13,15 @@
 //	reusesim -kernel aps -pipetrace 40   # pipeline diagram of the first 40 insts
 //	reusesim -kernel aps -verify         # cross-check every commit (lockstep)
 //	reusesim -kernel aps -chaos 42       # seeded fault injection
+//	reusesim -kernel aps -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"reuseiq/internal/asm"
 	"reuseiq/internal/chaos"
@@ -50,9 +53,38 @@ func main() {
 	statsFlag := flag.Bool("stats", false, "print the full counter set instead of the summary")
 	verify := flag.Bool("verify", false, "run under the lockstep oracle and invariant checker")
 	chaosFlag := flag.Int64("chaos", 0, "enable seeded fault injection (nonzero seed)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 	verifyRuns = *verify
 	chaosSeed = *chaosFlag
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reusesim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "reusesim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "reusesim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // only reachable allocations; the point is what the core retains
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "reusesim:", err)
+			}
+		}()
+	}
 
 	p, src, err := load(*kernel, *asmFile, *distribute)
 	if err != nil {

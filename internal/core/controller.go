@@ -95,6 +95,8 @@ type Controller struct {
 	firstIterDone bool
 	reuseOrd      int // reuse pointer, as an ordinal over classified entries
 
+	reusable []int // scratch for ReusableEntries
+
 	S Stats
 }
 
@@ -237,29 +239,31 @@ func (c *Controller) OnRecovery() {
 	}
 }
 
-// ReusableEntries returns up to max queue positions starting at the reuse
+// ReusableEntries returns up to max queue slots starting at the reuse
 // pointer whose issue state bits are set, stopping at the first unissued
 // buffered entry (the paper's first-m-of-n check). The scan also stops at
 // the end of the buffer: the pointer resets to the first buffered
 // instruction only after the last one has been reused (paper §2.3), so a
-// supply group never spans the wrap. Valid only during Reuse.
+// supply group never spans the wrap. Valid only during Reuse. The returned
+// slice is reused across calls.
 func (c *Controller) ReusableEntries(max int) []int {
 	if c.state != Reuse {
 		return nil
 	}
-	class := c.q.ClassifiedIndices()
+	class := c.q.ClassifiedSlots()
 	n := len(class)
 	if n == 0 {
 		return nil
 	}
-	var out []int
+	out := c.reusable[:0]
 	for i := 0; i < max && c.reuseOrd+i < n; i++ {
-		idx := class[c.reuseOrd+i]
-		if !c.q.Entry(idx).Issued {
+		slot := int(class[c.reuseOrd+i])
+		if !c.q.Entry(slot).Issued {
 			break
 		}
-		out = append(out, idx)
+		out = append(out, slot)
 	}
+	c.reusable = out
 	return out
 }
 

@@ -14,11 +14,11 @@ func entry(seq uint64, classified, issued bool) Entry {
 func TestQueueDispatchAndCapacity(t *testing.T) {
 	q := NewQueue(4)
 	for i := 0; i < 4; i++ {
-		if !q.Dispatch(entry(uint64(i+1), false, false)) {
+		if _, ok := q.Dispatch(entry(uint64(i+1), false, false)); !ok {
 			t.Fatalf("dispatch %d failed", i)
 		}
 	}
-	if q.Dispatch(entry(9, false, false)) {
+	if _, ok := q.Dispatch(entry(9, false, false)); ok {
 		t.Fatal("dispatch into full queue succeeded")
 	}
 	if q.Free() != 0 || q.Len() != 4 {
@@ -28,14 +28,18 @@ func TestQueueDispatchAndCapacity(t *testing.T) {
 
 func TestQueueIssueRemovesConventional(t *testing.T) {
 	q := NewQueue(4)
-	q.Dispatch(entry(1, false, false))
-	q.Dispatch(entry(2, false, false))
-	if removed := q.MarkIssued(0); !removed {
+	s1, _ := q.Dispatch(entry(1, false, false))
+	s2, _ := q.Dispatch(entry(2, false, false))
+	if removed := q.MarkIssued(s1); !removed {
 		t.Fatal("conventional entry not removed at issue")
 	}
-	if q.Len() != 1 || q.Entry(0).Seq != 2 {
-		t.Fatalf("collapse failed: len=%d", q.Len())
+	if q.Len() != 1 || !q.Valid(s2) || q.Entry(s2).Seq != 2 {
+		t.Fatalf("removal failed: len=%d", q.Len())
 	}
+	if q.Valid(s1) {
+		t.Fatal("issued entry's slot still valid")
+	}
+	// The modeled collapsing queue shifted the one younger entry.
 	if q.Collapses != 1 {
 		t.Errorf("collapses = %d, want 1", q.Collapses)
 	}
@@ -43,11 +47,11 @@ func TestQueueIssueRemovesConventional(t *testing.T) {
 
 func TestQueueIssueKeepsClassified(t *testing.T) {
 	q := NewQueue(4)
-	q.Dispatch(entry(1, true, false))
-	if removed := q.MarkIssued(0); removed {
+	s, _ := q.Dispatch(entry(1, true, false))
+	if removed := q.MarkIssued(s); removed {
 		t.Fatal("classified entry removed at issue")
 	}
-	if !q.Entry(0).Issued {
+	if !q.Entry(s).Issued {
 		t.Fatal("issue state bit not set")
 	}
 }
@@ -77,13 +81,15 @@ func TestQueueRevoke(t *testing.T) {
 	if q.Len() != 2 {
 		t.Fatalf("len after revoke = %d", q.Len())
 	}
+	var seqs []uint64
 	q.Walk(func(i int, e *Entry) {
 		if e.Classified {
 			t.Errorf("seq %d still classified after revoke", e.Seq)
 		}
+		seqs = append(seqs, e.Seq)
 	})
-	if q.Entry(0).Seq != 1 || q.Entry(1).Seq != 3 {
-		t.Error("wrong survivors after revoke")
+	if len(seqs) != 2 || seqs[0] != 1 || seqs[1] != 3 {
+		t.Errorf("wrong survivors after revoke: %v", seqs)
 	}
 }
 
@@ -93,9 +99,9 @@ func TestQueuePartialUpdate(t *testing.T) {
 	e.Inst = isa.Inst{Op: isa.OpADDI, Rt: 2, Rs: 2, Imm: 1}
 	e.StaticTaken = true
 	e.StaticTarget = 0x400100
-	q.Dispatch(e)
-	q.PartialUpdate(0, 9, 3, -1, [2]int{7, 0}, 8)
-	got := q.Entry(0)
+	slot, _ := q.Dispatch(e)
+	q.PartialUpdate(slot, 9, 3, -1, [2]int{7, 0}, [2]bool{}, 8)
+	got := q.Entry(slot)
 	if got.Seq != 9 || got.ROBSlot != 3 || got.DestPhys != 8 || got.Issued {
 		t.Errorf("partial update result: %+v", got)
 	}
@@ -107,15 +113,15 @@ func TestQueuePartialUpdate(t *testing.T) {
 	}
 }
 
-func TestQueueClassifiedIndices(t *testing.T) {
+func TestQueueClassifiedSlots(t *testing.T) {
 	q := NewQueue(8)
 	q.Dispatch(entry(1, false, false))
-	q.Dispatch(entry(2, true, false))
+	s2, _ := q.Dispatch(entry(2, true, false))
 	q.Dispatch(entry(3, false, false))
-	q.Dispatch(entry(4, true, false))
-	idx := q.ClassifiedIndices()
-	if len(idx) != 2 || idx[0] != 1 || idx[1] != 3 {
-		t.Errorf("classified indices = %v", idx)
+	s4, _ := q.Dispatch(entry(4, true, false))
+	idx := q.ClassifiedSlots()
+	if len(idx) != 2 || int(idx[0]) != s2 || int(idx[1]) != s4 {
+		t.Errorf("classified slots = %v, want [%d %d]", idx, s2, s4)
 	}
 	if q.ClassifiedCount() != 2 {
 		t.Errorf("count = %d", q.ClassifiedCount())
@@ -349,16 +355,16 @@ func TestControllerReusePointerWraps(t *testing.T) {
 		t.Fatalf("unissued entries supplied: %v", got)
 	}
 	// Issue everything; supply up to width, in order, wrapping.
-	for i := 0; i < q.Len(); i++ {
-		if q.Entry(i).Classified {
-			q.MarkIssued(i)
+	q.Walk(func(slot int, e *Entry) {
+		if e.Classified {
+			q.MarkIssued(slot)
 		}
-	}
-	first := c.ReusableEntries(4)
+	})
+	first := append([]int(nil), c.ReusableEntries(4)...)
 	if len(first) != 4 {
 		t.Fatalf("supply = %v", first)
 	}
-	if first[0] != q.ClassifiedIndices()[0] {
+	if first[0] != int(q.ClassifiedSlots()[0]) {
 		t.Error("reuse pointer does not start at the first buffered entry")
 	}
 	c.ConsumeReused(4)

@@ -49,12 +49,15 @@ func (h *harness) dispatch(pc uint32, in isa.Inst, taken bool, target uint32) {
 	}
 }
 
-// issueSome marks up to n ready-looking entries issued.
+// issueSome marks up to n ready-looking entries issued, picking random live
+// slots like the select logic would pick ready ones.
 func (h *harness) issueSome(rng *rand.Rand, n int) {
 	for i := 0; i < n && h.q.Len() > 0; i++ {
-		pos := rng.Intn(h.q.Len())
-		if !h.q.Entry(pos).Issued {
-			h.q.MarkIssued(pos)
+		var slots []int
+		h.q.Walk(func(slot int, e *Entry) { slots = append(slots, slot) })
+		slot := slots[rng.Intn(len(slots))]
+		if !h.q.Entry(slot).Issued {
+			h.q.MarkIssued(slot)
 		}
 	}
 }
@@ -63,7 +66,7 @@ func (h *harness) issueSome(rng *rand.Rand, n int) {
 func (h *harness) reuseSome(width int) {
 	idxs := h.c.ReusableEntries(width)
 	for _, pos := range idxs {
-		h.q.PartialUpdate(pos, h.nextSeq(), 0, -1, [2]int{}, -1)
+		h.q.PartialUpdate(pos, h.nextSeq(), 0, -1, [2]int{}, [2]bool{}, -1)
 	}
 	h.c.ConsumeReused(len(idxs))
 }
@@ -154,11 +157,11 @@ func TestReusePointerCoversAllEntries(t *testing.T) {
 	}
 	n := h.q.ClassifiedCount()
 	// Issue everything so the whole buffer is reusable.
-	for i := 0; i < h.q.Len(); i++ {
-		if h.q.Entry(i).Classified && !h.q.Entry(i).Issued {
-			h.q.MarkIssued(i)
+	h.q.Walk(func(slot int, e *Entry) {
+		if e.Classified && !e.Issued {
+			h.q.MarkIssued(slot)
 		}
-	}
+	})
 	// Supply in groups of 4 until every entry has been re-renamed once;
 	// the number of renames to come back to the start must be exactly n.
 	seen := 0
@@ -168,8 +171,8 @@ func TestReusePointerCoversAllEntries(t *testing.T) {
 			t.Fatal("supply stalled with all entries issued")
 		}
 		for _, pos := range idxs {
-			h.q.PartialUpdate(pos, h.nextSeq(), 0, -1, [2]int{}, -1)
-			h.q.Entry(pos).Issued = true // pretend it issued again immediately
+			h.q.PartialUpdate(pos, h.nextSeq(), 0, -1, [2]int{}, [2]bool{}, -1)
+			h.q.MarkIssued(pos) // pretend it issued again immediately
 			seen++
 		}
 		h.c.ConsumeReused(len(idxs))

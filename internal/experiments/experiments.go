@@ -179,6 +179,7 @@ func (s *Suite) Run(sp Spec) (RunResult, error) {
 			budget = pipeline.DefaultMaxCycles
 		}
 		cfg.MaxCycles = 4 * budget
+		m.Release()
 		m = pipeline.New(cfg, mp)
 		if runErr = m.Run(); runErr != nil {
 			runErr = fmt.Errorf("experiments: %s iq=%d reuse=%v (after retry): %w",
@@ -199,10 +200,26 @@ func (s *Suite) Run(sp Spec) (RunResult, error) {
 		Err:         runErr,
 		Retried:     retried,
 	}
+	// The result holds only values, so the machine's scratch buffers can go
+	// back to the pool for the next sweep point.
+	m.Release()
 	s.mu.Lock()
 	s.results[k] = r
 	s.mu.Unlock()
 	return r, nil
+}
+
+// TotalCycles returns the simulated cycles accumulated over all cached runs
+// (each distinct configuration counted once, as it is simulated once). It is
+// the denominator for cmd/reusebench's throughput metrics.
+func (s *Suite) TotalCycles() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n uint64
+	for _, r := range s.results {
+		n += r.Cycles
+	}
+	return n
 }
 
 // Prewarm runs the given specs in parallel, populating the cache. All

@@ -56,23 +56,37 @@ func (r Reg) String() string {
 
 // Sources returns the architectural registers read by in (0 to 2 entries).
 func (in Inst) Sources() []Reg {
+	var buf [2]Reg
+	n := in.SourceRegs(&buf)
+	if n == 0 {
+		return nil
+	}
+	return append([]Reg(nil), buf[:n]...)
+}
+
+// SourceRegs stores in's source registers into dst and returns how many
+// there are. It is the allocation-free form of Sources, for the rename hot
+// path (every dispatched and every reused instruction extracts its sources).
+func (in Inst) SourceRegs(dst *[2]Reg) int {
 	info := in.Op.Info()
-	var srcs []Reg
+	n := 0
 	if info.ReadsRs {
 		kind := KindInt
 		if info.RsFP {
 			kind = KindFP
 		}
-		srcs = append(srcs, Reg{kind, in.Rs})
+		dst[n] = Reg{kind, in.Rs}
+		n++
 	}
 	if info.ReadsRt {
 		kind := KindInt
 		if info.RtFP {
 			kind = KindFP
 		}
-		srcs = append(srcs, Reg{kind, in.Rt})
+		dst[n] = Reg{kind, in.Rt}
+		n++
 	}
-	return srcs
+	return n
 }
 
 // Dest returns the architectural destination register of in, if any.

@@ -22,7 +22,10 @@ func (m *Machine) dispatch() {
 		if !m.dispatchResourcesOK(f.in) {
 			return
 		}
-		m.decodeLat = m.decodeLat[1:]
+		// Pop by copying down so the latch's backing array never slides
+		// (append would otherwise reallocate it every few cycles).
+		n := copy(m.decodeLat, m.decodeLat[1:])
+		m.decodeLat = m.decodeLat[:n]
 		info, promoted := m.dispatchOne(f)
 		m.C.FrontRenames++
 		if m.Rec != nil {
@@ -112,7 +115,7 @@ func (m *Machine) dispatchOne(f fetched) (core.DispatchInfo, bool) {
 		}
 		entry.LSQSlot = ls
 	}
-	if !m.IQ.Dispatch(entry) {
+	if _, ok := m.IQ.Dispatch(entry); !ok {
 		panic("pipeline: IQ dispatch after resource check")
 	}
 	return info, info.Promote
@@ -120,12 +123,15 @@ func (m *Machine) dispatchOne(f fetched) (core.DispatchInfo, bool) {
 
 // renameInto fills the entry's physical source and destination registers and
 // returns the previous physical mapping of the destination (for rollback).
+// It also snapshots per-source readiness, seeding the queue's wakeup index.
 func (m *Machine) renameInto(e *core.Entry) (oldPhys int) {
-	srcs := e.Inst.Sources()
-	e.NumSrc = len(srcs)
-	for i, s := range srcs {
+	var srcs [2]isa.Reg
+	e.NumSrc = e.Inst.SourceRegs(&srcs)
+	for i := 0; i < e.NumSrc; i++ {
+		s := srcs[i]
 		e.SrcPhys[i] = m.RF.Lookup(s)
 		e.SrcKind[i] = s.Kind
+		e.SrcReady[i] = m.RF.Ready(s.Kind, e.SrcPhys[i])
 	}
 	if d, ok := e.Inst.Dest(); ok {
 		var newP int
@@ -163,10 +169,13 @@ func (m *Machine) reuseDispatch() {
 		seq := m.allocSeq()
 
 		// Re-rename from the logical register list.
+		var srcs [2]isa.Reg
+		nsrc := in.SourceRegs(&srcs)
 		var srcPhys [2]int
-		srcs := in.Sources()
-		for i, s := range srcs {
-			srcPhys[i] = m.RF.Lookup(s)
+		var srcReady [2]bool
+		for i := 0; i < nsrc; i++ {
+			srcPhys[i] = m.RF.Lookup(srcs[i])
+			srcReady[i] = m.RF.Ready(srcs[i].Kind, srcPhys[i])
 		}
 		destPhys := -1
 		var oldPhys int
@@ -210,7 +219,7 @@ func (m *Machine) reuseDispatch() {
 			}
 			lsqSlot = ls
 		}
-		m.IQ.PartialUpdate(pos, seq, slot, lsqSlot, srcPhys, destPhys)
+		m.IQ.PartialUpdate(pos, seq, slot, lsqSlot, srcPhys, srcReady, destPhys)
 		m.C.ReuseRenames++
 		consumed++
 		if m.Rec != nil {
@@ -233,7 +242,8 @@ func (m *Machine) decode() {
 	}
 	for len(m.decodeLat) < m.Cfg.DecodeWidth && len(m.fetchQ) > 0 {
 		m.decodeLat = append(m.decodeLat, m.fetchQ[0])
-		m.fetchQ = m.fetchQ[1:]
+		n := copy(m.fetchQ, m.fetchQ[1:])
+		m.fetchQ = m.fetchQ[:n]
 		m.C.Decodes++
 	}
 }

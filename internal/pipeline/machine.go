@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"sync"
 
 	"reuseiq/internal/altfe"
 	"reuseiq/internal/bpred"
@@ -128,6 +129,8 @@ type Machine struct {
 	fetchQ          []fetched
 	decodeLat       []fetched
 	execQ           []execEntry
+	done            []execEntry // writeback scratch (completions this cycle)
+	cands           []issueCand // issue scratch (sorted ready candidates)
 	halted          bool
 	lastCommit      uint64
 
@@ -187,7 +190,55 @@ func New(cfg Config, p *prog.Program) *Machine {
 	}
 	m.fetchPC = p.Entry
 	m.RF.SetArchInt(isa.RegSP, int32(prog.StackTop))
+
+	// Working buffers come from a shared pool so that sweep harnesses
+	// building thousands of machines reuse them instead of regrowing; a
+	// fresh set is pre-sized so the hot loop never reallocates.
+	if w, _ := wsPool.Get().(*workspace); w != nil {
+		m.fetchQ = w.fetchQ[:0]
+		m.decodeLat = w.decodeLat[:0]
+		m.execQ = w.execQ[:0]
+		m.done = w.done[:0]
+		m.cands = w.cands[:0]
+		m.commitLog = w.commitLog[:0]
+	} else {
+		m.fetchQ = make([]fetched, 0, cfg.FetchQueueSize)
+		m.decodeLat = make([]fetched, 0, cfg.DecodeWidth)
+		m.execQ = make([]execEntry, 0, cfg.IQSize)
+		m.done = make([]execEntry, 0, cfg.IQSize)
+		m.cands = make([]issueCand, 0, cfg.IQSize)
+	}
 	return m
+}
+
+// workspace holds a machine's reusable scratch buffers between runs.
+type workspace struct {
+	fetchQ    []fetched
+	decodeLat []fetched
+	execQ     []execEntry
+	done      []execEntry
+	cands     []issueCand
+	commitLog []uint32
+}
+
+var wsPool sync.Pool
+
+// Release returns the machine's scratch buffers to the shared pool for reuse
+// by future machines. Results (counters, architectural state, statistics)
+// stay readable, but the machine must not be stepped afterwards and the
+// commit log is surrendered.
+func (m *Machine) Release() {
+	wsPool.Put(&workspace{
+		fetchQ:    m.fetchQ,
+		decodeLat: m.decodeLat,
+		execQ:     m.execQ,
+		done:      m.done,
+		cands:     m.cands,
+		commitLog: m.commitLog,
+	})
+	m.fetchQ, m.decodeLat = nil, nil
+	m.execQ, m.done, m.cands = nil, nil, nil
+	m.commitLog = nil
 }
 
 // Halted reports whether the program's HALT has committed.

@@ -1,8 +1,9 @@
 package pipeline
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"reuseiq/internal/core"
 	"reuseiq/internal/isa"
@@ -128,7 +129,7 @@ func (m *Machine) commitStore() lsq.Entry {
 func (m *Machine) writeback() {
 	// Collect completions for this cycle in program order; older results
 	// must write back (and possibly trigger recovery) before younger ones.
-	var done []execEntry
+	done := m.done[:0]
 	kept := m.execQ[:0]
 	for _, e := range m.execQ {
 		if e.done <= m.cycle {
@@ -138,7 +139,8 @@ func (m *Machine) writeback() {
 		}
 	}
 	m.execQ = kept
-	sort.Slice(done, func(i, j int) bool { return done[i].seq < done[j].seq })
+	m.done = done
+	slices.SortFunc(done, func(a, b execEntry) int { return cmp.Compare(a.seq, b.seq) })
 
 	// barrier guards against completions squashed by a recovery triggered
 	// earlier in this same batch (their execQ entries were already drained
@@ -158,9 +160,12 @@ func (m *Machine) writeback() {
 			} else {
 				m.RF.WriteInt(r.NewPhys, e.valI)
 			}
-			// Result-tag broadcast wakes up issue queue consumers.
+			// Result-tag broadcast wakes up issue queue consumers. The
+			// counters charge the CAM compare across all live entries the
+			// hardware would perform; Wake only touches true dependents.
 			m.C.WakeupBroadcasts++
 			m.C.WakeupOccupancySum += uint64(m.IQ.Len())
+			m.IQ.Wake(r.Dest.Kind, r.NewPhys)
 		}
 		r.Done = true
 		if m.Rec != nil {
@@ -228,51 +233,36 @@ func (m *Machine) recover(e *rob.Entry) {
 
 // ----------------------------------------------------------------- issue --
 
+// issueCand is one ready queue entry competing for an issue port.
+type issueCand struct {
+	seq  uint64
+	slot int32
+}
+
 func (m *Machine) issue() {
+	// The modeled select logic examines every live entry each cycle; the
+	// software walks only the queue's ready-candidate index.
 	m.C.IssueCycleScans += uint64(m.IQ.Len())
 	m.IQ.SelectScans += uint64(m.IQ.Len())
 
 	m.resolveStoreAddresses()
 
-	// Select ready entries oldest first. Candidate positions are captured
-	// before any removal; removals during issue shift later positions left,
-	// which is compensated below.
-	type cand struct {
-		seq uint64
-		pos int
+	// Select ready entries oldest first. Slots are stable, so no position
+	// compensation is needed when an issued entry is removed.
+	cands := m.cands[:0]
+	for _, slot := range m.IQ.ReadySlots() {
+		cands = append(cands, issueCand{seq: m.IQ.Entry(int(slot)).Seq, slot: slot})
 	}
-	var cands []cand
-	m.IQ.Walk(func(i int, e *core.Entry) {
-		if e.Issued {
-			return
-		}
-		for s := 0; s < e.NumSrc; s++ {
-			if !m.RF.Ready(e.SrcKind[s], e.SrcPhys[s]) {
-				return
-			}
-		}
-		cands = append(cands, cand{seq: e.Seq, pos: i})
-	})
-	sort.Slice(cands, func(i, j int) bool { return cands[i].seq < cands[j].seq })
+	m.cands = cands
+	slices.SortFunc(cands, func(a, b issueCand) int { return cmp.Compare(a.seq, b.seq) })
 
 	issued := 0
-	var removed []int // original positions removed this cycle
 	for _, c := range cands {
 		if issued >= m.Cfg.IssueWidth {
 			break
 		}
-		pos := c.pos
-		for _, r := range removed {
-			if r < c.pos {
-				pos--
-			}
-		}
-		ok, wasRemoved := m.tryIssueEntry(pos)
-		if ok {
+		if m.tryIssueEntry(int(c.slot)) {
 			issued++
-			if wasRemoved {
-				removed = append(removed, c.pos)
-			}
 		}
 	}
 }
@@ -285,45 +275,48 @@ func (m *Machine) issue() {
 // behind dependent stores and destroy memory-level parallelism.
 func (m *Machine) resolveStoreAddresses() {
 	resolved := 0
-	m.IQ.Walk(func(i int, e *core.Entry) {
-		if resolved >= m.Cfg.IssueWidth || e.Issued || e.LSQSlot < 0 {
-			return
+	m.IQ.ForEachPendingStore(func(slot int) bool {
+		if resolved >= m.Cfg.IssueWidth {
+			return false
 		}
-		if e.Inst.Op.Info().Class != isa.ClassStore {
-			return
-		}
+		e := m.IQ.Entry(slot)
 		le := m.LSQ.Get(e.LSQSlot)
 		if le.AddrReady || le.Seq != e.Seq {
-			return
+			m.IQ.StoreResolved(slot)
+			return true
 		}
 		// The base register is the first source (rs).
-		if !m.RF.Ready(e.SrcKind[0], e.SrcPhys[0]) {
-			return
+		if !e.SrcReady[0] {
+			return true
 		}
 		base := m.RF.ReadInt(e.SrcPhys[0])
 		le.Addr = uint32(base + e.Inst.Imm)
 		le.AddrReady = true
+		m.IQ.StoreResolved(slot)
 		resolved++
+		return true
 	})
 }
 
-// tryIssueEntry attempts to issue the queue entry at position pos. It
-// reports whether the instruction issued, and whether its queue entry was
-// removed (conventional entries are; classified entries stay).
-func (m *Machine) tryIssueEntry(pos int) (issued, removed bool) {
-	// Snapshot the entry: MarkIssued may remove it and collapse the queue,
-	// invalidating pointers into the entry slice.
-	e := *m.IQ.Entry(pos)
+// tryIssueEntry attempts to issue the queue entry in slot. It reports
+// whether the instruction issued (conventional entries are then removed;
+// classified entries stay with their issue state bit set).
+func (m *Machine) tryIssueEntry(slot int) bool {
+	// Slots are stable, so the entry can be read in place (a value copy
+	// would be forced onto the heap by the debug path taking its address).
+	// MarkIssued frees a conventional entry's slot, so everything needed
+	// after it is read into locals first.
+	e := m.IQ.Entry(slot)
 	op := e.Inst.Op
 	cls := op.Info().Class
 
 	// Loads: conservative disambiguation before consuming a port.
 	if cls == isa.ClassLoad && !m.LSQ.OlderStoreAddrsKnown(e.Seq) {
-		return false, false
+		return false
 	}
 
 	if !m.FUs.Available(op, m.cycle) {
-		return false, false
+		return false
 	}
 
 	// Read operands from the physical register file.
@@ -354,10 +347,10 @@ func (m *Machine) tryIssueEntry(pos int) (issued, removed bool) {
 	case isa.ClassLoad:
 		res, dI, dF := m.LSQ.SearchForLoad(e.Seq, r.Addr, memSize(op))
 		if res == lsq.MustWait {
-			return false, false
+			return false
 		}
 		if _, ok := m.FUs.TryIssue(op, m.cycle); !ok {
-			return false, false
+			return false
 		}
 		le := m.LSQ.Get(e.LSQSlot)
 		le.AddrReady = true
@@ -372,7 +365,7 @@ func (m *Machine) tryIssueEntry(pos int) (issued, removed bool) {
 		}
 	case isa.ClassStore:
 		if _, ok := m.FUs.TryIssue(op, m.cycle); !ok {
-			return false, false
+			return false
 		}
 		le := m.LSQ.Get(e.LSQSlot)
 		le.AddrReady = true
@@ -385,7 +378,7 @@ func (m *Machine) tryIssueEntry(pos int) (issued, removed bool) {
 	default:
 		l, ok := m.FUs.TryIssue(op, m.cycle)
 		if !ok {
-			return false, false
+			return false
 		}
 		lat = l
 		valI, valF = r.I, r.F
@@ -405,17 +398,18 @@ func (m *Machine) tryIssueEntry(pos int) (issued, removed bool) {
 	}
 
 	if m.DebugIssue != nil {
-		m.DebugIssue(e.Seq, e.PC, fmtIssue(&e, ops, valI))
+		m.DebugIssue(e.Seq, e.PC, fmtIssue(e, ops, valI))
 	}
 	if m.Rec != nil {
 		m.Rec.OnIssue(e.Seq, m.cycle)
 	}
-	removed = m.IQ.MarkIssued(pos)
+	robSlot, seq := e.ROBSlot, e.Seq
+	m.IQ.MarkIssued(slot)
 	m.execQ = append(m.execQ, execEntry{
-		robSlot: e.ROBSlot, seq: e.Seq, done: m.cycle + uint64(lat),
+		robSlot: robSlot, seq: seq, done: m.cycle + uint64(lat),
 		valI: valI, valF: valF,
 	})
-	return true, removed
+	return true
 }
 
 func memSize(op isa.Op) uint8 {

@@ -46,6 +46,8 @@ type ROB struct {
 
 	Allocs  uint64
 	Commits uint64
+
+	squashed []Entry // scratch returned by SquashAfter
 }
 
 // New creates a reorder buffer with the given capacity.
@@ -105,8 +107,9 @@ func (r *ROB) PopHead() Entry {
 // SquashAfter removes every entry with Seq > seq and returns them youngest
 // first (the order required for rename rollback). Squashed slots are
 // invalidated so that a stale in-flight completion can never match them.
+// The returned slice is reused by the next SquashAfter call.
 func (r *ROB) SquashAfter(seq uint64) []Entry {
-	var removed []Entry
+	removed := r.squashed[:0]
 	for r.count > 0 {
 		tail := (r.head + r.count - 1) % len(r.ring)
 		if r.ring[tail].Seq <= seq {
@@ -117,6 +120,7 @@ func (r *ROB) SquashAfter(seq uint64) []Entry {
 		r.used[tail] = false
 		r.count--
 	}
+	r.squashed = removed
 	return removed
 }
 

@@ -24,60 +24,74 @@ type InstRecord struct {
 	Squashed bool
 }
 
-// Recorder collects the first Max instruction records of a run. The zero
-// value is unusable; use New.
+// Recorder collects the first Max instruction records of a run. Sequence
+// numbers are allocated contiguously at dispatch, so records live in a
+// slice indexed by seq minus the first recorded seq — a map would cost a
+// hash and an allocation per lifecycle event. The zero value is unusable;
+// use New.
 type Recorder struct {
 	Max     int
-	records map[uint64]*InstRecord
-	order   []uint64
+	base    uint64 // seq of records[0]; valid once len(records) > 0
+	records []InstRecord
 }
 
 // New creates a recorder keeping at most max instructions.
 func New(max int) *Recorder {
-	return &Recorder{Max: max, records: map[uint64]*InstRecord{}}
+	return &Recorder{Max: max}
 }
 
 // OnDispatch starts a record. Extra calls beyond Max are ignored.
 func (r *Recorder) OnDispatch(seq uint64, pc uint32, disasm string, reused bool, cycle uint64) {
-	if len(r.order) >= r.Max {
+	if len(r.records) >= r.Max {
 		return
 	}
-	r.records[seq] = &InstRecord{Seq: seq, PC: pc, Disasm: disasm, Reused: reused, Dispatch: cycle}
-	r.order = append(r.order, seq)
+	if len(r.records) == 0 {
+		r.base = seq
+		r.records = make([]InstRecord, 0, r.Max)
+	}
+	r.records = append(r.records, InstRecord{Seq: seq, PC: pc, Disasm: disasm, Reused: reused, Dispatch: cycle})
+}
+
+// at returns the record for seq, or nil if it was never recorded.
+func (r *Recorder) at(seq uint64) *InstRecord {
+	if seq < r.base || seq-r.base >= uint64(len(r.records)) {
+		return nil
+	}
+	rec := &r.records[seq-r.base]
+	if rec.Seq != seq { // defensive: seq allocation stopped being contiguous
+		return nil
+	}
+	return rec
 }
 
 // OnIssue, OnComplete, OnCommit and OnSquash stamp lifecycle events.
 func (r *Recorder) OnIssue(seq, cycle uint64) {
-	if rec := r.records[seq]; rec != nil {
+	if rec := r.at(seq); rec != nil {
 		rec.Issue = cycle
 	}
 }
 
 func (r *Recorder) OnComplete(seq, cycle uint64) {
-	if rec := r.records[seq]; rec != nil {
+	if rec := r.at(seq); rec != nil {
 		rec.Complete = cycle
 	}
 }
 
 func (r *Recorder) OnCommit(seq, cycle uint64) {
-	if rec := r.records[seq]; rec != nil {
+	if rec := r.at(seq); rec != nil {
 		rec.Commit = cycle
 	}
 }
 
 func (r *Recorder) OnSquash(seq uint64) {
-	if rec := r.records[seq]; rec != nil {
+	if rec := r.at(seq); rec != nil {
 		rec.Squashed = true
 	}
 }
 
-// Records returns the collected records in dispatch order.
+// Records returns a copy of the collected records in dispatch order.
 func (r *Recorder) Records() []InstRecord {
-	out := make([]InstRecord, 0, len(r.order))
-	for _, seq := range r.order {
-		out = append(out, *r.records[seq])
-	}
-	return out
+	return append([]InstRecord(nil), r.records...)
 }
 
 // Render writes a pipeline diagram: one row per instruction, one column per
