@@ -1,9 +1,10 @@
-# Tier-1 verification: everything must build, vet clean, and pass the full
-# test suite under the race detector (the experiment harness runs
-# simulations concurrently, so -race is part of the gate, not an extra).
-.PHONY: check build vet test race fuzz bench bench-baseline bench-all
+# Tier-1 verification: everything must build, vet clean, pass the full test
+# suite under the race detector (the experiment harness runs simulations
+# concurrently, so -race is part of the gate, not an extra), and emit a valid
+# telemetry trace.
+.PHONY: check build vet test race fuzz bench bench-baseline bench-all telemetry-check
 
-check: build vet race
+check: build vet race telemetry-check
 
 build:
 	go build ./...
@@ -16,6 +17,14 @@ test:
 
 race:
 	go test -race ./...
+
+# Telemetry gate: run a gating kernel with tracing on and validate the
+# emitted Chrome trace JSON (well-formed, monotone timestamps, balanced
+# begin/end pairs, RIQ state-machine slices present).
+telemetry-check:
+	@mkdir -p bench
+	go run ./cmd/reusesim -kernel aps -trace bench/telemetry-check.json > /dev/null
+	go run ./cmd/tracecheck -require-riq bench/telemetry-check.json
 
 # Coverage-guided fuzzing of the assembler (see internal/asm/fuzz_test.go).
 fuzz:

@@ -5,16 +5,20 @@
 //	benchdiff old.txt new.txt
 //	benchdiff -threshold 10 -watch BenchmarkSimulatorSpeed old.txt new.txt
 //
-// Every benchmark present in both files is reported. The exit status is 1
-// when a watched benchmark's ns/op or allocs/op regresses by more than the
-// threshold. With -count > 1 runs per benchmark, the best (minimum) value of
-// each metric is used, which is robust to scheduler noise.
+// Every benchmark present in both files is reported; benchmarks present in
+// only one file are listed separately so a renamed or deleted benchmark
+// cannot silently drop out of the gate. The exit status is 1 when a watched
+// benchmark's ns/op or allocs/op regresses by more than the threshold, and 2
+// on usage or input errors (including malformed benchmark lines). With
+// -count > 1 runs per benchmark, the best (minimum) value of each metric is
+// used, which is robust to scheduler noise.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -30,12 +34,21 @@ func parseFile(path string) (map[string]metrics, error) {
 		return nil, err
 	}
 	defer f.Close()
+	return parse(f, path)
+}
+
+func parse(r io.Reader, path string) (map[string]metrics, error) {
 	out := map[string]metrics{}
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(r)
+	line := 0
 	for sc.Scan() {
+		line++
 		fields := strings.Fields(sc.Text())
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		if len(fields) == 0 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
+		}
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			return nil, fmt.Errorf("%s:%d: malformed benchmark line %q", path, line, sc.Text())
 		}
 		name := fields[0]
 		// Strip the -GOMAXPROCS suffix so baselines survive a core-count change.
@@ -43,6 +56,9 @@ func parseFile(path string) (map[string]metrics, error) {
 			if _, err := strconv.Atoi(name[i+1:]); err == nil {
 				name = name[:i]
 			}
+		}
+		if _, err := strconv.ParseUint(fields[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("%s:%d: bad iteration count %q", path, line, fields[1])
 		}
 		m := out[name]
 		if m == nil {
@@ -53,7 +69,7 @@ func parseFile(path string) (map[string]metrics, error) {
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				continue
+				return nil, fmt.Errorf("%s:%d: bad value %q for unit %q", path, line, fields[i], fields[i+1])
 			}
 			unit := fields[i+1]
 			if old, ok := m[unit]; !ok || v < old {
@@ -70,23 +86,43 @@ func parseFile(path string) (map[string]metrics, error) {
 	return out, nil
 }
 
+// only returns the sorted names present in a but not in b.
+func only(a, b map[string]metrics) []string {
+	var names []string
+	for name := range a {
+		if _, ok := b[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
 func main() {
-	threshold := flag.Float64("threshold", 10, "maximum allowed regression in percent")
-	watch := flag.String("watch", "BenchmarkSimulatorSpeed", "comma-separated benchmarks whose regression fails the run")
-	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-watch names] old.txt new.txt")
-		os.Exit(2)
+	os.Exit(mainImpl(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func mainImpl(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 10, "maximum allowed regression in percent")
+	watch := fs.String("watch", "BenchmarkSimulatorSpeed", "comma-separated benchmarks whose regression fails the run")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	old, err := parseFile(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: %v (run `make bench-baseline` to create the baseline)\n", err)
-		os.Exit(2)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [-threshold pct] [-watch names] old.txt new.txt")
+		return 2
 	}
-	cur, err := parseFile(flag.Arg(1))
+	old, err := parseFile(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchdiff: %v (run `make bench-baseline` to create the baseline)\n", err)
+		return 2
+	}
+	cur, err := parseFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
 	}
 	watched := map[string]bool{}
 	for _, w := range strings.Split(*watch, ",") {
@@ -103,12 +139,12 @@ func main() {
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		fmt.Fprintln(os.Stderr, "benchdiff: no common benchmarks between the two files")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff: no common benchmarks between the two files")
+		return 2
 	}
 
 	failed := false
-	fmt.Printf("%-34s %-12s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+	fmt.Fprintf(stdout, "%-34s %-12s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
 	for _, name := range names {
 		for _, unit := range []string{"ns/op", "B/op", "allocs/op"} {
 			ov, ook := old[name][unit]
@@ -127,12 +163,24 @@ func main() {
 				mark = "  REGRESSION"
 				failed = true
 			}
-			fmt.Printf("%-34s %-12s %14.1f %14.1f %+8.1f%%%s\n", name, unit, ov, nv, delta, mark)
+			fmt.Fprintf(stdout, "%-34s %-12s %14.1f %14.1f %+8.1f%%%s\n", name, unit, ov, nv, delta, mark)
 		}
 	}
-	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: watched benchmark regressed more than %.0f%%\n", *threshold)
-		os.Exit(1)
+	for _, name := range only(old, cur) {
+		fmt.Fprintf(stdout, "%-34s only in %s\n", name, fs.Arg(0))
+		if watched[name] {
+			// A watched benchmark that vanished is a gate bypass, not a pass.
+			fmt.Fprintf(stderr, "benchdiff: watched benchmark %s missing from %s\n", name, fs.Arg(1))
+			failed = true
+		}
 	}
-	fmt.Printf("ok: no watched benchmark regressed more than %.0f%%\n", *threshold)
+	for _, name := range only(cur, old) {
+		fmt.Fprintf(stdout, "%-34s only in %s\n", name, fs.Arg(1))
+	}
+	if failed {
+		fmt.Fprintf(stderr, "benchdiff: watched benchmark regressed more than %.0f%%\n", *threshold)
+		return 1
+	}
+	fmt.Fprintf(stdout, "ok: no watched benchmark regressed more than %.0f%%\n", *threshold)
+	return 0
 }

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runDiff(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = mainImpl(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+const oldBench = `goos: linux
+BenchmarkSimulatorSpeed-8   100   1000000 ns/op   500 B/op   10 allocs/op
+BenchmarkOldOnly-8          100    200000 ns/op
+PASS
+`
+
+const newBench = `goos: linux
+BenchmarkSimulatorSpeed-8   100   1050000 ns/op   500 B/op   10 allocs/op
+BenchmarkNewOnly-8          100    300000 ns/op
+PASS
+`
+
+func TestReportsBenchmarksInOnlyOneInput(t *testing.T) {
+	oldPath := writeBench(t, "old.txt", oldBench)
+	newPath := writeBench(t, "new.txt", newBench)
+	out, _, code := runDiff(t, oldPath, newPath)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (5%% < default threshold)", code)
+	}
+	if !strings.Contains(out, "BenchmarkOldOnly") || !strings.Contains(out, "only in "+oldPath) {
+		t.Errorf("old-only benchmark not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkNewOnly") || !strings.Contains(out, "only in "+newPath) {
+		t.Errorf("new-only benchmark not reported:\n%s", out)
+	}
+}
+
+func TestWatchedBenchmarkMissingFails(t *testing.T) {
+	oldPath := writeBench(t, "old.txt", oldBench)
+	newPath := writeBench(t, "new.txt", `BenchmarkSomethingElse-8 100 5 ns/op
+BenchmarkOldOnly-8 100 200000 ns/op
+`)
+	_, stderr, code := runDiff(t, "-watch", "BenchmarkOldOnly,BenchmarkSimulatorSpeed", oldPath, newPath)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 when a watched benchmark vanished", code)
+	}
+	if !strings.Contains(stderr, "BenchmarkSimulatorSpeed missing") {
+		t.Errorf("stderr does not name the vanished watched benchmark: %s", stderr)
+	}
+}
+
+func TestRegressionFails(t *testing.T) {
+	oldPath := writeBench(t, "old.txt", "BenchmarkSimulatorSpeed-8 100 1000000 ns/op\n")
+	newPath := writeBench(t, "new.txt", "BenchmarkSimulatorSpeed-8 100 1500000 ns/op\n")
+	out, _, code := runDiff(t, oldPath, newPath)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 for a 50%% regression", code)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Errorf("report missing REGRESSION mark:\n%s", out)
+	}
+}
+
+func TestMalformedValueExitsNonzero(t *testing.T) {
+	oldPath := writeBench(t, "old.txt", oldBench)
+	bad := writeBench(t, "bad.txt", "BenchmarkSimulatorSpeed-8 100 garbage ns/op\n")
+	_, stderr, code := runDiff(t, oldPath, bad)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 for a malformed value", code)
+	}
+	if !strings.Contains(stderr, "bad value") {
+		t.Errorf("stderr: %s", stderr)
+	}
+}
+
+func TestMalformedIterationCountExitsNonzero(t *testing.T) {
+	oldPath := writeBench(t, "old.txt", oldBench)
+	bad := writeBench(t, "bad.txt", "BenchmarkSimulatorSpeed-8 nan 5 ns/op\n")
+	if _, stderr, code := runDiff(t, oldPath, bad); code != 2 {
+		t.Fatalf("exit %d, want 2 for a bad iteration count", code)
+	} else if !strings.Contains(stderr, "bad iteration count") {
+		t.Errorf("stderr: %s", stderr)
+	}
+}
+
+func TestTruncatedLineExitsNonzero(t *testing.T) {
+	oldPath := writeBench(t, "old.txt", oldBench)
+	bad := writeBench(t, "bad.txt", "BenchmarkSimulatorSpeed-8 100\n")
+	if _, _, code := runDiff(t, oldPath, bad); code != 2 {
+		t.Fatalf("exit %d, want 2 for a truncated benchmark line", code)
+	}
+}
+
+func TestEmptyInputExitsNonzero(t *testing.T) {
+	oldPath := writeBench(t, "old.txt", oldBench)
+	empty := writeBench(t, "empty.txt", "goos: linux\nPASS\n")
+	if _, _, code := runDiff(t, oldPath, empty); code != 2 {
+		t.Fatal("file without benchmark lines accepted")
+	}
+	if _, _, code := runDiff(t, oldPath); code != 2 {
+		t.Fatal("missing argument accepted")
+	}
+	if _, _, code := runDiff(t, oldPath, filepath.Join(t.TempDir(), "nope.txt")); code != 2 {
+		t.Fatal("nonexistent file accepted")
+	}
+}
+
+func TestMinOfRepeatedRuns(t *testing.T) {
+	oldPath := writeBench(t, "old.txt", `BenchmarkSimulatorSpeed-8 100 1000000 ns/op
+BenchmarkSimulatorSpeed-8 100 900000 ns/op
+BenchmarkSimulatorSpeed-8 100 1100000 ns/op
+`)
+	newPath := writeBench(t, "new.txt", "BenchmarkSimulatorSpeed-8 100 950000 ns/op\n")
+	out, _, code := runDiff(t, oldPath, newPath)
+	if code != 0 {
+		t.Fatalf("exit %d (950k vs min 900k is +5.6%%, under threshold)", code)
+	}
+	if !strings.Contains(out, "900000.0") {
+		t.Errorf("old column should show the minimum across runs:\n%s", out)
+	}
+}

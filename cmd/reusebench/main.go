@@ -61,9 +61,29 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each figure's data as CSV into this directory")
 	forcefail := flag.String("forcefail", "", "force runs of kernel[:iq] to fail, to demonstrate degraded sweeps")
 	benchJSON := flag.String("benchjson", "BENCH_simcore.json", "write the throughput summary to this file (empty disables)")
+	progress := flag.Bool("progress", true, "report live sweep progress (points done, ETA, current kernel) on stderr")
 	flag.Parse()
 
 	s := experiments.NewSuite()
+	if *progress {
+		var sweepStart time.Time
+		s.Progress = func(done, total int, sp experiments.Spec) {
+			// Serialized by Prewarm; stderr only, so report text stays stable.
+			if done == 1 {
+				sweepStart = time.Now()
+			}
+			eta := "?"
+			if elapsed := time.Since(sweepStart); done > 0 && elapsed > 0 {
+				remain := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+				eta = remain.Round(time.Second).String()
+			}
+			fmt.Fprintf(os.Stderr, "\rreusebench: %d/%d points, eta %s  (%s iq=%d)\x1b[K",
+				done, total, eta, sp.Kernel, sp.IQSize)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 	if *forcefail != "" {
 		kernel, iqSize := *forcefail, 0
 		if i := strings.IndexByte(kernel, ':'); i >= 0 {

@@ -13,12 +13,18 @@
 //	reusesim -kernel aps -pipetrace 40   # pipeline diagram of the first 40 insts
 //	reusesim -kernel aps -verify         # cross-check every commit (lockstep)
 //	reusesim -kernel aps -chaos 42       # seeded fault injection
+//	reusesim -kernel adi -trace adi.json # Chrome/Perfetto trace (ui.perfetto.dev)
+//	reusesim -kernel adi -events -       # stream telemetry events as JSONL
+//	reusesim -kernel adi -sessions       # reuse-session audit table
+//	reusesim -kernel adi -attrib         # per-session energy attribution
 //	reusesim -kernel aps -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -30,44 +36,69 @@ import (
 	"reuseiq/internal/pipeline"
 	"reuseiq/internal/power"
 	"reuseiq/internal/prog"
+	"reuseiq/internal/telemetry"
 	"reuseiq/internal/trace"
 	"reuseiq/internal/workloads"
 )
 
-// Set from flags; read by run().
-var (
-	verifyRuns bool
-	chaosSeed  int64 // 0 disables injection
-)
-
 func main() {
-	kernel := flag.String("kernel", "", "workload kernel name (adi aps btrix eflux tomcat tsf vpenta wss)")
-	asmFile := flag.String("asm", "", "assembly source file to run instead of a kernel")
-	iq := flag.Int("iq", 64, "issue queue size (ROB = iq, LSQ = iq/2)")
-	baseline := flag.Bool("baseline", false, "disable the reuse mechanism")
-	distribute := flag.Bool("distribute", false, "apply loop distribution to the kernel")
-	compare := flag.Bool("compare", false, "run both configurations and report savings")
-	disasm := flag.Bool("disasm", false, "print the program disassembly and exit")
-	emitAsm := flag.Bool("S", false, "print the generated assembly for a kernel and exit")
-	pipetrace := flag.Int("pipetrace", 0, "record and print a pipeline diagram of the first N instructions")
-	statsFlag := flag.Bool("stats", false, "print the full counter set instead of the summary")
-	verify := flag.Bool("verify", false, "run under the lockstep oracle and invariant checker")
-	chaosFlag := flag.Int64("chaos", 0, "enable seeded fault injection (nonzero seed)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
-	flag.Parse()
-	verifyRuns = *verify
-	chaosSeed = *chaosFlag
+	os.Exit(mainImpl(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// opts carries the parsed flags into run().
+type opts struct {
+	verify    bool
+	chaosSeed int64 // 0 disables injection
+	// telemetry wants a tracer attached: any of -trace/-events/-sessions/
+	// -attrib, or the stats histograms when -stats is combined with them.
+	telemetry  bool
+	eventsPath string // JSONL stream destination ("-" = stdout, "" = off)
+	stdout     io.Writer
+	stderr     io.Writer
+}
+
+func mainImpl(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("reusesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kernel := fs.String("kernel", "", "workload kernel name (adi aps btrix eflux tomcat tsf vpenta wss)")
+	asmFile := fs.String("asm", "", "assembly source file to run instead of a kernel")
+	iq := fs.Int("iq", 64, "issue queue size (ROB = iq, LSQ = iq/2)")
+	baseline := fs.Bool("baseline", false, "disable the reuse mechanism")
+	distribute := fs.Bool("distribute", false, "apply loop distribution to the kernel")
+	compare := fs.Bool("compare", false, "run both configurations and report savings")
+	disasm := fs.Bool("disasm", false, "print the program disassembly and exit")
+	emitAsm := fs.Bool("S", false, "print the generated assembly for a kernel and exit")
+	pipetrace := fs.Int("pipetrace", 0, "record and print a pipeline diagram of the first N instructions")
+	statsFlag := fs.Bool("stats", false, "print the full counter set instead of the summary")
+	verify := fs.Bool("verify", false, "run under the lockstep oracle and invariant checker")
+	chaosFlag := fs.Int64("chaos", 0, "enable seeded fault injection (nonzero seed)")
+	traceOut := fs.String("trace", "", "write a Chrome/Perfetto trace-event JSON file (open at ui.perfetto.dev)")
+	events := fs.String("events", "", "stream telemetry events as JSON lines to this file (\"-\" for stdout)")
+	sessionsFlag := fs.Bool("sessions", false, "print the reuse-session audit table")
+	attribFlag := fs.Bool("attrib", false, "print per-session energy attribution")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	o := &opts{
+		verify:     *verify,
+		chaosSeed:  *chaosFlag,
+		telemetry:  *traceOut != "" || *events != "" || *sessionsFlag || *attribFlag,
+		eventsPath: *events,
+		stdout:     stdout,
+		stderr:     stderr,
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "reusesim:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "reusesim:", err)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "reusesim:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "reusesim:", err)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -75,85 +106,138 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "reusesim:", err)
+				fmt.Fprintln(stderr, "reusesim:", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC() // only reachable allocations; the point is what the core retains
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "reusesim:", err)
+				fmt.Fprintln(stderr, "reusesim:", err)
 			}
 		}()
 	}
 
 	p, src, err := load(*kernel, *asmFile, *distribute)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "reusesim:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "reusesim:", err)
+		return 1
 	}
 	if *emitAsm {
-		fmt.Print(src)
-		return
+		fmt.Fprint(stdout, src)
+		return 0
 	}
 	if *disasm {
-		fmt.Print(p.Disasm())
-		return
+		fmt.Fprint(stdout, p.Disasm())
+		return 0
 	}
 
 	if *compare {
-		base := run(p, *iq, false)
-		reuse := run(p, *iq, true)
+		base, err := run(p, *iq, false, o)
+		if err != nil {
+			fmt.Fprintln(stderr, "reusesim:", err)
+			return 1
+		}
+		reuse, err := run(p, *iq, true, o)
+		if err != nil {
+			fmt.Fprintln(stderr, "reusesim:", err)
+			return 1
+		}
 		sv := power.Compare(power.Analyze(base), power.Analyze(reuse))
-		fmt.Printf("baseline: %d cycles, IPC %.3f\n", base.C.Cycles, base.IPC())
-		fmt.Printf("reuse:    %d cycles, IPC %.3f, gated %.1f%%\n",
+		fmt.Fprintf(stdout, "baseline: %d cycles, IPC %.3f\n", base.C.Cycles, base.IPC())
+		fmt.Fprintf(stdout, "reuse:    %d cycles, IPC %.3f, gated %.1f%%\n",
 			reuse.C.Cycles, reuse.IPC(), 100*reuse.GatedFraction())
-		fmt.Printf("power savings: overall %.1f%%  icache %.1f%%  bpred %.1f%%  issueq %.1f%%  (overhead %.2f%% of total)\n",
+		fmt.Fprintf(stdout, "power savings: overall %.1f%%  icache %.1f%%  bpred %.1f%%  issueq %.1f%%  (overhead %.2f%% of total)\n",
 			100*sv.Overall, 100*sv.Component[power.ICache], 100*sv.Component[power.BPred],
 			100*sv.Component[power.IssueQueue], 100*sv.OverheadShare)
-		return
+		return 0
 	}
 
 	if *pipetrace > 0 {
 		cfg := pipeline.DefaultConfig().WithIQSize(*iq)
 		cfg.Reuse.Enabled = !*baseline
-		if chaosSeed != 0 {
-			cfg.Chaos = chaos.DefaultConfig(chaosSeed)
+		if o.chaosSeed != 0 {
+			cfg.Chaos = chaos.DefaultConfig(o.chaosSeed)
 		}
 		m := pipeline.New(cfg, p)
-		if verifyRuns {
+		if o.verify {
 			lockstep.Attach(m, p)
 		}
 		m.Rec = trace.New(*pipetrace)
 		if err := m.Run(); err != nil {
-			fmt.Fprintln(os.Stderr, "reusesim:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "reusesim:", err)
+			return 1
 		}
-		m.Rec.Render(os.Stdout)
+		m.Rec.Render(stdout)
 		wait, life, n := m.Rec.Stats()
-		fmt.Printf("recorded %d committed instructions: avg dispatch-to-issue %.1f cycles, avg lifetime %.1f cycles\n", n, wait, life)
-		return
+		fmt.Fprintf(stdout, "recorded %d committed instructions: avg dispatch-to-issue %.1f cycles, avg lifetime %.1f cycles\n", n, wait, life)
+		return 0
 	}
 
-	m := run(p, *iq, !*baseline)
-	if *statsFlag {
-		fmt.Print(m.StatsSet())
-		return
+	m, err := run(p, *iq, !*baseline, o)
+	if err != nil {
+		fmt.Fprintln(stderr, "reusesim:", err)
+		return 1
 	}
-	fmt.Printf("cycles            %12d\n", m.C.Cycles)
-	fmt.Printf("commits           %12d\n", m.C.Commits)
-	fmt.Printf("IPC               %12.3f\n", m.IPC())
-	fmt.Printf("gated cycles      %12d (%.1f%%)\n", m.C.GatedCycles, 100*m.GatedFraction())
-	fmt.Printf("mispredicts       %12d\n", m.C.Mispredicts)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "reusesim:", err)
+			return 1
+		}
+		bw := bufio.NewWriter(f)
+		werr := telemetry.WriteTraceJSON(bw, m.Tel, m.Cycle())
+		if werr == nil {
+			werr = bw.Flush()
+		}
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, "reusesim:", werr)
+			return 1
+		}
+		fmt.Fprintf(stderr, "reusesim: wrote %s (%d events, %d sessions; open at ui.perfetto.dev)\n",
+			*traceOut, m.Tel.Total(), len(m.Tel.Sessions()))
+	}
+	if *sessionsFlag {
+		telemetry.WriteSessionTable(stdout, m.Tel.Sessions())
+		if !*statsFlag && !*attribFlag {
+			return 0
+		}
+		fmt.Fprintln(stdout)
+	}
+	if *attribFlag {
+		power.WriteSessionEnergy(stdout, power.AttributeSessions(m, m.Tel.Sessions()))
+		if !*statsFlag {
+			return 0
+		}
+		fmt.Fprintln(stdout)
+	}
+	if *statsFlag {
+		fmt.Fprint(stdout, m.StatsSet())
+		return 0
+	}
+	if o.telemetry && o.eventsPath != "" && !*sessionsFlag && !*attribFlag && *traceOut == "" {
+		// A pure -events run already streamed its output; skip the summary.
+		return 0
+	}
+	fmt.Fprintf(stdout, "cycles            %12d\n", m.C.Cycles)
+	fmt.Fprintf(stdout, "commits           %12d\n", m.C.Commits)
+	fmt.Fprintf(stdout, "IPC               %12.3f\n", m.IPC())
+	fmt.Fprintf(stdout, "gated cycles      %12d (%.1f%%)\n", m.C.GatedCycles, 100*m.GatedFraction())
+	fmt.Fprintf(stdout, "mispredicts       %12d\n", m.C.Mispredicts)
 	s := m.Ctl.S
-	fmt.Printf("loop detections   %12d (NBLT filtered %d)\n", s.Detections, s.NBLTFiltered)
-	fmt.Printf("bufferings        %12d (revoked %d: inner %d, exit %d, full %d, recovery %d)\n",
+	fmt.Fprintf(stdout, "loop detections   %12d (NBLT filtered %d)\n", s.Detections, s.NBLTFiltered)
+	fmt.Fprintf(stdout, "bufferings        %12d (revoked %d: inner %d, exit %d, full %d, recovery %d)\n",
 		s.Bufferings, s.Revokes, s.RevokesInner, s.RevokesExit, s.RevokesFull, s.RevokesRecovery)
-	fmt.Printf("promotions        %12d (iterations buffered %d)\n", s.Promotions, s.IterationsBuffered)
-	fmt.Printf("reuse renames     %12d (exits %d)\n", s.ReuseRenames, s.ReuseExits)
-	fmt.Printf("icache accesses   %12d (miss rate %.2f%%)\n", m.Hier.L1I.Accesses, 100*m.Hier.L1I.MissRate())
-	fmt.Printf("dcache accesses   %12d (miss rate %.2f%%)\n", m.Hier.L1D.Accesses, 100*m.Hier.L1D.MissRate())
-	fmt.Println()
-	fmt.Print(power.Analyze(m))
+	fmt.Fprintf(stdout, "promotions        %12d (iterations buffered %d)\n", s.Promotions, s.IterationsBuffered)
+	fmt.Fprintf(stdout, "reuse renames     %12d (exits %d)\n", s.ReuseRenames, s.ReuseExits)
+	fmt.Fprintf(stdout, "icache accesses   %12d (miss rate %.2f%%)\n", m.Hier.L1I.Accesses, 100*m.Hier.L1I.MissRate())
+	fmt.Fprintf(stdout, "dcache accesses   %12d (miss rate %.2f%%)\n", m.Hier.L1D.Accesses, 100*m.Hier.L1D.MissRate())
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, power.Analyze(m))
+	return 0
 }
 
 func load(kernel, asmFile string, distribute bool) (*prog.Program, string, error) {
@@ -181,28 +265,61 @@ func load(kernel, asmFile string, distribute bool) (*prog.Program, string, error
 	return nil, "", fmt.Errorf("need -kernel or -asm (try -kernel aps)")
 }
 
-func run(p *prog.Program, iq int, reuse bool) *pipeline.Machine {
+func run(p *prog.Program, iq int, reuse bool, o *opts) (*pipeline.Machine, error) {
 	cfg := pipeline.DefaultConfig().WithIQSize(iq)
 	cfg.Reuse.Enabled = reuse
-	if chaosSeed != 0 {
-		cfg.Chaos = chaos.DefaultConfig(chaosSeed)
+	if o.chaosSeed != 0 {
+		cfg.Chaos = chaos.DefaultConfig(o.chaosSeed)
 	}
 	m := pipeline.New(cfg, p)
-	var o *lockstep.Oracle
-	if verifyRuns {
-		o = lockstep.Attach(m, p)
+
+	var flushEvents func() error
+	if o.telemetry || o.eventsPath != "" {
+		tel := telemetry.New(telemetry.Config{})
+		if o.eventsPath != "" {
+			w := o.stdout
+			if o.eventsPath != "-" {
+				f, err := os.Create(o.eventsPath)
+				if err != nil {
+					return nil, err
+				}
+				bw := bufio.NewWriter(f)
+				w = bw
+				flushEvents = func() error {
+					if err := bw.Flush(); err != nil {
+						f.Close()
+						return err
+					}
+					return f.Close()
+				}
+			}
+			tel.Sink = telemetry.JSONLSink(w)
+		}
+		m.AttachTelemetry(tel)
+	}
+
+	var orc *lockstep.Oracle
+	if o.verify {
+		orc = lockstep.Attach(m, p)
 	}
 	if err := m.Run(); err != nil {
-		fmt.Fprintln(os.Stderr, "reusesim:", err)
-		os.Exit(1)
+		return nil, err
 	}
-	if o != nil {
-		fmt.Printf("verified: %d commits cross-checked against the golden model\n", o.Commits)
+	if m.Tel != nil {
+		m.Tel.Finalize(m.Cycle())
+	}
+	if flushEvents != nil {
+		if err := flushEvents(); err != nil {
+			return nil, err
+		}
+	}
+	if orc != nil {
+		fmt.Fprintf(o.stdout, "verified: %d commits cross-checked against the golden model\n", orc.Commits)
 	}
 	if m.Chaos != nil {
 		c := m.Chaos.C
-		fmt.Printf("chaos: %d forced revokes, %d flipped predictions, %d fetch stalls, %d jittered issues\n",
+		fmt.Fprintf(o.stdout, "chaos: %d forced revokes, %d flipped predictions, %d fetch stalls, %d jittered issues\n",
 			c.ForcedRevokes, c.FlippedPredictions, c.FetchStalls, c.JitteredIssues)
 	}
-	return m
+	return m, nil
 }

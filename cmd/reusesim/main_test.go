@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"reuseiq/internal/telemetry"
+)
+
+func runMain(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = mainImpl(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestEventsFlagStreamsJSONL(t *testing.T) {
+	out, _, code := runMain(t, "-kernel", "aps", "-events", "-")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines, kinds := 0, map[string]int{}
+	for sc.Scan() {
+		var e struct {
+			Cycle uint64 `json:"cycle"`
+			Kind  string `json:"kind"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", lines+1, err, sc.Text())
+		}
+		if e.Kind == "" {
+			t.Fatalf("line %d has no kind: %s", lines+1, sc.Text())
+		}
+		kinds[e.Kind]++
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("-events - produced no output")
+	}
+	for _, want := range []string{"buffer", "promote", "reuse-exit"} {
+		if kinds[want] == 0 {
+			t.Errorf("event stream has no %q events (kinds seen: %v)", want, kinds)
+		}
+	}
+}
+
+func TestEventsFlagToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	stdout, _, code := runMain(t, "-kernel", "aps", "-events", path)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if strings.Contains(stdout, `"kind"`) {
+		t.Error("events leaked to stdout when a file was given")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"kind":"promote"`) {
+		t.Error("events file missing promote events")
+	}
+}
+
+func TestTraceFlagWritesValidTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	_, stderr, code := runMain(t, "-kernel", "aps", "-trace", path)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "ui.perfetto.dev") {
+		t.Errorf("stderr missing perfetto pointer: %s", stderr)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := telemetry.ValidateTrace(f); err != nil {
+		t.Errorf("emitted trace invalid: %v", err)
+	}
+}
+
+func TestSessionsFlagPrintsAuditTable(t *testing.T) {
+	out, _, code := runMain(t, "-kernel", "aps", "-sessions")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(out, "end-reason") || !strings.Contains(out, "reuse-exit") {
+		t.Errorf("audit table missing expected columns:\n%s", out)
+	}
+}
+
+func TestHelpMentionsTelemetryFlags(t *testing.T) {
+	_, stderr, code := runMain(t, "-h")
+	if code != 2 {
+		t.Fatalf("-h exit code %d, want 2", code)
+	}
+	for _, flagName := range []string{"-events", "-trace", "-sessions", "-attrib"} {
+		if !strings.Contains(stderr, flagName) {
+			t.Errorf("-help output missing %s", flagName)
+		}
+	}
+}
+
+func TestBadFlagsExitNonzero(t *testing.T) {
+	if _, _, code := runMain(t, "-kernel", "nosuch"); code == 0 {
+		t.Error("unknown kernel exited 0")
+	}
+	if _, _, code := runMain(t); code == 0 {
+		t.Error("no workload exited 0")
+	}
+}
+
+// Telemetry must not change simulation results: the default summary is
+// byte-identical with and without a trace being recorded.
+func TestTelemetryOutputInvariant(t *testing.T) {
+	plain, _, code := runMain(t, "-kernel", "aps")
+	if code != 0 {
+		t.Fatal("plain run failed")
+	}
+	traced, _, code := runMain(t, "-kernel", "aps", "-trace", filepath.Join(t.TempDir(), "t.json"))
+	if code != 0 {
+		t.Fatal("traced run failed")
+	}
+	if plain != traced {
+		t.Error("summary output differs between plain and traced runs")
+	}
+}

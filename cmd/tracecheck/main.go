@@ -1,0 +1,76 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced by
+// reusesim -trace: well-formed JSON, every event phased and timestamped,
+// monotone non-decreasing timestamps, balanced begin/end pairs per track.
+// With -require-riq it additionally demands RIQ state-machine activity (at
+// least one loop-buffering or code-reuse slice), which proves the traced run
+// actually exercised the reuse mechanism. It is the gate behind
+// `make telemetry-check`.
+//
+// Usage:
+//
+//	tracecheck trace.json
+//	tracecheck -require-riq trace.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"reuseiq/internal/telemetry"
+)
+
+func main() {
+	os.Exit(mainImpl(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func mainImpl(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	requireRIQ := fs.Bool("require-riq", false, "fail unless the trace contains RIQ state-machine slices")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: tracecheck [-require-riq] trace.json")
+		return 2
+	}
+	path := fs.Arg(0)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "tracecheck:", err)
+		return 1
+	}
+	if err := telemetry.ValidateTrace(bytes.NewReader(data)); err != nil {
+		fmt.Fprintf(stderr, "tracecheck: %s: %v\n", path, err)
+		return 1
+	}
+
+	var f struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		fmt.Fprintln(stderr, "tracecheck:", err)
+		return 1
+	}
+	riq := 0
+	for _, e := range f.TraceEvents {
+		if e.Ph == "X" && (e.Name == "loop-buffering" || e.Name == "code-reuse") {
+			riq++
+		}
+	}
+	if *requireRIQ && riq == 0 {
+		fmt.Fprintf(stderr, "tracecheck: %s: no RIQ state-machine slices (loop-buffering/code-reuse)\n", path)
+		return 1
+	}
+	fmt.Fprintf(stdout, "tracecheck: %s ok (%d events, %d riq-state slices)\n",
+		path, len(f.TraceEvents), riq)
+	return 0
+}

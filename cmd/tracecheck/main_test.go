@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCheck(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = mainImpl(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func writeTmp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const goodTrace = `{"traceEvents":[
+	{"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"riq-state"}},
+	{"name":"normal","ph":"X","ts":0,"dur":10,"pid":1,"tid":0},
+	{"name":"loop-buffering","ph":"X","ts":10,"dur":5,"pid":1,"tid":0},
+	{"name":"code-reuse","ph":"X","ts":15,"dur":20,"pid":1,"tid":0}]}`
+
+func TestAcceptsValidTrace(t *testing.T) {
+	path := writeTmp(t, goodTrace)
+	out, _, code := runCheck(t, "-require-riq", path)
+	if code != 0 {
+		t.Fatalf("exit %d for a valid trace", code)
+	}
+	if !strings.Contains(out, "ok") || !strings.Contains(out, "2 riq-state slices") {
+		t.Errorf("unexpected output: %s", out)
+	}
+}
+
+func TestRejectsMalformedJSON(t *testing.T) {
+	path := writeTmp(t, `{"traceEvents": [`)
+	_, stderr, code := runCheck(t, path)
+	if code == 0 {
+		t.Fatal("malformed JSON accepted")
+	}
+	if !strings.Contains(stderr, "malformed") {
+		t.Errorf("stderr: %s", stderr)
+	}
+}
+
+func TestRejectsNonMonotone(t *testing.T) {
+	path := writeTmp(t, `{"traceEvents":[
+		{"name":"a","ph":"i","ts":9,"pid":1,"tid":0},
+		{"name":"b","ph":"i","ts":3,"pid":1,"tid":0}]}`)
+	if _, _, code := runCheck(t, path); code == 0 {
+		t.Fatal("non-monotone timestamps accepted")
+	}
+}
+
+func TestRequireRIQFailsWithoutStateSlices(t *testing.T) {
+	path := writeTmp(t, `{"traceEvents":[{"name":"x","ph":"i","ts":1,"pid":1,"tid":5}]}`)
+	if _, _, code := runCheck(t, path); code != 0 {
+		t.Fatal("valid trace without RIQ slices should pass without -require-riq")
+	}
+	_, stderr, code := runCheck(t, "-require-riq", path)
+	if code == 0 {
+		t.Fatal("-require-riq passed with no state slices")
+	}
+	if !strings.Contains(stderr, "no RIQ state-machine slices") {
+		t.Errorf("stderr: %s", stderr)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if _, _, code := runCheck(t); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if _, _, code := runCheck(t, "/nonexistent/trace.json"); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}

@@ -29,6 +29,68 @@ func (s State) String() string {
 	return "?"
 }
 
+// RevokeReason identifies why a buffering in progress was abandoned (or,
+// for ReasonReuseExit, why an active Code Reuse ended).
+type RevokeReason uint8
+
+const (
+	ReasonNone      RevokeReason = iota
+	ReasonInner                  // inner loop detected (paper Figure 4)
+	ReasonExit                   // execution left the loop during buffering
+	ReasonFull                   // queue filled before the loop end was met
+	ReasonRecovery               // branch misprediction during buffering
+	ReasonForced                 // external fault injection (chaos testing)
+	ReasonReuseExit              // Code Reuse ended by misprediction recovery
+)
+
+var reasonNames = [...]string{
+	"none", "inner-loop", "loop-exit", "queue-full", "recovery", "forced", "reuse-exit",
+}
+
+func (r RevokeReason) String() string {
+	if int(r) < len(reasonNames) {
+		return reasonNames[r]
+	}
+	return "?"
+}
+
+// CtlEventKind enumerates the controller's observable events.
+type CtlEventKind uint8
+
+const (
+	// CtlBuffer: Normal -> Buffering (a capturable loop was detected).
+	CtlBuffer CtlEventKind = iota
+	// CtlPromote: Buffering -> Reuse (front end gated).
+	CtlPromote
+	// CtlRevoke: Buffering -> Normal; Reason says why.
+	CtlRevoke
+	// CtlReuseExit: Reuse -> Normal (recovery ended the reuse session).
+	CtlReuseExit
+	// CtlIteration: one complete loop iteration finished buffering.
+	CtlIteration
+	// CtlNBLTHit: a detection was suppressed by the non-bufferable loop table.
+	CtlNBLTHit
+	// CtlNBLTInsert: a loop was registered as non-bufferable.
+	CtlNBLTInsert
+)
+
+// CtlEvent is one observable controller event, delivered to the Hook. The
+// struct is passed by value and contains no pointers, so delivery never
+// allocates.
+type CtlEvent struct {
+	Kind CtlEventKind
+	// Head and Tail are the current loop's bounds (valid for every kind but
+	// NBLT events, whose Tail is the address looked up or inserted).
+	Head, Tail uint32
+	// Size is the loop's static size in instructions (CtlBuffer) or the
+	// iteration's dynamic size (CtlIteration).
+	Size   int
+	Reason RevokeReason // CtlRevoke and CtlReuseExit only
+	// BufferedInsts is the controller's cumulative buffered-instruction
+	// count at event time, letting an observer compute per-session deltas.
+	BufferedInsts uint64
+}
+
 // Strategy selects the buffering termination policy (paper §2.2.1).
 type Strategy uint8
 
@@ -97,6 +159,11 @@ type Controller struct {
 
 	reusable []int // scratch for ReusableEntries
 
+	// Hook, when non-nil, observes state transitions, buffered iterations
+	// and NBLT activity (the telemetry tracer's tap). Calls are synchronous
+	// and must not re-enter the controller.
+	Hook func(CtlEvent)
+
 	S Stats
 }
 
@@ -151,14 +218,14 @@ func (c *Controller) OnDispatch(pc uint32, in isa.Inst, predTaken bool, predTarg
 	inLoop := pc >= c.loopHead && pc <= c.loopTail
 	if c.callDepth == 0 && !inLoop {
 		// Execution exited the loop during buffering.
-		c.revoke(&c.S.RevokesExit, true)
+		c.revoke(ReasonExit, true)
 		c.maybeDetect(pc, in, predTaken)
 		return DispatchInfo{}
 	}
 	if c.callDepth == 0 && pc != c.loopTail && c.isLoopBranch(pc, in, predTaken) {
 		// An inner loop ends here: the loop being buffered is an outer
 		// loop and cannot be captured (paper Figure 4).
-		c.revoke(&c.S.RevokesInner, true)
+		c.revoke(ReasonInner, true)
 		c.maybeDetect(pc, in, predTaken)
 		return DispatchInfo{}
 	}
@@ -181,6 +248,10 @@ func (c *Controller) OnDispatch(pc uint32, in isa.Inst, predTaken bool, predTarg
 		c.lastIterSize = c.iterCount
 		c.iterCount = 0
 		c.firstIterDone = true
+		if c.Hook != nil {
+			c.Hook(CtlEvent{Kind: CtlIteration, Head: c.loopHead, Tail: c.loopTail,
+				Size: c.lastIterSize, BufferedInsts: c.S.BufferedInsts})
+		}
 		if !predTaken {
 			// The loop is predicted to exit; the out-of-range check
 			// will revoke on the next dispatch.
@@ -208,7 +279,7 @@ func (c *Controller) ForceRevoke() bool {
 	if c.state != Buffering {
 		return false
 	}
-	c.revoke(&c.S.RevokesForced, false)
+	c.revoke(ReasonForced, false)
 	return true
 }
 
@@ -221,7 +292,7 @@ func (c *Controller) ReuseOrd() int { return c.reuseOrd }
 // captured: revoke and register it as non-bufferable (paper §2.2.2).
 func (c *Controller) OnIQFull() {
 	if c.state == Buffering {
-		c.revoke(&c.S.RevokesFull, true)
+		c.revoke(ReasonFull, true)
 	}
 }
 
@@ -231,11 +302,15 @@ func (c *Controller) OnIQFull() {
 func (c *Controller) OnRecovery() {
 	switch c.state {
 	case Buffering:
-		c.revoke(&c.S.RevokesRecovery, false)
+		c.revoke(ReasonRecovery, false)
 	case Reuse:
 		c.q.Revoke()
 		c.state = Normal
 		c.S.ReuseExits++
+		if c.Hook != nil {
+			c.Hook(CtlEvent{Kind: CtlReuseExit, Head: c.loopHead, Tail: c.loopTail,
+				Reason: ReasonReuseExit, BufferedInsts: c.S.BufferedInsts})
+		}
 	}
 }
 
@@ -293,6 +368,9 @@ func (c *Controller) maybeDetect(pc uint32, in isa.Inst, predTaken bool) {
 	c.S.Detections++
 	if c.nblt.Contains(pc) {
 		c.S.NBLTFiltered++
+		if c.Hook != nil {
+			c.Hook(CtlEvent{Kind: CtlNBLTHit, Head: head, Tail: pc, Size: size})
+		}
 		return
 	}
 	c.state = Buffering
@@ -302,6 +380,10 @@ func (c *Controller) maybeDetect(pc uint32, in isa.Inst, predTaken bool) {
 	c.lastIterSize = size
 	c.firstIterDone = false
 	c.S.Bufferings++
+	if c.Hook != nil {
+		c.Hook(CtlEvent{Kind: CtlBuffer, Head: head, Tail: pc, Size: size,
+			BufferedInsts: c.S.BufferedInsts})
+	}
 }
 
 // isLoopBranch reports whether the instruction at pc is a backward
@@ -322,14 +404,36 @@ func (c *Controller) promote() {
 	c.reuseOrd = 0
 	c.callDepth = 0
 	c.S.Promotions++
+	if c.Hook != nil {
+		c.Hook(CtlEvent{Kind: CtlPromote, Head: c.loopHead, Tail: c.loopTail,
+			BufferedInsts: c.S.BufferedInsts})
+	}
 }
 
-func (c *Controller) revoke(reason *uint64, registerNBLT bool) {
+func (c *Controller) revoke(reason RevokeReason, registerNBLT bool) {
 	if registerNBLT {
 		c.nblt.Insert(c.loopTail)
+		if c.Hook != nil {
+			c.Hook(CtlEvent{Kind: CtlNBLTInsert, Head: c.loopHead, Tail: c.loopTail})
+		}
 	}
 	c.q.Revoke()
 	c.state = Normal
 	c.S.Revokes++
-	*reason++
+	switch reason {
+	case ReasonInner:
+		c.S.RevokesInner++
+	case ReasonExit:
+		c.S.RevokesExit++
+	case ReasonFull:
+		c.S.RevokesFull++
+	case ReasonRecovery:
+		c.S.RevokesRecovery++
+	case ReasonForced:
+		c.S.RevokesForced++
+	}
+	if c.Hook != nil {
+		c.Hook(CtlEvent{Kind: CtlRevoke, Head: c.loopHead, Tail: c.loopTail,
+			Reason: reason, BufferedInsts: c.S.BufferedInsts})
+	}
 }

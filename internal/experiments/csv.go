@@ -3,12 +3,15 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 	"strconv"
+	"strings"
 )
 
 // CSV export for every figure, so the series can be re-plotted outside Go.
 // Each writer emits one header row followed by one row per kernel (plus an
-// average row where the figure has one). Values are fractions, not percent.
+// average row where the figure has one). Values are fractions, not percent;
+// a degraded (failed) cell is written as "fail", matching the text report.
 
 func writeRow(w io.Writer, cells ...string) error {
 	for i, c := range cells {
@@ -17,7 +20,7 @@ func writeRow(w io.Writer, cells ...string) error {
 				return err
 			}
 		}
-		if _, err := io.WriteString(w, c); err != nil {
+		if _, err := io.WriteString(w, quoteCell(c)); err != nil {
 			return err
 		}
 	}
@@ -25,7 +28,22 @@ func writeRow(w io.Writer, cells ...string) error {
 	return err
 }
 
-func f2s(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+// quoteCell applies RFC 4180 quoting: a cell containing a separator, quote
+// or line break is wrapped in double quotes with inner quotes doubled, so
+// arbitrary kernel names survive a round trip through encoding/csv.
+func quoteCell(c string) string {
+	if !strings.ContainsAny(c, ",\"\n\r") {
+		return c
+	}
+	return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+}
+
+func f2s(v float64) string {
+	if math.IsNaN(v) {
+		return "fail"
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
 
 // WriteCSV emits Figure 5 as CSV.
 func (f *Fig5) WriteCSV(w io.Writer) error {

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"encoding/csv"
+	"math"
 	"strings"
 	"testing"
 )
@@ -74,5 +76,77 @@ func TestFig78CSVShape(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "k,0.01") {
 		t.Errorf("fig8 csv wrong: %q", b.String())
+	}
+}
+
+// A failed (NaN) cell must render as "fail", matching the text report, and
+// the file must still parse as CSV.
+func TestCSVFailedCells(t *testing.T) {
+	f := &Fig5{
+		Sizes:   []int{32, 64},
+		Kernels: []string{"a"},
+		Gated:   map[string][]float64{"a": {math.NaN(), 0.5}},
+		Average: []float64{math.NaN(), 0.5},
+	}
+	var b strings.Builder
+	if err := f.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if !strings.Contains(got, "a,fail,0.5") {
+		t.Errorf("failed cell not rendered as fail:\n%s", got)
+	}
+	if strings.Contains(got, "NaN") {
+		t.Errorf("raw NaN leaked into CSV:\n%s", got)
+	}
+	rows, err := csv.NewReader(strings.NewReader(got)).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV with fail cells does not parse: %v", err)
+	}
+	if rows[1][1] != "fail" || rows[1][2] != "0.5" {
+		t.Errorf("parsed row = %v", rows[1])
+	}
+}
+
+// Kernel names containing separators, quotes and spaces must round-trip
+// losslessly through encoding/csv (RFC 4180 quoting).
+func TestCSVQuotingRoundTrip(t *testing.T) {
+	names := []string{`plain`, `comma,name`, `quo"te`, `both",crazy"`, `spaced name`}
+	f := &Fig9{
+		Kernels:   names,
+		Original:  []float64{0.1, 0.2, 0.3, 0.4, 0.5},
+		Optimized: []float64{0.5, 0.4, 0.3, 0.2, 0.1},
+	}
+	var b strings.Builder
+	if err := f.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("quoted CSV does not parse: %v", err)
+	}
+	if len(rows) != len(names)+2 { // header + kernels + average
+		t.Fatalf("parsed %d rows, want %d", len(rows), len(names)+2)
+	}
+	for i, want := range names {
+		if got := rows[i+1][0]; got != want {
+			t.Errorf("kernel %d round-tripped to %q, want %q", i, got, want)
+		}
+	}
+}
+
+// quoteCell itself: the quoting boundary cases.
+func TestQuoteCell(t *testing.T) {
+	cases := map[string]string{
+		"plain":      "plain",
+		"with,comma": `"with,comma"`,
+		`has"quote`:  `"has""quote"`,
+		"new\nline":  "\"new\nline\"",
+		"":           "",
+	}
+	for in, want := range cases {
+		if got := quoteCell(in); got != want {
+			t.Errorf("quoteCell(%q) = %q, want %q", in, got, want)
+		}
 	}
 }

@@ -81,6 +81,11 @@ type Suite struct {
 	// exercise the degrade-to-partial path end to end (tests and
 	// cmd/reusebench -forcefail).
 	Sabotage func(Spec) bool
+	// Progress, when non-nil, is called after each Prewarm spec finishes
+	// with the count of completed specs, the total for that Prewarm call,
+	// and the spec that just completed. Calls are serialized; cached specs
+	// report instantly. cmd/reusebench uses it for live sweep progress.
+	Progress func(done, total int, sp Spec)
 }
 
 // NewSuite creates an empty suite.
@@ -232,6 +237,8 @@ func (s *Suite) Prewarm(specs []Spec) error {
 	sem := make(chan struct{}, par)
 	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
+	var done int
+	var progressMu sync.Mutex
 	for i, sp := range specs {
 		wg.Add(1)
 		go func(i int, sp Spec) {
@@ -240,6 +247,12 @@ func (s *Suite) Prewarm(specs []Spec) error {
 			defer func() { <-sem }()
 			if _, err := s.Run(sp); err != nil {
 				errs[i] = fmt.Errorf("%s iq=%d reuse=%v: %w", sp.Kernel, sp.IQSize, sp.Reuse, err)
+			}
+			if s.Progress != nil {
+				progressMu.Lock()
+				done++
+				s.Progress(done, len(specs), sp)
+				progressMu.Unlock()
 			}
 		}(i, sp)
 	}

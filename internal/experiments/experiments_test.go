@@ -202,3 +202,40 @@ func TestPrewarmJoinsErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestPrewarmProgress requires the Progress callback to fire once per spec
+// with a monotonically increasing done count reaching the total.
+func TestPrewarmProgress(t *testing.T) {
+	s := NewSuite()
+	s.Parallelism = 4
+	var calls []int
+	var kernels []string
+	s.Progress = func(done, total int, sp Spec) {
+		if total != 3 {
+			t.Errorf("total = %d, want 3", total)
+		}
+		calls = append(calls, done)
+		kernels = append(kernels, sp.Kernel)
+	}
+	err := s.Prewarm([]Spec{
+		{Kernel: "aps", IQSize: 32, NBLTSize: -1},
+		{Kernel: "aps", IQSize: 32, Reuse: true, NBLTSize: -1},
+		{Kernel: "aps", IQSize: 64, Reuse: true, NBLTSize: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 3 {
+		t.Fatalf("Progress fired %d times, want 3", len(calls))
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Errorf("call %d reported done=%d, want %d (serialized, increasing)", i, d, i+1)
+		}
+	}
+	for _, k := range kernels {
+		if k != "aps" {
+			t.Errorf("Progress reported kernel %q", k)
+		}
+	}
+}

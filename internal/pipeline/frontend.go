@@ -31,6 +31,9 @@ func (m *Machine) dispatch() {
 		if m.Rec != nil {
 			m.Rec.OnDispatch(m.nextSeq, f.pc, f.in.Disasm(f.pc), false, m.cycle)
 		}
+		if m.Tel != nil {
+			m.Tel.InstDispatch(m.nextSeq, f.pc, false)
+		}
 		_ = info
 		if promoted {
 			// Code Reuse entered: gate the front end and flush
@@ -225,8 +228,14 @@ func (m *Machine) reuseDispatch() {
 		if m.Rec != nil {
 			m.Rec.OnDispatch(seq, e.PC, in.Disasm(e.PC), true, m.cycle)
 		}
+		if m.Tel != nil {
+			m.Tel.InstDispatch(seq, e.PC, true)
+		}
 	}
 	m.Ctl.ConsumeReused(consumed)
+	if m.Tel != nil && consumed > 0 {
+		m.Tel.ReuseSupplied(consumed)
+	}
 }
 
 func (m *Machine) allocSeq() uint64 {
@@ -258,6 +267,9 @@ func (m *Machine) fetch() {
 	// backend hiccup). Purely a timing event.
 	if n := m.Chaos.FetchStall(); n > 0 {
 		m.fetchStallUntil = m.cycle + uint64(n)
+		if m.Tel != nil {
+			m.Tel.ChaosStall(n)
+		}
 		return
 	}
 	m.C.FetchCycles++
@@ -292,6 +304,9 @@ func (m *Machine) fetch() {
 			// so the flip is recoverable like any misprediction.
 			if in.Op.Info().Class == isa.ClassBranch && m.Chaos.FlipPrediction() {
 				f.predTaken = !f.predTaken
+				if m.Tel != nil {
+					m.Tel.ChaosFlip(m.fetchPC)
+				}
 			}
 		}
 		if m.LC != nil {

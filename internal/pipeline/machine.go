@@ -15,6 +15,7 @@ import (
 	"reuseiq/internal/prog"
 	"reuseiq/internal/rename"
 	"reuseiq/internal/rob"
+	"reuseiq/internal/telemetry"
 	"reuseiq/internal/trace"
 )
 
@@ -166,6 +167,19 @@ type Machine struct {
 	// Rec, when non-nil, records per-instruction pipeline timing for the
 	// first Rec.Max dispatched instructions.
 	Rec *trace.Recorder
+
+	// Tel, when non-nil, receives structured telemetry (RIQ state
+	// transitions, session audit, instruction lifecycles, chaos events).
+	// Install with AttachTelemetry; nil costs one pointer check per tap.
+	Tel *telemetry.Tracer
+}
+
+// AttachTelemetry connects a tracer to the machine and its reuse controller.
+// Call before Run; call Tel.Finalize(m.Cycle()) after the run to close a
+// session left open at HALT.
+func (m *Machine) AttachTelemetry(t *telemetry.Tracer) {
+	m.Tel = t
+	m.Ctl.Hook = t.CtlEvent
 }
 
 // New builds a machine for p under cfg.
@@ -269,13 +283,24 @@ func (m *Machine) GatedFraction() float64 {
 func (m *Machine) Step() {
 	m.cycle++
 	m.C.Cycles++
+	if m.Tel != nil {
+		m.Tel.BeginCycle(m.cycle)
+	}
 	if m.Ctl.GateActive() {
 		m.C.GatedCycles++
+		// The session audit log counts gated cycles at exactly this
+		// point, so per-session totals reconcile with C.GatedCycles.
+		if m.Tel != nil {
+			m.Tel.GatedCycle()
+		}
 	}
 	// Fault injection: a forced buffering revoke is a controller-level
 	// event independent of any stage, so it fires at the cycle boundary.
 	if m.Chaos.RollRevoke() && m.Ctl.ForceRevoke() {
 		m.Chaos.CountRevoke()
+		if m.Tel != nil {
+			m.Tel.ChaosRevoke()
+		}
 		m.tracef("cycle %d: chaos revoked buffering", m.cycle)
 	}
 	m.commit()

@@ -1,12 +1,17 @@
 package pipeline
 
-import "reuseiq/internal/stats"
+import (
+	"reuseiq/internal/stats"
+	"reuseiq/internal/telemetry"
+)
 
-// StatsSet exports every counter of the machine and its components as an
-// ordered stats.Set, for uniform text reporting and for diffing two runs.
-func (m *Machine) StatsSet() *stats.Set {
-	s := &stats.Set{}
-	put := func(name string, v uint64) { s.Put(name, v) }
+// RegisterMetrics registers every counter of the machine and its components
+// with the unified telemetry registry. This is the single source the CLIs
+// render from: StatsSet is just RegisterMetrics + Snapshot, and an attached
+// tracer contributes its histograms (reuse-session length, issue-to-commit
+// latency) to the same registry.
+func (m *Machine) RegisterMetrics(r *telemetry.Registry) {
+	put := r.CounterVal
 
 	put("sim.cycles", m.C.Cycles)
 	put("sim.commits", m.C.Commits)
@@ -96,7 +101,22 @@ func (m *Machine) StatsSet() *stats.Set {
 	for k := 0; k < len(m.FUs.Ops); k++ {
 		put("fu."+fuKindName(k), m.FUs.Ops[k])
 	}
-	return s
+
+	if m.Tel != nil {
+		put("telemetry.events", m.Tel.Total())
+		put("telemetry.events_dropped", m.Tel.Dropped())
+		put("telemetry.sessions", uint64(len(m.Tel.Sessions())))
+		r.RegisterHistogram("hist.session_cycles", &m.Tel.SessionCycles)
+		r.RegisterHistogram("hist.issue_to_commit", &m.Tel.IssueToCommit)
+	}
+}
+
+// StatsSet exports every counter of the machine and its components as an
+// ordered stats.Set, for uniform text reporting and for diffing two runs.
+func (m *Machine) StatsSet() *stats.Set {
+	r := &telemetry.Registry{}
+	m.RegisterMetrics(r)
+	return r.Snapshot()
 }
 
 func fuKindName(k int) string {

@@ -88,6 +88,12 @@ func (m *Machine) commit() {
 		if m.Rec != nil {
 			m.Rec.OnCommit(h.Seq, m.cycle)
 		}
+		if m.Tel != nil {
+			m.Tel.InstCommit(h.Seq, h.PC)
+			if h.IssueCycle > 0 {
+				m.Tel.CommitLatency(m.cycle - h.IssueCycle)
+			}
+		}
 		if m.OnCommit != nil {
 			if err := m.OnCommit(c); err != nil {
 				m.hookErr = err
@@ -171,6 +177,9 @@ func (m *Machine) writeback() {
 		if m.Rec != nil {
 			m.Rec.OnComplete(r.Seq, m.cycle)
 		}
+		if m.Tel != nil {
+			m.Tel.InstComplete(r.Seq, r.PC)
+		}
 		if r.Inst.Op.IsControl() {
 			r.Mispred = r.ActTarget != predictedNextPC(r)
 			if r.Mispred {
@@ -195,6 +204,9 @@ func predictedNextPC(e *rob.Entry) uint32 {
 // reuse controller (revoking a buffering or exiting Code Reuse).
 func (m *Machine) recover(e *rob.Entry) {
 	m.C.Mispredicts++
+	if m.Tel != nil {
+		m.Tel.Mispredict(e.PC, e.ActTarget, e.Seq)
+	}
 	m.tracef("cycle %d: mispredict seq=%d pc=0x%x -> 0x%x (state %v)",
 		m.cycle, e.Seq, e.PC, e.ActTarget, m.Ctl.State())
 
@@ -384,10 +396,16 @@ func (m *Machine) tryIssueEntry(slot int) bool {
 		valI, valF = r.I, r.F
 	}
 	// Fault injection: inflate the result latency, modeling a slow unit.
-	lat += m.Chaos.Jitter()
+	if j := m.Chaos.Jitter(); j > 0 {
+		lat += j
+		if m.Tel != nil {
+			m.Tel.ChaosJitter(j, e.Seq)
+		}
+	}
 
 	// Record control resolution in the ROB for the writeback check.
 	re := m.ROB.Get(e.ROBSlot)
+	re.IssueCycle = m.cycle
 	if op.IsControl() {
 		re.ActTaken = r.Taken
 		if r.Taken {
@@ -402,6 +420,9 @@ func (m *Machine) tryIssueEntry(slot int) bool {
 	}
 	if m.Rec != nil {
 		m.Rec.OnIssue(e.Seq, m.cycle)
+	}
+	if m.Tel != nil {
+		m.Tel.InstIssue(e.Seq, e.PC)
 	}
 	robSlot, seq := e.ROBSlot, e.Seq
 	m.IQ.MarkIssued(slot)

@@ -1,0 +1,158 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+
+	"reuseiq/internal/asm"
+	"reuseiq/internal/telemetry"
+)
+
+const telLoopSrc = `
+	li   $r2, 0
+	li   $r3, 2000
+loop:	add  $r2, $r2, $r3
+	addi $r3, $r3, -1
+	bne  $r3, $zero, loop
+	halt
+	`
+
+func runTelemetry(t *testing.T, src string) (*Machine, *telemetry.Tracer) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(DefaultConfig(), p)
+	tel := telemetry.New(telemetry.Config{})
+	m.AttachTelemetry(tel)
+	if err := m.Run(); err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	tel.Finalize(m.Cycle())
+	return m, tel
+}
+
+// The acceptance invariant of the audit log: per-session gated-cycle totals
+// reconcile exactly with the machine's global fetch-gated counter. The
+// session tap sits at the same statement as the counter increment, so any
+// drift is a wiring bug.
+func TestSessionGatedCyclesReconcile(t *testing.T) {
+	m, tel := runTelemetry(t, telLoopSrc)
+	sessions := tel.Sessions()
+	if len(sessions) == 0 {
+		t.Fatal("tight loop produced no sessions")
+	}
+	var gated uint64
+	for _, s := range sessions {
+		gated += s.GatedCycles
+	}
+	if gated != m.C.GatedCycles {
+		t.Errorf("sum of session GatedCycles = %d, machine GatedCycles = %d",
+			gated, m.C.GatedCycles)
+	}
+}
+
+// Telemetry observation must not perturb the simulation: the same program
+// must produce identical cycle counts and stats with and without a tracer
+// attached.
+func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
+	p, err := asm.Assemble(telLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := New(DefaultConfig(), p)
+	if err := plain.Run(); err != nil {
+		t.Fatal(err)
+	}
+	traced, tel := runTelemetry(t, telLoopSrc)
+	if plain.Cycle() != traced.Cycle() {
+		t.Errorf("cycles differ: plain %d, traced %d", plain.Cycle(), traced.Cycle())
+	}
+	// Compare full stats, masking only the telemetry-specific additions.
+	ps, ts := plain.StatsSet(), traced.StatsSet()
+	for _, name := range ps.Names() {
+		if ps.Get(name) != ts.Get(name) {
+			t.Errorf("stat %s differs: plain %d, traced %d", name, ps.Get(name), ts.Get(name))
+		}
+	}
+	if tel.Total() == 0 {
+		t.Error("tracer attached but recorded nothing")
+	}
+}
+
+// The session audit log must describe the loop the machine actually captured.
+func TestSessionAuditDescribesLoop(t *testing.T) {
+	m, tel := runTelemetry(t, telLoopSrc)
+	sessions := tel.Sessions()
+	var promoted *telemetry.Session
+	for i := range sessions {
+		if sessions[i].Promoted() {
+			promoted = &sessions[i]
+			break
+		}
+	}
+	if promoted == nil {
+		t.Fatal("no promoted session for a 2000-iteration tight loop")
+	}
+	if promoted.StaticSize != 3 {
+		t.Errorf("StaticSize = %d, want 3 (add/addi/bne)", promoted.StaticSize)
+	}
+	if promoted.Head >= promoted.Tail {
+		t.Errorf("head 0x%x not below tail 0x%x", promoted.Head, promoted.Tail)
+	}
+	if promoted.ReusedInsts == 0 {
+		t.Error("promoted session supplied no reused instances")
+	}
+	if promoted.GatedCycles == 0 {
+		t.Error("promoted session gated no cycles")
+	}
+	if promoted.PromoteCycle <= promoted.StartCycle || promoted.EndCycle < promoted.PromoteCycle {
+		t.Errorf("cycle stamps out of order: %d / %d / %d",
+			promoted.StartCycle, promoted.PromoteCycle, promoted.EndCycle)
+	}
+	var reused uint64
+	for _, s := range sessions {
+		reused += s.ReusedInsts
+	}
+	if reused != m.Ctl.S.ReuseRenames {
+		t.Errorf("session reused sum = %d, controller ReuseRenames = %d",
+			reused, m.Ctl.S.ReuseRenames)
+	}
+}
+
+// End-to-end: a traced run exports Chrome trace JSON that validates and
+// contains RIQ state transitions for at least one captured loop.
+func TestTraceExportEndToEnd(t *testing.T) {
+	m, tel := runTelemetry(t, telLoopSrc)
+	var buf bytes.Buffer
+	if err := telemetry.WriteTraceJSON(&buf, tel, m.Cycle()); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("exported trace invalid: %v", err)
+	}
+	ev := tel.Events()
+	if telemetry.CountKind(ev, telemetry.EvBuffer) == 0 ||
+		telemetry.CountKind(ev, telemetry.EvPromote) == 0 {
+		t.Error("trace missing RIQ state-transition events")
+	}
+	if telemetry.CountKind(ev, telemetry.EvDispatch) == 0 {
+		t.Error("trace missing instruction lifecycle events")
+	}
+}
+
+// The registry renders telemetry histograms alongside the machine counters.
+func TestRegistryIncludesTelemetry(t *testing.T) {
+	m, _ := runTelemetry(t, telLoopSrc)
+	s := m.StatsSet()
+	if s.Get("telemetry.events") == 0 {
+		t.Error("telemetry.events counter missing or zero")
+	}
+	if s.Get("hist.session_cycles.count") == 0 {
+		t.Error("session-cycles histogram missing from registry snapshot")
+	}
+	if s.Get("hist.issue_to_commit.count") == 0 {
+		t.Error("issue-to-commit histogram missing from registry snapshot")
+	}
+}

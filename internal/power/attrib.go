@@ -1,0 +1,111 @@
+package power
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"reuseiq/internal/core"
+	"reuseiq/internal/pipeline"
+	"reuseiq/internal/telemetry"
+)
+
+// Per-session energy attribution: decomposes the reuse mechanism's energy
+// effect loop by loop, using the same calibrated constants as Analyze. For
+// each audit-log session it charges the overhead energy the session spent
+// (LRL writes while buffering, LRL reads and partial updates while reusing,
+// one NBLT insert if the revoke registered the loop) and credits the
+// front-end energy its gated cycles avoided, priced at the run's own average
+// front-end dynamic energy per ungated cycle. The decomposition is exact for
+// overhead (the same event counts Analyze charges, partitioned by session)
+// and a rate-based estimate for the avoided energy (the front end's activity
+// mix is assumed stationary across the run).
+type SessionEnergy struct {
+	Session telemetry.Session
+	// FrontEndSaved is the dynamic front-end energy (icache, fetch, bpred,
+	// decode) the session's gated cycles avoided.
+	FrontEndSaved float64
+	// OverheadSpent is the reuse-hardware energy attributable to the
+	// session: LRL writes for buffered instructions, LRL reads and issue
+	// queue partial updates for reused instances.
+	OverheadSpent float64
+}
+
+// Net returns the session's net energy effect (positive = saved).
+func (s SessionEnergy) Net() float64 { return s.FrontEndSaved - s.OverheadSpent }
+
+// AttributeSessions computes per-session energy attribution for a finished
+// machine and its telemetry session log (call Tracer.Finalize first).
+func AttributeSessions(m *pipeline.Machine, sessions []telemetry.Session) []SessionEnergy {
+	return AttributeSessionsWith(m, sessions, DefaultParams())
+}
+
+// AttributeSessionsWith is AttributeSessions with explicit parameters.
+func AttributeSessionsWith(m *pipeline.Machine, sessions []telemetry.Session, p Params) []SessionEnergy {
+	rate := frontEndRate(m, p)
+	iqScale := float64(m.Cfg.IQSize) / 64
+
+	out := make([]SessionEnergy, 0, len(sessions))
+	for _, s := range sessions {
+		e := SessionEnergy{Session: s}
+		e.FrontEndSaved = float64(s.GatedCycles) * rate
+		e.OverheadSpent = float64(s.BufferedInsts)*p.LRLWrite +
+			float64(s.ReusedInsts)*(p.LRLRead+p.IQPartialUpdate*iqScale)
+		if registersNBLT(s.EndReason) {
+			e.OverheadSpent += p.NBLTInsert
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// registersNBLT reports whether a revoke with this reason inserted the loop
+// into the non-bufferable loop table (mirrors core.Controller.revoke call
+// sites: exit, inner call/branch, and queue-full revokes register; forced and
+// recovery revokes do not).
+func registersNBLT(r core.RevokeReason) bool {
+	return r == core.ReasonInner || r == core.ReasonExit || r == core.ReasonFull
+}
+
+// frontEndRate returns the run's average dynamic front-end energy per
+// ungated cycle — the price one gated cycle avoids.
+func frontEndRate(m *pipeline.Machine, p Params) float64 {
+	ungated := m.C.Cycles - m.C.GatedCycles
+	if ungated == 0 {
+		return 0
+	}
+	bp := m.BP
+	dyn := float64(m.Hier.L1I.Accesses)*p.ICacheAccess +
+		float64(m.Hier.ITLB.Accesses())*p.ITLBAccess +
+		float64(m.C.Fetches)*p.FetchPerInst +
+		float64(bp.Lookups+bp.Updates)*p.BpredDir +
+		float64(bp.BTBLookups+bp.BTBUpdates)*p.BpredBTB +
+		float64(bp.RASOps)*p.BpredRAS +
+		float64(m.C.Decodes)*p.DecodePerInst
+	return dyn / float64(ungated)
+}
+
+// WriteSessionEnergy renders the attribution as an aligned table, largest
+// net saving first kept in session order, with a totals row.
+func WriteSessionEnergy(w io.Writer, attrib []SessionEnergy) {
+	fmt.Fprintf(w, "%4s %10s %8s %9s %12s %12s %12s\n",
+		"id", "head", "gated", "reused", "fe-saved", "overhead", "net")
+	var saved, spent float64
+	for _, a := range attrib {
+		s := a.Session
+		fmt.Fprintf(w, "%4d 0x%08x %8d %9d %12.1f %12.1f %12.1f\n",
+			s.ID, s.Head, s.GatedCycles, s.ReusedInsts,
+			a.FrontEndSaved, a.OverheadSpent, a.Net())
+		saved += a.FrontEndSaved
+		spent += a.OverheadSpent
+	}
+	fmt.Fprintf(w, "%4s %10s %8s %9s %12.1f %12.1f %12.1f\n",
+		"", "total", "", "", saved, spent, saved-spent)
+}
+
+// SessionEnergyString renders the attribution table to a string.
+func SessionEnergyString(attrib []SessionEnergy) string {
+	var b strings.Builder
+	WriteSessionEnergy(&b, attrib)
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package power_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"reuseiq/internal/compiler"
+	"reuseiq/internal/pipeline"
+	"reuseiq/internal/power"
+	"reuseiq/internal/telemetry"
+	"reuseiq/internal/workloads"
+)
+
+func runWithTelemetry(t *testing.T, kernel string) (*pipeline.Machine, *telemetry.Tracer) {
+	t.Helper()
+	k, ok := workloads.ByName(kernel)
+	if !ok {
+		t.Fatalf("unknown kernel %q", kernel)
+	}
+	mp, _, err := compiler.Compile(k.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := pipeline.New(pipeline.DefaultConfig(), mp)
+	tel := telemetry.New(telemetry.Config{})
+	m.AttachTelemetry(tel)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tel.Finalize(m.Cycle())
+	return m, tel
+}
+
+// The per-session decomposition must account for the whole run: gated cycles
+// partition exactly across sessions, and the summed overhead charges match
+// the counters Analyze prices (up to the NBLT terms, which Analyze charges
+// globally).
+func TestAttributionReconcilesWithAnalyze(t *testing.T) {
+	m, tel := runWithTelemetry(t, "aps")
+	sessions := tel.Sessions()
+	if len(sessions) == 0 {
+		t.Fatal("aps produced no reuse sessions")
+	}
+
+	attrib := power.AttributeSessions(m, sessions)
+	if len(attrib) != len(sessions) {
+		t.Fatalf("attribution rows = %d, sessions = %d", len(attrib), len(sessions))
+	}
+
+	var gated, buffered, reused uint64
+	for _, a := range attrib {
+		gated += a.Session.GatedCycles
+		buffered += a.Session.BufferedInsts
+		reused += a.Session.ReusedInsts
+	}
+	if gated != m.C.GatedCycles {
+		t.Errorf("session gated cycles sum = %d, global counter = %d", gated, m.C.GatedCycles)
+	}
+	if buffered != m.Ctl.S.BufferedInsts {
+		t.Errorf("session buffered insts sum = %d, controller counter = %d",
+			buffered, m.Ctl.S.BufferedInsts)
+	}
+	if reused != m.Ctl.S.ReuseRenames {
+		t.Errorf("session reused insts sum = %d, controller counter = %d",
+			reused, m.Ctl.S.ReuseRenames)
+	}
+
+	// The total front-end energy credited must be positive for a kernel that
+	// gates nearly the whole run, and no single session may claim more than
+	// the run's total front-end dynamic energy.
+	rep := power.Analyze(m)
+	var feTotal float64
+	for c := power.Component(0); c < power.NumComponents; c++ {
+		if c.FrontEnd() {
+			feTotal += rep.Energy[c]
+		}
+	}
+	var saved float64
+	for _, a := range attrib {
+		if a.FrontEndSaved < 0 || a.OverheadSpent < 0 {
+			t.Fatalf("negative energy in session %d: saved=%f spent=%f",
+				a.Session.ID, a.FrontEndSaved, a.OverheadSpent)
+		}
+		saved += a.FrontEndSaved
+	}
+	if saved <= 0 {
+		t.Error("total attributed front-end saving is zero for a gating kernel")
+	}
+	if math.IsNaN(saved) || math.IsInf(saved, 0) {
+		t.Errorf("attributed saving is not finite: %f", saved)
+	}
+}
+
+// A baseline machine (reuse disabled) has no sessions; attribution of an
+// empty log must be empty, not panic.
+func TestAttributionEmptySessions(t *testing.T) {
+	k, _ := workloads.ByName("aps")
+	mp, _, err := compiler.Compile(k.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := pipeline.New(pipeline.BaselineConfig(), mp)
+	tel := telemetry.New(telemetry.Config{})
+	m.AttachTelemetry(tel)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tel.Finalize(m.Cycle())
+	if n := len(tel.Sessions()); n != 0 {
+		t.Fatalf("baseline machine logged %d sessions", n)
+	}
+	if got := power.AttributeSessions(m, tel.Sessions()); len(got) != 0 {
+		t.Fatalf("attribution of empty log returned %d rows", len(got))
+	}
+}
+
+func TestSessionEnergyTable(t *testing.T) {
+	m, tel := runWithTelemetry(t, "aps")
+	out := power.SessionEnergyString(power.AttributeSessions(m, tel.Sessions()))
+	if !strings.Contains(out, "fe-saved") || !strings.Contains(out, "total") {
+		t.Errorf("table missing header or totals row:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if want := len(tel.Sessions()) + 2; len(lines) != want {
+		t.Errorf("table has %d lines, want %d (header + sessions + total)", len(lines), want)
+	}
+}

@@ -35,6 +35,10 @@ type Entry struct {
 	// Reused marks instances dispatched by the issue queue's reuse path
 	// rather than the front end (statistics only).
 	Reused bool
+
+	// IssueCycle is the cycle the instruction issued (telemetry: the
+	// issue-to-commit latency histogram reads it at commit).
+	IssueCycle uint64
 }
 
 // ROB is the reorder buffer.

@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"reuseiq/internal/stats"
+)
+
+// Registry is the unified metrics surface: every component registers its
+// counters, gauges and histograms here through one typed interface, and the
+// CLIs render everything from a single Snapshot into the existing stats.Set
+// format. Registration happens at reporting time (it reads live values
+// through closures), so the registry adds nothing to the simulation hot
+// path.
+type Registry struct {
+	names  []string
+	reads  []func() uint64
+	gnames []string
+	greads []func() float64
+	hists  []*namedHist
+}
+
+type namedHist struct {
+	name string
+	h    *Histogram
+}
+
+// Counter registers a named uint64 counter read through fn.
+func (r *Registry) Counter(name string, fn func() uint64) {
+	r.names = append(r.names, name)
+	r.reads = append(r.reads, fn)
+}
+
+// CounterVal registers a counter with a fixed value (a snapshot).
+func (r *Registry) CounterVal(name string, v uint64) {
+	r.Counter(name, func() uint64 { return v })
+}
+
+// Gauge registers a named float64 gauge read through fn. Gauges are rendered
+// in parts-per-million so they fit the integer stats.Set format losslessly
+// enough for reporting (the name gains a ".ppm" suffix).
+func (r *Registry) Gauge(name string, fn func() float64) {
+	r.gnames = append(r.gnames, name)
+	r.greads = append(r.greads, fn)
+}
+
+// RegisterHistogram registers h's buckets for rendering under name.
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	r.hists = append(r.hists, &namedHist{name: name, h: h})
+}
+
+// Snapshot renders every registered metric into an ordered stats.Set:
+// counters under their own names, gauges as <name>.ppm, histograms as
+// <name>.le_<bound> cumulative bucket counters plus <name>.count.
+func (r *Registry) Snapshot() *stats.Set {
+	s := &stats.Set{}
+	for i, name := range r.names {
+		s.Put(name, r.reads[i]())
+	}
+	for i, name := range r.gnames {
+		s.Put(name+".ppm", uint64(r.greads[i]()*1e6))
+	}
+	for _, nh := range r.hists {
+		nh.h.snapshot(nh.name, s)
+	}
+	return s
+}
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations <= 2^i, with a final overflow bucket.
+const histBuckets = 20
+
+// Histogram is a fixed-bucket power-of-two latency histogram. Observation is
+// allocation-free; the zero value is ready to use.
+type Histogram struct {
+	buckets [histBuckets + 1]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	i := 0
+	for i < histBuckets && v > uint64(1)<<uint(i) {
+		i++
+	}
+	h.buckets[i]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the mean observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest observed value.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// snapshot writes cumulative (le) buckets into s. Empty trailing buckets
+// beyond the largest observation are elided to keep reports readable.
+func (h *Histogram) snapshot(name string, s *stats.Set) {
+	if h.count == 0 {
+		s.Put(name+".count", 0)
+		return
+	}
+	var cum uint64
+	for i := 0; i <= histBuckets; i++ {
+		cum += h.buckets[i]
+		bound := uint64(1) << uint(i)
+		if i == histBuckets {
+			s.Put(name+".le_inf", cum)
+			break
+		}
+		s.Put(fmt.Sprintf("%s.le_%d", name, bound), cum)
+		if cum == h.count && bound >= h.max {
+			break
+		}
+	}
+	s.Put(name+".count", h.count)
+	s.Put(name+".sum", h.sum)
+	s.Put(name+".max", h.max)
+}

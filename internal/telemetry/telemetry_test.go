@@ -1,0 +1,365 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+
+	"reuseiq/internal/core"
+)
+
+func TestRingRetainsNewestAndCountsDrops(t *testing.T) {
+	tr := New(Config{RingSize: 4})
+	for i := 0; i < 10; i++ {
+		tr.BeginCycle(uint64(i))
+		tr.Emit(EvIteration, 0x100, uint64(i), 0)
+	}
+	if tr.Total() != 10 {
+		t.Errorf("Total = %d, want 10", tr.Total())
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", tr.Dropped())
+	}
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d events, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if want := uint64(6 + i); e.A != want {
+			t.Errorf("event %d: A = %d, want %d (oldest-first order)", i, e.A, want)
+		}
+	}
+}
+
+func TestRingNoDropsUnderCapacity(t *testing.T) {
+	tr := New(Config{RingSize: 8})
+	for i := 0; i < 5; i++ {
+		tr.Emit(EvBuffer, 0, uint64(i), 0)
+	}
+	if tr.Dropped() != 0 {
+		t.Errorf("Dropped = %d, want 0", tr.Dropped())
+	}
+	if got := len(tr.Events()); got != 5 {
+		t.Errorf("retained %d, want 5", got)
+	}
+}
+
+// ctl fabricates a controller event stream: a session that buffers two
+// iterations, promotes, and exits reuse.
+func playSession(tr *Tracer) {
+	tr.BeginCycle(100)
+	tr.CtlEvent(core.CtlEvent{Kind: core.CtlBuffer, Head: 0x40, Tail: 0x50, Size: 5, BufferedInsts: 7})
+	tr.BeginCycle(110)
+	tr.CtlEvent(core.CtlEvent{Kind: core.CtlIteration, Head: 0x40, Size: 5, BufferedInsts: 12})
+	tr.BeginCycle(120)
+	tr.CtlEvent(core.CtlEvent{Kind: core.CtlIteration, Head: 0x40, Size: 5, BufferedInsts: 17})
+	tr.BeginCycle(121)
+	tr.CtlEvent(core.CtlEvent{Kind: core.CtlPromote, Head: 0x40, Tail: 0x50, BufferedInsts: 17})
+	for c := uint64(122); c < 150; c++ {
+		tr.BeginCycle(c)
+		tr.GatedCycle()
+		tr.ReuseSupplied(2)
+	}
+	tr.BeginCycle(150)
+	tr.CtlEvent(core.CtlEvent{Kind: core.CtlReuseExit, Head: 0x40, BufferedInsts: 17})
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	tr := New(Config{RingSize: 64})
+	playSession(tr)
+	tr.Finalize(200)
+
+	sessions := tr.Sessions()
+	if len(sessions) != 1 {
+		t.Fatalf("sessions = %d, want 1", len(sessions))
+	}
+	s := sessions[0]
+	if s.Head != 0x40 || s.Tail != 0x50 || s.StaticSize != 5 {
+		t.Errorf("loop identity wrong: %+v", s)
+	}
+	if s.StartCycle != 100 || s.PromoteCycle != 121 || s.EndCycle != 150 {
+		t.Errorf("cycle stamps wrong: start=%d promote=%d end=%d",
+			s.StartCycle, s.PromoteCycle, s.EndCycle)
+	}
+	if !s.Promoted() {
+		t.Error("session should report promoted")
+	}
+	if s.Iterations != 2 {
+		t.Errorf("Iterations = %d, want 2", s.Iterations)
+	}
+	if s.BufferedInsts != 10 {
+		t.Errorf("BufferedInsts = %d, want 10 (delta from open)", s.BufferedInsts)
+	}
+	if s.ReusedInsts != 56 {
+		t.Errorf("ReusedInsts = %d, want 56", s.ReusedInsts)
+	}
+	if s.GatedCycles != 28 {
+		t.Errorf("GatedCycles = %d, want 28", s.GatedCycles)
+	}
+	if s.EndReason != core.ReasonReuseExit {
+		t.Errorf("EndReason = %v, want reuse-exit", s.EndReason)
+	}
+	if tr.SessionCycles.Count() != 1 {
+		t.Errorf("SessionCycles observations = %d, want 1", tr.SessionCycles.Count())
+	}
+}
+
+func TestSessionRevokedBeforePromotion(t *testing.T) {
+	tr := New(Config{RingSize: 64})
+	tr.BeginCycle(10)
+	tr.CtlEvent(core.CtlEvent{Kind: core.CtlBuffer, Head: 0x80, Tail: 0x90, Size: 4, BufferedInsts: 0})
+	tr.BeginCycle(15)
+	tr.CtlEvent(core.CtlEvent{Kind: core.CtlRevoke, Head: 0x80, Reason: core.ReasonInner, BufferedInsts: 3})
+	tr.Finalize(20)
+
+	sessions := tr.Sessions()
+	if len(sessions) != 1 {
+		t.Fatalf("sessions = %d, want 1", len(sessions))
+	}
+	s := sessions[0]
+	if s.Promoted() {
+		t.Error("revoked-while-buffering session reports promoted")
+	}
+	if s.EndReason != core.ReasonInner {
+		t.Errorf("EndReason = %v, want inner", s.EndReason)
+	}
+	if s.BufferedInsts != 3 || s.GatedCycles != 0 {
+		t.Errorf("buffered=%d gated=%d, want 3 and 0", s.BufferedInsts, s.GatedCycles)
+	}
+}
+
+func TestFinalizeClosesOpenSession(t *testing.T) {
+	tr := New(Config{RingSize: 64})
+	tr.BeginCycle(10)
+	tr.CtlEvent(core.CtlEvent{Kind: core.CtlBuffer, Head: 0x80, Tail: 0x90, Size: 4, BufferedInsts: 2})
+	tr.BeginCycle(30)
+	tr.CtlEvent(core.CtlEvent{Kind: core.CtlIteration, Head: 0x80, Size: 4, BufferedInsts: 6})
+	tr.Finalize(42)
+
+	sessions := tr.Sessions()
+	if len(sessions) != 1 {
+		t.Fatalf("sessions = %d, want 1", len(sessions))
+	}
+	s := sessions[0]
+	if s.EndCycle != 42 || s.EndReason != core.ReasonNone {
+		t.Errorf("finalized session: end=%d reason=%v", s.EndCycle, s.EndReason)
+	}
+	if s.BufferedInsts != 4 {
+		t.Errorf("BufferedInsts = %d, want 4 (through last complete iteration)", s.BufferedInsts)
+	}
+	// Finalize is idempotent: a second call must not duplicate the session.
+	tr.Finalize(42)
+	if len(tr.Sessions()) != 1 {
+		t.Errorf("double finalize duplicated the session")
+	}
+}
+
+func TestInstLimitCapsLifecycleEvents(t *testing.T) {
+	tr := New(Config{RingSize: 1024, InstLimit: 3})
+	for seq := uint64(1); seq <= 10; seq++ {
+		tr.InstDispatch(seq, 0x100, false)
+		tr.InstIssue(seq, 0x100)
+	}
+	ev := tr.Events()
+	if got := CountKind(ev, EvDispatch); got != 3 {
+		t.Errorf("dispatch events = %d, want 3 (InstLimit)", got)
+	}
+	if got := CountKind(ev, EvIssue); got != 3 {
+		t.Errorf("issue events = %d, want 3 (InstLimit)", got)
+	}
+
+	off := New(Config{RingSize: 64, InstLimit: -1})
+	off.InstDispatch(1, 0x100, false)
+	off.InstCommit(1, 0x100)
+	if off.Total() != 0 {
+		t.Errorf("InstLimit<0 still recorded %d events", off.Total())
+	}
+}
+
+func TestHistogramBucketsAndSnapshot(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{1, 2, 3, 1000, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Max() != 1000 {
+		t.Errorf("count=%d max=%d", h.Count(), h.Max())
+	}
+	if want := float64(1+2+3+1000+5) / 5; h.Mean() != want {
+		t.Errorf("mean = %f, want %f", h.Mean(), want)
+	}
+
+	var r Registry
+	r.RegisterHistogram("h", &h)
+	s := r.Snapshot()
+	if got := s.Get("h.le_2"); got != 2 {
+		t.Errorf("h.le_2 = %d, want 2 (cumulative: values 1 and 2)", got)
+	}
+	if got := s.Get("h.le_1024"); got != 5 {
+		t.Errorf("h.le_1024 = %d, want 5", got)
+	}
+	if got := s.Get("h.count"); got != 5 {
+		t.Errorf("h.count = %d, want 5", got)
+	}
+	if got := s.Get("h.max"); got != 1000 {
+		t.Errorf("h.max = %d, want 1000", got)
+	}
+	// Buckets beyond the max observation are elided.
+	for _, name := range s.Names() {
+		if name == "h.le_4096" {
+			t.Error("empty trailing bucket h.le_4096 not elided")
+		}
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(1 << 25) // beyond the largest finite bucket
+	var r Registry
+	r.RegisterHistogram("h", &h)
+	s := r.Snapshot()
+	if got := s.Get("h.le_inf"); got != 1 {
+		t.Errorf("h.le_inf = %d, want 1", got)
+	}
+}
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	var r Registry
+	r.CounterVal("a", 7)
+	r.Counter("b", func() uint64 { return 9 })
+	r.Gauge("frac", func() float64 { return 0.5 })
+	s := r.Snapshot()
+	if s.Get("a") != 7 || s.Get("b") != 9 {
+		t.Errorf("counters wrong: a=%d b=%d", s.Get("a"), s.Get("b"))
+	}
+	if got := s.Get("frac.ppm"); got != 500000 {
+		t.Errorf("frac.ppm = %d, want 500000", got)
+	}
+}
+
+func TestWriteTraceJSONValidates(t *testing.T) {
+	tr := New(Config{RingSize: 256})
+	playSession(tr)
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, tr, 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("generated trace fails validation: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"loop-buffering", "code-reuse", "gated", "riq-state"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q", want)
+		}
+	}
+}
+
+// When the ring dropped early transitions the exporter must not fabricate
+// state spans from an unknown starting state, and the file must still
+// validate.
+func TestWriteTraceJSONAfterRingDrop(t *testing.T) {
+	tr := New(Config{RingSize: 4})
+	playSession(tr) // gated cycles do not emit, but buffer/promote/exit do
+	for i := 0; i < 8; i++ {
+		tr.BeginCycle(uint64(160 + i))
+		tr.Emit(EvIteration, 0x40, 1, 0)
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("test expects ring drops")
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, tr, 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("post-drop trace fails validation: %v", err)
+	}
+}
+
+func TestValidateTraceRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"malformed", `{"traceEvents": [`, "malformed"},
+		{"empty", `{"traceEvents": []}`, "no events"},
+		{"no-phase", `{"traceEvents":[{"name":"x","ts":1}]}`, "no phase"},
+		{"no-ts", `{"traceEvents":[{"name":"x","ph":"i"}]}`, "no timestamp"},
+		{"negative-ts", `{"traceEvents":[{"name":"x","ph":"i","ts":-4}]}`, "negative ts"},
+		{"non-monotone", `{"traceEvents":[{"name":"a","ph":"i","ts":5},{"name":"b","ph":"i","ts":2}]}`, "not monotone"},
+		{"unbalanced-b", `{"traceEvents":[{"name":"a","ph":"B","ts":1}]}`, "unbalanced"},
+		{"e-without-b", `{"traceEvents":[{"name":"a","ph":"E","ts":1}]}`, "E without matching B"},
+		{"late-metadata", `{"traceEvents":[{"name":"a","ph":"i","ts":1},{"name":"m","ph":"M"}]}`, "after timed"},
+	}
+	for _, c := range cases {
+		err := ValidateTrace(strings.NewReader(c.in))
+		if err == nil {
+			t.Errorf("%s: validation passed, want error containing %q", c.name, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestValidateTraceAcceptsBalancedBE(t *testing.T) {
+	in := `{"traceEvents":[
+		{"name":"m","ph":"M"},
+		{"name":"a","ph":"B","ts":1,"pid":1,"tid":0},
+		{"name":"a","ph":"E","ts":3,"pid":1,"tid":0}]}`
+	if err := ValidateTrace(strings.NewReader(in)); err != nil {
+		t.Errorf("balanced B/E rejected: %v", err)
+	}
+}
+
+func TestJSONLStreamAndDump(t *testing.T) {
+	var stream bytes.Buffer
+	bw := bufio.NewWriter(&stream)
+	tr := New(Config{RingSize: 4})
+	tr.Sink = JSONLSink(bw)
+	playSession(tr)
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stream saw every event even though the ring only retains 4.
+	gotLines := strings.Count(stream.String(), "\n")
+	if uint64(gotLines) != tr.Total() {
+		t.Errorf("stream has %d lines, tracer emitted %d", gotLines, tr.Total())
+	}
+	if !strings.Contains(stream.String(), `"kind":"promote"`) {
+		t.Error("stream missing promote event")
+	}
+
+	var dump bytes.Buffer
+	if err := WriteJSONL(&dump, tr); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(dump.String(), "\n"); n != 4 {
+		t.Errorf("dump has %d lines, want 4 (ring capacity)", n)
+	}
+}
+
+func TestSessionTableRendering(t *testing.T) {
+	tr := New(Config{RingSize: 64})
+	playSession(tr)
+	tr.BeginCycle(160)
+	tr.CtlEvent(core.CtlEvent{Kind: core.CtlBuffer, Head: 0x40, Tail: 0x50, Size: 5, BufferedInsts: 17})
+	tr.Finalize(170)
+
+	var buf bytes.Buffer
+	WriteSessionTable(&buf, tr.Sessions())
+	out := buf.String()
+	if !strings.Contains(out, "reuse-exit") {
+		t.Errorf("table missing reuse-exit reason:\n%s", out)
+	}
+	if !strings.Contains(out, "run-end") {
+		t.Errorf("table missing run-end for finalized open session:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Errorf("table has %d lines, want header + 2 sessions", lines)
+	}
+}

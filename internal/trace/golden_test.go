@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenRecorder builds a deterministic scenario exercising every Render
+// feature: a normal instruction, a long-latency one, a reused instance, a
+// squashed instruction, a never-issued one, and a disassembly long enough to
+// be truncated.
+func goldenRecorder() *Recorder {
+	r := New(8)
+	r.OnDispatch(10, 0x400000, "li $r2, 7", false, 100)
+	r.OnIssue(10, 101)
+	r.OnComplete(10, 102)
+	r.OnCommit(10, 103)
+
+	r.OnDispatch(11, 0x400004, "mul $r6, $r2, $r3", false, 100)
+	r.OnIssue(11, 103)
+	r.OnComplete(11, 110)
+	r.OnCommit(11, 111)
+
+	r.OnDispatch(12, 0x400008, "add $r4, $r2, $r3", true, 101)
+	r.OnIssue(12, 102)
+	r.OnComplete(12, 103)
+	r.OnCommit(12, 112)
+
+	r.OnDispatch(13, 0x40000c, "bne $r3, $zero, loop", false, 101)
+	r.OnIssue(13, 104)
+	r.OnSquash(13)
+
+	r.OnDispatch(14, 0x400010, "this disassembly is much too long to fit", false, 102)
+
+	return r
+}
+
+func TestRenderGolden(t *testing.T) {
+	var buf bytes.Buffer
+	goldenRecorder().Render(&buf)
+
+	path := filepath.Join("testdata", "render.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/trace -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Render output drifted from %s (rerun with -update if intentional)\ngot:\n%s\nwant:\n%s",
+			path, buf.Bytes(), want)
+	}
+}
+
+func TestRenderGoldenStats(t *testing.T) {
+	// Pin the Stats contract for the same scenario: 3 committed (squashed and
+	// never-committed excluded), waits 1+3+1 = 5, lifetimes 3+11+11 = 25.
+	wait, life, n := goldenRecorder().Stats()
+	if n != 3 {
+		t.Fatalf("committed = %d, want 3", n)
+	}
+	if want := 5.0 / 3; wait != want {
+		t.Errorf("avg wait = %f, want %f", wait, want)
+	}
+	if want := 25.0 / 3; life != want {
+		t.Errorf("avg lifetime = %f, want %f", life, want)
+	}
+}
