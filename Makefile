@@ -1,10 +1,10 @@
 # Tier-1 verification: everything must build, vet clean, pass the full test
 # suite under the race detector (the experiment harness runs simulations
-# concurrently, so -race is part of the gate, not an extra), and emit a valid
-# telemetry trace.
-.PHONY: check build vet test race fuzz bench bench-baseline bench-all telemetry-check
+# concurrently, so -race is part of the gate, not an extra), emit a valid
+# telemetry trace, and serve a lint-clean live observability surface.
+.PHONY: check build vet test race fuzz bench bench-baseline bench-all telemetry-check obs-check
 
-check: build vet race telemetry-check
+check: build vet race telemetry-check obs-check
 
 build:
 	go build ./...
@@ -25,6 +25,14 @@ telemetry-check:
 	@mkdir -p bench
 	go run ./cmd/reusesim -kernel aps -trace bench/telemetry-check.json > /dev/null
 	go run ./cmd/tracecheck -require-riq bench/telemetry-check.json
+
+# Observability gate: spawn reusesim with a live -listen server, then validate
+# it end to end with cmd/obscheck — exposition-format lint on /metrics, counter
+# monotonicity across two scrapes, well-formed SSE frames from /events, and a
+# decodable /status. The -linger window keeps the server up after the run so
+# both scrapes land; obscheck kills the child when done.
+obs-check:
+	go run -race ./cmd/obscheck -- go run -race ./cmd/reusesim -kernel aps -listen 127.0.0.1:0 -linger 30s
 
 # Coverage-guided fuzzing of the assembler (see internal/asm/fuzz_test.go).
 fuzz:

@@ -1,0 +1,208 @@
+// Command obscheck validates a live observability endpoint the way promlint
+// and an SSE client would: metric names and types must be legal exposition
+// format, counters must be monotone across two scrapes, /events must stream
+// well-formed SSE frames carrying valid JSON, and /status must decode.
+//
+// Two modes:
+//
+//	obscheck -url http://127.0.0.1:8080          # check a running server
+//	obscheck -- go run ./cmd/reusesim -kernel aps -listen 127.0.0.1:0 -linger 30s
+//
+// In spawn mode everything after "--" is run as a child process; obscheck
+// scans its stderr for the "obs: listening on http://..." line, runs the
+// checks against that address, then kills the child's process group.
+//
+// Exit codes: 0 all checks pass, 1 a check failed, 2 usage / spawn error.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"syscall"
+	"time"
+
+	"reuseiq/internal/obs"
+)
+
+var listenRE = regexp.MustCompile(`obs: listening on (http://\S+)`)
+
+func main() {
+	url := flag.String("url", "", "check a server already listening at this base URL")
+	gap := flag.Duration("gap", 150*time.Millisecond, "pause between the two monotonicity scrapes")
+	minEvents := flag.Int("min-events", 1, "minimum well-formed SSE frames /events must deliver")
+	replay := flag.Int("replay", 64, "replay backlog requested from /events")
+	timeout := flag.Duration("timeout", 30*time.Second, "overall deadline for the checks (and server readiness)")
+	flag.Parse()
+
+	if (*url == "") == (flag.NArg() == 0) {
+		fmt.Fprintln(os.Stderr, "obscheck: need exactly one of -url or a command after --")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base := *url
+	var stopChild func()
+	if base == "" {
+		var err error
+		base, stopChild, err = spawn(flag.Args(), *timeout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obscheck:", err)
+			os.Exit(2)
+		}
+		defer stopChild()
+	}
+
+	if err := runChecks(base, *gap, *minEvents, *replay, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "obscheck: FAIL:", err)
+		if stopChild != nil {
+			stopChild()
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("obscheck: PASS %s (/healthz /readyz /metrics x2 /events /status)\n", base)
+}
+
+// spawn starts argv as its own process group, scans its stderr for the obs
+// listen line, and returns the base URL plus a kill-the-group cleanup.
+func spawn(argv []string, timeout time.Duration) (string, func(), error) {
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Stdout = io.Discard
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return "", nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return "", nil, fmt.Errorf("spawn %v: %w", argv, err)
+	}
+	stop := func() {
+		// Negative pid = the whole process group ("go run" wraps the binary).
+		syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL)
+		cmd.Wait()
+	}
+
+	urlCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(os.Stderr, "  [child]", line)
+			if m := listenRE.FindStringSubmatch(line); m != nil {
+				select {
+				case urlCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+
+	select {
+	case u := <-urlCh:
+		return u, stop, nil
+	case <-time.After(timeout):
+		stop()
+		return "", nil, fmt.Errorf("child never printed an obs listen line within %s", timeout)
+	}
+}
+
+// runChecks runs the full validation suite against base (no trailing slash).
+func runChecks(base string, gap time.Duration, minEvents, replay int, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	get := func(path string) (int, []byte, error) {
+		req, err := http.NewRequestWithContext(ctx, "GET", base+path, nil)
+		if err != nil {
+			return 0, nil, err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, body, err
+	}
+
+	// Readiness: poll until the first sample has been published.
+	for {
+		code, _, err := get("/readyz")
+		if err == nil && code == http.StatusOK {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			if err == nil {
+				err = fmt.Errorf("/readyz still %d", code)
+			}
+			return fmt.Errorf("server never became ready: %w", err)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	if code, _, err := get("/healthz"); err != nil || code != http.StatusOK {
+		return fmt.Errorf("/healthz = %d, %v", code, err)
+	}
+
+	// Two lint-clean scrapes; counters must not move backwards between them.
+	scrape := func() (map[string]obs.ExpoMetric, error) {
+		code, body, err := get("/metrics")
+		if err != nil || code != http.StatusOK {
+			return nil, fmt.Errorf("/metrics = %d, %v", code, err)
+		}
+		return obs.LintExposition(body)
+	}
+	first, err := scrape()
+	if err != nil {
+		return fmt.Errorf("first scrape: %w", err)
+	}
+	time.Sleep(gap)
+	second, err := scrape()
+	if err != nil {
+		return fmt.Errorf("second scrape: %w", err)
+	}
+	if err := obs.CheckMonotone(first, second); err != nil {
+		return fmt.Errorf("counters not monotone: %w", err)
+	}
+
+	// SSE: the replay backlog must deliver at least minEvents valid frames
+	// even when the run finished before we connected.
+	req, err := http.NewRequestWithContext(ctx, "GET",
+		fmt.Sprintf("%s/events?replay=%d", base, replay), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("/events: %w", err)
+	}
+	frames, ferr := obs.ReadSSE(resp.Body, minEvents)
+	resp.Body.Close()
+	if len(frames) < minEvents {
+		return fmt.Errorf("/events delivered %d well-formed frames, want >= %d (%v)",
+			len(frames), minEvents, ferr)
+	}
+
+	// /status must be a JSON object mirroring the sample cycle.
+	code, body, err := get("/status")
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("/status = %d, %v", code, err)
+	}
+	var status map[string]json.RawMessage
+	if err := json.Unmarshal(body, &status); err != nil {
+		return fmt.Errorf("/status is not a JSON object: %w\n%s", err, body)
+	}
+	for _, k := range []string{"sample_cycle", "subscribers", "events_published"} {
+		if _, ok := status[k]; !ok {
+			return fmt.Errorf("/status missing %q: %s", k, body)
+		}
+	}
+	return nil
+}

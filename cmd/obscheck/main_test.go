@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"reuseiq/internal/obs"
+	"reuseiq/internal/telemetry"
+)
+
+func TestRunChecksAgainstObsServer(t *testing.T) {
+	srv := obs.NewServer()
+	r := &telemetry.Registry{}
+	var cycles uint64 = 100
+	r.Counter("sim.cycles", func() uint64 { return cycles })
+	srv.Publish(obs.Sample{Cycle: cycles, Metrics: r.TypedSnapshot(), Status: map[string]any{"state": "normal"}})
+	srv.PublishEvent("progress", []byte(`{"done":1,"total":2}`))
+	srv.PublishEvent("progress", []byte(`{"done":2,"total":2}`))
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Advance the counter between the two scrapes, like a live run would.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cycles = 200
+		srv.Publish(obs.Sample{Cycle: cycles, Metrics: r.TypedSnapshot(), Status: map[string]any{"state": "normal"}})
+	}()
+
+	if err := runChecks(ts.URL, 50*time.Millisecond, 2, 16, 10*time.Second); err != nil {
+		t.Fatalf("runChecks on a healthy server: %v", err)
+	}
+}
+
+func TestRunChecksRejectsNonMonotoneCounter(t *testing.T) {
+	// A hand-rolled endpoint whose counter goes backwards between scrapes.
+	var scrapes int
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) { fmt.Fprintln(w, "ok") })
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) { fmt.Fprintln(w, "ok") })
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		scrapes++
+		v := 100 - scrapes*10
+		fmt.Fprintf(w, "# TYPE reuseiq_bad_total counter\nreuseiq_bad_total %d\n", v)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	err := runChecks(ts.URL, time.Millisecond, 1, 16, 5*time.Second)
+	if err == nil || !strings.Contains(err.Error(), "monotone") {
+		t.Fatalf("want a monotonicity failure, got %v", err)
+	}
+}
+
+func TestRunChecksRequiresEvents(t *testing.T) {
+	// Healthy metrics but an /events stream that closes without any frames.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) { fmt.Fprintln(w, "ok") })
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) { fmt.Fprintln(w, "ok") })
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "# TYPE reuseiq_ok_total counter\nreuseiq_ok_total 1\n")
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	err := runChecks(ts.URL, time.Millisecond, 1, 16, 5*time.Second)
+	if err == nil || !strings.Contains(err.Error(), "/events") {
+		t.Fatalf("want an /events failure, got %v", err)
+	}
+}

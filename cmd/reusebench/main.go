@@ -24,14 +24,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"reuseiq/internal/experiments"
+	"reuseiq/internal/obs"
+	"reuseiq/internal/telemetry"
 )
 
 // benchReport is the machine-readable throughput summary. Cycle totals come
@@ -53,6 +57,42 @@ type benchSection struct {
 	WallNS int64  `json:"wall_ns"`
 }
 
+// progressRecord is one machine-readable sweep-progress record, emitted as
+// a JSON line by -progress-json and as an SSE "progress" event by -listen.
+type progressRecord struct {
+	Done      int    `json:"done"`
+	Total     int    `json:"total"`
+	Kernel    string `json:"kernel"`
+	IQ        int    `json:"iq"`
+	Reuse     bool   `json:"reuse"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+	EtaMS     int64  `json:"eta_ms"` // -1 while unknown
+}
+
+// makeProgressRecord derives one record from a Suite.Progress callback.
+func makeProgressRecord(done, total int, sp experiments.Spec, elapsed time.Duration) progressRecord {
+	rec := progressRecord{
+		Done:      done,
+		Total:     total,
+		Kernel:    sp.Kernel,
+		IQ:        sp.IQSize,
+		Reuse:     sp.Reuse,
+		ElapsedMS: elapsed.Milliseconds(),
+		EtaMS:     -1,
+	}
+	if done > 0 && elapsed > 0 {
+		rec.EtaMS = time.Duration(float64(elapsed) / float64(done) * float64(total-done)).Milliseconds()
+	}
+	return rec
+}
+
+func (r progressRecord) eta() string {
+	if r.EtaMS < 0 {
+		return "?"
+	}
+	return (time.Duration(r.EtaMS) * time.Millisecond).Round(time.Second).String()
+}
+
 func main() {
 	table := flag.Int("table", 0, "regenerate one table (1 or 2)")
 	figure := flag.Int("figure", 0, "regenerate one figure (5-9)")
@@ -62,25 +102,65 @@ func main() {
 	forcefail := flag.String("forcefail", "", "force runs of kernel[:iq] to fail, to demonstrate degraded sweeps")
 	benchJSON := flag.String("benchjson", "BENCH_simcore.json", "write the throughput summary to this file (empty disables)")
 	progress := flag.Bool("progress", true, "report live sweep progress (points done, ETA, current kernel) on stderr")
+	progressJSON := flag.String("progress-json", "", "also write JSONL progress records to this file (\"-\" = stderr)")
+	listen := flag.String("listen", "", "serve live /metrics, /events, /status and pprof on this address while the sweep runs")
+	linger := flag.Duration("linger", 0, "keep the -listen server up this long after the report completes")
 	flag.Parse()
 
 	s := experiments.NewSuite()
-	if *progress {
+
+	var srv *obs.Server
+	if *listen != "" {
+		srv = obs.NewServer()
+		addr, err := srv.Start(*listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reusebench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "reusebench: obs: listening on http://%s (/metrics /events /status /debug/pprof)\n", addr)
+	}
+
+	var progressOut io.Writer
+	if *progressJSON != "" {
+		if *progressJSON == "-" {
+			progressOut = os.Stderr
+		} else {
+			f, err := os.Create(*progressJSON)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "reusebench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			progressOut = f
+		}
+	}
+
+	if *progress || progressOut != nil || srv != nil {
+		human := *progress
 		var sweepStart time.Time
 		s.Progress = func(done, total int, sp experiments.Spec) {
 			// Serialized by Prewarm; stderr only, so report text stays stable.
 			if done == 1 {
 				sweepStart = time.Now()
 			}
-			eta := "?"
-			if elapsed := time.Since(sweepStart); done > 0 && elapsed > 0 {
-				remain := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
-				eta = remain.Round(time.Second).String()
+			rec := makeProgressRecord(done, total, sp, time.Since(sweepStart))
+			if human {
+				fmt.Fprintf(os.Stderr, "\rreusebench: %d/%d points, eta %s  (%s iq=%d)\x1b[K",
+					done, total, rec.eta(), sp.Kernel, sp.IQSize)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
 			}
-			fmt.Fprintf(os.Stderr, "\rreusebench: %d/%d points, eta %s  (%s iq=%d)\x1b[K",
-				done, total, eta, sp.Kernel, sp.IQSize)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
+			if progressOut != nil || srv != nil {
+				data, err := json.Marshal(rec)
+				if err == nil {
+					if progressOut != nil {
+						progressOut.Write(append(data, '\n'))
+					}
+					if srv != nil {
+						srv.PublishEvent("progress", data)
+					}
+				}
 			}
 		}
 	}
@@ -98,6 +178,45 @@ func main() {
 			return sp.Kernel == kernel && (iqSize == 0 || sp.IQSize == iqSize)
 		}
 	}
+	if srv != nil {
+		reg := &telemetry.Registry{}
+		s.RegisterMetrics(reg)
+		publish := func() {
+			srv.Publish(obs.Sample{
+				Cycle:   s.TotalCycles(),
+				Metrics: reg.TypedSnapshot(),
+				Status:  s.Sweep(),
+			})
+		}
+		publish() // readyz goes 200 before the first sweep point lands
+		stop := make(chan struct{})
+		var tick sync.WaitGroup
+		tick.Add(1)
+		go func() {
+			defer tick.Done()
+			t := time.NewTicker(500 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					publish()
+				case <-stop:
+					return
+				}
+			}
+		}()
+		defer func() {
+			close(stop)
+			tick.Wait()
+			publish() // final state for late scrapes
+			if *linger > 0 {
+				fmt.Fprintf(os.Stderr, "reusebench: obs: lingering %s for late scrapes\n", *linger)
+				time.Sleep(*linger)
+			}
+			srv.Close()
+		}()
+	}
+
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
 	start := time.Now()

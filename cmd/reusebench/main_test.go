@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"reuseiq/internal/experiments"
+)
+
+func TestMakeProgressRecord(t *testing.T) {
+	sp := experiments.Spec{Kernel: "adi", IQSize: 64, Reuse: true}
+	rec := makeProgressRecord(3, 12, sp, 6*time.Second)
+	if rec.Done != 3 || rec.Total != 12 || rec.Kernel != "adi" || rec.IQ != 64 || !rec.Reuse {
+		t.Fatalf("record fields wrong: %+v", rec)
+	}
+	if rec.ElapsedMS != 6000 {
+		t.Errorf("ElapsedMS = %d, want 6000", rec.ElapsedMS)
+	}
+	// 6s for 3 points -> 2s/point -> 9 remaining -> 18s ETA.
+	if rec.EtaMS != 18000 {
+		t.Errorf("EtaMS = %d, want 18000", rec.EtaMS)
+	}
+	if got := rec.eta(); got != "18s" {
+		t.Errorf("eta() = %q, want \"18s\"", got)
+	}
+}
+
+func TestProgressRecordUnknownETA(t *testing.T) {
+	rec := makeProgressRecord(0, 12, experiments.Spec{Kernel: "lms", IQSize: 32}, 0)
+	if rec.EtaMS != -1 {
+		t.Errorf("EtaMS with no elapsed time = %d, want -1", rec.EtaMS)
+	}
+	if got := rec.eta(); got != "?" {
+		t.Errorf("eta() = %q, want \"?\"", got)
+	}
+}
+
+func TestProgressRecordJSONShape(t *testing.T) {
+	rec := makeProgressRecord(1, 2, experiments.Spec{Kernel: "adi", IQSize: 128}, time.Second)
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"done", "total", "kernel", "iq", "reuse", "elapsed_ms", "eta_ms"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("progress record missing %q key: %s", k, data)
+		}
+	}
+}

@@ -18,6 +18,8 @@
 //	reusesim -kernel adi -sessions       # reuse-session audit table
 //	reusesim -kernel adi -attrib         # per-session energy attribution
 //	reusesim -kernel aps -cpuprofile cpu.pprof -memprofile mem.pprof
+//	reusesim -kernel adi -listen 127.0.0.1:8080   # live /metrics /events
+//	                                              # /status /debug/pprof
 package main
 
 import (
@@ -28,11 +30,13 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"reuseiq/internal/asm"
 	"reuseiq/internal/chaos"
 	"reuseiq/internal/compiler"
 	"reuseiq/internal/lockstep"
+	"reuseiq/internal/obs"
 	"reuseiq/internal/pipeline"
 	"reuseiq/internal/power"
 	"reuseiq/internal/prog"
@@ -50,11 +54,50 @@ type opts struct {
 	verify    bool
 	chaosSeed int64 // 0 disables injection
 	// telemetry wants a tracer attached: any of -trace/-events/-sessions/
-	// -attrib, or the stats histograms when -stats is combined with them.
+	// -attrib/-listen, or the stats histograms when -stats is combined with
+	// them.
 	telemetry  bool
 	eventsPath string // JSONL stream destination ("-" = stdout, "" = off)
-	stdout     io.Writer
-	stderr     io.Writer
+	// srv, non-nil with -listen, receives samples from the machine's
+	// sampler tap and telemetry events for SSE fan-out.
+	srv         *obs.Server
+	sampleEvery uint64
+	stdout      io.Writer
+	stderr      io.Writer
+}
+
+// simStatus is the /status payload published with each sample.
+type simStatus struct {
+	Cycle    uint64  `json:"cycle"`
+	Commits  uint64  `json:"commits"`
+	IPC      float64 `json:"ipc"`
+	RIQState string  `json:"riq_state"`
+	GatedPct float64 `json:"gated_pct"`
+	Sessions int     `json:"sessions"`
+	Halted   bool    `json:"halted"`
+}
+
+// publishSample snapshots the machine's registry (on the simulation
+// goroutine) and publishes it. The final sample after the run additionally
+// carries per-session energy attribution gauges.
+func publishSample(srv *obs.Server, m *pipeline.Machine, final bool) {
+	r := &telemetry.Registry{}
+	m.RegisterMetrics(r)
+	st := simStatus{
+		Cycle:    m.Cycle(),
+		Commits:  m.C.Commits,
+		IPC:      m.IPC(),
+		RIQState: m.Ctl.State().String(),
+		GatedPct: 100 * m.GatedFraction(),
+		Halted:   m.Halted(),
+	}
+	if m.Tel != nil {
+		st.Sessions = len(m.Tel.Sessions())
+		if final {
+			power.RegisterSessionMetrics(r, power.AttributeSessions(m, m.Tel.Sessions()))
+		}
+	}
+	srv.Publish(obs.Sample{Cycle: m.Cycle(), Metrics: r.TypedSnapshot(), Status: st})
 }
 
 func mainImpl(args []string, stdout, stderr io.Writer) int {
@@ -78,16 +121,36 @@ func mainImpl(args []string, stdout, stderr io.Writer) int {
 	attribFlag := fs.Bool("attrib", false, "print per-session energy attribution")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	listen := fs.String("listen", "", "serve live observability (/metrics /events /status /debug/pprof) on this address (port 0 picks one)")
+	linger := fs.Duration("linger", 0, "with -listen, keep serving this long after the run ends")
+	sampleEvery := fs.Uint64("sample-every", 0, "with -listen, cycles between metric samples (0 = default 4096)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	o := &opts{
 		verify:     *verify,
 		chaosSeed:  *chaosFlag,
-		telemetry:  *traceOut != "" || *events != "" || *sessionsFlag || *attribFlag,
+		telemetry:  *traceOut != "" || *events != "" || *sessionsFlag || *attribFlag || *listen != "",
 		eventsPath: *events,
 		stdout:     stdout,
 		stderr:     stderr,
+	}
+	if *listen != "" {
+		srv := obs.NewServer()
+		addr, err := srv.Start(*listen)
+		if err != nil {
+			fmt.Fprintln(stderr, "reusesim:", err)
+			return 1
+		}
+		o.srv = srv
+		o.sampleEvery = *sampleEvery
+		fmt.Fprintf(stderr, "reusesim: obs: listening on http://%s (/metrics /events /status /debug/pprof)\n", addr)
+		defer func() {
+			if *linger > 0 {
+				time.Sleep(*linger)
+			}
+			srv.Close()
+		}()
 	}
 
 	if *cpuprofile != "" {
@@ -295,7 +358,21 @@ func run(p *prog.Program, iq int, reuse bool, o *opts) (*pipeline.Machine, error
 			}
 			tel.Sink = telemetry.JSONLSink(w)
 		}
+		if o.srv != nil {
+			obsSink := o.srv.EventSink()
+			if jsonl := tel.Sink; jsonl != nil {
+				tel.Sink = func(e telemetry.Event) { jsonl(e); obsSink(e) }
+			} else {
+				tel.Sink = obsSink
+			}
+		}
 		m.AttachTelemetry(tel)
+	}
+	if o.srv != nil {
+		m.AttachSampler(o.sampleEvery, func() { publishSample(o.srv, m, false) })
+		// An immediate sample makes /readyz pass before the first interval
+		// elapses.
+		publishSample(o.srv, m, false)
 	}
 
 	var orc *lockstep.Oracle
@@ -307,6 +384,9 @@ func run(p *prog.Program, iq int, reuse bool, o *opts) (*pipeline.Machine, error
 	}
 	if m.Tel != nil {
 		m.Tel.Finalize(m.Cycle())
+	}
+	if o.srv != nil {
+		publishSample(o.srv, m, true)
 	}
 	if flushEvents != nil {
 		if err := flushEvents(); err != nil {

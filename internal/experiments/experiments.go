@@ -19,13 +19,16 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"reuseiq/internal/compiler"
 	"reuseiq/internal/core"
 	"reuseiq/internal/pipeline"
 	"reuseiq/internal/power"
 	"reuseiq/internal/prog"
+	"reuseiq/internal/telemetry"
 	"reuseiq/internal/workloads"
 )
 
@@ -86,6 +89,83 @@ type Suite struct {
 	// and the spec that just completed. Calls are serialized; cached specs
 	// report instantly. cmd/reusebench uses it for live sweep progress.
 	Progress func(done, total int, sp Spec)
+
+	// Sweep-progress instrumentation, exported through RegisterMetrics and
+	// Sweep. Atomics (and the runningMu-guarded set) so a live observer can
+	// read while Prewarm's workers simulate.
+	specsTotal  atomic.Uint64
+	specsDone   atomic.Uint64
+	specsFailed atomic.Uint64
+	workersBusy atomic.Int64
+	runningMu   sync.Mutex
+	running     map[string]struct{} // labels of specs currently simulating
+}
+
+// specLabel renders a spec as a compact human label for SweepState.Running.
+func specLabel(sp Spec) string {
+	l := fmt.Sprintf("%s iq=%d", sp.Kernel, sp.IQSize)
+	if sp.Reuse {
+		l += " reuse"
+	}
+	if sp.Distributed {
+		l += " dist"
+	}
+	return l
+}
+
+// RegisterMetrics registers the suite's sweep-progress metrics with r, so a
+// parallel sweep is observable point by point through the same registry
+// surface the per-machine counters use. The readers are safe to snapshot
+// from any goroutine while the sweep runs.
+func (s *Suite) RegisterMetrics(r *telemetry.Registry) {
+	r.Counter("sweep.specs_total", s.specsTotal.Load)
+	r.Counter("sweep.specs_done", s.specsDone.Load)
+	r.Counter("sweep.specs_failed", s.specsFailed.Load)
+	r.Counter("sweep.cycles_simulated", s.TotalCycles)
+	r.Gauge("sweep.workers_busy", func() float64 { return float64(s.workersBusy.Load()) })
+}
+
+// SweepState is a point-in-time view of sweep progress for live status
+// endpoints.
+type SweepState struct {
+	Total       int      `json:"total"`
+	Done        int      `json:"done"`
+	Failed      int      `json:"failed"`
+	WorkersBusy int      `json:"workers_busy"`
+	Running     []string `json:"running,omitempty"` // specs simulating right now
+	Cycles      uint64   `json:"cycles_simulated"`
+}
+
+// Sweep returns the current sweep progress. Safe to call concurrently with
+// Prewarm.
+func (s *Suite) Sweep() SweepState {
+	st := SweepState{
+		Total:       int(s.specsTotal.Load()),
+		Done:        int(s.specsDone.Load()),
+		Failed:      int(s.specsFailed.Load()),
+		WorkersBusy: int(s.workersBusy.Load()),
+		Cycles:      s.TotalCycles(),
+	}
+	s.runningMu.Lock()
+	for l := range s.running {
+		st.Running = append(st.Running, l)
+	}
+	s.runningMu.Unlock()
+	sort.Strings(st.Running)
+	return st
+}
+
+func (s *Suite) markRunning(label string, on bool) {
+	s.runningMu.Lock()
+	if on {
+		if s.running == nil {
+			s.running = map[string]struct{}{}
+		}
+		s.running[label] = struct{}{}
+	} else {
+		delete(s.running, label)
+	}
+	s.runningMu.Unlock()
 }
 
 // NewSuite creates an empty suite.
@@ -239,15 +319,26 @@ func (s *Suite) Prewarm(specs []Spec) error {
 	var wg sync.WaitGroup
 	var done int
 	var progressMu sync.Mutex
+	s.specsTotal.Add(uint64(len(specs)))
 	for i, sp := range specs {
 		wg.Add(1)
 		go func(i int, sp Spec) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			if _, err := s.Run(sp); err != nil {
+			s.workersBusy.Add(1)
+			label := specLabel(sp)
+			s.markRunning(label, true)
+			r, err := s.Run(sp)
+			s.markRunning(label, false)
+			s.workersBusy.Add(-1)
+			if err != nil {
 				errs[i] = fmt.Errorf("%s iq=%d reuse=%v: %w", sp.Kernel, sp.IQSize, sp.Reuse, err)
 			}
+			if err != nil || r.Failed() {
+				s.specsFailed.Add(1)
+			}
+			s.specsDone.Add(1)
 			if s.Progress != nil {
 				progressMu.Lock()
 				done++

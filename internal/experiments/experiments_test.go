@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"reuseiq/internal/core"
+	"reuseiq/internal/telemetry"
 )
 
 func TestTablesRender(t *testing.T) {
@@ -237,5 +238,57 @@ func TestPrewarmProgress(t *testing.T) {
 		if k != "aps" {
 			t.Errorf("Progress reported kernel %q", k)
 		}
+	}
+}
+
+// Sweep-progress metrics: after a Prewarm, done == total, the cycle counter
+// matches TotalCycles, no workers remain busy, and a sabotaged cell counts
+// as failed.
+func TestSweepMetricsTrackPrewarm(t *testing.T) {
+	s := NewSuite()
+	s.Parallelism = 2
+	s.Sabotage = func(sp Spec) bool { return sp.IQSize == 16 }
+	specs := []Spec{
+		{Kernel: "adi", IQSize: 32, Reuse: true, NBLTSize: -1},
+		{Kernel: "adi", IQSize: 32, Reuse: false, NBLTSize: -1},
+		{Kernel: "aps", IQSize: 16, Reuse: true, NBLTSize: -1},
+	}
+	if err := s.Prewarm(specs); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Sweep()
+	if st.Total != 3 || st.Done != 3 {
+		t.Errorf("sweep state %+v, want total=done=3", st)
+	}
+	if st.Failed != 1 {
+		t.Errorf("failed = %d, want 1 (sabotaged cell)", st.Failed)
+	}
+	if st.WorkersBusy != 0 || len(st.Running) != 0 {
+		t.Errorf("workers still marked busy after Prewarm: %+v", st)
+	}
+	if st.Cycles == 0 || st.Cycles != s.TotalCycles() {
+		t.Errorf("cycles = %d, TotalCycles = %d", st.Cycles, s.TotalCycles())
+	}
+
+	r := &telemetry.Registry{}
+	s.RegisterMetrics(r)
+	set := r.Snapshot()
+	if got := set.Get("sweep.specs_done"); got != 3 {
+		t.Errorf("sweep.specs_done = %d, want 3", got)
+	}
+	if got := set.Get("sweep.specs_failed"); got != 1 {
+		t.Errorf("sweep.specs_failed = %d, want 1", got)
+	}
+	if got := set.Get("sweep.cycles_simulated"); got != st.Cycles {
+		t.Errorf("sweep.cycles_simulated = %d, want %d", got, st.Cycles)
+	}
+}
+
+func TestSpecLabel(t *testing.T) {
+	if got := specLabel(Spec{Kernel: "adi", IQSize: 64, Reuse: true, Distributed: true}); got != "adi iq=64 reuse dist" {
+		t.Errorf("specLabel = %q", got)
+	}
+	if got := specLabel(Spec{Kernel: "wss", IQSize: 32}); got != "wss iq=32" {
+		t.Errorf("specLabel = %q", got)
 	}
 }

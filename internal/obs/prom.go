@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) rendered from typed
+// telemetry snapshots. Dotted registry names map onto the Prometheus
+// charset under a common prefix: "sim.cycles" -> "reuseiq_sim_cycles".
+
+// MetricPrefix namespaces every exposed metric.
+const MetricPrefix = "reuseiq_"
+
+// SanitizeMetricName maps an arbitrary registry name onto the legal
+// Prometheus metric-name charset [a-zA-Z_:][a-zA-Z0-9_:]* and applies
+// MetricPrefix. Dots and any other illegal runes become underscores.
+func SanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(MetricPrefix) + len(name))
+	b.WriteString(MetricPrefix)
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteExposition renders cur as a Prometheus text exposition: counters,
+// derived per-second rate gauges (when prev is present and older), gauges,
+// then histograms. A nil cur renders only an explanatory comment, so an
+// early scrape is well-formed.
+func WriteExposition(w io.Writer, cur, prev *Sample) error {
+	if cur == nil || cur.Metrics == nil {
+		_, err := fmt.Fprintln(w, "# no sample published yet")
+		return err
+	}
+	for _, c := range cur.Metrics.Counters {
+		name := SanitizeMetricName(c.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value); err != nil {
+			return err
+		}
+	}
+	writeRates(w, cur, prev)
+	for _, g := range cur.Metrics.Gauges {
+		name := SanitizeMetricName(g.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n",
+			name, name, formatFloat(g.Value)); err != nil {
+			return err
+		}
+	}
+	for _, h := range cur.Metrics.Hists {
+		name := SanitizeMetricName(h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets {
+			le := "+Inf"
+			if !b.IsInf {
+				le = strconv.FormatUint(b.LE, 10)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n",
+			name, h.Sum, name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeRates derives per-second rate gauges for every counter present in
+// both samples. A counter that went backwards (producer restarted between
+// samples) is skipped rather than rendered negative.
+func writeRates(w io.Writer, cur, prev *Sample) {
+	if prev == nil || prev.Metrics == nil {
+		return
+	}
+	dt := cur.At.Sub(prev.At).Seconds()
+	if dt <= 0 {
+		return
+	}
+	old := make(map[string]uint64, len(prev.Metrics.Counters))
+	for _, c := range prev.Metrics.Counters {
+		old[c.Name] = c.Value
+	}
+	for _, c := range cur.Metrics.Counters {
+		pv, ok := old[c.Name]
+		if !ok || c.Value < pv {
+			continue
+		}
+		name := SanitizeMetricName(c.Name) + "_per_second"
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n",
+			name, name, formatFloat(float64(c.Value-pv)/dt))
+	}
+}
+
+// formatFloat renders a float the way Prometheus clients expect: shortest
+// round-trip representation, no exponent for typical magnitudes.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

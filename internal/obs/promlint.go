@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Promlint-style validation of the /metrics and /events wire formats. The
+// cmd/obscheck gate and the package tests share these so the checker can
+// never drift from what the server actually emits.
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// ExpoMetric is one metric family parsed from an exposition: its declared
+// type and every sample keyed by the full sample name including labels.
+type ExpoMetric struct {
+	Type    string // "counter", "gauge" or "histogram"
+	Samples map[string]float64
+}
+
+// LintExposition parses and validates a Prometheus text exposition: legal
+// metric and label names, a TYPE declaration preceding every sample, numeric
+// values, no duplicate sample lines, and cumulative histogram buckets ending
+// in le="+Inf" equal to _count. It returns the parsed families keyed by base
+// metric name.
+func LintExposition(data []byte) (map[string]ExpoMetric, error) {
+	metrics := map[string]ExpoMetric{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := lintComment(line, lineNo, metrics); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := lintSample(line, lineNo, metrics); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name, m := range metrics {
+		if m.Type == "histogram" {
+			if err := lintHistogram(name, m); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return metrics, nil
+}
+
+func lintComment(line string, lineNo int, metrics map[string]ExpoMetric) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || fields[1] != "TYPE" {
+		return nil // HELP or free comment: ignored
+	}
+	if len(fields) != 4 {
+		return fmt.Errorf("obs: line %d: malformed TYPE comment %q", lineNo, line)
+	}
+	name, typ := fields[2], fields[3]
+	if !metricNameRe.MatchString(name) {
+		return fmt.Errorf("obs: line %d: illegal metric name %q", lineNo, name)
+	}
+	switch typ {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+	default:
+		return fmt.Errorf("obs: line %d: unknown metric type %q", lineNo, typ)
+	}
+	if m, ok := metrics[name]; ok && m.Type != typ {
+		return fmt.Errorf("obs: line %d: metric %q redeclared as %s (was %s)",
+			lineNo, name, typ, m.Type)
+	}
+	if _, ok := metrics[name]; !ok {
+		metrics[name] = ExpoMetric{Type: typ, Samples: map[string]float64{}}
+	}
+	return nil
+}
+
+func lintSample(line string, lineNo int, metrics map[string]ExpoMetric) error {
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return fmt.Errorf("obs: line %d: sample %q has no value", lineNo, line)
+	}
+	key, valStr := line[:sp], line[sp+1:]
+	val, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return fmt.Errorf("obs: line %d: bad sample value %q: %v", lineNo, valStr, err)
+	}
+	name := key
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		if !strings.HasSuffix(key, "}") {
+			return fmt.Errorf("obs: line %d: unterminated label set in %q", lineNo, key)
+		}
+		name = key[:i]
+		if err := lintLabels(key[i+1:len(key)-1], lineNo); err != nil {
+			return err
+		}
+	}
+	if !metricNameRe.MatchString(name) {
+		return fmt.Errorf("obs: line %d: illegal metric name %q", lineNo, name)
+	}
+	fam := baseFamily(name, metrics)
+	m, ok := metrics[fam]
+	if !ok {
+		return fmt.Errorf("obs: line %d: sample %q has no preceding TYPE declaration", lineNo, name)
+	}
+	if _, dup := m.Samples[key]; dup {
+		return fmt.Errorf("obs: line %d: duplicate sample %q", lineNo, key)
+	}
+	m.Samples[key] = val
+	return nil
+}
+
+// baseFamily maps a sample name to its declared family: exact match, or the
+// histogram family for _bucket/_sum/_count suffixes.
+func baseFamily(name string, metrics map[string]ExpoMetric) string {
+	if _, ok := metrics[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, found := strings.CutSuffix(name, suf); found {
+			if m, ok := metrics[base]; ok && m.Type == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func lintLabels(labels string, lineNo int) error {
+	for _, pair := range splitLabels(labels) {
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			return fmt.Errorf("obs: line %d: malformed label %q", lineNo, pair)
+		}
+		name, val := pair[:eq], pair[eq+1:]
+		if !labelNameRe.MatchString(name) {
+			return fmt.Errorf("obs: line %d: illegal label name %q", lineNo, name)
+		}
+		if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+			return fmt.Errorf("obs: line %d: unquoted label value %q", lineNo, val)
+		}
+	}
+	return nil
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func lintHistogram(name string, m ExpoMetric) error {
+	type bucket struct {
+		le  float64
+		val float64
+	}
+	var buckets []bucket
+	hasInf := false
+	var infVal, count float64
+	hasCount := false
+	for key, val := range m.Samples {
+		switch {
+		case strings.HasPrefix(key, name+"_bucket{"):
+			le := extractLE(key)
+			if le == "" {
+				return fmt.Errorf("obs: histogram %s bucket %q has no le label", name, key)
+			}
+			if le == "+Inf" {
+				hasInf, infVal = true, val
+				continue
+			}
+			f, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("obs: histogram %s: bad le %q", name, le)
+			}
+			buckets = append(buckets, bucket{f, val})
+		case key == name+"_count":
+			hasCount, count = true, val
+		}
+	}
+	if !hasInf {
+		return fmt.Errorf("obs: histogram %s has no le=\"+Inf\" bucket", name)
+	}
+	if hasCount && infVal != count {
+		return fmt.Errorf("obs: histogram %s: +Inf bucket %g != _count %g", name, infVal, count)
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	prev := 0.0
+	for _, b := range buckets {
+		if b.val < prev {
+			return fmt.Errorf("obs: histogram %s buckets not cumulative at le=%g", name, b.le)
+		}
+		prev = b.val
+	}
+	if len(buckets) > 0 && infVal < prev {
+		return fmt.Errorf("obs: histogram %s: +Inf bucket below le=%g bucket", name, buckets[len(buckets)-1].le)
+	}
+	return nil
+}
+
+func extractLE(key string) string {
+	i := strings.Index(key, `le="`)
+	if i < 0 {
+		return ""
+	}
+	rest := key[i+len(`le="`):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	return rest[:j]
+}
+
+// CheckMonotone verifies that every metric declared counter in both
+// expositions did not decrease between them (sample by sample).
+func CheckMonotone(prev, cur map[string]ExpoMetric) error {
+	for name, pm := range prev {
+		if pm.Type != "counter" {
+			continue
+		}
+		cm, ok := cur[name]
+		if !ok {
+			continue // metric disappeared between scrapes: not a monotonicity bug
+		}
+		for key, pv := range pm.Samples {
+			if cv, ok := cm.Samples[key]; ok && cv < pv {
+				return fmt.Errorf("obs: counter %s went backwards: %g -> %g", key, pv, cv)
+			}
+		}
+	}
+	return nil
+}
+
+// SSEFrame is one parsed Server-Sent-Events frame.
+type SSEFrame struct {
+	ID    string
+	Event string
+	Data  []byte
+}
+
+// ReadSSE reads frames from r until limit frames have been parsed (limit <=
+// 0 means until EOF), validating as it goes: only id/event/data fields and
+// comments appear, data payloads are valid JSON, and every frame carries
+// data. A read error after at least one complete frame is not fatal when
+// the limit was already met.
+func ReadSSE(r io.Reader, limit int) ([]SSEFrame, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var frames []SSEFrame
+	var cur SSEFrame
+	seen := false
+	flush := func() error {
+		if !seen {
+			return nil
+		}
+		if len(cur.Data) == 0 {
+			return fmt.Errorf("obs: SSE frame %d has no data line", len(frames))
+		}
+		if !json.Valid(cur.Data) {
+			return fmt.Errorf("obs: SSE frame %d data is not JSON: %q", len(frames), cur.Data)
+		}
+		frames = append(frames, cur)
+		cur, seen = SSEFrame{}, false
+		return nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return frames, err
+			}
+			if limit > 0 && len(frames) >= limit {
+				return frames, nil
+			}
+		case strings.HasPrefix(line, ":"): // comment / keepalive
+		case strings.HasPrefix(line, "id: "):
+			cur.ID, seen = line[len("id: "):], true
+		case strings.HasPrefix(line, "event: "):
+			cur.Event, seen = line[len("event: "):], true
+		case strings.HasPrefix(line, "data: "):
+			cur.Data, seen = []byte(line[len("data: "):]), true
+		default:
+			return frames, fmt.Errorf("obs: unexpected SSE line %q", line)
+		}
+	}
+	if err := flush(); err != nil {
+		return frames, err
+	}
+	if err := sc.Err(); err != nil && (limit <= 0 || len(frames) < limit) {
+		return frames, err
+	}
+	return frames, nil
+}

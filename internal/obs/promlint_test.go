@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintRejectsMalformedExpositions(t *testing.T) {
+	cases := []struct {
+		name, expo, wantErr string
+	}{
+		{"no-type", "x 1\n", "no preceding TYPE"},
+		{"bad-name", "# TYPE a.b counter\n", "illegal metric name"},
+		{"bad-type", "# TYPE x frobnicator\n", "unknown metric type"},
+		{"bad-value", "# TYPE x counter\nx one\n", "bad sample value"},
+		{"dup-sample", "# TYPE x counter\nx 1\nx 2\n", "duplicate sample"},
+		{"redeclared", "# TYPE x counter\n# TYPE x gauge\n", "redeclared"},
+		{"bad-label", "# TYPE x counter\nx{1le=\"2\"} 1\n", "illegal label name"},
+		{"unquoted-label", "# TYPE x counter\nx{le=2} 1\n", "unquoted label value"},
+		{"no-inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\n", "+Inf"},
+		{"not-cumulative",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+			"not cumulative"},
+		{"inf-mismatch",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_count 5\n",
+			"!= _count"},
+	}
+	for _, c := range cases {
+		_, err := LintExposition([]byte(c.expo))
+		if err == nil {
+			t.Errorf("%s: lint accepted malformed exposition:\n%s", c.name, c.expo)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestLintAcceptsWellFormed(t *testing.T) {
+	expo := `# HELP x a counter
+# TYPE x counter
+x 12
+# TYPE g gauge
+g 0.5
+# TYPE h histogram
+h_bucket{le="1"} 1
+h_bucket{le="2"} 3
+h_bucket{le="+Inf"} 4
+h_sum 9
+h_count 4
+`
+	m, err := LintExposition([]byte(expo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 {
+		t.Fatalf("parsed %d families, want 3", len(m))
+	}
+	if m["h"].Samples[`h_bucket{le="2"}`] != 3 {
+		t.Errorf("histogram bucket parse wrong: %+v", m["h"])
+	}
+}
+
+func TestCheckMonotone(t *testing.T) {
+	prev, err := LintExposition([]byte("# TYPE x counter\nx 10\n# TYPE g gauge\ng 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := LintExposition([]byte("# TYPE x counter\nx 10\n# TYPE g gauge\ng 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckMonotone(prev, ok); err != nil {
+		t.Errorf("equal counter + falling gauge flagged: %v", err)
+	}
+	bad, err := LintExposition([]byte("# TYPE x counter\nx 9\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckMonotone(prev, bad); err == nil {
+		t.Error("falling counter not flagged")
+	}
+}
+
+func TestReadSSERejectsGarbage(t *testing.T) {
+	if _, err := ReadSSE(strings.NewReader("data: {\"a\":1}\nbogus line\n\n"), 0); err == nil {
+		t.Error("unexpected field line accepted")
+	}
+	if _, err := ReadSSE(strings.NewReader("data: not json\n\n"), 0); err == nil {
+		t.Error("non-JSON data accepted")
+	}
+	if _, err := ReadSSE(strings.NewReader("event: telemetry\n\n"), 0); err == nil {
+		t.Error("frame without data accepted")
+	}
+}
+
+func TestReadSSEHonorsLimitAndComments(t *testing.T) {
+	stream := ": keepalive\n\nid: 0\nevent: e\ndata: {}\n\nid: 1\nevent: e\ndata: {}\n\nid: 2\nevent: e\ndata: {}\n\n"
+	frames, err := ReadSSE(strings.NewReader(stream), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 2 || frames[1].ID != "1" {
+		t.Errorf("frames = %+v, want first two", frames)
+	}
+}

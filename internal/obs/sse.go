@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SSE fan-out. The publisher is the simulation (or sweep) goroutine, so the
+// cardinal rule is that publishing never blocks: each subscriber owns a
+// bounded frame buffer, and a subscriber that cannot keep up loses frames —
+// counted, never waited for. A small replay ring lets a late subscriber (or
+// one arriving after a short run finished) see the recent stream via
+// /events?replay=N.
+
+// subBuffer is the per-subscriber frame buffer depth. A scrape-rate consumer
+// needs single digits; 1024 rides out multi-millisecond network stalls at
+// typical telemetry event rates.
+const subBuffer = 1024
+
+// replayCap bounds the hub's replay ring.
+const replayCap = 256
+
+// frame is one SSE frame: an id (publication sequence number), an event
+// type, and a single JSON data line.
+type frame struct {
+	id    uint64
+	event string
+	data  []byte
+}
+
+type subscriber struct {
+	ch      chan frame
+	dropped atomic.Uint64
+}
+
+type hub struct {
+	mu        sync.Mutex
+	subs      map[*subscriber]struct{}
+	replay    []frame // ring, newest at (next-1+cap)%cap once full
+	next      uint64  // frames ever published (also the next frame id)
+	dropTotal atomic.Uint64
+}
+
+func newHub() *hub {
+	return &hub{subs: map[*subscriber]struct{}{}}
+}
+
+// publish fans one frame out to every subscriber, non-blocking, and retains
+// it in the replay ring.
+func (h *hub) publish(event string, data []byte) {
+	h.mu.Lock()
+	f := frame{id: h.next, event: event, data: data}
+	h.next++
+	if len(h.replay) < replayCap {
+		h.replay = append(h.replay, f)
+	} else {
+		h.replay[f.id%replayCap] = f
+	}
+	for s := range h.subs {
+		select {
+		case s.ch <- f:
+		default:
+			// Slow consumer: drop this frame for this subscriber. The
+			// simulation never waits on a network peer.
+			s.dropped.Add(1)
+			h.dropTotal.Add(1)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// subscribe registers a new subscriber and returns up to replayN retained
+// frames (oldest first) to send before the live stream.
+func (h *hub) subscribe(replayN int) (*subscriber, []frame) {
+	s := &subscriber{ch: make(chan frame, subBuffer)}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var back []frame
+	if replayN > 0 {
+		n := len(h.replay)
+		if replayN > n {
+			replayN = n
+		}
+		back = make([]frame, 0, replayN)
+		// Oldest retained frame id is next-len(replay); walk forward from
+		// the requested depth.
+		start := h.next - uint64(replayN)
+		for id := start; id < h.next; id++ {
+			back = append(back, h.replay[id%replayCap])
+		}
+	}
+	h.subs[s] = struct{}{}
+	return s, back
+}
+
+func (h *hub) unsubscribe(s *subscriber) {
+	h.mu.Lock()
+	delete(h.subs, s)
+	h.mu.Unlock()
+}
+
+// stats returns (frames published, frames dropped across all subscribers,
+// current subscriber count).
+func (h *hub) stats() (published, dropped uint64, subs int) {
+	h.mu.Lock()
+	subs = len(h.subs)
+	published = h.next
+	h.mu.Unlock()
+	return published, h.dropTotal.Load(), subs
+}
+
+// WriteSSEFrame writes one Server-Sent-Events frame: id, event type, one
+// data line, blank-line terminator.
+func WriteSSEFrame(w io.Writer, id uint64, event string, data []byte) error {
+	_, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, event, data)
+	return err
+}
+
+// keepaliveInterval paces SSE comment frames so idle streams keep proxies
+// and dead-connection detection alive.
+const keepaliveInterval = 15 * time.Second
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	replayN := 0
+	if v := r.URL.Query().Get("replay"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad replay parameter", http.StatusBadRequest)
+			return
+		}
+		replayN = n
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	sub, backlog := s.hub.subscribe(replayN)
+	defer s.hub.unsubscribe(sub)
+	for _, f := range backlog {
+		if err := WriteSSEFrame(w, f.id, f.event, f.data); err != nil {
+			return
+		}
+	}
+	fl.Flush()
+
+	tick := time.NewTicker(keepaliveInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case f := <-sub.ch:
+			if err := WriteSSEFrame(w, f.id, f.event, f.data); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-tick.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

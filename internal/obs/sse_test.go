@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"reuseiq/internal/telemetry"
+)
+
+func TestSSEFrameGolden(t *testing.T) {
+	var buf bytes.Buffer
+	events := []telemetry.Event{
+		{Cycle: 100, Kind: telemetry.EvBuffer, PC: 0x400010, A: 0x400020, B: 4},
+		{Cycle: 104, Kind: telemetry.EvIteration, PC: 0x400010, A: 4},
+		{Cycle: 108, Kind: telemetry.EvPromote, PC: 0x400010, A: 0x400020},
+		{Cycle: 150, Kind: telemetry.EvReuseExit, PC: 0x400010},
+	}
+	for i, e := range events {
+		if err := WriteSSEFrame(&buf, uint64(i), "telemetry", telemetry.MarshalEvent(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := WriteSSEFrame(&buf, 4, "progress",
+		[]byte(`{"done":3,"total":64,"kernel":"adi","iq":64}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "sse.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("SSE frames drifted from %s (rerun with -update if intentional)\ngot:\n%s\nwant:\n%s",
+			path, buf.Bytes(), want)
+	}
+
+	// And the emitted bytes parse back as valid frames.
+	frames, err := ReadSSE(bytes.NewReader(buf.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 5 {
+		t.Fatalf("parsed %d frames, want 5", len(frames))
+	}
+	if frames[2].Event != "telemetry" || frames[4].Event != "progress" {
+		t.Errorf("frame events wrong: %+v", frames)
+	}
+	if frames[3].ID != "3" {
+		t.Errorf("frame 3 id = %q, want 3", frames[3].ID)
+	}
+}
+
+// Slow consumers lose frames; the publisher never blocks and the losses are
+// counted.
+func TestHubSlowConsumerDropsNotStalls(t *testing.T) {
+	h := newHub()
+	sub, _ := h.subscribe(0)
+	defer h.unsubscribe(sub)
+
+	total := subBuffer + 500
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			h.publish("telemetry", []byte(fmt.Sprintf(`{"i":%d}`, i)))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publisher blocked on a slow consumer")
+	}
+	pub, dropped, subs := h.stats()
+	if subs != 1 {
+		t.Fatalf("subscribers = %d, want 1", subs)
+	}
+	if pub != uint64(total) {
+		t.Errorf("published = %d, want %d", pub, total)
+	}
+	if want := uint64(total - subBuffer); dropped != want {
+		t.Errorf("dropped = %d, want %d (buffer holds %d)", dropped, want, subBuffer)
+	}
+	if got := sub.dropped.Load(); got != dropped {
+		t.Errorf("per-subscriber drops = %d, hub total = %d", got, dropped)
+	}
+	// The frames that did arrive are the oldest, in order.
+	f := <-sub.ch
+	if f.id != 0 {
+		t.Errorf("first delivered frame id = %d, want 0", f.id)
+	}
+}
+
+func TestHubReplayReturnsNewestFrames(t *testing.T) {
+	h := newHub()
+	for i := 0; i < replayCap+10; i++ {
+		h.publish("telemetry", []byte(fmt.Sprintf(`{"i":%d}`, i)))
+	}
+	sub, back := h.subscribe(16)
+	defer h.unsubscribe(sub)
+	if len(back) != 16 {
+		t.Fatalf("replay returned %d frames, want 16", len(back))
+	}
+	if first, last := back[0].id, back[15].id; first != uint64(replayCap+10-16) || last != uint64(replayCap+9) {
+		t.Errorf("replay ids %d..%d, want the newest 16", first, last)
+	}
+	// Asking for more than retained clamps to the ring.
+	sub2, back2 := h.subscribe(10 * replayCap)
+	defer h.unsubscribe(sub2)
+	if len(back2) != replayCap {
+		t.Errorf("oversized replay returned %d frames, want %d", len(back2), replayCap)
+	}
+}

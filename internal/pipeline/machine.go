@@ -172,6 +172,27 @@ type Machine struct {
 	// transitions, session audit, instruction lifecycles, chaos events).
 	// Install with AttachTelemetry; nil costs one pointer check per tap.
 	Tel *telemetry.Tracer
+
+	// OnSample, when non-nil, runs every SampleEvery cycles at the end of
+	// Step, on the simulation goroutine — the periodic tap live observers
+	// (internal/obs) publish from. Nil-guarded like OnCycle: one pointer
+	// check per cycle when disabled. Install with AttachSampler.
+	OnSample    func()
+	SampleEvery uint64
+	sampleLeft  uint64
+}
+
+// AttachSampler installs fn as the periodic sampler, firing every `every`
+// cycles (default 4096 when zero). The callback runs on the simulation
+// goroutine, so it may read any machine state; whatever it publishes to
+// other goroutines must be an immutable copy.
+func (m *Machine) AttachSampler(every uint64, fn func()) {
+	if every == 0 {
+		every = 4096
+	}
+	m.SampleEvery = every
+	m.sampleLeft = every
+	m.OnSample = fn
 }
 
 // AttachTelemetry connects a tracer to the machine and its reuse controller.
@@ -315,6 +336,14 @@ func (m *Machine) Step() {
 	if m.OnCycle != nil {
 		if err := m.OnCycle(); err != nil {
 			m.hookErr = err
+		}
+	}
+	if m.OnSample != nil {
+		if m.sampleLeft > 1 {
+			m.sampleLeft--
+		} else {
+			m.sampleLeft = m.SampleEvery
+			m.OnSample()
 		}
 	}
 }

@@ -156,3 +156,80 @@ func TestRegistryIncludesTelemetry(t *testing.T) {
 		t.Error("issue-to-commit histogram missing from registry snapshot")
 	}
 }
+
+// The sampler tap fires on the simulation goroutine at a fixed cadence and
+// not at all when unattached (it's nil-guarded like OnCycle).
+func TestSamplerTapCadence(t *testing.T) {
+	p, err := asm.Assemble(telLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(DefaultConfig(), p)
+	var calls int
+	var lastCycle uint64
+	m.AttachSampler(64, func() {
+		calls++
+		lastCycle = m.Cycle()
+	})
+	for i := 0; i < 1000 && !m.Halted(); i++ {
+		m.Step()
+	}
+	want := int(m.Cycle() / 64)
+	if calls != want {
+		t.Errorf("sampler fired %d times over %d cycles, want %d (every 64)", calls, m.Cycle(), want)
+	}
+	if lastCycle%64 != 0 {
+		t.Errorf("last sample at cycle %d, want a multiple of 64", lastCycle)
+	}
+}
+
+func TestSamplerDefaultInterval(t *testing.T) {
+	p, err := asm.Assemble(telLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(DefaultConfig(), p)
+	m.AttachSampler(0, func() {})
+	if m.SampleEvery != 4096 {
+		t.Errorf("default SampleEvery = %d, want 4096", m.SampleEvery)
+	}
+}
+
+// A sampler callback may snapshot the registry mid-run: the typed snapshot
+// is complete and internally consistent at every sample point.
+func TestSamplerSnapshotsRegistryMidRun(t *testing.T) {
+	p, err := asm.Assemble(telLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(DefaultConfig(), p)
+	tel := telemetry.New(telemetry.Config{})
+	m.AttachTelemetry(tel)
+	var snaps []*telemetry.MetricsSnapshot
+	m.AttachSampler(512, func() {
+		r := &telemetry.Registry{}
+		m.RegisterMetrics(r)
+		snaps = append(snaps, r.TypedSnapshot())
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 2 {
+		t.Fatalf("only %d samples over %d cycles", len(snaps), m.Cycle())
+	}
+	cycleOf := func(ms *telemetry.MetricsSnapshot) uint64 {
+		for _, c := range ms.Counters {
+			if c.Name == "sim.cycles" {
+				return c.Value
+			}
+		}
+		t.Fatal("snapshot missing sim.cycles")
+		return 0
+	}
+	for i := 1; i < len(snaps); i++ {
+		if cycleOf(snaps[i]) <= cycleOf(snaps[i-1]) {
+			t.Errorf("sample %d cycles %d not after sample %d cycles %d",
+				i, cycleOf(snaps[i]), i-1, cycleOf(snaps[i-1]))
+		}
+	}
+}

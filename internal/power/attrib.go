@@ -109,3 +109,30 @@ func SessionEnergyString(attrib []SessionEnergy) string {
 	WriteSessionEnergy(&b, attrib)
 	return b.String()
 }
+
+// RegisterSessionMetrics registers per-session energy attribution aggregates
+// as gauges with r, alongside a session count, so the live /metrics surface
+// carries the power story of the run: total front-end energy saved, reuse
+// overhead spent, the net effect, and the best and worst single-session net
+// contributions. attrib must stay unmodified while r can snapshot.
+func RegisterSessionMetrics(r *telemetry.Registry, attrib []SessionEnergy) {
+	var saved, spent float64
+	best, worst := 0.0, 0.0
+	for i, a := range attrib {
+		saved += a.FrontEndSaved
+		spent += a.OverheadSpent
+		n := a.Net()
+		if i == 0 || n > best {
+			best = n
+		}
+		if i == 0 || n < worst {
+			worst = n
+		}
+	}
+	r.CounterVal("power.sessions.count", uint64(len(attrib)))
+	r.Gauge("power.sessions.fe_saved", func() float64 { return saved })
+	r.Gauge("power.sessions.overhead", func() float64 { return spent })
+	r.Gauge("power.sessions.net", func() float64 { return saved - spent })
+	r.Gauge("power.sessions.best_net", func() float64 { return best })
+	r.Gauge("power.sessions.worst_net", func() float64 { return worst })
+}

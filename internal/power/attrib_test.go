@@ -126,3 +126,39 @@ func TestSessionEnergyTable(t *testing.T) {
 		t.Errorf("table has %d lines, want %d (header + sessions + total)", len(lines), want)
 	}
 }
+
+func TestRegisterSessionMetrics(t *testing.T) {
+	attrib := []power.SessionEnergy{
+		{FrontEndSaved: 100, OverheadSpent: 30}, // net 70
+		{FrontEndSaved: 10, OverheadSpent: 40},  // net -30
+		{FrontEndSaved: 50, OverheadSpent: 20},  // net 30
+	}
+	r := &telemetry.Registry{}
+	power.RegisterSessionMetrics(r, attrib)
+	s := r.Snapshot()
+	if got := s.Get("power.sessions.count"); got != 3 {
+		t.Errorf("count = %d, want 3", got)
+	}
+	if got := s.Get("power.sessions.fe_saved.ppm"); got != 160e6 {
+		t.Errorf("fe_saved.ppm = %d, want 160e6", got)
+	}
+	if got := s.Get("power.sessions.net.ppm"); got != 70e6 {
+		t.Errorf("net.ppm = %d, want 70e6", got)
+	}
+	ts := r.TypedSnapshot()
+	vals := map[string]float64{}
+	for _, g := range ts.Gauges {
+		vals[g.Name] = g.Value
+	}
+	if vals["power.sessions.best_net"] != 70 || vals["power.sessions.worst_net"] != -30 {
+		t.Errorf("best/worst = %g/%g, want 70/-30", vals["power.sessions.best_net"], vals["power.sessions.worst_net"])
+	}
+}
+
+func TestRegisterSessionMetricsEmpty(t *testing.T) {
+	r := &telemetry.Registry{}
+	power.RegisterSessionMetrics(r, nil)
+	if got := r.Snapshot().Get("power.sessions.count"); got != 0 {
+		t.Errorf("count = %d, want 0", got)
+	}
+}

@@ -220,17 +220,24 @@ type jsonlEvent struct {
 	B     uint64 `json:"b,omitempty"`
 }
 
+// MarshalEvent renders one event in the canonical JSON encoding shared by
+// JSONLSink, WriteJSONL and the obs SSE stream (no trailing newline).
+func MarshalEvent(e Event) []byte {
+	je := jsonlEvent{Cycle: e.Cycle, Kind: e.Kind.String(), A: e.A, B: e.B}
+	if e.PC != 0 {
+		je.PC = fmt.Sprintf("0x%x", e.PC)
+	}
+	data, _ := json.Marshal(je)
+	return data
+}
+
 // JSONLSink returns a Sink that streams each event as one JSON line to w.
 // Install it on Tracer.Sink before the run; the caller owns flushing/closing
 // of w (wrap in a bufio.Writer for throughput and call Flush at the end).
 func JSONLSink(w io.Writer) func(Event) {
-	enc := json.NewEncoder(w)
 	return func(e Event) {
-		je := jsonlEvent{Cycle: e.Cycle, Kind: e.Kind.String(), A: e.A, B: e.B}
-		if e.PC != 0 {
-			je.PC = fmt.Sprintf("0x%x", e.PC)
-		}
-		_ = enc.Encode(je)
+		line := append(MarshalEvent(e), '\n')
+		_, _ = w.Write(line)
 	}
 }
 
@@ -246,8 +253,13 @@ func WriteJSONL(w io.Writer, t *Tracer) error {
 }
 
 // WriteSessionTable renders the reuse-session audit log as an aligned text
-// table.
+// table. An empty log renders an explicit marker line rather than a bare
+// header, so a pipeline that never captured a loop is unmistakable.
 func WriteSessionTable(w io.Writer, sessions []Session) {
+	if len(sessions) == 0 {
+		fmt.Fprintln(w, "no reuse sessions (the controller never entered Loop Buffering)")
+		return
+	}
 	fmt.Fprintf(w, "%4s %10s %6s %10s %10s %6s %9s %9s %8s  %s\n",
 		"id", "head", "size", "start", "end", "iters", "buffered", "reused", "gated", "end-reason")
 	for _, s := range sessions {

@@ -12,12 +12,22 @@ import (
 // format. Registration happens at reporting time (it reads live values
 // through closures), so the registry adds nothing to the simulation hot
 // path.
+//
+// Duplicate registrations under the same name replace the earlier reader
+// (last wins): a metric renders exactly once per snapshot, so the Prometheus
+// exposition built from a TypedSnapshot can never contain duplicate sample
+// lines. The replacement policy (rather than rejection) lets a caller layer
+// a refined reader over a generic one without bookkeeping; the choice is
+// pinned by TestRegistryDuplicateNameLastWins.
 type Registry struct {
 	names  []string
 	reads  []func() uint64
+	cidx   map[string]int
 	gnames []string
 	greads []func() float64
+	gidx   map[string]int
 	hists  []*namedHist
+	hidx   map[string]int
 }
 
 type namedHist struct {
@@ -25,8 +35,17 @@ type namedHist struct {
 	h    *Histogram
 }
 
-// Counter registers a named uint64 counter read through fn.
+// Counter registers a named uint64 counter read through fn. Re-registering
+// an existing name replaces its reader.
 func (r *Registry) Counter(name string, fn func() uint64) {
+	if i, ok := r.cidx[name]; ok {
+		r.reads[i] = fn
+		return
+	}
+	if r.cidx == nil {
+		r.cidx = make(map[string]int)
+	}
+	r.cidx[name] = len(r.names)
 	r.names = append(r.names, name)
 	r.reads = append(r.reads, fn)
 }
@@ -38,14 +57,32 @@ func (r *Registry) CounterVal(name string, v uint64) {
 
 // Gauge registers a named float64 gauge read through fn. Gauges are rendered
 // in parts-per-million so they fit the integer stats.Set format losslessly
-// enough for reporting (the name gains a ".ppm" suffix).
+// enough for reporting (the name gains a ".ppm" suffix). Re-registering an
+// existing name replaces its reader.
 func (r *Registry) Gauge(name string, fn func() float64) {
+	if i, ok := r.gidx[name]; ok {
+		r.greads[i] = fn
+		return
+	}
+	if r.gidx == nil {
+		r.gidx = make(map[string]int)
+	}
+	r.gidx[name] = len(r.gnames)
 	r.gnames = append(r.gnames, name)
 	r.greads = append(r.greads, fn)
 }
 
 // RegisterHistogram registers h's buckets for rendering under name.
+// Re-registering an existing name replaces the histogram.
 func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	if i, ok := r.hidx[name]; ok {
+		r.hists[i].h = h
+		return
+	}
+	if r.hidx == nil {
+		r.hidx = make(map[string]int)
+	}
+	r.hidx[name] = len(r.hists)
 	r.hists = append(r.hists, &namedHist{name: name, h: h})
 }
 
@@ -64,6 +101,76 @@ func (r *Registry) Snapshot() *stats.Set {
 		nh.h.snapshot(nh.name, s)
 	}
 	return s
+}
+
+// CounterPoint is one counter in a MetricsSnapshot.
+type CounterPoint struct {
+	Name  string
+	Value uint64
+}
+
+// GaugePoint is one gauge in a MetricsSnapshot, with its raw float value
+// (no ppm scaling — typed consumers like the Prometheus exposition want the
+// real number).
+type GaugePoint struct {
+	Name  string
+	Value float64
+}
+
+// HistBucket is one cumulative histogram bucket: Count observations were
+// <= LE (IsInf marks the +Inf overflow bucket, where LE is meaningless).
+type HistBucket struct {
+	LE    uint64
+	IsInf bool
+	Count uint64
+}
+
+// HistPoint is one histogram in a MetricsSnapshot. Buckets are cumulative
+// in ascending LE order; the final bucket is always +Inf with Count equal to
+// the total observation count.
+type HistPoint struct {
+	Name    string
+	Buckets []HistBucket
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+}
+
+// MetricsSnapshot is a typed, immutable point-in-time copy of a Registry's
+// metrics. Unlike Snapshot it preserves the metric kinds, so consumers that
+// need them (the Prometheus exposition in internal/obs) don't have to guess
+// from name suffixes. Take it on the goroutine that owns the underlying
+// counters; the returned value is safe to hand to other goroutines.
+type MetricsSnapshot struct {
+	Counters []CounterPoint
+	Gauges   []GaugePoint
+	Hists    []HistPoint
+}
+
+// TypedSnapshot captures every registered metric with its kind and current
+// value, in registration order.
+func (r *Registry) TypedSnapshot() *MetricsSnapshot {
+	ms := &MetricsSnapshot{
+		Counters: make([]CounterPoint, len(r.names)),
+		Gauges:   make([]GaugePoint, len(r.gnames)),
+		Hists:    make([]HistPoint, len(r.hists)),
+	}
+	for i, name := range r.names {
+		ms.Counters[i] = CounterPoint{Name: name, Value: r.reads[i]()}
+	}
+	for i, name := range r.gnames {
+		ms.Gauges[i] = GaugePoint{Name: name, Value: r.greads[i]()}
+	}
+	for i, nh := range r.hists {
+		ms.Hists[i] = HistPoint{
+			Name:    nh.name,
+			Buckets: nh.h.CumulativeBuckets(),
+			Count:   nh.h.count,
+			Sum:     nh.h.sum,
+			Max:     nh.h.max,
+		}
+	}
+	return ms
 }
 
 // histBuckets is the number of power-of-two histogram buckets: bucket i
@@ -106,6 +213,23 @@ func (h *Histogram) Mean() float64 {
 
 // Max returns the largest observed value.
 func (h *Histogram) Max() uint64 { return h.max }
+
+// CumulativeBuckets returns the cumulative (le) buckets in ascending bound
+// order, eliding empty trailing buckets past the largest observation and
+// always ending with the +Inf bucket.
+func (h *Histogram) CumulativeBuckets() []HistBucket {
+	out := make([]HistBucket, 0, histBuckets+1)
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i]
+		bound := uint64(1) << uint(i)
+		out = append(out, HistBucket{LE: bound, Count: cum})
+		if cum == h.count && bound >= h.max {
+			break
+		}
+	}
+	return append(out, HistBucket{IsInf: true, Count: h.count})
+}
 
 // snapshot writes cumulative (le) buckets into s. Empty trailing buckets
 // beyond the largest observation are elided to keep reports readable.

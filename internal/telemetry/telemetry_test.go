@@ -363,3 +363,107 @@ func TestSessionTableRendering(t *testing.T) {
 		t.Errorf("table has %d lines, want header + 2 sessions", lines)
 	}
 }
+
+// The duplicate-registration policy is last-wins with a single rendered
+// line: re-registering "x" must replace the reader, never render twice
+// (a double line would be an invalid Prometheus exposition downstream).
+func TestRegistryDuplicateNameLastWins(t *testing.T) {
+	r := &Registry{}
+	r.CounterVal("x", 1)
+	r.CounterVal("x", 2)
+	r.Gauge("g", func() float64 { return 0.25 })
+	r.Gauge("g", func() float64 { return 0.75 })
+	var h1, h2 Histogram
+	h1.Observe(1)
+	h2.Observe(2)
+	h2.Observe(4)
+	r.RegisterHistogram("h", &h1)
+	r.RegisterHistogram("h", &h2)
+
+	s := r.Snapshot()
+	if got := s.Get("x"); got != 2 {
+		t.Errorf("x = %d, want 2 (last registration wins)", got)
+	}
+	if got := s.Get("g.ppm"); got != 750000 {
+		t.Errorf("g.ppm = %d, want 750000", got)
+	}
+	if got := s.Get("h.count"); got != 2 {
+		t.Errorf("h.count = %d, want 2 (replacement histogram)", got)
+	}
+	names := 0
+	for _, n := range s.Names() {
+		if n == "x" {
+			names++
+		}
+	}
+	if names != 1 {
+		t.Errorf("counter x rendered %d times, want exactly once", names)
+	}
+
+	ts := r.TypedSnapshot()
+	if len(ts.Counters) != 1 || ts.Counters[0].Value != 2 {
+		t.Errorf("typed snapshot counters = %+v, want single x=2", ts.Counters)
+	}
+	if len(ts.Gauges) != 1 || ts.Gauges[0].Value != 0.75 {
+		t.Errorf("typed snapshot gauges = %+v, want single g=0.75", ts.Gauges)
+	}
+	if len(ts.Hists) != 1 || ts.Hists[0].Count != 2 {
+		t.Errorf("typed snapshot hists = %+v, want single h count=2", ts.Hists)
+	}
+}
+
+func TestTypedSnapshotHistogramBuckets(t *testing.T) {
+	r := &Registry{}
+	var h Histogram
+	for _, v := range []uint64{1, 2, 3, 700} {
+		h.Observe(v)
+	}
+	r.RegisterHistogram("lat", &h)
+	ts := r.TypedSnapshot()
+	hp := ts.Hists[0]
+	if hp.Count != 4 || hp.Sum != 706 || hp.Max != 700 {
+		t.Fatalf("hist point = %+v", hp)
+	}
+	last := hp.Buckets[len(hp.Buckets)-1]
+	if !last.IsInf || last.Count != 4 {
+		t.Errorf("final bucket = %+v, want +Inf with full count", last)
+	}
+	var prev uint64
+	for _, b := range hp.Buckets {
+		if b.Count < prev {
+			t.Errorf("buckets not cumulative: %+v", hp.Buckets)
+		}
+		prev = b.Count
+	}
+	// le=1 holds the single value 1; le=2 holds two values.
+	if hp.Buckets[0].LE != 1 || hp.Buckets[0].Count != 1 {
+		t.Errorf("bucket[0] = %+v, want le=1 count=1", hp.Buckets[0])
+	}
+	if hp.Buckets[1].LE != 2 || hp.Buckets[1].Count != 2 {
+		t.Errorf("bucket[1] = %+v, want le=2 count=2", hp.Buckets[1])
+	}
+}
+
+func TestMarshalEventMatchesSinkFormat(t *testing.T) {
+	e := Event{Cycle: 9, Kind: EvPromote, PC: 0x40, A: 1, B: 2}
+	var buf bytes.Buffer
+	JSONLSink(&buf)(e)
+	if got, want := buf.String(), string(MarshalEvent(e))+"\n"; got != want {
+		t.Errorf("sink line %q != MarshalEvent %q", got, want)
+	}
+	if !strings.Contains(buf.String(), `"kind":"promote"`) {
+		t.Errorf("encoded event missing kind: %s", buf.String())
+	}
+}
+
+func TestSessionTableZeroSessions(t *testing.T) {
+	var buf bytes.Buffer
+	WriteSessionTable(&buf, nil)
+	out := buf.String()
+	if !strings.Contains(out, "no reuse sessions") {
+		t.Errorf("empty log rendered %q, want explicit no-sessions line", out)
+	}
+	if strings.Contains(out, "end-reason") {
+		t.Errorf("empty log rendered a bare header:\n%s", out)
+	}
+}
