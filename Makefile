@@ -1,16 +1,25 @@
-# Tier-1 verification: everything must build, vet clean, pass the full test
+# Tier-1 verification: everything must build, vet clean, pass reuselint (the
+# module's own static-analysis suite, see DESIGN.md §5f), pass the full test
 # suite under the race detector (the experiment harness runs simulations
 # concurrently, so -race is part of the gate, not an extra), emit a valid
 # telemetry trace, and serve a lint-clean live observability surface.
-.PHONY: check build vet test race fuzz bench bench-baseline bench-all telemetry-check obs-check
+.PHONY: check build vet lint test race fuzz bench bench-baseline bench-all telemetry-check obs-check
 
-check: build vet race telemetry-check obs-check
+check: build vet lint race telemetry-check obs-check
 
 build:
 	go build ./...
 
 vet:
 	go vet ./...
+
+# Static-analysis gate: the four reuseiq analyzers (zerocost, hotalloc,
+# exhaustive, metricname) over the whole module. The same binary also speaks
+# the cmd/go vettool protocol, so a per-package run without the module-wide
+# closure is: go build -o bin/reuselint ./cmd/reuselint &&
+# go vet -vettool=bin/reuselint ./...
+lint:
+	go run ./cmd/reuselint ./...
 
 test:
 	go test ./...
@@ -35,8 +44,12 @@ obs-check:
 	go run -race ./cmd/obscheck -- go run -race ./cmd/reusesim -kernel aps -listen 127.0.0.1:0 -linger 30s
 
 # Coverage-guided fuzzing of the assembler (see internal/asm/fuzz_test.go).
+# Fully offline: the module has no dependencies, so no network or vendor
+# directory is needed — the corpus seeds live in testdata. Override the
+# budget with make fuzz FUZZTIME=2m.
+FUZZTIME ?= 30s
 fuzz:
-	go test -fuzz=FuzzAssemble -fuzztime=30s ./internal/asm/
+	go test -fuzz=FuzzAssemble -fuzztime=$(FUZZTIME) ./internal/asm/
 
 # Perf-regression gate: run the hot-loop benchmark and compare against the
 # checked-in baseline with cmd/benchdiff (a benchstat stand-in; no external

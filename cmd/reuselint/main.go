@@ -1,0 +1,115 @@
+// Command reuselint is the reuseiq static-analysis gate: it runs the four
+// module analyzers (zerocost, hotalloc, exhaustive, metricname) and exits
+// non-zero on any finding. Two modes:
+//
+// Standalone (the Makefile `lint` target):
+//
+//	reuselint [packages...]     # default ./... from the module root
+//
+// loads the whole module once, giving every analyzer the cross-package
+// view (hotpath closure, module-wide annotation indexes).
+//
+// Vettool (`go vet` driver):
+//
+//	go build -o /tmp/reuselint ./cmd/reuselint
+//	go vet -vettool=/tmp/reuselint ./...
+//
+// speaks the cmd/go unitchecker protocol (-V=full handshake, one *.cfg
+// JSON per package, facts file output). In this mode each package is
+// type-checked in isolation against export data, so module-wide analyses
+// degrade to package-local coverage; the standalone mode is the gate of
+// record.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"strings"
+
+	"reuseiq/internal/analysis"
+	"reuseiq/internal/analysis/exhaustive"
+	"reuseiq/internal/analysis/hotalloc"
+	"reuseiq/internal/analysis/metricname"
+	"reuseiq/internal/analysis/zerocost"
+)
+
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		exhaustive.Analyzer,
+		hotalloc.Analyzer,
+		metricname.Analyzer,
+		zerocost.Analyzer,
+	}
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// cmd/go handshakes: version (cache key) and flag discovery. The
+	// devel form requires a trailing buildID= field; hashing our own
+	// binary makes vet's result cache invalidate when the linter changes.
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			fmt.Printf("reuselint version devel buildID=%s\n", selfID())
+			return
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	// A single *.cfg argument means cmd/go is driving us per package.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0], analyzers()))
+	}
+
+	os.Exit(standalone(args))
+}
+
+// selfID returns a content hash of the running executable.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return "unknown"
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%x", sum[:12])
+}
+
+func standalone(patterns []string) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reuselint:", err)
+		return 1
+	}
+	root, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reuselint:", err)
+		return 1
+	}
+	mod, err := analysis.LoadModule(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reuselint:", err)
+		return 1
+	}
+	findings, err := analysis.Run(mod, analyzers(), mod.Packages)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reuselint:", err)
+		return 1
+	}
+	for _, f := range findings {
+		pos := mod.Position(f.Diagnostic.Pos)
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pos, f.Analyzer.Name, f.Diagnostic.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "reuselint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

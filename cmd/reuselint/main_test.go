@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"reuseiq/internal/analysis"
+)
+
+// TestReuselintSelfClean runs every analyzer over the real module and
+// requires zero diagnostics: the simulator's own code must satisfy the
+// invariants the analyzers enforce (with its waivers justified). The
+// analyzers' ability to find violations is proven separately by the
+// analysistest golden packages under internal/analysis/*/testdata.
+func TestReuselintSelfClean(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run(mod, analyzers(), mod.Packages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		pos := mod.Position(f.Diagnostic.Pos)
+		t.Errorf("%s: %s: %s", pos, f.Analyzer.Name, f.Diagnostic.Message)
+	}
+}
+
+// TestAnalyzerRoster pins the gate's contents: adding an analyzer without
+// updating this list (and the docs) should be a conscious act.
+func TestAnalyzerRoster(t *testing.T) {
+	want := map[string]bool{
+		"zerocost":   true,
+		"hotalloc":   true,
+		"exhaustive": true,
+		"metricname": true,
+	}
+	got := analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("analyzer count = %d, want %d", len(got), len(want))
+	}
+	for _, a := range got {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q", a.Name)
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+	}
+}

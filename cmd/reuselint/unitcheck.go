@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+
+	"reuseiq/internal/analysis"
+)
+
+// vetConfig is the JSON cmd/go writes next to each package's build
+// artifacts when a -vettool is installed (the unitchecker.Config schema;
+// fields we don't need are ignored by encoding/json).
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes the single compilation unit described by cfgFile and
+// returns the process exit code (0 clean, 1 internal error, 2 findings —
+// cmd/go treats any non-zero status as a vet failure).
+func unitcheck(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reuselint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "reuselint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// cmd/go requires the facts file to exist even though these analyzers
+	// export none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "reuselint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reuselint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	tconf := types.Config{
+		Importer: &cfgImporter{cfg: &cfg, fset: fset},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "reuselint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	exit := 0
+	for _, a := range analyzers {
+		pass := analysis.NewPass(a, fset, files, tpkg, info, nil)
+		diags, err := analysis.RunPass(pass)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reuselint: %s on %s: %v\n", a.Name, cfg.ImportPath, err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), a.Name, d.Message)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+// cfgImporter resolves imports from the export-data files cmd/go listed in
+// the vet config.
+type cfgImporter struct {
+	cfg  *vetConfig
+	fset *token.FileSet
+	gc   types.ImporterFrom
+}
+
+func (ci *cfgImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := ci.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	if ci.gc == nil {
+		ci.gc = importer.ForCompiler(ci.fset, "gc", func(p string) (io.ReadCloser, error) {
+			file, ok := ci.cfg.PackageFile[p]
+			if !ok || file == "" {
+				return nil, fmt.Errorf("reuselint: no export data for %q", p)
+			}
+			return os.Open(file)
+		}).(types.ImporterFrom)
+	}
+	return ci.gc.ImportFrom(path, ci.cfg.Dir, 0)
+}

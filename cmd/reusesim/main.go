@@ -225,13 +225,14 @@ func mainImpl(args []string, stdout, stderr io.Writer) int {
 		if o.verify {
 			lockstep.Attach(m, p)
 		}
-		m.Rec = trace.New(*pipetrace)
+		rec := trace.New(*pipetrace)
+		m.Rec = rec
 		if err := m.Run(); err != nil {
 			fmt.Fprintln(stderr, "reusesim:", err)
 			return 1
 		}
-		m.Rec.Render(stdout)
-		wait, life, n := m.Rec.Stats()
+		rec.Render(stdout)
+		wait, life, n := rec.Stats()
 		fmt.Fprintf(stdout, "recorded %d committed instructions: avg dispatch-to-issue %.1f cycles, avg lifetime %.1f cycles\n", n, wait, life)
 		return 0
 	}
@@ -243,6 +244,10 @@ func mainImpl(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *traceOut != "" {
+		if m.Tel == nil {
+			fmt.Fprintln(stderr, "reusesim: internal error: -trace requires an attached telemetry tracer")
+			return 1
+		}
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			fmt.Fprintln(stderr, "reusesim:", err)
@@ -264,6 +269,10 @@ func mainImpl(args []string, stdout, stderr io.Writer) int {
 			*traceOut, m.Tel.Total(), len(m.Tel.Sessions()))
 	}
 	if *sessionsFlag {
+		if m.Tel == nil {
+			fmt.Fprintln(stderr, "reusesim: internal error: -sessions requires an attached telemetry tracer")
+			return 1
+		}
 		telemetry.WriteSessionTable(stdout, m.Tel.Sessions())
 		if !*statsFlag && !*attribFlag {
 			return 0
@@ -271,6 +280,10 @@ func mainImpl(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout)
 	}
 	if *attribFlag {
+		if m.Tel == nil {
+			fmt.Fprintln(stderr, "reusesim: internal error: -attrib requires an attached telemetry tracer")
+			return 1
+		}
 		power.WriteSessionEnergy(stdout, power.AttributeSessions(m, m.Tel.Sessions()))
 		if !*statsFlag {
 			return 0

@@ -1,0 +1,164 @@
+// Package analysis is a self-contained static-analysis framework for the
+// reuseiq module, modeled on golang.org/x/tools/go/analysis: an Analyzer is
+// a named check with a Run function over one type-checked package (a Pass),
+// and a driver loads packages and collects Diagnostics.
+//
+// The x/tools framework itself is not vendored — this container builds
+// offline and the module has no external dependencies — so the framework is
+// rebuilt here on the standard library alone: `go list -deps -export -json`
+// supplies the package graph and compiler export data, go/parser and
+// go/types supply syntax and types. The Analyzer/Pass surface is kept
+// source-compatible with x/tools for the subset we use, so the analyzers in
+// the subpackages would port to a stock multichecker by swapping imports.
+//
+// One deliberate extension: a Pass carries the whole Module (every package
+// of the main module, parsed and type-checked into one shared *types.Info).
+// Cross-package analyses — hotalloc's transitive call closure, zerocost's
+// annotation index — use it instead of x/tools "facts". When a Pass is
+// built without module context (the go vet -vettool protocol type-checks
+// one package against export data only), Module is nil and those analyzers
+// degrade to package-local coverage.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and waiver grammar.
+	Name string
+	// Doc is a one-paragraph description: the invariant enforced and the
+	// waiver annotation, if any.
+	Doc string
+	// Run applies the check to one package and reports findings through
+	// pass.Report. The return value is unused (kept for x/tools shape).
+	Run func(pass *Pass) (any, error)
+}
+
+// A Diagnostic is one finding, positioned in the Pass's FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass presents one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Module is the whole-module view (nil in single-package mode; see the
+	// package comment). Analyzers that need cross-package syntax must
+	// tolerate nil and fall back to Files.
+	Module *Module
+
+	report func(Diagnostic)
+}
+
+// Report records one finding.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ModuleFiles returns every parsed file the pass can see: the whole module
+// when module context is available, otherwise just the pass's own package.
+func (p *Pass) ModuleFiles() []*ast.File {
+	if p.Module == nil {
+		return p.Files
+	}
+	var files []*ast.File
+	for _, pkg := range p.Module.Packages {
+		files = append(files, pkg.Files...)
+	}
+	// A pass over a package outside the module proper (an analysistest
+	// testdata package checked with CheckExtra) contributes its own files.
+	if p.Pkg != nil && p.Module.Lookup(p.Pkg.Path()) == nil {
+		files = append(files, p.Files...)
+	}
+	return files
+}
+
+// NewPass builds a Pass over one package. mod may be nil (vettool
+// single-package mode); diagnostics are collected by RunPass.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, mod *Module) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Module:    mod,
+	}
+}
+
+// RunPass applies the pass's analyzer and returns its diagnostics sorted by
+// position.
+func RunPass(pass *Pass) ([]Diagnostic, error) {
+	var out []Diagnostic
+	pass.report = func(d Diagnostic) { out = append(out, d) }
+	if _, err := pass.Analyzer.Run(pass); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// A Finding pairs a Diagnostic with the Analyzer that produced it (the
+// driver's output form).
+type Finding struct {
+	Analyzer   *Analyzer
+	Diagnostic Diagnostic
+}
+
+// Run applies each analyzer to each target package and returns the combined
+// findings, deduplicated (module-scoped analyzers can surface the same
+// cross-package finding from several passes) and sorted by position.
+func Run(mod *Module, analyzers []*Analyzer, targets []*Package) ([]Finding, error) {
+	type key struct {
+		name string
+		pos  token.Pos
+		msg  string
+	}
+	seen := make(map[key]bool)
+	var out []Finding
+	for _, pkg := range targets {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      mod.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: mod.Info,
+				Module:    mod,
+			}
+			pass.report = func(d Diagnostic) {
+				k := key{a.Name, d.Pos, d.Message}
+				if !seen[k] {
+					seen[k] = true
+					out = append(out, Finding{Analyzer: a, Diagnostic: d})
+				}
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].Diagnostic.Pos, out[j].Diagnostic.Pos
+		if pi != pj {
+			return pi < pj
+		}
+		return out[i].Analyzer.Name < out[j].Analyzer.Name
+	})
+	return out, nil
+}

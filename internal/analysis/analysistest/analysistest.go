@@ -1,0 +1,165 @@
+// Package analysistest runs an analyzer over a seeded-violation testdata
+// package and checks its diagnostics against "// want" expectations, in the
+// style of golang.org/x/tools/go/analysis/analysistest.
+//
+// Testdata layout mirrors x/tools: <analyzer pkg>/testdata/src/<pkg>/*.go.
+// Each line that should trigger a diagnostic carries a comment of the form
+//
+//	// want "regexp" "another regexp"
+//
+// with one quoted (or backquoted) Go string literal per expected diagnostic
+// on that line. Testdata packages may import any main-module package and
+// any dependency already in the module's build closure; they are
+// type-checked against the real module universe, so analyzers that match
+// real types (e.g. telemetry.Registry) see the genuine objects.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"reuseiq/internal/analysis"
+)
+
+var (
+	loadOnce sync.Once
+	loadedM  *analysis.Module
+	loadErr  error
+)
+
+// module loads the enclosing module exactly once per test process.
+func module(t testing.TB) *analysis.Module {
+	t.Helper()
+	loadOnce.Do(func() {
+		wd, err := os.Getwd()
+		if err != nil {
+			loadErr = err
+			return
+		}
+		root, err := analysis.FindModuleRoot(wd)
+		if err != nil {
+			loadErr = err
+			return
+		}
+		loadedM, loadErr = analysis.LoadModule(root)
+	})
+	if loadErr != nil {
+		t.Fatalf("loading module: %v", loadErr)
+	}
+	return loadedM
+}
+
+// Run type-checks testdata/src/<pkg> relative to the calling test's
+// directory and applies the analyzer, failing the test on any mismatch
+// between reported diagnostics and // want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	mod := module(t)
+	dir := filepath.Join("testdata", "src", pkg)
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("testdata package %s: %v", pkg, err)
+	}
+	extra, err := mod.CheckExtra(pkg, dir)
+	if err != nil {
+		t.Fatalf("type-checking %s: %v", dir, err)
+	}
+	findings, err := analysis.Run(mod, []*analysis.Analyzer{a}, []*analysis.Package{extra})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type lineKey struct {
+		file string
+		line int
+	}
+	wants := make(map[lineKey][]*regexp.Regexp)
+	for _, f := range extra.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				i := strings.Index(c.Text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := mod.Position(c.Pos())
+				k := lineKey{pos.Filename, pos.Line}
+				for _, lit := range stringLits(c.Text[i+len("// want "):]) {
+					rx, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, lit, err)
+					}
+					wants[k] = append(wants[k], rx)
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		pos := mod.Position(f.Diagnostic.Pos)
+		k := lineKey{pos.Filename, pos.Line}
+		matched := false
+		for i, rx := range wants[k] {
+			if rx != nil && rx.MatchString(f.Diagnostic.Message) {
+				wants[k][i] = nil // consume
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, f.Diagnostic.Message)
+		}
+	}
+	for k, rxs := range wants {
+		for _, rx := range rxs {
+			if rx != nil {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, rx)
+			}
+		}
+	}
+}
+
+// stringLits extracts consecutive quoted or backquoted Go string literals.
+func stringLits(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var lit, rest string
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				return out
+			}
+			u, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return out
+			}
+			lit, rest = u, s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return out
+			}
+			lit, rest = s[1:1+end], s[end+2:]
+		default:
+			return out
+		}
+		out = append(out, lit)
+		s = strings.TrimSpace(rest)
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Annotation grammar shared by the reuselint analyzers. Markers are
+// magic comments of the form
+//
+//	//reuse:<verb> [justification...]
+//
+// attached either to a declaration (doc comment: hotpath roots, nilguard
+// fields, exhaustive enums) or to a statement line (waivers: allow-alloc,
+// allow-unguarded, allow-nonexhaustive). Waivers require a justification;
+// an unjustified waiver is itself reported by the analyzer that honors it.
+
+// Marker extracts the first "//reuse:<name>" comment in the group and
+// returns the text following the marker (the justification, may be empty)
+// and whether the marker was present.
+func Marker(doc *ast.CommentGroup, name string) (justification string, ok bool) {
+	if doc == nil {
+		return "", false
+	}
+	prefix := "//reuse:" + name
+	for _, c := range doc.List {
+		if rest, found := strings.CutPrefix(c.Text, prefix); found {
+			if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+				return strings.TrimSpace(rest), true
+			}
+		}
+	}
+	return "", false
+}
+
+// Waivers indexes line-level waiver comments ("//reuse:<name> <why>") for a
+// set of files: a waiver on a line suppresses findings on that line and the
+// line directly below it (so it can sit above a long statement).
+type Waivers struct {
+	fset  *token.FileSet
+	lines map[string]map[int]string // file -> line -> justification
+}
+
+// NewWaivers scans every comment in files for the given marker name.
+func NewWaivers(fset *token.FileSet, files []*ast.File, name string) *Waivers {
+	w := &Waivers{fset: fset, lines: make(map[string]map[int]string)}
+	prefix := "//reuse:" + name
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, found := strings.CutPrefix(c.Text, prefix)
+				if !found || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				m := w.lines[p.Filename]
+				if m == nil {
+					m = make(map[int]string)
+					w.lines[p.Filename] = m
+				}
+				m[p.Line] = strings.TrimSpace(rest)
+			}
+		}
+	}
+	return w
+}
+
+// At reports whether a waiver covers pos, and the waiver's justification
+// text (empty when the author supplied none).
+func (w *Waivers) At(pos token.Pos) (justification string, ok bool) {
+	p := w.fset.Position(pos)
+	m := w.lines[p.Filename]
+	if m == nil {
+		return "", false
+	}
+	if j, found := m[p.Line]; found {
+		return j, true
+	}
+	if j, found := m[p.Line-1]; found {
+		return j, true
+	}
+	return "", false
+}
+
+// ChainOf resolves an expression of the form ident.sel1.sel2... to the
+// sequence of objects it names, outermost first ([m, Tel] for m.Tel).
+// It reports false for anything more complex (calls, indexing, parens are
+// unwrapped but their operands must still be plain chains).
+func ChainOf(info *types.Info, e ast.Expr) ([]types.Object, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return []types.Object{obj}, true
+		}
+		return nil, false
+	case *ast.SelectorExpr:
+		base, ok := ChainOf(info, e.X)
+		if !ok {
+			return nil, false
+		}
+		obj := info.Uses[e.Sel]
+		if obj == nil {
+			return nil, false
+		}
+		return append(base, obj), true
+	case *ast.ParenExpr:
+		return ChainOf(info, e.X)
+	}
+	return nil, false
+}
+
+// ChainEqual reports whether two resolved chains name the same path.
+func ChainEqual(a, b []types.Object) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ExprChainEqual resolves both expressions and reports whether they are the
+// same plain chain.
+func ExprChainEqual(info *types.Info, a, b ast.Expr) bool {
+	ca, ok := ChainOf(info, a)
+	if !ok {
+		return false
+	}
+	cb, ok := ChainOf(info, b)
+	if !ok {
+		return false
+	}
+	return ChainEqual(ca, cb)
+}

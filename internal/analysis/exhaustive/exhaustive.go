@@ -1,0 +1,182 @@
+// Package exhaustive enforces that switch statements over the simulator's
+// state-machine enums cover every declared constant or carry an explicit
+// default. A missed enum case is how a new RevokeReason or telemetry Kind
+// silently falls through and corrupts a power ledger or trace.
+//
+// Watched types are the built-in list below (the enums whose constants
+// drive control flow in core and telemetry) plus any type whose declaration
+// carries a "//reuse:exhaustive" marker. A switch can opt out with a
+// "//reuse:allow-nonexhaustive <why>" waiver on the switch line or the line
+// above; a waiver with no justification is itself a finding.
+package exhaustive
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"reuseiq/internal/analysis"
+)
+
+// watched lists the enum types every switch must cover exhaustively,
+// by qualified name.
+var watched = map[string]bool{
+	"reuseiq/internal/core.State":        true,
+	"reuseiq/internal/core.RevokeReason": true,
+	"reuseiq/internal/core.CtlEventKind": true,
+	"reuseiq/internal/telemetry.Kind":    true,
+}
+
+const waiverName = "allow-nonexhaustive"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustive",
+	Doc: "switches over core.State, core.RevokeReason, core.CtlEventKind, " +
+		"telemetry.Kind and //reuse:exhaustive-marked enums must cover every " +
+		"declared constant or have a default; waive with //reuse:allow-nonexhaustive <why>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	optIn := markedTypes(pass)
+	waivers := analysis.NewWaivers(pass.Fset, pass.Files, waiverName)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named := enumType(pass, optIn, sw.Tag)
+			if named == nil {
+				return true
+			}
+			checkSwitch(pass, waivers, sw, named)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// markedTypes collects type-name objects whose declarations carry
+// //reuse:exhaustive, across the whole module when available.
+func markedTypes(pass *analysis.Pass) map[types.Object]bool {
+	marked := make(map[types.Object]bool)
+	for _, f := range pass.ModuleFiles() {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				_, found := analysis.Marker(ts.Doc, "exhaustive")
+				if !found {
+					// A single-spec decl usually carries the comment on the
+					// GenDecl, not the TypeSpec.
+					_, found = analysis.Marker(gd.Doc, "exhaustive")
+				}
+				if !found {
+					continue
+				}
+				if obj := pass.TypesInfo.Defs[ts.Name]; obj != nil {
+					marked[obj] = true
+				}
+			}
+		}
+	}
+	return marked
+}
+
+// enumType resolves the switch tag to a watched named enum type, or nil.
+func enumType(pass *analysis.Pass, optIn map[types.Object]bool, tag ast.Expr) *types.Named {
+	tv, ok := pass.TypesInfo.Types[tag]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if optIn[obj] {
+		return named
+	}
+	if obj.Pkg() != nil && watched[obj.Pkg().Path()+"."+obj.Name()] {
+		return named
+	}
+	return nil
+}
+
+// enumConst is one declared constant of the enum, in source order.
+type enumConst struct {
+	name string
+	val  string // constant.Value.ExactString()
+}
+
+// declaredConsts returns every package-level constant of type named in the
+// defining package, in declaration (position) order.
+func declaredConsts(named *types.Named) []enumConst {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil
+	}
+	scope := pkg.Scope()
+	var objs []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if ok && types.Identical(c.Type(), named) {
+			objs = append(objs, c)
+		}
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	out := make([]enumConst, len(objs))
+	for i, c := range objs {
+		out[i] = enumConst{name: c.Name(), val: c.Val().ExactString()}
+	}
+	return out
+}
+
+func checkSwitch(pass *analysis.Pass, waivers *analysis.Waivers, sw *ast.SwitchStmt, named *types.Named) {
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default: author chose a catch-all
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || tv.Value == nil || tv.Value.Kind() == constant.Unknown {
+				return // non-constant case: coverage is not statically decidable
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+	var missing []string
+	seen := make(map[string]bool)
+	for _, c := range declaredConsts(named) {
+		if !covered[c.val] && !seen[c.val] {
+			seen[c.val] = true
+			missing = append(missing, c.name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	if why, ok := waivers.At(sw.Pos()); ok {
+		if why == "" {
+			pass.Reportf(sw.Pos(), "//reuse:%s waiver has no justification", waiverName)
+		}
+		return
+	}
+	obj := named.Obj()
+	pass.Reportf(sw.Pos(), "switch over %s.%s is missing cases %s (add them, a default, or //reuse:%s <why>)",
+		obj.Pkg().Name(), obj.Name(), strings.Join(missing, ", "), waiverName)
+}

@@ -1,0 +1,12 @@
+package exhaustive_test
+
+import (
+	"testing"
+
+	"reuseiq/internal/analysis/analysistest"
+	"reuseiq/internal/analysis/exhaustive"
+)
+
+func TestExhaustive(t *testing.T) {
+	analysistest.Run(t, exhaustive.Analyzer, "exhaustivetest")
+}

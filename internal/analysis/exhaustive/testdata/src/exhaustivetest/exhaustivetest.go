@@ -1,0 +1,101 @@
+// Package exhaustivetest seeds violations for the exhaustive analyzer.
+package exhaustivetest
+
+import (
+	"reuseiq/internal/core"
+)
+
+// Phase is a local enum opted into exhaustiveness checking.
+//
+//reuse:exhaustive
+type Phase uint8
+
+const (
+	PhaseIdle Phase = iota
+	PhaseWarm
+	PhaseHot
+)
+
+// Unwatched has no marker: switches over it are never checked.
+type Unwatched int
+
+const (
+	UnwatchedA Unwatched = iota
+	UnwatchedB
+)
+
+func builtinEnums(s core.State, r core.RevokeReason, k core.CtlEventKind) int {
+	// Full coverage: clean.
+	switch s {
+	case core.Normal:
+		return 0
+	case core.Buffering:
+		return 1
+	case core.Reuse:
+		return 2
+	}
+
+	// Default clause: clean even with missing cases.
+	switch r {
+	case core.ReasonInner:
+		return 3
+	default:
+		return 4
+	}
+
+	switch r { // want `missing cases ReasonNone, ReasonRecovery, ReasonForced, ReasonReuseExit`
+	case core.ReasonInner, core.ReasonExit:
+		return 5
+	case core.ReasonFull:
+		return 6
+	}
+
+	switch k { // want `missing cases CtlNBLTHit, CtlNBLTInsert`
+	case core.CtlBuffer, core.CtlPromote, core.CtlRevoke:
+		return 7
+	case core.CtlReuseExit, core.CtlIteration:
+		return 8
+	}
+
+	// Waived with justification: clean.
+	//reuse:allow-nonexhaustive only revoke-family kinds reach this path
+	switch k {
+	case core.CtlRevoke, core.CtlReuseExit:
+		return 9
+	}
+
+	// Waiver with no justification is itself a finding.
+	//reuse:allow-nonexhaustive
+	switch k { // want `waiver has no justification`
+	case core.CtlBuffer:
+		return 10
+	}
+	return -1
+}
+
+func localEnums(p Phase, u Unwatched, n int) int {
+	switch p { // want `missing cases PhaseHot`
+	case PhaseIdle, PhaseWarm:
+		return 0
+	}
+
+	// Non-constant case expression: not statically decidable, skipped.
+	dyn := Phase(n)
+	switch p {
+	case dyn:
+		return 1
+	}
+
+	// Unwatched type: no marker, no diagnostic.
+	switch u {
+	case UnwatchedA:
+		return 2
+	}
+
+	// Tagless switch is out of scope.
+	switch {
+	case n > 0:
+		return 3
+	}
+	return -1
+}

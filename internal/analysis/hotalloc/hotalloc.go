@@ -1,0 +1,448 @@
+// Package hotalloc enforces the simulator's steady-state zero-allocation
+// budget statically. Functions marked "//reuse:hotpath" are per-cycle
+// entry points (Machine.Step, Queue.Dispatch, ...); they and every module
+// function they statically call must not contain allocating constructs:
+//
+//   - escaping composite literals (&T{...}, slice/map literals), make, new
+//   - append that grows a different slice than it reads (self-append,
+//     x = append(x, ...), is amortized into preallocated capacity and the
+//     runtime budget is owned by TestSteadyStateZeroAllocs)
+//   - fmt calls and allocating strconv helpers (Itoa, Format*, Quote*)
+//   - non-constant string concatenation and string<->[]byte/[]rune
+//     conversions
+//   - function literals that capture variables (closure allocation)
+//   - interface boxing of non-constant call arguments
+//
+// The closure is static and module-local: calls that cannot be resolved to
+// a module FuncDecl (hook fields, interface methods, stdlib) do not extend
+// the hot set. A whole function can be waived with "//reuse:allow-alloc
+// <why>" in its doc comment — its body is skipped and calls to it from hot
+// code carry no boxing checks (the waiver owns the cost, e.g. a trace
+// helper that is nil-gated before formatting). Individual constructs are
+// waived with the same marker on their line or the line above. Waivers
+// without a justification are themselves findings.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"reuseiq/internal/analysis"
+)
+
+const waiverName = "allow-alloc"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "//reuse:hotpath functions and their module-local static callees " +
+		"must not allocate; waive a construct or whole function with " +
+		"//reuse:allow-alloc <why>",
+	Run: run,
+}
+
+// allocStrconv lists strconv functions that allocate their result (the
+// Append* family writes into a caller buffer and Parse*/Atoi return values).
+func allocStrconv(name string) bool {
+	switch {
+	case name == "Itoa":
+		return true
+	case len(name) >= 6 && name[:6] == "Format":
+		return true
+	case len(name) >= 5 && name[:5] == "Quote":
+		return true
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	idx := buildIndex(pass)
+	waivers := analysis.NewWaivers(pass.Fset, pass.Files, waiverName)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			root, hot := idx.hot[obj]
+			if !hot {
+				continue
+			}
+			if why, waived := idx.waivedFuncs[obj]; waived {
+				if why == "" {
+					pass.Reportf(fd.Pos(), "//reuse:%s function waiver has no justification", waiverName)
+				}
+				continue
+			}
+			c := &checker{pass: pass, idx: idx, waivers: waivers, root: root}
+			c.checkBody(fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// index is the module-wide view: which functions are hot (and via which
+// root), and which carry a function-level waiver.
+type index struct {
+	hot         map[types.Object]string // func object -> root name that reached it
+	waivedFuncs map[types.Object]string // func object -> justification
+}
+
+// buildIndex walks every module file, finds //reuse:hotpath roots and
+// function-level //reuse:allow-alloc waivers, builds the static call graph
+// between module FuncDecls, and closes the hot set over it. Waived
+// functions join the hot set (so an empty justification is reportable) but
+// do not propagate.
+func buildIndex(pass *analysis.Pass) *index {
+	idx := &index{
+		hot:         make(map[types.Object]string),
+		waivedFuncs: make(map[types.Object]string),
+	}
+	decls := make(map[types.Object]*ast.FuncDecl)
+	callees := make(map[types.Object][]types.Object)
+	var roots []types.Object
+	for _, f := range pass.ModuleFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			decls[obj] = fd
+			if _, ok := analysis.Marker(fd.Doc, "hotpath"); ok {
+				roots = append(roots, obj)
+			}
+			if why, ok := analysis.Marker(fd.Doc, waiverName); ok {
+				idx.waivedFuncs[obj] = why
+			}
+			if fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := calleeObject(pass.TypesInfo, call); callee != nil {
+					callees[obj] = append(callees[obj], callee)
+				}
+				return true
+			})
+		}
+	}
+	var visit func(obj types.Object, root string)
+	visit = func(obj types.Object, root string) {
+		if _, seen := idx.hot[obj]; seen {
+			return
+		}
+		if _, isDecl := decls[obj]; !isDecl {
+			return
+		}
+		idx.hot[obj] = root
+		if _, waived := idx.waivedFuncs[obj]; waived {
+			return
+		}
+		for _, callee := range callees[obj] {
+			visit(callee, root)
+		}
+	}
+	for _, r := range roots {
+		visit(r, r.Name())
+	}
+	return idx
+}
+
+// calleeObject resolves a call to the *types.Func it statically invokes
+// (plain functions and methods; not builtins, conversions, or func values).
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	if fn, ok := info.Uses[id].(*types.Func); ok {
+		return fn
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	idx     *index
+	waivers *analysis.Waivers
+	root    string
+
+	// selfAppends are append CallExprs of the form x = append(x, ...),
+	// pre-collected per body so the general walk can skip them.
+	selfAppends map[*ast.CallExpr]bool
+}
+
+func (c *checker) checkBody(body *ast.BlockStmt) {
+	c.selfAppends = make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 || !isBuiltin(c.pass.TypesInfo, call, "append") {
+				continue
+			}
+			if sameLValue(c.pass.TypesInfo, as.Lhs[i], call.Args[0]) {
+				c.selfAppends[call] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			c.checkCompositeLit(n)
+		case *ast.CallExpr:
+			return c.checkCall(n)
+		case *ast.BinaryExpr:
+			c.checkConcat(n)
+		case *ast.FuncLit:
+			c.checkFuncLit(n)
+			return false // the literal body runs later; it is not hot itself
+		}
+		return true
+	})
+}
+
+// report emits a finding unless a line waiver covers pos.
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if why, waived := c.waivers.At(pos); waived {
+		if why == "" {
+			c.pass.Reportf(pos, "//reuse:%s waiver has no justification", waiverName)
+		}
+		return
+	}
+	msg := "hot path (via //reuse:hotpath " + c.root + "): " + format
+	c.pass.Reportf(pos, msg, args...)
+}
+
+func (c *checker) checkCompositeLit(lit *ast.CompositeLit) {
+	t := c.pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.report(lit.Pos(), "slice literal allocates")
+	case *types.Map:
+		c.report(lit.Pos(), "map literal allocates")
+	}
+}
+
+// checkCall handles builtins (make/new/append), allocating stdlib calls,
+// conversions, &T{} escapes, and interface boxing of arguments. It returns
+// false to stop the walk below nodes whose children are already handled.
+func (c *checker) checkCall(call *ast.CallExpr) bool {
+	info := c.pass.TypesInfo
+	switch {
+	case isBuiltin(info, call, "make"):
+		c.report(call.Pos(), "make allocates")
+		return true
+	case isBuiltin(info, call, "new"):
+		c.report(call.Pos(), "new allocates")
+		return true
+	case isBuiltin(info, call, "append"):
+		if !c.selfAppends[call] {
+			c.report(call.Pos(), "append into a different slice may grow and allocate (self-append x = append(x, ...) is exempt)")
+		}
+		return true
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		c.checkConversion(call, tv.Type)
+		return true
+	}
+	callee := calleeObject(info, call)
+	if callee != nil && callee.Pkg() != nil {
+		switch callee.Pkg().Path() {
+		case "fmt":
+			c.report(call.Pos(), "fmt.%s formats and allocates", callee.Name())
+			return true
+		case "strconv":
+			if allocStrconv(callee.Name()) {
+				c.report(call.Pos(), "strconv.%s allocates its result", callee.Name())
+				return true
+			}
+		}
+	}
+	// Calls to function-level-waived module functions own their own cost:
+	// skip boxing checks on the arguments (typically ...any trace helpers).
+	if callee != nil {
+		if _, waived := c.idx.waivedFuncs[callee]; waived {
+			return true
+		}
+	}
+	c.checkBoxing(call)
+	return true
+}
+
+func (c *checker) checkConversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from := c.pass.TypesInfo.TypeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	// Constant string -> []byte and friends still allocate; only
+	// string -> string style identity conversions are free.
+	_, toStr := to.Underlying().(*types.Basic)
+	_, fromStr := from.Underlying().(*types.Basic)
+	_, toSlice := to.Underlying().(*types.Slice)
+	_, fromSlice := from.Underlying().(*types.Slice)
+	if (toStr && isString(to) && fromSlice) || (toSlice && isString(from) && fromStr) {
+		c.report(call.Pos(), "string/slice conversion copies and allocates")
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func (c *checker) checkConcat(b *ast.BinaryExpr) {
+	if b.Op != token.ADD {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[b]
+	if !ok || tv.Type == nil || !isString(tv.Type) {
+		return
+	}
+	if tv.Value != nil {
+		return // constant folding: no runtime concat
+	}
+	c.report(b.OpPos, "string concatenation allocates")
+}
+
+// checkFuncLit flags literals that capture enclosing variables (the capture
+// forces a closure allocation). Non-capturing literals compile to static
+// funcs and are free.
+func (c *checker) checkFuncLit(lit *ast.FuncLit) {
+	info := c.pass.TypesInfo
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Pkg() == nil {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == v.Pkg().Scope() {
+			return true // package-level variable: referenced, not captured
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = v.Name()
+			return false
+		}
+		return true
+	})
+	if captured != "" {
+		c.report(lit.Pos(), "function literal captures %q and allocates a closure", captured)
+	}
+}
+
+// checkBoxing flags non-constant arguments passed to interface-typed
+// parameters (the conversion heap-boxes the value). Constants and nil are
+// exempt: the compiler materializes them as static data.
+func (c *checker) checkBoxing(call *ast.CallExpr) {
+	info := c.pass.TypesInfo
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || call.Ellipsis != token.NoPos {
+		return // f(xs...) forwards an existing slice: no per-arg boxing here
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		tv, ok := info.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if tv.Value != nil || tv.IsNil() {
+			continue
+		}
+		if _, argIface := tv.Type.Underlying().(*types.Interface); argIface {
+			continue // already an interface: no new box
+		}
+		if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+			continue // pointers fit in the interface word: no box
+		}
+		c.report(arg.Pos(), "argument boxes %s into interface %s", tv.Type, pt)
+	}
+}
+
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// sameLValue reports whether two expressions statically denote the same
+// storage location: matching ident/selector/index paths.
+func sameLValue(info *types.Info, a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch a := a.(type) {
+	case *ast.Ident:
+		bi, ok := b.(*ast.Ident)
+		return ok && objOf(info, a) != nil && objOf(info, a) == objOf(info, bi)
+	case *ast.SelectorExpr:
+		bs, ok := b.(*ast.SelectorExpr)
+		return ok && info.Uses[a.Sel] == info.Uses[bs.Sel] && sameLValue(info, a.X, bs.X)
+	case *ast.StarExpr:
+		bs, ok := b.(*ast.StarExpr)
+		return ok && sameLValue(info, a.X, bs.X)
+	case *ast.IndexExpr:
+		bx, ok := b.(*ast.IndexExpr)
+		if !ok || !sameLValue(info, a.X, bx.X) {
+			return false
+		}
+		if sameLValue(info, a.Index, bx.Index) {
+			return true
+		}
+		av, aok := info.Types[a.Index]
+		bv, bok := info.Types[bx.Index]
+		return aok && bok && av.Value != nil && bv.Value != nil &&
+			constant.Compare(av.Value, token.EQL, bv.Value)
+	}
+	return false
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

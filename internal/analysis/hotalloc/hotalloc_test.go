@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"reuseiq/internal/analysis/analysistest"
+	"reuseiq/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer, "hotalloctest")
+}

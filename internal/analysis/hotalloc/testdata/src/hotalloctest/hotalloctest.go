@@ -1,0 +1,116 @@
+// Package hotalloctest seeds violations for the hotalloc analyzer.
+package hotalloctest
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type ring struct {
+	buf   []int
+	names map[int]string
+	sink  func()
+}
+
+// step is a per-cycle entry point.
+//
+//reuse:hotpath
+func step(r *ring, n int) {
+	r.buf = append(r.buf, n) // self-append: exempt, budget owned at runtime
+
+	other := r.buf
+	r.buf = append(other, n) // want `append into a different slice`
+
+	s := []int{1, 2, n} // want `slice literal allocates`
+	_ = s
+	m := map[int]string{} // want `map literal allocates`
+	_ = m
+	b := make([]byte, n) // want `make allocates`
+	_ = b
+	p := new(ring) // want `new allocates`
+	_ = p
+
+	helper(r, n) // hot closure: helper is checked too
+	waivedHelper(r, n)
+	coldHelper(n) // resolves to nothing hot? no: module callee, pulled in
+}
+
+// helper is hot because step calls it.
+func helper(r *ring, n int) {
+	_ = fmt.Sprintf("slot %d", n) // want `fmt\.Sprintf formats and allocates`
+	_ = strconv.Itoa(n)           // want `strconv\.Itoa allocates its result`
+	_ = strconv.AppendInt(nil, int64(n), 10)
+	_, _ = strconv.Atoi("7")
+}
+
+// waivedHelper owns its allocation cost: body skipped, call sites unboxed.
+//
+//reuse:allow-alloc debug formatter, nil-gated by the caller
+func waivedHelper(r *ring, args ...any) {
+	_ = fmt.Sprintln(args...)
+}
+
+// coldHelper is hot via step's call edge.
+func coldHelper(n int) string {
+	name := "slot-" + strconv.Itoa(n) // want `string concatenation allocates` `strconv\.Itoa allocates`
+	return name
+}
+
+//reuse:hotpath
+func conversions(bs []byte, s string, n int) {
+	_ = string(bs) // want `string/slice conversion copies and allocates`
+	_ = []byte(s)  // want `string/slice conversion copies and allocates`
+	_ = []rune(s)  // want `string/slice conversion copies and allocates`
+	_ = int64(n)   // numeric conversion is free
+	const tag = "x"
+	_ = tag + "y" // constant concat folds at compile time
+}
+
+//reuse:hotpath
+func closures(r *ring, n int) {
+	r.sink = func() { _ = n } // want `function literal captures "n" and allocates a closure`
+	r.sink = func() {}        // non-capturing literal is static
+}
+
+type observer interface{ observe(v any) }
+
+//reuse:hotpath
+func boxing(o observer, r *ring, n int) {
+	o.observe(n)  // want `argument boxes int into interface`
+	o.observe(42) // constant: static data, no box
+	o.observe(r)  // pointer fits the interface word
+	o.observe(nil)
+}
+
+//reuse:hotpath
+func waivedConstructs(r *ring, n int) {
+	//reuse:allow-alloc warm-up path, runs once per session not per cycle
+	r.names = map[int]string{}
+
+	r.buf = make([]int, n) //reuse:allow-alloc capacity reset on revoke only
+
+	//reuse:allow-alloc
+	_ = fmt.Sprint(n) // want `waiver has no justification`
+}
+
+//reuse:hotpath
+func starAppend(p *[]int, n int) {
+	*p = append(*p, n) // self-append through a pointer deref: exempt
+	q := *p
+	*p = append(q, n) // want `append into a different slice`
+}
+
+// notHot is never reached from a hotpath root: anything goes.
+func notHot(n int) string {
+	return fmt.Sprintf("cold %d", strconv.Itoa(n)[0])
+}
+
+//reuse:allow-alloc
+func unjustifiedFuncWaiver(n int) { // want `function waiver has no justification`
+	_ = fmt.Sprint(n)
+}
+
+//reuse:hotpath
+func callsUnjustified(n int) {
+	unjustifiedFuncWaiver(n)
+}

@@ -1,0 +1,233 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// A Package is one main-module package, parsed with comments and
+// type-checked from source into the module's shared FileSet and Info.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+}
+
+// A Module is the loaded main module: every matched package and its
+// dependencies, with one FileSet and one types.Info spanning all of them so
+// cross-package analyses can chase objects to syntax.
+type Module struct {
+	Path string // module path ("reuseiq")
+	Dir  string // module root directory
+	Fset *token.FileSet
+	Info *types.Info
+
+	// Packages holds the main-module packages in dependency order
+	// (imported packages precede their importers).
+	Packages []*Package
+
+	byPath  map[string]*Package
+	exports map[string]string // import path -> compiler export data file
+	gc      types.ImporterFrom
+}
+
+// Lookup returns the loaded main-module package with the given import path,
+// or nil.
+func (m *Module) Lookup(path string) *Package { return m.byPath[path] }
+
+// Position resolves a token.Pos in the module's FileSet.
+func (m *Module) Position(pos token.Pos) token.Position { return m.Fset.Position(pos) }
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod at or above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// listPkg is the subset of `go list -json` we consume.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Module     *struct {
+		Path string
+		Dir  string
+		Main bool
+	}
+	DepOnly bool
+	Error   *struct{ Err string }
+}
+
+// LoadModule loads the packages matching patterns (plus their dependency
+// closure) from the module rooted at or above dir. Main-module packages are
+// parsed and type-checked from source; everything else is imported from
+// compiler export data, so no network or GOPATH cache beyond the build
+// cache is required. Test files are not loaded (`go vet` semantics for the
+// non-test compilation unit).
+func LoadModule(dir string, patterns ...string) (*Module, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export", "-json", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+
+	mod := &Module{
+		Fset:    token.NewFileSet(),
+		Info:    newInfo(),
+		byPath:  make(map[string]*Package),
+		exports: make(map[string]string),
+	}
+	mod.gc = importer.ForCompiler(mod.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := mod.exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}).(types.ImporterFrom)
+
+	// First pass over the stream: record export data and pick out the
+	// main-module packages, preserving go list's dependency order.
+	var srcPkgs []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			mod.exports[lp.ImportPath] = lp.Export
+		}
+		if lp.Module != nil && lp.Module.Main {
+			if mod.Path == "" {
+				mod.Path, mod.Dir = lp.Module.Path, lp.Module.Dir
+			}
+			p := lp
+			srcPkgs = append(srcPkgs, &p)
+		}
+	}
+	if mod.Path == "" {
+		return nil, fmt.Errorf("analysis: patterns %v matched no main-module packages", patterns)
+	}
+
+	// Second pass: parse and type-check main-module packages in dependency
+	// order, so every module import resolves to an already-checked package.
+	for _, lp := range srcPkgs {
+		pkg, err := mod.checkSource(lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		mod.byPath[lp.ImportPath] = pkg
+		mod.Packages = append(mod.Packages, pkg)
+	}
+	return mod, nil
+}
+
+// CheckExtra parses and type-checks one extra package directory (an
+// analysistest testdata package) against the loaded module universe: its
+// imports may name any main-module package or any dependency whose export
+// data was seen during LoadModule. The package is returned but not added to
+// Module.Packages.
+func (m *Module) CheckExtra(importPath, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if n := e.Name(); filepath.Ext(n) == ".go" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	return m.checkSource(importPath, dir, names)
+}
+
+func (m *Module) checkSource(importPath, dir string, fileNames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		Importer: (*moduleImporter)(m),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(importPath, m.Fset, files, m.Info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", importPath, err)
+	}
+	return &Package{Path: importPath, Dir: dir, Files: files, Types: tpkg}, nil
+}
+
+// moduleImporter resolves imports during source type-checking: main-module
+// packages come from the already-checked set, everything else from compiler
+// export data.
+type moduleImporter Module
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := mi.byPath[path]; ok {
+		return p.Types, nil
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return mi.gc.ImportFrom(path, mi.Dir, 0)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"testing"
+)
+
+// ModuleRoot locates the enclosing go.mod from the test's working directory.
+func ModuleRoot(t testing.TB) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func TestLoadModule(t *testing.T) {
+	mod, err := LoadModule(ModuleRoot(t), "./internal/core", "./internal/telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Path != "reuseiq" {
+		t.Fatalf("module path = %q, want reuseiq", mod.Path)
+	}
+	core := mod.Lookup("reuseiq/internal/core")
+	if core == nil {
+		t.Fatal("internal/core not loaded")
+	}
+	if core.Types.Scope().Lookup("Controller") == nil {
+		t.Error("core.Controller not in package scope")
+	}
+	// telemetry imports core: the import must resolve to the source-checked
+	// package object, not a second export-data copy.
+	tel := mod.Lookup("reuseiq/internal/telemetry")
+	if tel == nil {
+		t.Fatal("internal/telemetry not loaded")
+	}
+	for _, imp := range tel.Types.Imports() {
+		if imp.Path() == "reuseiq/internal/core" && imp != core.Types {
+			t.Error("telemetry imports a duplicate core package object")
+		}
+	}
+	// Dependency order: core precedes telemetry.
+	var iCore, iTel int
+	for i, p := range mod.Packages {
+		switch p.Path {
+		case "reuseiq/internal/core":
+			iCore = i
+		case "reuseiq/internal/telemetry":
+			iTel = i
+		}
+	}
+	if iCore > iTel {
+		t.Errorf("dependency order violated: core at %d after telemetry at %d", iCore, iTel)
+	}
+	if mod.Position(core.Files[0].Pos()).Filename == "" {
+		t.Error("positions not resolvable")
+	}
+	_ = token.NoPos
+}

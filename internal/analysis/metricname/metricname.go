@@ -1,0 +1,82 @@
+// Package metricname statically checks metric names registered with
+// telemetry.Registry against the shared rule set in internal/obs/lintrules.
+// What obscheck verifies on the wire at runtime, this analyzer verifies at
+// the registration call site at compile time — for every name that is a
+// constant expression. Dynamically built names (loops over FU kinds and the
+// like) remain the runtime linter's job.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"reuseiq/internal/analysis"
+	"reuseiq/internal/obs/lintrules"
+)
+
+// registryMethods are the telemetry.Registry registration entry points
+// whose first argument is a metric name.
+var registryMethods = map[string]bool{
+	"Counter":           true,
+	"CounterVal":        true,
+	"Gauge":             true,
+	"RegisterHistogram": true,
+}
+
+const registryType = "reuseiq/internal/telemetry.Registry"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc: "metric names passed to telemetry.Registry registration must satisfy " +
+		"the lintrules registry grammar (dotted lowercase segments), guaranteeing " +
+		"obs.SanitizeMetricName maps them onto promlint-clean exposition names",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registryMethods[sel.Sel.Name] {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || !isRegistryMethod(fn) {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true // dynamic name: covered by obscheck at runtime
+			}
+			if err := lintrules.CheckRegistryName(constant.StringVal(tv.Value)); err != nil {
+				pass.Reportf(call.Args[0].Pos(), "telemetry.Registry.%s: %v", sel.Sel.Name, err)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isRegistryMethod reports whether fn is a method with receiver
+// *telemetry.Registry (or telemetry.Registry).
+func isRegistryMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path()+"."+obj.Name() == registryType
+}

@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"reuseiq/internal/analysis/analysistest"
+	"reuseiq/internal/analysis/metricname"
+)
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, metricname.Analyzer, "metricnametest")
+}

@@ -1,0 +1,46 @@
+// Package metricnametest seeds violations for the metricname analyzer.
+package metricnametest
+
+import (
+	"reuseiq/internal/telemetry"
+)
+
+const prefix = "riq."
+
+// notARegistry has methods with the watched names but the wrong receiver
+// type: the analyzer must leave it alone.
+type notARegistry struct{}
+
+func (notARegistry) Counter(name string, fn func() uint64) {}
+func (notARegistry) Gauge(name string, fn func() float64)  {}
+
+func register(r *telemetry.Registry, dyn string) {
+	c := uint64(0)
+
+	// Legal names: dotted lowercase segments.
+	r.Counter("sim.cycles", func() uint64 { return c })
+	r.CounterVal("riq.dispatches", c)
+	r.Gauge("power.sessions.net", func() float64 { return 0 })
+	r.RegisterHistogram("hist.session_cycles", &telemetry.Histogram{})
+
+	// Constant folding: the analyzer sees through concatenation of constants.
+	r.Counter(prefix+"wakeups", func() uint64 { return c })
+
+	// Dynamic names are out of scope (obscheck owns them at runtime).
+	r.Counter(dyn, func() uint64 { return c })
+	r.Counter("fu."+dyn, func() uint64 { return c })
+
+	// Seeded violations.
+	r.Counter("Sim.Cycles", func() uint64 { return c })       // want `uppercase`
+	r.Counter("", func() uint64 { return c })                 // want `empty`
+	r.Gauge("sim..net", func() float64 { return 0 })          // want `empty dotted segment`
+	r.CounterVal("9lives", c)                                 // want `starting with a digit`
+	r.CounterVal("sim._hidden", c)                            // want `starting with an underscore`
+	r.RegisterHistogram("sim-cycles", &telemetry.Histogram{}) // want `not of the form`
+	r.Counter(prefix+"Wakeups", func() uint64 { return c })   // want `uppercase`
+
+	// Wrong receiver type: same method names, no diagnostics.
+	var n notARegistry
+	n.Counter("Sim.Cycles", func() uint64 { return 0 })
+	n.Gauge("9lives", func() float64 { return 0 })
+}

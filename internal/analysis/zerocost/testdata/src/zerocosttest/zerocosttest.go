@@ -1,0 +1,114 @@
+// Package zerocosttest seeds violations for the zerocost analyzer.
+package zerocosttest
+
+type recorder struct{ n int }
+
+func (r *recorder) Cycle()         { r.n++ }
+func (r *recorder) Commit(seq int) { r.n += seq }
+func (r *recorder) Unmarked() int  { return r.n }
+
+type machine struct {
+	// OnCommit fires once per committed instruction when a harness is
+	// attached; nil in production sweeps.
+	//reuse:nilguard
+	OnCommit func(seq int) error
+
+	//reuse:nilguard
+	Trace func(format string, args ...any)
+
+	// Rec is the audit tap; nil unless recording.
+	//reuse:nilguard
+	Rec *recorder
+
+	// Always is plain: calls through it need no guard.
+	Always func()
+}
+
+func guardedOK(m *machine) error {
+	if m.OnCommit != nil {
+		if err := m.OnCommit(1); err != nil {
+			return err
+		}
+	}
+	if m.Trace != nil && m.Rec != nil {
+		m.Trace("cycle %d", 1)
+		m.Rec.Cycle()
+	}
+	if m.Rec == nil {
+		return nil
+	}
+	m.Rec.Commit(2) // early-exit guard above dominates
+	m.Always()
+	return nil
+}
+
+func earlyExitOr(m *machine) {
+	if m.Trace == nil || m.Rec == nil {
+		return
+	}
+	m.Trace("both taps live")
+	m.Rec.Cycle()
+}
+
+func elseBranch(m *machine) {
+	if m.Rec == nil {
+		_ = m
+	} else {
+		m.Rec.Cycle()
+	}
+}
+
+func unguarded(m *machine) {
+	m.Trace("boom")   // want `call through nil-able m\.Trace is not dominated`
+	_ = m.OnCommit(3) // want `call through nil-able m\.OnCommit is not dominated`
+	m.Rec.Cycle()     // want `call through nil-able m\.Rec is not dominated`
+	m.Always()
+}
+
+func guardDropped(m *machine) {
+	if m.Rec == nil {
+		return
+	}
+	m.Rec = nil
+	m.Rec.Cycle() // want `call through nil-able m\.Rec is not dominated`
+}
+
+func receiverDropped(m *machine) {
+	if m.Trace == nil {
+		return
+	}
+	m = &machine{}
+	m.Trace("stale guard") // want `call through nil-able m\.Trace is not dominated`
+}
+
+func wrongFieldGuard(m *machine) {
+	if m.OnCommit != nil {
+		m.Trace("guarded the wrong field") // want `call through nil-able m\.Trace is not dominated`
+	}
+}
+
+func guardDoesNotEscapeBranch(m *machine) {
+	if m.Rec != nil {
+		m.Rec.Cycle()
+	}
+	m.Rec.Cycle() // want `call through nil-able m\.Rec is not dominated`
+}
+
+func waived(m *machine) {
+	//reuse:allow-unguarded test fixture constructs m with all taps attached
+	m.Trace("waived")
+
+	m.Rec.Cycle() //reuse:allow-unguarded same-line waiver form
+
+	//reuse:allow-unguarded
+	_ = m.OnCommit(4) // want `waiver has no justification`
+}
+
+func reads(m *machine) int {
+	// Reading a guarded field (no call) is fine: nil reads don't panic.
+	cb := m.OnCommit
+	if cb != nil {
+		return 0
+	}
+	return m.Rec.Unmarked() // want `call through nil-able m\.Rec is not dominated`
+}

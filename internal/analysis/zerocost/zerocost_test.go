@@ -1,0 +1,12 @@
+package zerocost_test
+
+import (
+	"testing"
+
+	"reuseiq/internal/analysis/analysistest"
+	"reuseiq/internal/analysis/zerocost"
+)
+
+func TestZerocost(t *testing.T) {
+	analysistest.Run(t, zerocost.Analyzer, "zerocosttest")
+}

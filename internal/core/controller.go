@@ -162,6 +162,7 @@ type Controller struct {
 	// Hook, when non-nil, observes state transitions, buffered iterations
 	// and NBLT activity (the telemetry tracer's tap). Calls are synchronous
 	// and must not re-enter the controller.
+	//reuse:nilguard
 	Hook func(CtlEvent)
 
 	S Stats
@@ -212,6 +213,8 @@ func (c *Controller) OnDispatch(pc uint32, in isa.Inst, predTaken bool, predTarg
 	case Reuse:
 		// The front end is gated; nothing should arrive here.
 		return DispatchInfo{}
+	case Buffering:
+		// Handled below: the buffering path is the rest of this function.
 	}
 
 	// Buffering state.
@@ -301,6 +304,8 @@ func (c *Controller) OnIQFull() {
 // progress is revoked; Code Reuse is exited (paper §2.5).
 func (c *Controller) OnRecovery() {
 	switch c.state {
+	case Normal:
+		// Nothing buffered and nothing to exit.
 	case Buffering:
 		c.revoke(ReasonRecovery, false)
 	case Reuse:
@@ -431,6 +436,10 @@ func (c *Controller) revoke(reason RevokeReason, registerNBLT bool) {
 		c.S.RevokesRecovery++
 	case ReasonForced:
 		c.S.RevokesForced++
+	case ReasonNone, ReasonReuseExit:
+		// Never passed to revoke: ReasonNone is the zero value and
+		// ReasonReuseExit is emitted directly by OnRecovery when an active
+		// Code Reuse ends (no buffering is being abandoned there).
 	}
 	if c.Hook != nil {
 		c.Hook(CtlEvent{Kind: CtlRevoke, Head: c.loopHead, Tail: c.loopTail,

@@ -1,0 +1,80 @@
+package core
+
+import "testing"
+
+// Regression tests for the switches the exhaustive analyzer flagged: every
+// State is handled in OnRecovery and every RevokeReason is accounted for in
+// revoke's stats bookkeeping.
+
+func TestOnRecoveryInNormalStateIsNoOp(t *testing.T) {
+	c, _ := newCtl(32, 8)
+	events := 0
+	c.Hook = func(CtlEvent) { events++ }
+	c.OnRecovery()
+	if c.State() != Normal {
+		t.Errorf("state = %v, want Normal", c.State())
+	}
+	if c.S.Revokes != 0 || c.S.ReuseExits != 0 {
+		t.Errorf("recovery in Normal touched stats: %+v", c.S)
+	}
+	if events != 0 {
+		t.Errorf("recovery in Normal emitted %d hook events, want 0", events)
+	}
+}
+
+func TestRevokeStatsCoverEveryReason(t *testing.T) {
+	counter := func(c *Controller, r RevokeReason) uint64 {
+		switch r {
+		case ReasonInner:
+			return c.S.RevokesInner
+		case ReasonExit:
+			return c.S.RevokesExit
+		case ReasonFull:
+			return c.S.RevokesFull
+		case ReasonRecovery:
+			return c.S.RevokesRecovery
+		case ReasonForced:
+			return c.S.RevokesForced
+		case ReasonNone, ReasonReuseExit:
+			return 0 // no dedicated counter by design
+		}
+		t.Fatalf("unhandled reason %d", r)
+		return 0
+	}
+	real := []RevokeReason{ReasonInner, ReasonExit, ReasonFull, ReasonRecovery, ReasonForced}
+	for _, r := range real {
+		c, _ := newCtl(32, 8)
+		var got RevokeReason
+		c.Hook = func(e CtlEvent) {
+			if e.Kind == CtlRevoke {
+				got = e.Reason
+			}
+		}
+		c.revoke(r, false)
+		if c.S.Revokes != 1 {
+			t.Errorf("reason %v: Revokes = %d, want 1", r, c.S.Revokes)
+		}
+		if counter(c, r) != 1 {
+			t.Errorf("reason %v: per-reason counter not incremented: %+v", r, c.S)
+		}
+		if got != r {
+			t.Errorf("reason %v: hook saw reason %v", r, got)
+		}
+	}
+	// The zero value and the reuse-exit reason are not revoke reasons:
+	// revoke must tolerate them (total counted, no per-reason counter) —
+	// the switch handles them explicitly rather than falling through.
+	for _, r := range []RevokeReason{ReasonNone, ReasonReuseExit} {
+		c, _ := newCtl(32, 8)
+		c.revoke(r, false)
+		if c.S.Revokes != 1 {
+			t.Errorf("reason %v: Revokes = %d, want 1", r, c.S.Revokes)
+		}
+		if c.S.RevokesInner+c.S.RevokesExit+c.S.RevokesFull+c.S.RevokesRecovery+c.S.RevokesForced != 0 {
+			t.Errorf("reason %v: incremented a per-reason counter: %+v", r, c.S)
+		}
+	}
+	// Hook-less revoke must not panic (the nil guard zerocost enforces).
+	c, _ := newCtl(32, 8)
+	c.revoke(ReasonExit, true)
+}

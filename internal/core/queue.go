@@ -175,6 +175,8 @@ func (q *Queue) Valid(slot int) bool { return q.st[slot].valid }
 // Dispatch appends a new entry in program order and returns its slot. The
 // entry's NumSrc/SrcKind/SrcPhys/SrcReady fields seed the wakeup index: each
 // unready source is registered on its physical register's waiter list.
+//
+//reuse:hotpath
 func (q *Queue) Dispatch(e Entry) (int, bool) {
 	if q.count == q.size {
 		return -1, false
@@ -233,6 +235,8 @@ func (q *Queue) indexEntry(slot int32, en *Entry) {
 // conventional entry is removed (the modeled queue collapses); a classified
 // entry stays, with its issue state bit set. It returns whether the entry
 // was removed.
+//
+//reuse:hotpath
 func (q *Queue) MarkIssued(slot int) bool {
 	q.IssueReads++
 	e := &q.slots[slot]
@@ -260,6 +264,8 @@ func (q *Queue) olderCount(slot int32) int {
 }
 
 // SquashAfter removes all entries with Seq > seq.
+//
+//reuse:hotpath
 func (q *Queue) SquashAfter(seq uint64) {
 	for slot := q.tail; slot >= 0; {
 		p := q.st[slot].prev
@@ -273,6 +279,8 @@ func (q *Queue) SquashAfter(seq uint64) {
 // Revoke clears the buffering state (paper §2.5): classified entries that
 // already issued are removed immediately; the classification bits of the
 // rest are cleared, turning them back into conventional entries.
+//
+//reuse:hotpath
 func (q *Queue) Revoke() {
 	for slot := q.head; slot >= 0; {
 		n := q.st[slot].next
@@ -316,6 +324,8 @@ func (q *Queue) ClassifiedCount() int { return q.classified }
 // paper's reduced-activity update); opcode, immediates and the recorded
 // static prediction stay. srcReady is the readiness snapshot of the new
 // physical sources, taken by the caller at re-rename time.
+//
+//reuse:hotpath
 func (q *Queue) PartialUpdate(slot int, seq uint64, robSlot, lsqSlot int, srcPhys [2]int, srcReady [2]bool, destPhys int) {
 	e := &q.slots[slot]
 	// The entry was issued, so it holds no waiters and is not a candidate;
@@ -353,6 +363,8 @@ func (q *Queue) Walk(f func(slot int, e *Entry)) {
 // dependents. Entries whose last outstanding source this was become select
 // candidates. The pipeline charges the modeled CAM broadcast separately
 // (Counters.WakeupBroadcasts); Wake itself is pure bookkeeping.
+//
+//reuse:hotpath
 func (q *Queue) Wake(kind isa.RegKind, phys int) {
 	headp := q.waitHeads(kind)
 	if phys >= len(*headp) {
@@ -378,6 +390,8 @@ func (q *Queue) Wake(kind isa.RegKind, phys int) {
 // entries whose sources are all ready. The slice is unordered (the pipeline
 // sorts by sequence number) and reused across cycles; callers must not
 // retain or mutate it.
+//
+//reuse:hotpath
 func (q *Queue) ReadySlots() []int32 { return q.readySlots }
 
 func (q *Queue) waitHeads(kind isa.RegKind) *[]int32 {
@@ -445,6 +459,8 @@ func (q *Queue) removeReady(slot int32) {
 // ForEachPendingStore visits the unissued store entries whose LSQ address
 // has not been published yet, in program order, until f returns false. f may
 // resolve the visited slot (StoreResolved) but must not mutate other slots.
+//
+//reuse:hotpath
 func (q *Queue) ForEachPendingStore(f func(slot int) bool) {
 	for slot := q.storeHead; slot >= 0; {
 		n := q.st[slot].sNext

@@ -49,6 +49,8 @@ func (q *LSQ) Len() int  { return q.count }
 func (q *LSQ) Full() bool { return q.count == len(q.ring) }
 
 // Alloc appends a memory operation, returning its stable slot.
+//
+//reuse:hotpath
 func (q *LSQ) Alloc(e Entry) (int, bool) {
 	if q.Full() {
 		return 0, false
@@ -72,6 +74,8 @@ func (q *LSQ) Head() *Entry {
 }
 
 // PopHead removes the oldest entry (when its instruction commits).
+//
+//reuse:hotpath
 func (q *LSQ) PopHead() Entry {
 	if q.count == 0 {
 		panic("lsq: pop of empty queue")
@@ -83,6 +87,8 @@ func (q *LSQ) PopHead() Entry {
 }
 
 // SquashAfter drops all entries with Seq > seq.
+//
+//reuse:hotpath
 func (q *LSQ) SquashAfter(seq uint64) {
 	for q.count > 0 {
 		tail := (q.head + q.count - 1) % len(q.ring)
@@ -125,6 +131,8 @@ const (
 
 // SearchForLoad performs the load's associative search against older stores.
 // On Forwarded, dataI/dataF carry the store's value.
+//
+//reuse:hotpath
 func (q *LSQ) SearchForLoad(seq uint64, addr uint32, size uint8) (ForwardResult, int32, float64) {
 	q.Searches++
 	// Scan from youngest older entry to oldest; first overlap decides.

@@ -1,0 +1,65 @@
+// Package lintrules holds the metric- and label-name rules shared by the
+// runtime exposition linter (internal/obs, exercised end to end by
+// cmd/obscheck) and the compile-time metricname analyzer
+// (internal/analysis/metricname). It is pure: no HTTP, no I/O, no
+// simulator imports — both consumers must agree on exactly this rule set,
+// which TestConsumersAgree in internal/obs pins against a shared table of
+// good and bad names.
+package lintrules
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Prometheus exposition-format charsets (the same expressions previously
+// compiled privately inside internal/obs/promlint.go).
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// ValidExpositionMetricName reports whether s is a legal Prometheus metric
+// name as it appears on the wire.
+func ValidExpositionMetricName(s string) bool { return metricNameRe.MatchString(s) }
+
+// ValidLabelName reports whether s is a legal Prometheus label name.
+func ValidLabelName(s string) bool { return labelNameRe.MatchString(s) }
+
+// Registry names are the dotted lowercase identifiers used with
+// telemetry.Registry ("riq.dispatches", "hist.session_cycles"). The grammar
+// is stricter than the wire charset so that obs.SanitizeMetricName maps
+// every valid registry name onto a valid, lossless exposition name: dots
+// become underscores and nothing else needs rewriting.
+var registryNameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$`)
+
+// ValidRegistryName reports whether s is a legal telemetry registry metric
+// name.
+func ValidRegistryName(s string) bool { return registryNameRe.MatchString(s) }
+
+// CheckRegistryName explains why s is not a legal registry metric name, or
+// returns nil. The messages are what the metricname analyzer prints, so
+// they name the specific violation rather than just the grammar.
+func CheckRegistryName(s string) error {
+	if s == "" {
+		return fmt.Errorf("metric name is empty")
+	}
+	if strings.ToLower(s) != s {
+		return fmt.Errorf("metric name %q contains uppercase letters (registry names are lowercase)", s)
+	}
+	for _, seg := range strings.Split(s, ".") {
+		switch {
+		case seg == "":
+			return fmt.Errorf("metric name %q has an empty dotted segment", s)
+		case seg[0] >= '0' && seg[0] <= '9':
+			return fmt.Errorf("metric name %q has a segment starting with a digit", s)
+		case seg[0] == '_':
+			return fmt.Errorf("metric name %q has a segment starting with an underscore", s)
+		}
+	}
+	if !registryNameRe.MatchString(s) {
+		return fmt.Errorf("metric name %q is not of the form seg.seg.seg with segments [a-z][a-z0-9_]*", s)
+	}
+	return nil
+}

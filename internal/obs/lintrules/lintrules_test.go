@@ -1,0 +1,44 @@
+package lintrules
+
+import "testing"
+
+func TestValidRegistryName(t *testing.T) {
+	good := []string{
+		"sim", "sim.cycles", "hist.session_cycles", "power.sessions.fe_saved",
+		"a.b.c.d", "x9", "riq.wakeup_broadcasts",
+	}
+	for _, n := range good {
+		if err := CheckRegistryName(n); err != nil {
+			t.Errorf("CheckRegistryName(%q) = %v, want nil", n, err)
+		}
+		if !ValidRegistryName(n) {
+			t.Errorf("ValidRegistryName(%q) = false, want true", n)
+		}
+	}
+	bad := []string{
+		"", "Sim.cycles", "sim..cycles", ".cycles", "cycles.", "9lives",
+		"sim.9lives", "_x", "sim._x", "sim cycles", "sim-cycles", "sim.Cycles",
+		"sim.cy cles", "café",
+	}
+	for _, n := range bad {
+		if err := CheckRegistryName(n); err == nil {
+			t.Errorf("CheckRegistryName(%q) = nil, want error", n)
+		}
+		if ValidRegistryName(n) {
+			t.Errorf("ValidRegistryName(%q) = true, want false", n)
+		}
+	}
+}
+
+// CheckRegistryName's prose messages and the regexp must agree exactly.
+func TestCheckMatchesRegexp(t *testing.T) {
+	cases := []string{
+		"", "a", "a.b", "A.b", "a.B", "a..b", "a_", "_a", "a.1", "a1.b2",
+		"le_inf", "x.y.z", "x:y", "with space", "trailing.", ".leading",
+	}
+	for _, n := range cases {
+		if (CheckRegistryName(n) == nil) != ValidRegistryName(n) {
+			t.Errorf("CheckRegistryName and ValidRegistryName disagree on %q", n)
+		}
+	}
+}

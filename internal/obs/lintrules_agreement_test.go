@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+
+	"reuseiq/internal/obs/lintrules"
+)
+
+// TestConsumersAgree pins the contract between the two consumers of the
+// shared rule set: a name the compile-time metricname analyzer accepts
+// (lintrules.CheckRegistryName == nil) must, after obs.SanitizeMetricName,
+// be accepted by the runtime exposition linter — and the exposition linter
+// must agree with lintrules.ValidExpositionMetricName on the wire charset.
+func TestConsumersAgree(t *testing.T) {
+	table := []struct {
+		name     string
+		registry bool // legal registry name (analyzer side)
+		wire     bool // legal exposition name as-is (obscheck side)
+	}{
+		{"sim.cycles", true, false}, // dots are registry-only; sanitizer maps them
+		{"sim_cycles", true, true},  // plain lowercase is legal everywhere
+		{"hist.session_cycles", true, false},
+		{"power.sessions.net", true, false},
+		{"reuseiq_sim_cycles", true, true},
+		{"Sim.Cycles", false, false}, // registry names are lowercase; wire name bans dots too
+		{"9lives", false, false},     // leading digit illegal in both grammars
+		{"sim..cycles", false, false},
+		{"sim:cycles", false, true}, // colons are wire-legal but not registry style
+		{"_private", false, true},   // leading underscore: wire-legal, registry-banned
+		{"", false, false},
+	}
+	for _, tc := range table {
+		if got := lintrules.CheckRegistryName(tc.name) == nil; got != tc.registry {
+			t.Errorf("CheckRegistryName(%q) legal = %v, want %v", tc.name, got, tc.registry)
+		}
+		if got := lintrules.ValidExpositionMetricName(tc.name); got != tc.wire {
+			t.Errorf("ValidExpositionMetricName(%q) = %v, want %v", tc.name, got, tc.wire)
+		}
+		// The exposition linter and the shared charset must agree: a
+		// one-sample exposition using the raw name parses iff the charset
+		// accepts the name.
+		if tc.name != "" {
+			expo := []byte(fmt.Sprintf("# TYPE %s counter\n%s 1\n", tc.name, tc.name))
+			_, err := LintExposition(expo)
+			if (err == nil) != tc.wire {
+				t.Errorf("LintExposition of %q: err=%v, want legal=%v", tc.name, err, tc.wire)
+			}
+		}
+		// Every legal registry name sanitizes to a legal wire name.
+		if tc.registry {
+			s := SanitizeMetricName(tc.name)
+			if !lintrules.ValidExpositionMetricName(s) {
+				t.Errorf("SanitizeMetricName(%q) = %q is not wire-legal", tc.name, s)
+			}
+			expo := []byte(fmt.Sprintf("# TYPE %s counter\n%s 1\n", s, s))
+			if _, err := LintExposition(expo); err != nil {
+				t.Errorf("sanitized %q -> %q rejected by LintExposition: %v", tc.name, s, err)
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"reuseiq/internal/obs/lintrules"
 	"reuseiq/internal/telemetry"
 )
 
@@ -128,7 +129,7 @@ func TestSanitizeMetricName(t *testing.T) {
 		if got := SanitizeMetricName(in); got != want {
 			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
 		}
-		if !metricNameRe.MatchString(SanitizeMetricName(in)) {
+		if !lintrules.ValidExpositionMetricName(SanitizeMetricName(in)) {
 			t.Errorf("sanitized %q still illegal", in)
 		}
 	}

@@ -6,20 +6,18 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"regexp"
 	"sort"
 	"strconv"
 	"strings"
+
+	"reuseiq/internal/obs/lintrules"
 )
 
 // Promlint-style validation of the /metrics and /events wire formats. The
 // cmd/obscheck gate and the package tests share these so the checker can
-// never drift from what the server actually emits.
-
-var (
-	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
-	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
-)
+// never drift from what the server actually emits. The name and label
+// charsets live in internal/obs/lintrules, shared with the compile-time
+// metricname analyzer.
 
 // ExpoMetric is one metric family parsed from an exposition: its declared
 // type and every sample keyed by the full sample name including labels.
@@ -76,7 +74,7 @@ func lintComment(line string, lineNo int, metrics map[string]ExpoMetric) error {
 		return fmt.Errorf("obs: line %d: malformed TYPE comment %q", lineNo, line)
 	}
 	name, typ := fields[2], fields[3]
-	if !metricNameRe.MatchString(name) {
+	if !lintrules.ValidExpositionMetricName(name) {
 		return fmt.Errorf("obs: line %d: illegal metric name %q", lineNo, name)
 	}
 	switch typ {
@@ -114,7 +112,7 @@ func lintSample(line string, lineNo int, metrics map[string]ExpoMetric) error {
 			return err
 		}
 	}
-	if !metricNameRe.MatchString(name) {
+	if !lintrules.ValidExpositionMetricName(name) {
 		return fmt.Errorf("obs: line %d: illegal metric name %q", lineNo, name)
 	}
 	fam := baseFamily(name, metrics)
@@ -152,7 +150,7 @@ func lintLabels(labels string, lineNo int) error {
 			return fmt.Errorf("obs: line %d: malformed label %q", lineNo, pair)
 		}
 		name, val := pair[:eq], pair[eq+1:]
-		if !labelNameRe.MatchString(name) {
+		if !lintrules.ValidLabelName(name) {
 			return fmt.Errorf("obs: line %d: illegal label name %q", lineNo, name)
 		}
 		if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {

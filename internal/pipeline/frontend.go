@@ -12,6 +12,8 @@ import (
 // dispatch renames up to DecodeWidth instructions per cycle and inserts them
 // into the issue queue, ROB and LSQ. During Code Reuse the instructions come
 // from the issue queue's reuse pointer instead of the decode latch.
+//
+//reuse:hotpath
 func (m *Machine) dispatch() {
 	if m.Ctl.GateActive() {
 		m.reuseDispatch()
@@ -149,6 +151,8 @@ func (m *Machine) renameInto(e *core.Entry) (oldPhys int) {
 // reuseDispatch re-renames up to DecodeWidth issued buffered entries,
 // supplying instructions from the issue queue itself while the front end is
 // gated.
+//
+//reuse:hotpath
 func (m *Machine) reuseDispatch() {
 	idxs := m.Ctl.ReusableEntries(m.Cfg.DecodeWidth)
 	consumed := 0
@@ -245,6 +249,7 @@ func (m *Machine) allocSeq() uint64 {
 
 // ---------------------------------------------------------------- decode --
 
+//reuse:hotpath
 func (m *Machine) decode() {
 	if m.Ctl.GateActive() {
 		return
@@ -259,6 +264,7 @@ func (m *Machine) decode() {
 
 // ----------------------------------------------------------------- fetch --
 
+//reuse:hotpath
 func (m *Machine) fetch() {
 	if m.Ctl.GateActive() || m.fetchHalted || m.cycle < m.fetchStallUntil {
 		return

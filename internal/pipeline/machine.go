@@ -147,11 +147,13 @@ type Machine struct {
 	// OnCommit, when non-nil, observes every committed instruction in
 	// program order (the lockstep oracle's hook). A returned error stops
 	// the machine: Run returns it, and no further cycles execute.
+	//reuse:nilguard
 	OnCommit func(Commit) error
 
 	// OnCycle, when non-nil, runs after every completed cycle (the
 	// invariant checker's hook). A returned error stops the machine like
 	// an OnCommit error.
+	//reuse:nilguard
 	OnCycle func() error
 
 	// hookErr latches the first error returned by OnCommit or OnCycle.
@@ -159,24 +161,29 @@ type Machine struct {
 
 	// DebugIssue, when non-nil, receives a line per issued instruction
 	// (debugging aid for tests).
+	//reuse:nilguard
 	DebugIssue func(seq uint64, pc uint32, desc string)
 
 	// Trace, when non-nil, receives one line per notable event.
+	//reuse:nilguard
 	Trace func(format string, args ...any)
 
 	// Rec, when non-nil, records per-instruction pipeline timing for the
 	// first Rec.Max dispatched instructions.
+	//reuse:nilguard
 	Rec *trace.Recorder
 
 	// Tel, when non-nil, receives structured telemetry (RIQ state
 	// transitions, session audit, instruction lifecycles, chaos events).
 	// Install with AttachTelemetry; nil costs one pointer check per tap.
+	//reuse:nilguard
 	Tel *telemetry.Tracer
 
 	// OnSample, when non-nil, runs every SampleEvery cycles at the end of
 	// Step, on the simulation goroutine — the periodic tap live observers
 	// (internal/obs) publish from. Nil-guarded like OnCycle: one pointer
 	// check per cycle when disabled. Install with AttachSampler.
+	//reuse:nilguard
 	OnSample    func()
 	SampleEvery uint64
 	sampleLeft  uint64
@@ -301,6 +308,8 @@ func (m *Machine) GatedFraction() float64 {
 
 // Step advances the machine by one cycle. Stage order is back to front so
 // that a latch drained by a later stage can be refilled in the same cycle.
+//
+//reuse:hotpath
 func (m *Machine) Step() {
 	m.cycle++
 	m.C.Cycles++
@@ -388,6 +397,7 @@ func (m *Machine) ArchInt(n int) int32 { return m.RF.ArchInt(n) }
 // ArchFP returns the committed architectural value of FP register n.
 func (m *Machine) ArchFP(n int) float64 { return m.RF.ArchFP(n) }
 
+//reuse:allow-alloc trace formatter; returns immediately when Trace is nil
 func (m *Machine) tracef(format string, args ...any) {
 	if m.Trace != nil {
 		m.Trace(format, args...)

@@ -13,6 +13,7 @@ import (
 
 // ---------------------------------------------------------------- commit --
 
+//reuse:hotpath
 func (m *Machine) commit() {
 	for i := 0; i < m.Cfg.CommitWidth && !m.ROB.Empty(); i++ {
 		h := m.ROB.Head()
@@ -132,6 +133,7 @@ func (m *Machine) commitStore() lsq.Entry {
 
 // ------------------------------------------------------------- writeback --
 
+//reuse:hotpath
 func (m *Machine) writeback() {
 	// Collect completions for this cycle in program order; older results
 	// must write back (and possibly trigger recovery) before younger ones.
@@ -251,6 +253,7 @@ type issueCand struct {
 	slot int32
 }
 
+//reuse:hotpath
 func (m *Machine) issue() {
 	// The modeled select logic examines every live entry each cycle; the
 	// software walks only the queue's ready-candidate index.
@@ -285,8 +288,11 @@ func (m *Machine) issue() {
 // operand is still being computed. Without this split, the conservative
 // "loads wait for older store addresses" rule would serialize every load
 // behind dependent stores and destroy memory-level parallelism.
+//
+//reuse:hotpath
 func (m *Machine) resolveStoreAddresses() {
 	resolved := 0
+	//reuse:allow-alloc non-escaping closure: ForEachPendingStore calls f inline and never retains it
 	m.IQ.ForEachPendingStore(func(slot int) bool {
 		if resolved >= m.Cfg.IssueWidth {
 			return false
@@ -478,9 +484,11 @@ func (m *Machine) loadFromMemory(op isa.Op, addr uint32) (int32, float64) {
 	case isa.OpLD:
 		return 0, m.Mem.ReadF64(addr)
 	}
+	//reuse:allow-alloc not-a-load panic: unreachable for programs the decoder accepts
 	panic("pipeline: not a load: " + op.String())
 }
 
+//reuse:allow-alloc debug issue formatter; called only under the DebugIssue nil guard
 func fmtIssue(e *core.Entry, ops isa.Operands, valI int32) string {
 	return fmt.Sprintf("issue seq=%d pc=0x%x %-24s A=%d B=%d src=%v val=%d",
 		e.Seq, e.PC, e.Inst.Disasm(e.PC), ops.A, ops.B, e.SrcPhys[:e.NumSrc], valI)

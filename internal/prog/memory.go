@@ -35,6 +35,7 @@ func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
 	pn := addr >> pageShift
 	pg := m.pages[pn]
 	if pg == nil && create {
+		//reuse:allow-alloc demand paging: one allocation per touched page; steady state touches no new pages
 		pg = new([pageSize]byte)
 		m.pages[pn] = pg
 	}

@@ -97,6 +97,8 @@ func (r *RegFile) CanRename(reg isa.Reg) bool {
 // Rename allocates a new physical register for destination reg, updates the
 // map table, and clears the new register's ready bit. It returns the new and
 // previous physical registers. The caller must have checked CanRename.
+//
+//reuse:hotpath
 func (r *RegFile) Rename(reg isa.Reg) (newPhys, oldPhys int) {
 	r.Renames++
 	if reg.Kind == isa.KindFP {
@@ -120,9 +122,12 @@ func (r *RegFile) Rename(reg isa.Reg) (newPhys, oldPhys int) {
 
 // Rollback undoes one Rename during squash recovery. Calls must occur in
 // reverse rename order.
+//
+//reuse:hotpath
 func (r *RegFile) Rollback(reg isa.Reg, newPhys, oldPhys int) {
 	if reg.Kind == isa.KindFP {
 		if r.fpMap[reg.Num] != newPhys {
+			//reuse:allow-alloc invariant-violation panic path, never taken in a correct run
 			panic(fmt.Sprintf("rename: out-of-order rollback of %v (map %d, new %d)", reg, r.fpMap[reg.Num], newPhys))
 		}
 		r.fpMap[reg.Num] = oldPhys
@@ -130,6 +135,7 @@ func (r *RegFile) Rollback(reg isa.Reg, newPhys, oldPhys int) {
 		return
 	}
 	if r.intMap[reg.Num] != newPhys {
+		//reuse:allow-alloc invariant-violation panic path, never taken in a correct run
 		panic(fmt.Sprintf("rename: out-of-order rollback of %v (map %d, new %d)", reg, r.intMap[reg.Num], newPhys))
 	}
 	r.intMap[reg.Num] = oldPhys
@@ -137,6 +143,8 @@ func (r *RegFile) Rollback(reg isa.Reg, newPhys, oldPhys int) {
 }
 
 // Release frees the previous physical register when an instruction commits.
+//
+//reuse:hotpath
 func (r *RegFile) Release(kind isa.RegKind, oldPhys int) {
 	if kind == isa.KindFP {
 		r.fpFree = append(r.fpFree, oldPhys)

@@ -72,6 +72,8 @@ func (r *ROB) Full() bool { return r.count == len(r.ring) }
 func (r *ROB) Empty() bool { return r.count == 0 }
 
 // Alloc appends e at the tail and returns its stable slot index.
+//
+//reuse:hotpath
 func (r *ROB) Alloc(e Entry) (int, bool) {
 	if r.Full() {
 		return 0, false

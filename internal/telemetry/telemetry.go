@@ -103,6 +103,7 @@ type Tracer struct {
 	// Sink, when non-nil, receives every event synchronously as it is
 	// emitted (before ring overwrite can drop it). Used for JSONL
 	// streaming; the sink may allocate.
+	//reuse:nilguard
 	Sink func(Event)
 
 	cycle     uint64

@@ -47,6 +47,7 @@ func (r *Recorder) OnDispatch(seq uint64, pc uint32, disasm string, reused bool,
 	}
 	if len(r.records) == 0 {
 		r.base = seq
+		//reuse:allow-alloc lazy one-time buffer init, capacity capped at Max
 		r.records = make([]InstRecord, 0, r.Max)
 	}
 	r.records = append(r.records, InstRecord{Seq: seq, PC: pc, Disasm: disasm, Reused: reused, Dispatch: cycle})
