@@ -3,9 +3,9 @@
 # suite under the race detector (the experiment harness runs simulations
 # concurrently, so -race is part of the gate, not an extra), emit a valid
 # telemetry trace, and serve a lint-clean live observability surface.
-.PHONY: check build vet lint test race fuzz bench bench-baseline bench-all telemetry-check obs-check
+.PHONY: check build vet lint test race fuzz bench bench-baseline bench-all telemetry-check obs-check ckpt-check
 
-check: build vet lint race telemetry-check obs-check
+check: build vet lint race telemetry-check obs-check ckpt-check
 
 build:
 	go build ./...
@@ -43,13 +43,23 @@ telemetry-check:
 obs-check:
 	go run -race ./cmd/obscheck -- go run -race ./cmd/reusesim -kernel aps -listen 127.0.0.1:0 -linger 30s
 
-# Coverage-guided fuzzing of the assembler (see internal/asm/fuzz_test.go).
-# Fully offline: the module has no dependencies, so no network or vendor
-# directory is needed — the corpus seeds live in testdata. Override the
-# budget with make fuzz FUZZTIME=2m.
+# Checkpoint/restore gate: in-process save/restore lockstep smoke (plain and
+# chaos), then a scripted kill -9 of a journaled reusebench sweep followed by
+# -resume, requiring a byte-identical report and no double-counted cells.
+ckpt-check:
+	go run ./cmd/ckptcheck -- go run ./cmd/reusebench -figure 5 -sizes 32 -benchjson= -progress=false -ckpt-every 20000
+
+# Coverage-guided fuzzing of the assembler (see internal/asm/fuzz_test.go)
+# and the snapshot decoder (internal/snapshot/fuzz_test.go). Fully offline:
+# the module has no dependencies, so no network or vendor directory is
+# needed — the corpus seeds live in testdata. Override the budget with
+# make fuzz FUZZTIME=2m. The snapshot run caps input minimization: a binary
+# format makes nearly every mutation "interesting", and the default
+# 60s-per-input minimization would stall the fuzzer.
 FUZZTIME ?= 30s
 fuzz:
 	go test -fuzz=FuzzAssemble -fuzztime=$(FUZZTIME) ./internal/asm/
+	go test -fuzz=FuzzSnapshotDecode -fuzztime=$(FUZZTIME) -fuzzminimizetime=1x ./internal/snapshot/
 
 # Perf-regression gate: run the hot-loop benchmark and compare against the
 # checked-in baseline with cmd/benchdiff (a benchstat stand-in; no external

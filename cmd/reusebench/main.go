@@ -105,9 +105,44 @@ func main() {
 	progressJSON := flag.String("progress-json", "", "also write JSONL progress records to this file (\"-\" = stderr)")
 	listen := flag.String("listen", "", "serve live /metrics, /events, /status and pprof on this address while the sweep runs")
 	linger := flag.Duration("linger", 0, "keep the -listen server up this long after the report completes")
+	journal := flag.String("journal", "", "journal completed sweep cells (JSONL + per-cell CSV + mid-cell checkpoints) under this path for crash recovery")
+	resume := flag.Bool("resume", false, "with -journal, resume a previous (killed) sweep: skip recorded cells, restore in-flight ones from checkpoints")
+	ckptEvery := flag.Uint64("ckpt-every", 0, "with -journal, cycles between mid-cell checkpoints (0 = default 2000000)")
+	sizesFlag := flag.String("sizes", "", "comma-separated IQ sizes for figures 5-8 (default 32,64,128,256)")
 	flag.Parse()
 
+	sizes := experiments.DefaultSizes
+	if *sizesFlag != "" {
+		sizes = nil
+		for _, fld := range strings.Split(*sizesFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(fld))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "reusebench: bad -sizes %q\n", *sizesFlag)
+				os.Exit(1)
+			}
+			sizes = append(sizes, n)
+		}
+	}
+
 	s := experiments.NewSuite()
+	if *resume && *journal == "" {
+		fmt.Fprintln(os.Stderr, "reusebench: -resume requires -journal")
+		os.Exit(1)
+	}
+	if *journal != "" {
+		j, n, err := s.AttachJournal(*journal, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reusebench:", err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		if *ckptEvery > 0 {
+			j.CheckpointEvery = *ckptEvery
+		}
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "reusebench: journal: recovered %d completed cells from %s\n", n, *journal)
+		}
+	}
 
 	var srv *obs.Server
 	if *listen != "" {
@@ -260,7 +295,7 @@ func main() {
 	}
 	if all || *figure == 5 {
 		timed("figure5", func() {
-			f, err := s.Figure5(experiments.DefaultSizes)
+			f, err := s.Figure5(sizes)
 			if err != nil {
 				fail(err)
 			}
@@ -270,7 +305,7 @@ func main() {
 	}
 	if all || *figure == 6 {
 		timed("figure6", func() {
-			f, err := s.Figure6(experiments.DefaultSizes)
+			f, err := s.Figure6(sizes)
 			if err != nil {
 				fail(err)
 			}
@@ -280,7 +315,7 @@ func main() {
 	}
 	if all || *figure == 7 {
 		timed("figure7", func() {
-			f, err := s.Figure7(experiments.DefaultSizes)
+			f, err := s.Figure7(sizes)
 			if err != nil {
 				fail(err)
 			}
@@ -290,7 +325,7 @@ func main() {
 	}
 	if all || *figure == 8 {
 		timed("figure8", func() {
-			f, err := s.Figure8(experiments.DefaultSizes)
+			f, err := s.Figure8(sizes)
 			if err != nil {
 				fail(err)
 			}

@@ -20,14 +20,23 @@
 //	reusesim -kernel aps -cpuprofile cpu.pprof -memprofile mem.pprof
 //	reusesim -kernel adi -listen 127.0.0.1:8080   # live /metrics /events
 //	                                              # /status /debug/pprof
+//	reusesim -kernel adi -checkpoint s.ckpt -checkpoint-at 50000
+//	reusesim -kernel adi -restore s.ckpt          # continue a checkpointed run
+//	reusesim -kernel adi -max-wall 30s -checkpoint s.ckpt
+//
+// Exit codes: 0 success, 1 runtime error, 2 flag error, 3 the run was
+// checkpointed (by -checkpoint-at or -max-wall) and stopped before
+// completion; resume it with -restore under the same configuration flags.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -40,6 +49,7 @@ import (
 	"reuseiq/internal/pipeline"
 	"reuseiq/internal/power"
 	"reuseiq/internal/prog"
+	"reuseiq/internal/snapshot"
 	"reuseiq/internal/telemetry"
 	"reuseiq/internal/trace"
 	"reuseiq/internal/workloads"
@@ -64,6 +74,13 @@ type opts struct {
 	sampleEvery uint64
 	stdout      io.Writer
 	stderr      io.Writer
+	// Checkpoint/restore plumbing: restorePath resumes a saved machine,
+	// ckptPath receives a snapshot when ckptAt (a cycle) or maxWall (a
+	// wall-clock budget) stops the run early.
+	restorePath string
+	ckptPath    string
+	ckptAt      uint64
+	maxWall     time.Duration
 }
 
 // simStatus is the /status payload published with each sample.
@@ -124,16 +141,36 @@ func mainImpl(args []string, stdout, stderr io.Writer) int {
 	listen := fs.String("listen", "", "serve live observability (/metrics /events /status /debug/pprof) on this address (port 0 picks one)")
 	linger := fs.Duration("linger", 0, "with -listen, keep serving this long after the run ends")
 	sampleEvery := fs.Uint64("sample-every", 0, "with -listen, cycles between metric samples (0 = default 4096)")
+	checkpoint := fs.String("checkpoint", "", "write a machine snapshot to this file when -checkpoint-at or -max-wall stops the run")
+	checkpointAt := fs.Uint64("checkpoint-at", 0, "stop and checkpoint at this cycle (requires -checkpoint)")
+	restoreFlag := fs.String("restore", "", "resume from a snapshot file (pass the same -iq/-baseline/-chaos flags as the original run)")
+	maxWall := fs.Duration("max-wall", 0, "wall-clock budget: checkpoint (with -checkpoint) and exit with code 3 when exceeded")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *checkpointAt > 0 && *checkpoint == "" {
+		fmt.Fprintln(stderr, "reusesim: -checkpoint-at requires -checkpoint")
+		return 2
+	}
+	if *restoreFlag != "" && *verify {
+		fmt.Fprintln(stderr, "reusesim: -restore is incompatible with -verify: the lockstep oracle must observe the run from the program entry")
+		return 2
+	}
+	if (*checkpoint != "" || *restoreFlag != "" || *maxWall > 0) && (*compare || *pipetrace > 0) {
+		fmt.Fprintln(stderr, "reusesim: checkpoint/restore flags apply to a single plain run, not -compare or -pipetrace")
+		return 2
+	}
 	o := &opts{
-		verify:     *verify,
-		chaosSeed:  *chaosFlag,
-		telemetry:  *traceOut != "" || *events != "" || *sessionsFlag || *attribFlag || *listen != "",
-		eventsPath: *events,
-		stdout:     stdout,
-		stderr:     stderr,
+		verify:      *verify,
+		chaosSeed:   *chaosFlag,
+		telemetry:   *traceOut != "" || *events != "" || *sessionsFlag || *attribFlag || *listen != "",
+		eventsPath:  *events,
+		stdout:      stdout,
+		stderr:      stderr,
+		restorePath: *restoreFlag,
+		ckptPath:    *checkpoint,
+		ckptAt:      *checkpointAt,
+		maxWall:     *maxWall,
 	}
 	if *listen != "" {
 		srv := obs.NewServer()
@@ -195,12 +232,12 @@ func mainImpl(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *compare {
-		base, err := run(p, *iq, false, o)
+		base, _, err := run(p, *iq, false, o)
 		if err != nil {
 			fmt.Fprintln(stderr, "reusesim:", err)
 			return 1
 		}
-		reuse, err := run(p, *iq, true, o)
+		reuse, _, err := run(p, *iq, true, o)
 		if err != nil {
 			fmt.Fprintln(stderr, "reusesim:", err)
 			return 1
@@ -237,10 +274,14 @@ func mainImpl(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	m, err := run(p, *iq, !*baseline, o)
+	m, stopped, err := run(p, *iq, !*baseline, o)
 	if err != nil {
 		fmt.Fprintln(stderr, "reusesim:", err)
 		return 1
+	}
+	if stopped {
+		fmt.Fprintf(stdout, "checkpointed at cycle %d (%d commits)\n", m.C.Cycles, m.C.Commits)
+		return 3
 	}
 
 	if *traceOut != "" {
@@ -341,13 +382,29 @@ func load(kernel, asmFile string, distribute bool) (*prog.Program, string, error
 	return nil, "", fmt.Errorf("need -kernel or -asm (try -kernel aps)")
 }
 
-func run(p *prog.Program, iq int, reuse bool, o *opts) (*pipeline.Machine, error) {
+// run simulates to completion (or to a checkpoint stop) and returns the
+// machine plus whether the run was stopped early by -checkpoint-at/-max-wall.
+func run(p *prog.Program, iq int, reuse bool, o *opts) (*pipeline.Machine, bool, error) {
 	cfg := pipeline.DefaultConfig().WithIQSize(iq)
 	cfg.Reuse.Enabled = reuse
 	if o.chaosSeed != 0 {
 		cfg.Chaos = chaos.DefaultConfig(o.chaosSeed)
 	}
-	m := pipeline.New(cfg, p)
+	var m *pipeline.Machine
+	if o.restorePath != "" {
+		f, err := os.Open(o.restorePath)
+		if err != nil {
+			return nil, false, err
+		}
+		m, err = snapshot.Restore(bufio.NewReader(f), cfg, p)
+		f.Close()
+		if err != nil {
+			return nil, false, fmt.Errorf("restore %s: %w", o.restorePath, err)
+		}
+		fmt.Fprintf(o.stderr, "reusesim: restored %s at cycle %d (%d commits)\n", o.restorePath, m.C.Cycles, m.C.Commits)
+	} else {
+		m = pipeline.New(cfg, p)
+	}
 
 	var flushEvents func() error
 	if o.telemetry || o.eventsPath != "" {
@@ -357,7 +414,7 @@ func run(p *prog.Program, iq int, reuse bool, o *opts) (*pipeline.Machine, error
 			if o.eventsPath != "-" {
 				f, err := os.Create(o.eventsPath)
 				if err != nil {
-					return nil, err
+					return nil, false, err
 				}
 				bw := bufio.NewWriter(f)
 				w = bw
@@ -392,8 +449,40 @@ func run(p *prog.Program, iq int, reuse bool, o *opts) (*pipeline.Machine, error
 	if o.verify {
 		orc = lockstep.Attach(m, p)
 	}
-	if err := m.Run(); err != nil {
-		return nil, err
+	stopped := false
+	if o.ckptAt > 0 || o.maxWall > 0 {
+		var deadline time.Time
+		if o.maxWall > 0 {
+			deadline = time.Now().Add(o.maxWall)
+		}
+		// -checkpoint-at wants the exact cycle, so check every cycle; a pure
+		// wall-clock budget only needs a coarse check.
+		every := uint64(4096)
+		if o.ckptAt > 0 {
+			every = 1
+		}
+		err := m.RunBreakable(every, func() bool {
+			if o.ckptAt > 0 && m.Cycle() >= o.ckptAt {
+				return true
+			}
+			return !deadline.IsZero() && time.Now().After(deadline)
+		})
+		switch {
+		case errors.Is(err, pipeline.ErrStopped):
+			stopped = true
+			if o.ckptPath != "" {
+				if err := saveCheckpoint(o.ckptPath, m); err != nil {
+					return nil, false, err
+				}
+				fmt.Fprintf(o.stderr, "reusesim: wrote checkpoint %s at cycle %d; resume with -restore\n", o.ckptPath, m.C.Cycles)
+			} else {
+				fmt.Fprintln(o.stderr, "reusesim: wall-clock budget exceeded; no -checkpoint path given, state discarded")
+			}
+		case err != nil:
+			return nil, false, err
+		}
+	} else if err := m.Run(); err != nil {
+		return nil, false, err
 	}
 	if m.Tel != nil {
 		m.Tel.Finalize(m.Cycle())
@@ -403,16 +492,42 @@ func run(p *prog.Program, iq int, reuse bool, o *opts) (*pipeline.Machine, error
 	}
 	if flushEvents != nil {
 		if err := flushEvents(); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
 	if orc != nil {
 		fmt.Fprintf(o.stdout, "verified: %d commits cross-checked against the golden model\n", orc.Commits)
 	}
-	if m.Chaos != nil {
+	if m.Chaos != nil && !stopped {
 		c := m.Chaos.C
 		fmt.Fprintf(o.stdout, "chaos: %d forced revokes, %d flipped predictions, %d fetch stalls, %d jittered issues\n",
 			c.ForcedRevokes, c.FlippedPredictions, c.FetchStalls, c.JitteredIssues)
 	}
-	return m, nil
+	return m, stopped, nil
+}
+
+// saveCheckpoint writes a snapshot atomically next to its final path.
+func saveCheckpoint(path string, m *pipeline.Machine) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	if err := snapshot.Save(w, m); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }

@@ -8,10 +8,16 @@
 // from (a misprediction, a revoked buffering).
 //
 // All injection decisions come from a single seeded PRNG, so a failing run
-// is reproducible from its seed alone.
+// is reproducible from its seed alone. The PRNG is wrapped in a draw counter:
+// the injector's serializable state is just (seed, draws, counters), and a
+// restore replays the recorded number of draws to put the stream back at the
+// exact position, keeping checkpointed chaos runs bit-identical.
 package chaos
 
-import "math/rand"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // Config parameterizes the injector. Probabilities are per opportunity
 // (per cycle, per predicted branch, per issued instruction); zero disables
@@ -65,10 +71,28 @@ type Counters struct {
 	JitteredIssues     uint64 // issued instructions with inflated latency
 }
 
+// countingSource wraps a rand.Source and counts Int63 calls. It deliberately
+// does NOT implement rand.Source64: rand.Rand then routes every draw the
+// injector makes (Float64, Intn) through Int63, so the counted stream is
+// identical to the unwrapped source's and the count fully determines the
+// stream position.
+type countingSource struct {
+	src   rand.Source
+	draws uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Seed(seed int64) { s.src.Seed(seed) }
+
 // Injector rolls the dice. All methods are safe on a nil receiver (no-op),
 // so the pipeline's fast paths need no nil checks at each call site.
 type Injector struct {
 	cfg Config
+	src countingSource
 	rng *rand.Rand
 
 	C Counters
@@ -79,7 +103,48 @@ func New(cfg Config) *Injector {
 	if !cfg.Enabled {
 		return nil
 	}
-	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	j := &Injector{cfg: cfg}
+	j.src.src = rand.NewSource(cfg.Seed)
+	j.rng = rand.New(&j.src)
+	return j
+}
+
+// State is the serializable image of an Injector: the PRNG stream position
+// (number of Int63 draws since seeding) and the injection counters. The seed
+// itself lives in Config, which the snapshot layer fingerprints separately.
+type State struct {
+	Draws uint64
+	C     Counters
+}
+
+// ExportState returns the injector's state; the zero State on a nil
+// injector (injection disabled).
+func (j *Injector) ExportState() State {
+	if j == nil {
+		return State{}
+	}
+	return State{Draws: j.src.draws, C: j.C}
+}
+
+// ImportState restores the injector to st by reseeding the PRNG and
+// replaying the recorded number of draws. On a nil injector (injection
+// disabled) a nonzero state is an error: the snapshot was taken with
+// injection on. Callers should bound st.Draws before calling (the pipeline
+// derives a bound from the snapshot's cycle count) — replay is linear in it.
+func (j *Injector) ImportState(st State) error {
+	if j == nil {
+		if st.Draws != 0 || st.C != (Counters{}) {
+			return fmt.Errorf("chaos: snapshot carries injector state but injection is disabled")
+		}
+		return nil
+	}
+	j.src.src = rand.NewSource(j.cfg.Seed)
+	for i := uint64(0); i < st.Draws; i++ {
+		j.src.src.Int63()
+	}
+	j.src.draws = st.Draws
+	j.C = st.C
+	return nil
 }
 
 // RollRevoke reports whether a forced buffering revoke should be attempted

@@ -90,6 +90,10 @@ type Suite struct {
 	// report instantly. cmd/reusebench uses it for live sweep progress.
 	Progress func(done, total int, sp Spec)
 
+	// journal, when non-nil, persists completed cells and mid-cell machine
+	// checkpoints so a killed sweep can resume. Set via AttachJournal.
+	journal *Journal
+
 	// Sweep-progress instrumentation, exported through RegisterMetrics and
 	// Sweep. Atomics (and the runningMu-guarded set) so a live observer can
 	// read while Prewarm's workers simulate.
@@ -237,6 +241,7 @@ func (s *Suite) Run(sp Spec) (RunResult, error) {
 		s.mu.Unlock()
 		return r, nil
 	}
+	j := s.journal
 	s.mu.Unlock()
 
 	mp, err := s.program(sp.Kernel, sp.Distributed)
@@ -251,8 +256,18 @@ func (s *Suite) Run(sp Spec) (RunResult, error) {
 		cfg.MaxCycles = 100
 	}
 
-	m := pipeline.New(cfg, mp)
-	runErr := m.Run()
+	// With a journal attached, a previous (killed) attempt may have left a
+	// mid-run checkpoint; continue from it instead of restarting the cell.
+	// The restore fingerprints config and program, so a stale or corrupt
+	// checkpoint silently falls back to a fresh machine.
+	var m *pipeline.Machine
+	if j != nil {
+		m = j.tryResume(k, cfg, mp)
+	}
+	if m == nil {
+		m = pipeline.New(cfg, mp)
+	}
+	runErr := runJournaled(j, k, m)
 	retried := false
 	if runErr != nil {
 		// Retry once with a larger budget: a legitimate workload can
@@ -266,7 +281,7 @@ func (s *Suite) Run(sp Spec) (RunResult, error) {
 		cfg.MaxCycles = 4 * budget
 		m.Release()
 		m = pipeline.New(cfg, mp)
-		if runErr = m.Run(); runErr != nil {
+		if runErr = runJournaled(j, k, m); runErr != nil {
 			runErr = fmt.Errorf("experiments: %s iq=%d reuse=%v (after retry): %w",
 				sp.Kernel, sp.IQSize, sp.Reuse, runErr)
 		}
@@ -291,7 +306,29 @@ func (s *Suite) Run(sp Spec) (RunResult, error) {
 	s.mu.Lock()
 	s.results[k] = r
 	s.mu.Unlock()
+	if j != nil {
+		// Persist the finished cell before returning. A failed append means
+		// the sweep is no longer crash-safe, which is worth failing loudly.
+		if err := j.record(k, r); err != nil {
+			return r, err
+		}
+	}
 	return r, nil
+}
+
+// runJournaled executes the machine to completion. With a journal attached
+// it additionally writes a checkpoint of the cell every CheckpointEvery
+// cycles; a checkpoint write failure is deliberately swallowed — it only
+// costs re-simulation after a crash, while aborting the run would turn a
+// transient I/O hiccup into a lost cell.
+func runJournaled(j *Journal, k runKey, m *pipeline.Machine) error {
+	if j == nil {
+		return m.Run()
+	}
+	return m.RunBreakable(j.interval(), func() bool {
+		_ = j.checkpoint(k, m)
+		return false
+	})
 }
 
 // TotalCycles returns the simulated cycles accumulated over all cached runs

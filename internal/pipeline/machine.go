@@ -359,23 +359,7 @@ func (m *Machine) Step() {
 
 // Run executes until HALT commits, returning an error on cycle budget
 // exhaustion or deadlock.
-func (m *Machine) Run() error {
-	for !m.halted {
-		m.Step()
-		if m.hookErr != nil {
-			return m.hookErr
-		}
-		if m.cycle >= m.Cfg.MaxCycles {
-			return fmt.Errorf("pipeline: cycle budget %d exhausted (%d committed; %s)",
-				m.Cfg.MaxCycles, m.C.Commits, m.stateSummary())
-		}
-		if m.cycle-m.lastCommit > m.Cfg.WatchdogCycles {
-			return fmt.Errorf("pipeline: no commit for %d cycles at cycle %d (%s)",
-				m.Cfg.WatchdogCycles, m.cycle, m.stateSummary())
-		}
-	}
-	return m.hookErr
-}
+func (m *Machine) Run() error { return m.RunBreakable(0, nil) }
 
 // StateSummary renders a one-line snapshot of the machine's queues, the
 // reuse-capable issue queue (RIQ) state and the ROB head, for diagnostics.

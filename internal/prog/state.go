@@ -1,0 +1,51 @@
+// Snapshot support: export and import of a Memory's touched pages. Pages are
+// sorted by page number so the image is deterministic regardless of map
+// iteration order.
+package prog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageBytes is the size of one memory page.
+const PageBytes = pageSize
+
+// MaxPages is the number of addressable pages (32-bit addresses, 4 KiB
+// pages); importers use it to bound allocation before reading page data.
+const MaxPages = 1 << (32 - pageShift)
+
+// PageImage is one touched page of a Memory.
+type PageImage struct {
+	Num  uint32 // page number (address >> 12)
+	Data [PageBytes]byte
+}
+
+// ExportPages returns the touched pages sorted by page number.
+func (m *Memory) ExportPages() []PageImage {
+	pages := make([]PageImage, 0, len(m.pages))
+	for pn, pg := range m.pages {
+		pages = append(pages, PageImage{Num: pn, Data: *pg})
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i].Num < pages[j].Num })
+	return pages
+}
+
+// ImportPages replaces the memory's contents with the given pages, which
+// must be strictly ascending by page number.
+func (m *Memory) ImportPages(pages []PageImage) error {
+	for i := range pages {
+		if pages[i].Num >= MaxPages {
+			return fmt.Errorf("prog: page image %d has number 0x%x, max 0x%x", i, pages[i].Num, MaxPages-1)
+		}
+		if i > 0 && pages[i].Num <= pages[i-1].Num {
+			return fmt.Errorf("prog: page images not strictly ascending at %d", i)
+		}
+	}
+	m.pages = make(map[uint32]*[pageSize]byte, len(pages))
+	for i := range pages {
+		pg := pages[i].Data
+		m.pages[pages[i].Num] = &pg
+	}
+	return nil
+}

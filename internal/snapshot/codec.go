@@ -1,0 +1,811 @@
+package snapshot
+
+import (
+	"reuseiq/internal/bpred"
+	"reuseiq/internal/chaos"
+	"reuseiq/internal/core"
+	"reuseiq/internal/fu"
+	"reuseiq/internal/isa"
+	"reuseiq/internal/lsq"
+	"reuseiq/internal/mem"
+	"reuseiq/internal/pipeline"
+	"reuseiq/internal/prog"
+	"reuseiq/internal/rename"
+	"reuseiq/internal/rob"
+)
+
+// Section tags, one per component image, so a decode failure names the
+// section it died in and a shifted stream is caught at the next boundary.
+const (
+	secMachine uint32 = 0x5351_0001 + iota
+	secMemory
+	secRF
+	secROB
+	secLSQ
+	secIQ
+	secCtl
+	secHier
+	secBP
+	secFU
+	secChaos
+	secLC
+	secEnd
+)
+
+// counterPtrs returns the pipeline counters in wire order. Encode and decode
+// share it, so the order cannot drift between the two.
+func counterPtrs(c *pipeline.Counters) []*uint64 {
+	return []*uint64{
+		&c.Cycles, &c.Commits, &c.GatedCycles,
+		&c.Fetches, &c.FetchCycles, &c.Decodes, &c.FrontRenames, &c.ReuseRenames,
+		&c.BranchesCommitted, &c.TakenCommitted, &c.Mispredicts,
+		&c.LoadsCommitted, &c.StoresCommitted, &c.ReusedCommitted, &c.LoopCacheSupplies,
+		&c.WakeupBroadcasts, &c.WakeupOccupancySum, &c.IssueCycleScans,
+		&c.DispatchStallIQ, &c.DispatchStallROB, &c.DispatchStallLSQ, &c.DispatchStallRegs,
+		&c.StoreCommitAccesses,
+	}
+}
+
+// statPtrs returns the controller stats in wire order.
+func statPtrs(s *core.Stats) []*uint64 {
+	return []*uint64{
+		&s.Detections, &s.NBLTFiltered, &s.Bufferings, &s.IterationsBuffered,
+		&s.BufferedInsts, &s.Promotions, &s.ReuseRenames, &s.ReuseExits,
+		&s.Revokes, &s.RevokesInner, &s.RevokesExit, &s.RevokesFull,
+		&s.RevokesRecovery, &s.RevokesForced,
+	}
+}
+
+// chaosCounterPtrs returns the chaos counters in wire order.
+func chaosCounterPtrs(c *chaos.Counters) []*uint64 {
+	return []*uint64{&c.ForcedRevokes, &c.FlippedPredictions, &c.FetchStalls, &c.JitteredIssues}
+}
+
+// ---------------------------------------------------------------- encode --
+
+func encodeState(w *writer, st *pipeline.MachineState) {
+	w.u32(secMachine)
+	w.u64(st.Cycle)
+	w.u64(st.NextSeq)
+	w.u32(st.FetchPC)
+	w.u64(st.FetchStallUntil)
+	w.bool(st.FetchHalted)
+	w.bool(st.Halted)
+	w.u64(st.LastCommit)
+	for _, p := range counterPtrs(&st.C) {
+		w.u64(*p)
+	}
+	encodeFetchedList(w, st.FetchQ)
+	encodeFetchedList(w, st.DecodeLat)
+	w.length(len(st.ExecQ))
+	for _, e := range st.ExecQ {
+		w.vInt(e.ROBSlot)
+		w.u64(e.Seq)
+		w.u64(e.Done)
+		w.i32(e.ValI)
+		w.f64(e.ValF)
+	}
+
+	w.u32(secMemory)
+	w.length(len(st.Pages))
+	for i := range st.Pages {
+		w.u32(st.Pages[i].Num)
+		w.write(st.Pages[i].Data[:])
+	}
+
+	w.u32(secRF)
+	encodeRF(w, &st.RF)
+	w.u32(secROB)
+	encodeROB(w, &st.ROB)
+	w.u32(secLSQ)
+	encodeLSQ(w, &st.LSQ)
+	w.u32(secIQ)
+	encodeIQ(w, &st.IQ)
+	w.u32(secCtl)
+	encodeCtl(w, &st.Ctl)
+	w.u32(secHier)
+	encodeHier(w, &st.Hier)
+	w.u32(secBP)
+	encodeBP(w, &st.BP)
+	w.u32(secFU)
+	encodeFU(w, &st.FUs)
+
+	w.u32(secChaos)
+	w.u64(st.Chaos.Draws)
+	for _, p := range chaosCounterPtrs(&st.Chaos.C) {
+		w.u64(*p)
+	}
+
+	w.u32(secLC)
+	w.bool(st.HasLC)
+	if st.HasLC {
+		w.u8(st.LC.State)
+		w.u32(st.LC.Head)
+		w.u32(st.LC.Tail)
+		w.length(len(st.LC.ValidPCs))
+		for _, pc := range st.LC.ValidPCs {
+			w.u32(pc)
+		}
+		w.u64(st.LC.Supplies)
+		w.u64(st.LC.Fills)
+		w.u64(st.LC.Detects)
+		w.u64(st.LC.Exits)
+	}
+
+	w.u32(secEnd)
+}
+
+func encodeInst(w *writer, in isa.Inst) {
+	w.u8(uint8(in.Op))
+	w.u8(in.Rd)
+	w.u8(in.Rs)
+	w.u8(in.Rt)
+	w.i32(in.Imm)
+	w.u32(in.Target)
+}
+
+func encodeFetchedList(w *writer, fs []pipeline.FetchedState) {
+	w.length(len(fs))
+	for _, f := range fs {
+		w.u32(f.PC)
+		encodeInst(w, f.Inst)
+		w.bool(f.IsControl)
+		w.bool(f.PredTaken)
+		w.u32(f.PredTarget)
+	}
+}
+
+func encodeRF(w *writer, st *rename.State) {
+	encodeI32s := func(vs []int32) {
+		w.length(len(vs))
+		for _, v := range vs {
+			w.i32(v)
+		}
+	}
+	encodeF64s := func(vs []float64) {
+		w.length(len(vs))
+		for _, v := range vs {
+			w.f64(v)
+		}
+	}
+	encodeBools := func(vs []bool) {
+		w.length(len(vs))
+		for _, v := range vs {
+			w.bool(v)
+		}
+	}
+	encodeInts := func(vs []int) {
+		w.length(len(vs))
+		for _, v := range vs {
+			w.vInt(v)
+		}
+	}
+	encodeI32s(st.IntVals)
+	encodeF64s(st.FPVals)
+	encodeBools(st.IntReady)
+	encodeBools(st.FPReady)
+	encodeInts(st.IntMap)
+	encodeInts(st.FPMap)
+	encodeInts(st.IntFree)
+	encodeInts(st.FPFree)
+	w.u64(st.Renames)
+	w.u64(st.MapReads)
+	w.u64(st.Reads)
+	w.u64(st.Writes)
+}
+
+func encodeROB(w *writer, st *rob.State) {
+	w.length(len(st.Ring))
+	for i := range st.Ring {
+		e := &st.Ring[i]
+		w.u64(e.Seq)
+		w.u32(e.PC)
+		encodeInst(w, e.Inst)
+		w.bool(e.HasDest)
+		w.u8(uint8(e.Dest.Kind))
+		w.u8(e.Dest.Num)
+		w.vInt(e.NewPhys)
+		w.vInt(e.OldPhys)
+		w.bool(e.Done)
+		w.bool(e.PredTaken)
+		w.u32(e.PredTarget)
+		w.bool(e.ActTaken)
+		w.u32(e.ActTarget)
+		w.bool(e.Mispred)
+		w.bool(e.IsLoad)
+		w.bool(e.IsStore)
+		w.bool(e.Halt)
+		w.bool(e.Reused)
+		w.u64(e.IssueCycle)
+	}
+	w.length(len(st.Used))
+	for _, u := range st.Used {
+		w.bool(u)
+	}
+	w.vInt(st.Head)
+	w.vInt(st.Count)
+	w.u64(st.Allocs)
+	w.u64(st.Commits)
+}
+
+func encodeLSQ(w *writer, st *lsq.State) {
+	w.length(len(st.Ring))
+	for i := range st.Ring {
+		e := &st.Ring[i]
+		w.u64(e.Seq)
+		w.bool(e.IsStore)
+		w.bool(e.IsFP)
+		w.u8(e.Size)
+		w.bool(e.AddrReady)
+		w.u32(e.Addr)
+		w.bool(e.DataReady)
+		w.i32(e.DataI)
+		w.f64(e.DataF)
+		w.bool(e.Done)
+	}
+	w.vInt(st.Head)
+	w.vInt(st.Count)
+	w.u64(st.Allocs)
+	w.u64(st.Searches)
+	w.u64(st.Forwards)
+	w.u64(st.ConflictStalls)
+}
+
+func encodeI32List(w *writer, vs []int32) {
+	w.length(len(vs))
+	for _, v := range vs {
+		w.i32(v)
+	}
+}
+
+func encodeIQ(w *writer, st *core.QueueState) {
+	w.vInt(st.Count)
+	w.length(len(st.Slots))
+	for i := range st.Slots {
+		e := &st.Slots[i]
+		w.u64(e.Seq)
+		w.u32(e.PC)
+		encodeInst(w, e.Inst)
+		w.vInt(e.ROBSlot)
+		w.vInt(e.LSQSlot)
+		w.vInt(e.NumSrc)
+		w.vInt(e.SrcPhys[0])
+		w.vInt(e.SrcPhys[1])
+		w.u8(uint8(e.SrcKind[0]))
+		w.u8(uint8(e.SrcKind[1]))
+		w.bool(e.HasDest)
+		w.vInt(e.DestPhys)
+		w.u8(uint8(e.DestKind))
+		w.bool(e.SrcReady[0])
+		w.bool(e.SrcReady[1])
+		w.bool(e.Issued)
+		w.bool(e.Classified)
+		w.bool(e.StaticTaken)
+		w.u32(e.StaticTarget)
+	}
+	w.length(len(st.Meta))
+	for _, m := range st.Meta {
+		w.i32(m.Next)
+		w.i32(m.Prev)
+		w.i32(m.SNext)
+		w.i32(m.SPrev)
+		w.u64(m.OrderKey)
+		w.i32(m.ReadyPos)
+		w.u8(uint8(m.Pending))
+		w.bool(m.Valid)
+		w.bool(m.InStore)
+	}
+	w.i32(st.Head)
+	w.i32(st.Tail)
+	w.i32(st.FreeTop)
+	w.u64(st.OrderGen)
+	w.vInt(st.Classified)
+	encodeI32List(w, st.ClassSlots)
+	w.bool(st.ClassDirty)
+	encodeI32List(w, st.ReadySlots)
+	encodeI32List(w, st.WNext)
+	encodeI32List(w, st.WPrev)
+	encodeI32List(w, st.WReg)
+	encodeI32List(w, st.IntWait)
+	encodeI32List(w, st.FPWait)
+	w.i32(st.StoreHead)
+	w.i32(st.StoreTail)
+	w.u64(st.Dispatches)
+	w.u64(st.PartialUpdates)
+	w.u64(st.IssueReads)
+	w.u64(st.Removals)
+	w.u64(st.Collapses)
+	w.u64(st.SelectScans)
+}
+
+func encodeCtl(w *writer, st *core.ControllerState) {
+	w.u8(uint8(st.State))
+	w.u32(st.LoopHead)
+	w.u32(st.LoopTail)
+	w.vInt(st.CallDepth)
+	w.vInt(st.IterCount)
+	w.vInt(st.LastIterSize)
+	w.bool(st.FirstIterDone)
+	w.vInt(st.ReuseOrd)
+	for _, p := range statPtrs(&st.S) {
+		w.u64(*p)
+	}
+	w.length(len(st.NBLT.Addrs))
+	for _, a := range st.NBLT.Addrs {
+		w.u32(a)
+	}
+	w.length(len(st.NBLT.Valid))
+	for _, v := range st.NBLT.Valid {
+		w.bool(v)
+	}
+	w.vInt(st.NBLT.Next)
+	w.u64(st.NBLT.Lookups)
+	w.u64(st.NBLT.Hits)
+	w.u64(st.NBLT.Inserts)
+}
+
+func encodeCache(w *writer, st *mem.CacheState) {
+	w.length(len(st.Lines))
+	for _, l := range st.Lines {
+		w.bool(l.Valid)
+		w.bool(l.Dirty)
+		w.u32(l.Tag)
+		w.u64(l.LRU)
+	}
+	w.u64(st.Stamp)
+	w.u64(st.Accesses)
+	w.u64(st.Misses)
+	w.u64(st.Writebacks)
+}
+
+func encodeHier(w *writer, st *mem.HierarchyState) {
+	encodeCache(w, &st.L1I)
+	encodeCache(w, &st.L1D)
+	encodeCache(w, &st.L2)
+	w.bool(st.HasL0I)
+	if st.HasL0I {
+		encodeCache(w, &st.L0I)
+	}
+	encodeCache(w, &st.ITLB)
+	encodeCache(w, &st.DTLB)
+	w.u64(st.L2WritebackAccesses)
+}
+
+func encodeBP(w *writer, st *bpred.State) {
+	w.length(len(st.Bimod))
+	w.write(st.Bimod)
+	w.length(len(st.BTB))
+	for _, e := range st.BTB {
+		w.bool(e.Valid)
+		w.u32(e.Tag)
+		w.u32(e.Target)
+		w.u64(e.LRU)
+	}
+	w.length(len(st.RAS))
+	for _, a := range st.RAS {
+		w.u32(a)
+	}
+	w.vInt(st.RASTop)
+	w.vInt(st.RASCnt)
+	w.u64(st.Stamp)
+	w.u64(st.Lookups)
+	w.u64(st.Updates)
+	w.u64(st.BTBLookups)
+	w.u64(st.BTBUpdates)
+	w.u64(st.RASOps)
+}
+
+func encodeFU(w *writer, st *fu.State) {
+	for k := 0; k < fu.NumKinds; k++ {
+		w.length(len(st.NextFree[k]))
+		for _, v := range st.NextFree[k] {
+			w.u64(v)
+		}
+	}
+	for k := 0; k < fu.NumKinds; k++ {
+		w.u64(st.Ops[k])
+	}
+}
+
+// ---------------------------------------------------------------- decode --
+
+// dims carries the configuration-derived size caps the decoder validates
+// lengths against before allocating.
+type dims struct {
+	cfg pipeline.Config // normalized
+}
+
+func (d *dims) iqSize() int   { return d.cfg.IQSize }
+func (d *dims) robSize() int  { return d.cfg.ROBSize }
+func (d *dims) lsqSize() int  { return d.cfg.LSQSize }
+func (d *dims) intPhys() int  { return d.cfg.IntPhysRegs }
+func (d *dims) fpPhys() int   { return d.cfg.FPPhysRegs }
+func (d *dims) fetchQ() int   { return d.cfg.FetchQueueSize + d.cfg.FetchWidth }
+func (d *dims) decodeLat() int { return d.cfg.DecodeWidth }
+
+func cacheLines(c mem.CacheConfig) int { return c.Sets * c.Ways }
+func tlbLines(c mem.TLBConfig) int     { return c.Sets * c.Ways }
+
+func decodeState(r *reader, d *dims) *pipeline.MachineState {
+	st := &pipeline.MachineState{}
+	r.tag(secMachine, "machine")
+	st.Cycle = r.u64()
+	st.NextSeq = r.u64()
+	st.FetchPC = r.u32()
+	st.FetchStallUntil = r.u64()
+	st.FetchHalted = r.boolean()
+	st.Halted = r.boolean()
+	st.LastCommit = r.u64()
+	for _, p := range counterPtrs(&st.C) {
+		*p = r.u64()
+	}
+	st.FetchQ = decodeFetchedList(r, "fetch queue", d.fetchQ())
+	st.DecodeLat = decodeFetchedList(r, "decode latch", d.decodeLat())
+	n := r.length("execution list", pipeline.MaxExecQ)
+	st.ExecQ = make([]pipeline.ExecState, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		e := &st.ExecQ[i]
+		e.ROBSlot = r.vInt()
+		e.Seq = r.u64()
+		e.Done = r.u64()
+		e.ValI = r.i32()
+		e.ValF = r.f64()
+	}
+
+	r.tag(secMemory, "memory")
+	n = r.length("memory pages", prog.MaxPages)
+	st.Pages = make([]prog.PageImage, 0, min(n, 4096))
+	for i := 0; i < n && r.err == nil; i++ {
+		var pg prog.PageImage
+		pg.Num = r.u32()
+		r.read(pg.Data[:])
+		st.Pages = append(st.Pages, pg)
+	}
+
+	r.tag(secRF, "rename")
+	decodeRF(r, d, &st.RF)
+	r.tag(secROB, "rob")
+	decodeROB(r, d, &st.ROB)
+	r.tag(secLSQ, "lsq")
+	decodeLSQ(r, d, &st.LSQ)
+	r.tag(secIQ, "issue queue")
+	decodeIQ(r, d, &st.IQ)
+	r.tag(secCtl, "controller")
+	decodeCtl(r, d, &st.Ctl)
+	r.tag(secHier, "memory hierarchy")
+	decodeHier(r, d, &st.Hier)
+	r.tag(secBP, "branch predictor")
+	decodeBP(r, d, &st.BP)
+	r.tag(secFU, "function units")
+	decodeFU(r, d, &st.FUs)
+
+	r.tag(secChaos, "chaos")
+	st.Chaos.Draws = r.u64()
+	for _, p := range chaosCounterPtrs(&st.Chaos.C) {
+		*p = r.u64()
+	}
+
+	r.tag(secLC, "loop cache")
+	st.HasLC = r.boolean()
+	if st.HasLC && r.err == nil {
+		st.LC.State = r.u8()
+		st.LC.Head = r.u32()
+		st.LC.Tail = r.u32()
+		n = r.length("loop cache valid set", 1<<16)
+		st.LC.ValidPCs = make([]uint32, n)
+		for i := range st.LC.ValidPCs {
+			st.LC.ValidPCs[i] = r.u32()
+		}
+		st.LC.Supplies = r.u64()
+		st.LC.Fills = r.u64()
+		st.LC.Detects = r.u64()
+		st.LC.Exits = r.u64()
+	}
+
+	r.tag(secEnd, "end")
+	return st
+}
+
+func decodeInst(r *reader) isa.Inst {
+	return isa.Inst{
+		Op: isa.Op(r.u8()), Rd: r.u8(), Rs: r.u8(), Rt: r.u8(),
+		Imm: r.i32(), Target: r.u32(),
+	}
+}
+
+func decodeFetchedList(r *reader, name string, max int) []pipeline.FetchedState {
+	n := r.length(name, max)
+	fs := make([]pipeline.FetchedState, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		f := &fs[i]
+		f.PC = r.u32()
+		f.Inst = decodeInst(r)
+		f.IsControl = r.boolean()
+		f.PredTaken = r.boolean()
+		f.PredTarget = r.u32()
+	}
+	return fs
+}
+
+func decodeRF(r *reader, d *dims, st *rename.State) {
+	decodeI32s := func(name string, max int) []int32 {
+		n := r.length(name, max)
+		vs := make([]int32, n)
+		for i := range vs {
+			vs[i] = r.i32()
+		}
+		return vs
+	}
+	decodeF64s := func(name string, max int) []float64 {
+		n := r.length(name, max)
+		vs := make([]float64, n)
+		for i := range vs {
+			vs[i] = r.f64()
+		}
+		return vs
+	}
+	decodeBools := func(name string, max int) []bool {
+		n := r.length(name, max)
+		vs := make([]bool, n)
+		for i := range vs {
+			vs[i] = r.boolean()
+		}
+		return vs
+	}
+	decodeInts := func(name string, max int) []int {
+		n := r.length(name, max)
+		vs := make([]int, n)
+		for i := range vs {
+			vs[i] = r.vInt()
+		}
+		return vs
+	}
+	st.IntVals = decodeI32s("int registers", d.intPhys())
+	st.FPVals = decodeF64s("fp registers", d.fpPhys())
+	st.IntReady = decodeBools("int ready bits", d.intPhys())
+	st.FPReady = decodeBools("fp ready bits", d.fpPhys())
+	st.IntMap = decodeInts("int map", isa.NumIntRegs)
+	st.FPMap = decodeInts("fp map", isa.NumFPRegs)
+	st.IntFree = decodeInts("int free list", d.intPhys())
+	st.FPFree = decodeInts("fp free list", d.fpPhys())
+	st.Renames = r.u64()
+	st.MapReads = r.u64()
+	st.Reads = r.u64()
+	st.Writes = r.u64()
+}
+
+func decodeROB(r *reader, d *dims, st *rob.State) {
+	n := r.length("rob ring", d.robSize())
+	st.Ring = make([]rob.Entry, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		e := &st.Ring[i]
+		e.Seq = r.u64()
+		e.PC = r.u32()
+		e.Inst = decodeInst(r)
+		e.HasDest = r.boolean()
+		e.Dest.Kind = isa.RegKind(r.u8())
+		e.Dest.Num = r.u8()
+		e.NewPhys = r.vInt()
+		e.OldPhys = r.vInt()
+		e.Done = r.boolean()
+		e.PredTaken = r.boolean()
+		e.PredTarget = r.u32()
+		e.ActTaken = r.boolean()
+		e.ActTarget = r.u32()
+		e.Mispred = r.boolean()
+		e.IsLoad = r.boolean()
+		e.IsStore = r.boolean()
+		e.Halt = r.boolean()
+		e.Reused = r.boolean()
+		e.IssueCycle = r.u64()
+	}
+	n = r.length("rob used bits", d.robSize())
+	st.Used = make([]bool, n)
+	for i := range st.Used {
+		st.Used[i] = r.boolean()
+	}
+	st.Head = r.vInt()
+	st.Count = r.vInt()
+	st.Allocs = r.u64()
+	st.Commits = r.u64()
+}
+
+func decodeLSQ(r *reader, d *dims, st *lsq.State) {
+	n := r.length("lsq ring", d.lsqSize())
+	st.Ring = make([]lsq.Entry, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		e := &st.Ring[i]
+		e.Seq = r.u64()
+		e.IsStore = r.boolean()
+		e.IsFP = r.boolean()
+		e.Size = r.u8()
+		e.AddrReady = r.boolean()
+		e.Addr = r.u32()
+		e.DataReady = r.boolean()
+		e.DataI = r.i32()
+		e.DataF = r.f64()
+		e.Done = r.boolean()
+	}
+	st.Head = r.vInt()
+	st.Count = r.vInt()
+	st.Allocs = r.u64()
+	st.Searches = r.u64()
+	st.Forwards = r.u64()
+	st.ConflictStalls = r.u64()
+}
+
+func decodeI32List(r *reader, name string, max int) []int32 {
+	n := r.length(name, max)
+	vs := make([]int32, n)
+	for i := range vs {
+		vs[i] = r.i32()
+	}
+	return vs
+}
+
+func decodeIQ(r *reader, d *dims, st *core.QueueState) {
+	size := d.iqSize()
+	st.Count = r.vInt()
+	n := r.length("iq slots", size)
+	st.Slots = make([]core.Entry, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		e := &st.Slots[i]
+		e.Seq = r.u64()
+		e.PC = r.u32()
+		e.Inst = decodeInst(r)
+		e.ROBSlot = r.vInt()
+		e.LSQSlot = r.vInt()
+		e.NumSrc = r.vInt()
+		e.SrcPhys[0] = r.vInt()
+		e.SrcPhys[1] = r.vInt()
+		e.SrcKind[0] = isa.RegKind(r.u8())
+		e.SrcKind[1] = isa.RegKind(r.u8())
+		e.HasDest = r.boolean()
+		e.DestPhys = r.vInt()
+		e.DestKind = isa.RegKind(r.u8())
+		e.SrcReady[0] = r.boolean()
+		e.SrcReady[1] = r.boolean()
+		e.Issued = r.boolean()
+		e.Classified = r.boolean()
+		e.StaticTaken = r.boolean()
+		e.StaticTarget = r.u32()
+	}
+	n = r.length("iq meta", size)
+	st.Meta = make([]core.SlotMetaState, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		m := &st.Meta[i]
+		m.Next = r.i32()
+		m.Prev = r.i32()
+		m.SNext = r.i32()
+		m.SPrev = r.i32()
+		m.OrderKey = r.u64()
+		m.ReadyPos = r.i32()
+		m.Pending = int8(r.u8())
+		m.Valid = r.boolean()
+		m.InStore = r.boolean()
+	}
+	st.Head = r.i32()
+	st.Tail = r.i32()
+	st.FreeTop = r.i32()
+	st.OrderGen = r.u64()
+	st.Classified = r.vInt()
+	st.ClassSlots = decodeI32List(r, "iq classified slots", size)
+	st.ClassDirty = r.boolean()
+	st.ReadySlots = decodeI32List(r, "iq ready slots", size)
+	st.WNext = decodeI32List(r, "iq wakeup next", 2*size)
+	st.WPrev = decodeI32List(r, "iq wakeup prev", 2*size)
+	st.WReg = decodeI32List(r, "iq wakeup reg", 2*size)
+	st.IntWait = decodeI32List(r, "iq int wait heads", d.intPhys())
+	st.FPWait = decodeI32List(r, "iq fp wait heads", d.fpPhys())
+	st.StoreHead = r.i32()
+	st.StoreTail = r.i32()
+	st.Dispatches = r.u64()
+	st.PartialUpdates = r.u64()
+	st.IssueReads = r.u64()
+	st.Removals = r.u64()
+	st.Collapses = r.u64()
+	st.SelectScans = r.u64()
+}
+
+func decodeCtl(r *reader, d *dims, st *core.ControllerState) {
+	st.State = core.State(r.u8())
+	st.LoopHead = r.u32()
+	st.LoopTail = r.u32()
+	st.CallDepth = r.vInt()
+	st.IterCount = r.vInt()
+	st.LastIterSize = r.vInt()
+	st.FirstIterDone = r.boolean()
+	st.ReuseOrd = r.vInt()
+	for _, p := range statPtrs(&st.S) {
+		*p = r.u64()
+	}
+	nbltMax := d.cfg.Reuse.NBLTSize
+	n := r.length("nblt addrs", nbltMax)
+	st.NBLT.Addrs = make([]uint32, n)
+	for i := range st.NBLT.Addrs {
+		st.NBLT.Addrs[i] = r.u32()
+	}
+	n = r.length("nblt valid bits", nbltMax)
+	st.NBLT.Valid = make([]bool, n)
+	for i := range st.NBLT.Valid {
+		st.NBLT.Valid[i] = r.boolean()
+	}
+	st.NBLT.Next = r.vInt()
+	st.NBLT.Lookups = r.u64()
+	st.NBLT.Hits = r.u64()
+	st.NBLT.Inserts = r.u64()
+}
+
+func decodeCache(r *reader, name string, lines int, st *mem.CacheState) {
+	n := r.length(name, lines)
+	st.Lines = make([]mem.LineState, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		l := &st.Lines[i]
+		l.Valid = r.boolean()
+		l.Dirty = r.boolean()
+		l.Tag = r.u32()
+		l.LRU = r.u64()
+	}
+	st.Stamp = r.u64()
+	st.Accesses = r.u64()
+	st.Misses = r.u64()
+	st.Writebacks = r.u64()
+}
+
+func decodeHier(r *reader, d *dims, st *mem.HierarchyState) {
+	mc := d.cfg.Mem
+	decodeCache(r, "l1i", cacheLines(mc.L1I), &st.L1I)
+	decodeCache(r, "l1d", cacheLines(mc.L1D), &st.L1D)
+	decodeCache(r, "l2", cacheLines(mc.L2), &st.L2)
+	st.HasL0I = r.boolean()
+	if st.HasL0I && r.err == nil {
+		decodeCache(r, "l0i", cacheLines(mc.L0I), &st.L0I)
+	}
+	decodeCache(r, "itlb", tlbLines(mc.ITLB), &st.ITLB)
+	decodeCache(r, "dtlb", tlbLines(mc.DTLB), &st.DTLB)
+	st.L2WritebackAccesses = r.u64()
+}
+
+func decodeBP(r *reader, d *dims, st *bpred.State) {
+	bc := d.cfg.Bpred
+	n := r.length("bimod", bc.BimodEntries)
+	st.Bimod = make([]uint8, n)
+	r.read(st.Bimod)
+	n = r.length("btb", bc.BTBSets*bc.BTBWays)
+	st.BTB = make([]bpred.BTBLineState, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		e := &st.BTB[i]
+		e.Valid = r.boolean()
+		e.Tag = r.u32()
+		e.Target = r.u32()
+		e.LRU = r.u64()
+	}
+	n = r.length("ras", bc.RASEntries)
+	st.RAS = make([]uint32, n)
+	for i := range st.RAS {
+		st.RAS[i] = r.u32()
+	}
+	st.RASTop = r.vInt()
+	st.RASCnt = r.vInt()
+	st.Stamp = r.u64()
+	st.Lookups = r.u64()
+	st.Updates = r.u64()
+	st.BTBLookups = r.u64()
+	st.BTBUpdates = r.u64()
+	st.RASOps = r.u64()
+}
+
+func decodeFU(r *reader, d *dims, st *fu.State) {
+	fc := d.cfg.FU
+	caps := [fu.NumKinds]int{fc.NumIntALU, fc.NumIntMul, fc.NumFPALU, fc.NumFPMul, fc.NumMemPort}
+	for k := 0; k < fu.NumKinds; k++ {
+		n := r.length("fu units", caps[k])
+		st.NextFree[k] = make([]uint64, n)
+		for i := range st.NextFree[k] {
+			st.NextFree[k][i] = r.u64()
+		}
+	}
+	for k := 0; k < fu.NumKinds; k++ {
+		st.Ops[k] = r.u64()
+	}
+}

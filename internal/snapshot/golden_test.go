@@ -1,0 +1,67 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"reuseiq/internal/snapshot"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestSnapshotGoldenWireFormat pins the version-1 wire format byte for byte:
+// a deterministic tiny machine snapshotted at a fixed cycle must serialize
+// to exactly the bytes in testdata/snapshot_v1.golden. Any codec change —
+// field order, width, a new section — fails this test; if the change is
+// intentional, the format Version must be bumped and the golden regenerated
+// with -update.
+func TestSnapshotGoldenWireFormat(t *testing.T) {
+	img, _, _ := tinySnapshot(t)
+	golden := filepath.Join("testdata", "snapshot_v1.golden")
+
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, img, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with `go test ./internal/snapshot -run Golden -update`)", err)
+	}
+	if !bytes.Equal(img, want) {
+		i := 0
+		for i < len(img) && i < len(want) && img[i] == want[i] {
+			i++
+		}
+		t.Fatalf("snapshot wire format changed: %d vs %d bytes, first difference at offset %d; "+
+			"bump snapshot.Version and regenerate with -update if intentional", len(img), len(want), i)
+	}
+
+	// Pin the header layout explicitly, independent of the full-image
+	// comparison: magic, version, flags, and the two fingerprint slots.
+	if len(want) < 32 {
+		t.Fatalf("golden image only %d bytes, header alone is 32", len(want))
+	}
+	if string(want[0:8]) != snapshot.Magic {
+		t.Errorf("bytes 0..8 = %q, want magic %q", want[0:8], snapshot.Magic)
+	}
+	if v := binary.LittleEndian.Uint32(want[8:12]); v != snapshot.Version {
+		t.Errorf("version field = %d, want %d", v, snapshot.Version)
+	}
+	if f := binary.LittleEndian.Uint32(want[12:16]); f != 0 {
+		t.Errorf("flags field = %#x, want 0", f)
+	}
+	if h := binary.LittleEndian.Uint64(want[16:24]); h == 0 {
+		t.Error("config fingerprint slot is zero")
+	}
+	if h := binary.LittleEndian.Uint64(want[24:32]); h == 0 {
+		t.Error("program fingerprint slot is zero")
+	}
+}

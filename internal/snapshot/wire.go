@@ -1,0 +1,199 @@
+package snapshot
+
+import (
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Wire primitives: little-endian fixed-width encoding with a CRC32 (IEEE)
+// running over every byte written or read. The writer latches the first
+// error and turns the rest of the encode into no-ops; the reader does the
+// same, so the per-field codec never needs inline error handling. The
+// reader's length method is the allocation guard: every variable-length
+// field passes an explicit cap derived from the machine configuration, so a
+// corrupt or adversarial image can never demand more memory than a valid
+// snapshot of that configuration would.
+
+type writer struct {
+	w   io.Writer
+	crc hash.Hash32
+	err error
+	buf [8]byte
+}
+
+func newWriter(w io.Writer) *writer {
+	return &writer{w: w, crc: crc32.NewIEEE()}
+}
+
+func (w *writer) write(b []byte) {
+	if w.err != nil {
+		return
+	}
+	if _, err := w.w.Write(b); err != nil {
+		w.err = err
+		return
+	}
+	w.crc.Write(b)
+}
+
+func (w *writer) u8(v uint8) {
+	w.buf[0] = v
+	w.write(w.buf[:1])
+}
+
+func (w *writer) u32(v uint32) {
+	w.buf[0] = byte(v)
+	w.buf[1] = byte(v >> 8)
+	w.buf[2] = byte(v >> 16)
+	w.buf[3] = byte(v >> 24)
+	w.write(w.buf[:4])
+}
+
+func (w *writer) u64(v uint64) {
+	w.buf[0] = byte(v)
+	w.buf[1] = byte(v >> 8)
+	w.buf[2] = byte(v >> 16)
+	w.buf[3] = byte(v >> 24)
+	w.buf[4] = byte(v >> 32)
+	w.buf[5] = byte(v >> 40)
+	w.buf[6] = byte(v >> 48)
+	w.buf[7] = byte(v >> 56)
+	w.write(w.buf[:8])
+}
+
+func (w *writer) i32(v int32)   { w.u32(uint32(v)) }
+func (w *writer) vInt(v int)    { w.u64(uint64(int64(v))) }
+func (w *writer) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+func (w *writer) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+func (w *writer) length(n int) { w.u32(uint32(n)) }
+
+// sum returns the CRC of everything written so far.
+func (w *writer) sum() uint32 { return w.crc.Sum32() }
+
+// rawU32 writes v without feeding the CRC (the checksum trailer itself).
+func (w *writer) rawU32(v uint32) {
+	if w.err != nil {
+		return
+	}
+	w.buf[0] = byte(v)
+	w.buf[1] = byte(v >> 8)
+	w.buf[2] = byte(v >> 16)
+	w.buf[3] = byte(v >> 24)
+	_, err := w.w.Write(w.buf[:4])
+	w.err = err
+}
+
+type reader struct {
+	r   io.Reader
+	crc hash.Hash32
+	err error
+	buf [8]byte
+}
+
+func newReader(r io.Reader) *reader {
+	return &reader{r: r, crc: crc32.NewIEEE()}
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("snapshot: "+format, args...)
+	}
+}
+
+func (r *reader) read(b []byte) {
+	if r.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		r.err = fmt.Errorf("snapshot: truncated: %w", err)
+		return
+	}
+	r.crc.Write(b)
+}
+
+func (r *reader) u8() uint8 {
+	r.read(r.buf[:1])
+	if r.err != nil {
+		return 0
+	}
+	return r.buf[0]
+}
+
+func (r *reader) u32() uint32 {
+	r.read(r.buf[:4])
+	if r.err != nil {
+		return 0
+	}
+	return uint32(r.buf[0]) | uint32(r.buf[1])<<8 | uint32(r.buf[2])<<16 | uint32(r.buf[3])<<24
+}
+
+func (r *reader) u64() uint64 {
+	r.read(r.buf[:8])
+	if r.err != nil {
+		return 0
+	}
+	return uint64(r.buf[0]) | uint64(r.buf[1])<<8 | uint64(r.buf[2])<<16 | uint64(r.buf[3])<<24 |
+		uint64(r.buf[4])<<32 | uint64(r.buf[5])<<40 | uint64(r.buf[6])<<48 | uint64(r.buf[7])<<56
+}
+
+func (r *reader) i32() int32     { return int32(r.u32()) }
+func (r *reader) vInt() int      { return int(int64(r.u64())) }
+func (r *reader) f64() float64   { return math.Float64frombits(r.u64()) }
+func (r *reader) boolean() bool  { return r.u8() != 0 }
+
+// length reads a u32 count and rejects anything above max, bounding every
+// allocation the decoder makes.
+func (r *reader) length(name string, max int) int {
+	n := r.u32()
+	if r.err != nil {
+		return 0
+	}
+	if max < 0 {
+		max = 0
+	}
+	if n > uint32(max) {
+		r.fail("%s count %d exceeds cap %d", name, n, max)
+		return 0
+	}
+	return int(n)
+}
+
+// tag reads a section tag and checks it.
+func (r *reader) tag(want uint32, name string) {
+	got := r.u32()
+	if r.err == nil && got != want {
+		r.fail("section %s: tag 0x%08x, want 0x%08x", name, got, want)
+	}
+}
+
+// sum returns the CRC of everything read so far.
+func (r *reader) sum() uint32 { return r.crc.Sum32() }
+
+// rawU32 reads v without feeding the CRC (the checksum trailer itself).
+func (r *reader) rawU32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if _, err := io.ReadFull(r.r, r.buf[:4]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		r.err = fmt.Errorf("snapshot: truncated: %w", err)
+		return 0
+	}
+	return uint32(r.buf[0]) | uint32(r.buf[1])<<8 | uint32(r.buf[2])<<16 | uint32(r.buf[3])<<24
+}
