@@ -14,6 +14,7 @@ import (
 
 	"reuseiq/internal/asm"
 	"reuseiq/internal/experiments"
+	"reuseiq/internal/ffwd"
 	"reuseiq/internal/pipeline"
 	"reuseiq/internal/power"
 )
@@ -156,6 +157,36 @@ loop:	add  $r2, $r2, $r3
 		cycles += m.C.Cycles
 	}
 	b.ReportMetric(float64(cycles)/float64(b.N), "cycles/run")
+}
+
+// BenchmarkFastForward measures the analytic fast-forward engine on its
+// canonical loop-heavy kernel, against the identical run with the engine off
+// (BenchmarkFastForward/off). The cycles/run metric must match between the
+// two: the engine only skips spans it can reproduce exactly.
+func BenchmarkFastForward(b *testing.B) {
+	const iters = 500_000
+	for _, on := range []bool{true, false} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := ffwd.LoopmarkProgram(iters)
+			b.ResetTimer()
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cfg := pipeline.DefaultConfig()
+				cfg.FastForward = on
+				m := pipeline.New(cfg, p)
+				ffwd.Attach(m)
+				if err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+				cycles += m.C.Cycles
+			}
+			b.ReportMetric(float64(cycles)/float64(b.N), "cycles/run")
+		})
+	}
 }
 
 // BenchmarkPowerAnalyze measures the power-model cost on a finished machine.

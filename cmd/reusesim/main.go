@@ -12,6 +12,7 @@
 //	reusesim -asm prog.s -disasm         # print the loaded program and exit
 //	reusesim -kernel aps -pipetrace 40   # pipeline diagram of the first 40 insts
 //	reusesim -kernel aps -verify         # cross-check every commit (lockstep)
+//	reusesim -kernel adi -ffwd           # analytic fast-forward (same results)
 //	reusesim -kernel aps -chaos 42       # seeded fault injection
 //	reusesim -kernel adi -trace adi.json # Chrome/Perfetto trace (ui.perfetto.dev)
 //	reusesim -kernel adi -events -       # stream telemetry events as JSONL
@@ -44,6 +45,7 @@ import (
 	"reuseiq/internal/asm"
 	"reuseiq/internal/chaos"
 	"reuseiq/internal/compiler"
+	"reuseiq/internal/ffwd"
 	"reuseiq/internal/lockstep"
 	"reuseiq/internal/obs"
 	"reuseiq/internal/pipeline"
@@ -62,6 +64,7 @@ func main() {
 // opts carries the parsed flags into run().
 type opts struct {
 	verify    bool
+	ffwd      bool  // analytic fast-forward engine
 	chaosSeed int64 // 0 disables injection
 	// telemetry wants a tracer attached: any of -trace/-events/-sessions/
 	// -attrib/-listen, or the stats histograms when -stats is combined with
@@ -131,6 +134,7 @@ func mainImpl(args []string, stdout, stderr io.Writer) int {
 	pipetrace := fs.Int("pipetrace", 0, "record and print a pipeline diagram of the first N instructions")
 	statsFlag := fs.Bool("stats", false, "print the full counter set instead of the summary")
 	verify := fs.Bool("verify", false, "run under the lockstep oracle and invariant checker")
+	ffwdFlag := fs.Bool("ffwd", false, "enable the analytic fast-forward engine (byte-identical results, skips provably periodic loop spans)")
 	chaosFlag := fs.Int64("chaos", 0, "enable seeded fault injection (nonzero seed)")
 	traceOut := fs.String("trace", "", "write a Chrome/Perfetto trace-event JSON file (open at ui.perfetto.dev)")
 	events := fs.String("events", "", "stream telemetry events as JSON lines to this file (\"-\" for stdout)")
@@ -162,6 +166,7 @@ func mainImpl(args []string, stdout, stderr io.Writer) int {
 	}
 	o := &opts{
 		verify:      *verify,
+		ffwd:        *ffwdFlag,
 		chaosSeed:   *chaosFlag,
 		telemetry:   *traceOut != "" || *events != "" || *sessionsFlag || *attribFlag || *listen != "",
 		eventsPath:  *events,
@@ -387,6 +392,7 @@ func load(kernel, asmFile string, distribute bool) (*prog.Program, string, error
 func run(p *prog.Program, iq int, reuse bool, o *opts) (*pipeline.Machine, bool, error) {
 	cfg := pipeline.DefaultConfig().WithIQSize(iq)
 	cfg.Reuse.Enabled = reuse
+	cfg.FastForward = o.ffwd
 	if o.chaosSeed != 0 {
 		cfg.Chaos = chaos.DefaultConfig(o.chaosSeed)
 	}
@@ -405,6 +411,7 @@ func run(p *prog.Program, iq int, reuse bool, o *opts) (*pipeline.Machine, bool,
 	} else {
 		m = pipeline.New(cfg, p)
 	}
+	ff := ffwd.Attach(m)
 
 	var flushEvents func() error
 	if o.telemetry || o.eventsPath != "" {
@@ -497,6 +504,10 @@ func run(p *prog.Program, iq int, reuse bool, o *opts) (*pipeline.Machine, bool,
 	}
 	if orc != nil {
 		fmt.Fprintf(o.stdout, "verified: %d commits cross-checked against the golden model\n", orc.Commits)
+	}
+	if ff != nil {
+		fmt.Fprintf(o.stderr, "reusesim: ffwd: %d engagements skipped %d cycles (%d iterations, %d insts); %d idle skips saved %d cycles\n",
+			ff.S.Engagements, ff.S.SkippedCycles, ff.S.SkippedIterations, ff.S.SkippedInsts, ff.S.IdleSkips, ff.S.IdleSkippedCycles)
 	}
 	if m.Chaos != nil && !stopped {
 		c := m.Chaos.C

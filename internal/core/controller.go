@@ -155,7 +155,8 @@ type Controller struct {
 	iterCount     int // instructions buffered in the current iteration
 	lastIterSize  int // size of the last complete iteration (the counter)
 	firstIterDone bool
-	reuseOrd      int // reuse pointer, as an ordinal over classified entries
+	reuseOrd      int    // reuse pointer, as an ordinal over classified entries
+	wraps         uint64 // reuse-pointer wrap-arounds (see Wraps)
 
 	reusable []int // scratch for ReusableEntries
 
@@ -355,9 +356,17 @@ func (c *Controller) ConsumeReused(k int) {
 	if n == 0 || k == 0 {
 		return
 	}
+	c.wraps += uint64((c.reuseOrd + k) / n)
 	c.reuseOrd = (c.reuseOrd + k) % n
 	c.S.ReuseRenames += uint64(k)
 }
+
+// Wraps counts reuse-pointer wrap-arounds — completed Code Reuse loop
+// iterations. ReuseOrd alone cannot expose them: a small loop can wrap
+// without the ordinal decreasing when several instances are consumed in one
+// cycle. Monotonic within a run; deliberately not part of ControllerState
+// (observers only ever difference it, so the wire format stays unchanged).
+func (c *Controller) Wraps() uint64 { return c.wraps }
 
 // maybeDetect runs the loop detector on one dispatched instruction in
 // Normal state.

@@ -25,6 +25,7 @@ import (
 
 	"reuseiq/internal/compiler"
 	"reuseiq/internal/core"
+	"reuseiq/internal/ffwd"
 	"reuseiq/internal/pipeline"
 	"reuseiq/internal/power"
 	"reuseiq/internal/prog"
@@ -89,6 +90,11 @@ type Suite struct {
 	// and the spec that just completed. Calls are serialized; cached specs
 	// report instantly. cmd/reusebench uses it for live sweep progress.
 	Progress func(done, total int, sp Spec)
+	// FastForward opts every run into the analytic fast-forward engine
+	// (internal/ffwd). Results are byte-identical either way — the engine
+	// only skips provably periodic spans — so this is purely a wall-clock
+	// lever for large sweeps.
+	FastForward bool
 
 	// journal, when non-nil, persists completed cells and mid-cell machine
 	// checkpoints so a killed sweep can resume. Set via AttachJournal.
@@ -252,6 +258,7 @@ func (s *Suite) Run(sp Spec) (RunResult, error) {
 	cfg.Reuse.Enabled = sp.Reuse
 	cfg.Reuse.Strategy = sp.Strategy
 	cfg.Reuse.NBLTSize = k.nblt
+	cfg.FastForward = s.FastForward
 	if s.Sabotage != nil && s.Sabotage(sp) {
 		cfg.MaxCycles = 100
 	}
@@ -267,6 +274,7 @@ func (s *Suite) Run(sp Spec) (RunResult, error) {
 	if m == nil {
 		m = pipeline.New(cfg, mp)
 	}
+	ffwd.Attach(m)
 	runErr := runJournaled(j, k, m)
 	retried := false
 	if runErr != nil {
@@ -281,6 +289,7 @@ func (s *Suite) Run(sp Spec) (RunResult, error) {
 		cfg.MaxCycles = 4 * budget
 		m.Release()
 		m = pipeline.New(cfg, mp)
+		ffwd.Attach(m)
 		if runErr = runJournaled(j, k, m); runErr != nil {
 			runErr = fmt.Errorf("experiments: %s iq=%d reuse=%v (after retry): %w",
 				sp.Kernel, sp.IQSize, sp.Reuse, runErr)

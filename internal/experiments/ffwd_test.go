@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+// TestFigureSweepByteIdentity: a trimmed paper-figure sweep renders the same
+// report with the fast-forward engine on and off. The engine's contract is
+// that it only skips spans it can reproduce exactly, so Suite.FastForward is
+// purely a wall-clock lever.
+func TestFigureSweepByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full kernel sweep")
+	}
+	sizes := []int{32}
+	sOff, sOn := NewSuite(), NewSuite()
+	sOn.FastForward = true
+	f0, err := sOff.Figure5(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := sOn.Figure5(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f0.String() != f1.String() {
+		t.Errorf("figure 5 differs with ffwd on:\noff:\n%s\non:\n%s", f0, f1)
+	}
+	g0, err := sOff.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := sOn.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g0.String() != g1.String() {
+		t.Errorf("figure 9 differs with ffwd on:\noff:\n%s\non:\n%s", g0, g1)
+	}
+}

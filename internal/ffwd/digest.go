@@ -1,0 +1,351 @@
+// Structural digest: a canonical hash of everything about a machine snapshot
+// that must be period-invariant for fast-forward to be sound, with every
+// per-period label erased. Sequence numbers are hashed relative to NextSeq,
+// timestamps relative to the cycle, physical registers are replaced by their
+// dataflow role (which in-flight producer feeds which consumer, whether an
+// architectural register is ready through the map), and ROB/LSQ ring slots by
+// their position from the head. Two snapshots one loop iteration apart in a
+// converged steady state digest identically even though every concrete label
+// differs; any structural drift — an extra in-flight instruction, a changed
+// store-set link, a cache line in a different state — changes the hash.
+//
+// Deliberately excluded: all values (registers, memory, in-flight results) —
+// those evolve affinely and are handled by the extrapolator — and all
+// counters, which are checked separately for constant deltas.
+package ffwd
+
+import (
+	"reuseiq/internal/isa"
+	"reuseiq/internal/mem"
+	"reuseiq/internal/pipeline"
+)
+
+// hasher is FNV-1a over fixed-width words. Cold path: it runs only on the
+// armed path, at most a few times per engage attempt.
+type hasher struct{ h uint64 }
+
+func newHasher() hasher { return hasher{h: 14695981039346656037} }
+
+func (d *hasher) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		d.h ^= v & 0xff
+		d.h *= 1099511628211
+		v >>= 8
+	}
+}
+
+func (d *hasher) u32(v uint32) { d.u64(uint64(v)) }
+func (d *hasher) i(v int)      { d.u64(uint64(int64(v))) }
+func (d *hasher) i32(v int32)  { d.u64(uint64(int64(v))) }
+
+func (d *hasher) b(v bool) {
+	if v {
+		d.u64(1)
+	} else {
+		d.u64(0)
+	}
+}
+
+// sep delimits variable-length sections so adjacent lists cannot alias.
+func (d *hasher) sep(tag uint64) { d.u64(^tag) }
+
+func (d *hasher) inst(in isa.Inst) {
+	d.u64(uint64(in.Op))
+	d.u64(uint64(in.Rd))
+	d.u64(uint64(in.Rs))
+	d.u64(uint64(in.Rt))
+	d.i32(in.Imm)
+	d.u32(in.Target)
+}
+
+// relu is a saturating a-b for relative timestamps: deadlines in the past
+// all canonicalize to zero (their exact age no longer matters).
+func relu(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return 0
+}
+
+// digest computes the canonical structural hash of st.
+//
+//reuse:allow-alloc cold armed-path helper; runs at most a few times per engage attempt
+func digest(st *pipeline.MachineState) uint64 {
+	d := newHasher()
+	cyc := st.Cycle
+
+	// Front end and global flags.
+	d.u32(st.FetchPC)
+	d.b(st.FetchHalted)
+	d.b(st.Halted)
+	d.u64(relu(st.FetchStallUntil, cyc))
+
+	// Controller scalars. IterCount only changes during Loop Buffering, so
+	// during Code Reuse it is frozen and safe to require invariant.
+	d.sep(1)
+	d.u64(uint64(st.Ctl.State))
+	d.u32(st.Ctl.LoopHead)
+	d.u32(st.Ctl.LoopTail)
+	d.i(st.Ctl.CallDepth)
+	d.i(st.Ctl.IterCount)
+	d.i(st.Ctl.LastIterSize)
+	d.b(st.Ctl.FirstIterDone)
+	d.i(st.Ctl.ReuseOrd)
+	for i := range st.Ctl.NBLT.Addrs {
+		d.u32(st.Ctl.NBLT.Addrs[i])
+		d.b(st.Ctl.NBLT.Valid[i])
+	}
+	d.i(st.Ctl.NBLT.Next)
+
+	// Fetch queue and decode latch.
+	d.sep(2)
+	for _, q := range [][]pipeline.FetchedState{st.FetchQ, st.DecodeLat} {
+		d.i(len(q))
+		for i := range q {
+			f := &q[i]
+			d.u32(f.PC)
+			d.inst(f.Inst)
+			d.b(f.IsControl)
+			d.b(f.PredTaken)
+			d.u32(f.PredTarget)
+		}
+	}
+
+	// ROB, in position-from-head order with sequence numbers relative to
+	// NextSeq and slots erased. NewPhys/OldPhys are labels: excluded (their
+	// dataflow role is captured through the IQ producer encoding and the
+	// committed-map check in engage.go).
+	d.sep(3)
+	robSize := len(st.ROB.Ring)
+	d.i(st.ROB.Count)
+	for i := 0; i < st.ROB.Count; i++ {
+		slot := (st.ROB.Head + i) % robSize
+		if !st.ROB.Used[slot] {
+			d.u64(0xdead)
+			continue
+		}
+		en := &st.ROB.Ring[slot]
+		d.u64(st.NextSeq - en.Seq)
+		d.u32(en.PC)
+		d.inst(en.Inst)
+		d.b(en.HasDest)
+		d.u64(uint64(en.Dest.Kind))
+		d.u64(uint64(en.Dest.Num))
+		d.b(en.Done)
+		d.b(en.PredTaken)
+		d.u32(en.PredTarget)
+		d.b(en.ActTaken)
+		d.u32(en.ActTarget)
+		d.b(en.Mispred)
+		d.b(en.IsLoad)
+		d.b(en.IsStore)
+		d.b(en.Halt)
+		d.b(en.Reused)
+		if en.IssueCycle == 0 {
+			d.u64(^uint64(0))
+		} else {
+			d.u64(relu(cyc, en.IssueCycle))
+		}
+	}
+
+	// LSQ, in position-from-head order. Addr is included: fast-forward
+	// requires frozen memory traffic, so a drifting address must break the
+	// digest. Data values are excluded (they are values, not structure).
+	d.sep(4)
+	lsqSize := len(st.LSQ.Ring)
+	d.i(st.LSQ.Count)
+	for i := 0; i < st.LSQ.Count; i++ {
+		en := &st.LSQ.Ring[(st.LSQ.Head+i)%lsqSize]
+		d.u64(st.NextSeq - en.Seq)
+		d.b(en.IsStore)
+		d.b(en.IsFP)
+		d.u64(uint64(en.Size))
+		d.b(en.AddrReady)
+		d.u32(en.Addr)
+		d.b(en.DataReady)
+		d.b(en.Done)
+	}
+
+	// In-flight execution list, in slice order, ROB slots relabeled to
+	// position-from-head and completion cycles made relative. Values excluded.
+	d.sep(5)
+	d.i(len(st.ExecQ))
+	for i := range st.ExecQ {
+		en := &st.ExecQ[i]
+		d.i((en.ROBSlot - st.ROB.Head + robSize) % robSize)
+		d.u64(st.NextSeq - en.Seq)
+		d.u64(relu(en.Done, cyc))
+	}
+
+	// Issue queue, relabeled by program order: slots are renamed to their
+	// index along the Head->Next chain, physical source registers to the
+	// position-from-head of the in-flight producer (or -1 for a committed,
+	// i.e. architecturally visible, source). This erases both slot and
+	// physical-register labels while preserving the exact dataflow topology.
+	d.sep(6)
+	iqSize := len(st.IQ.Slots)
+	progIdx := make([]int32, iqSize)
+	for i := range progIdx {
+		progIdx[i] = -1
+	}
+	order := make([]int32, 0, st.IQ.Count)
+	for slot := st.IQ.Head; slot >= 0 && len(order) <= iqSize; slot = st.IQ.Meta[slot].Next {
+		progIdx[slot] = int32(len(order))
+		order = append(order, slot)
+	}
+	d.i(len(order))
+	producerPos := func(kind isa.RegKind, phys int) int {
+		for i := 0; i < st.ROB.Count; i++ {
+			slot := (st.ROB.Head + i) % robSize
+			if !st.ROB.Used[slot] {
+				continue
+			}
+			en := &st.ROB.Ring[slot]
+			if en.HasDest && en.Dest.Kind == kind && en.NewPhys == phys {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, slot := range order {
+		en := &st.IQ.Slots[slot]
+		mt := &st.IQ.Meta[slot]
+		d.u64(st.NextSeq - en.Seq)
+		d.u32(en.PC)
+		d.inst(en.Inst)
+		d.i((en.ROBSlot - st.ROB.Head + robSize) % robSize)
+		if en.LSQSlot < 0 {
+			d.i(-1)
+		} else {
+			d.i((en.LSQSlot - st.LSQ.Head + lsqSize) % lsqSize)
+		}
+		d.i(en.NumSrc)
+		for s := 0; s < en.NumSrc; s++ {
+			d.u64(uint64(en.SrcKind[s]))
+			d.b(en.SrcReady[s])
+			d.i(producerPos(en.SrcKind[s], en.SrcPhys[s]))
+		}
+		d.b(en.HasDest)
+		d.u64(uint64(en.DestKind))
+		d.b(en.Issued)
+		d.b(en.Classified)
+		d.b(en.StaticTaken)
+		d.u32(en.StaticTarget)
+		d.u64(st.IQ.OrderGen - mt.OrderKey)
+		d.u64(uint64(mt.Pending))
+		d.b(mt.InStore)
+	}
+	d.i(st.IQ.Classified)
+	d.b(st.IQ.ClassDirty)
+	d.sep(7)
+	for _, slot := range st.IQ.ClassSlots {
+		d.i32(progIdx[slot])
+	}
+	d.sep(8)
+	for _, slot := range st.IQ.ReadySlots {
+		d.i32(progIdx[slot])
+	}
+	// Pending-store program-order chain.
+	d.sep(9)
+	for slot, hops := st.IQ.StoreHead, 0; slot >= 0 && hops <= iqSize; slot, hops = st.IQ.Meta[slot].SNext, hops+1 {
+		d.i32(progIdx[slot])
+	}
+	// Wakeup chains, one per in-flight producer in ROB order: each waiting
+	// (entry, source) pair as (program index, source number). The physical
+	// register keying the chain is erased; the wait topology is kept.
+	d.sep(10)
+	for i := 0; i < st.ROB.Count; i++ {
+		slot := (st.ROB.Head + i) % robSize
+		if !st.ROB.Used[slot] {
+			continue
+		}
+		en := &st.ROB.Ring[slot]
+		if !en.HasDest {
+			continue
+		}
+		heads := st.IQ.IntWait
+		if en.Dest.Kind == isa.KindFP {
+			heads = st.IQ.FPWait
+		}
+		if en.NewPhys >= len(heads) {
+			d.i(-2)
+			continue
+		}
+		for node, hops := heads[en.NewPhys], 0; node >= 0 && hops <= 2*iqSize; node, hops = st.IQ.WNext[node], hops+1 {
+			d.i32(progIdx[node/2])
+			d.i32(node & 1)
+		}
+		d.i(-1)
+	}
+
+	// Rename: per-architectural-register readiness through the map, plus
+	// free-list depth. Physical labels, map contents, free-list order and all
+	// values are excluded — they are labels or values, not structure.
+	d.sep(11)
+	for r := 0; r < isa.NumIntRegs; r++ {
+		d.b(st.RF.IntReady[st.RF.IntMap[r]])
+	}
+	for r := 0; r < isa.NumFPRegs; r++ {
+		d.b(st.RF.FPReady[st.RF.FPMap[r]])
+	}
+	d.i(len(st.RF.IntFree))
+	d.i(len(st.RF.FPFree))
+
+	// Caches: per-line valid/dirty/tag. LRU stamps drift by a constant per
+	// period in steady state; engage.go checks their deltas separately.
+	d.sep(12)
+	hashCache := func(c *mem.CacheState) {
+		for i := range c.Lines {
+			l := &c.Lines[i]
+			d.b(l.Valid)
+			d.b(l.Dirty)
+			d.u32(l.Tag)
+		}
+	}
+	hashCache(&st.Hier.L1I)
+	hashCache(&st.Hier.L1D)
+	hashCache(&st.Hier.L2)
+	if st.Hier.HasL0I {
+		hashCache(&st.Hier.L0I)
+	}
+	hashCache(&st.Hier.ITLB)
+	hashCache(&st.Hier.DTLB)
+
+	// Branch predictor: direction table, BTB contents (recency separate, as
+	// for caches), and the full return-address stack.
+	d.sep(13)
+	for _, v := range st.BP.Bimod {
+		d.u64(uint64(v))
+	}
+	for i := range st.BP.BTB {
+		l := &st.BP.BTB[i]
+		d.b(l.Valid)
+		d.u32(l.Tag)
+		d.u32(l.Target)
+	}
+	for _, v := range st.BP.RAS {
+		d.u32(v)
+	}
+	d.i(st.BP.RASTop)
+	d.i(st.BP.RASCnt)
+
+	// Function units: busy horizon relative to the cycle.
+	d.sep(14)
+	for k := range st.FUs.NextFree {
+		for _, nf := range st.FUs.NextFree[k] {
+			d.u64(relu(nf, cyc))
+		}
+	}
+
+	// Loop cache.
+	if st.HasLC {
+		d.sep(15)
+		d.u64(uint64(st.LC.State))
+		d.u32(st.LC.Head)
+		d.u32(st.LC.Tail)
+		for _, pc := range st.LC.ValidPCs {
+			d.u32(pc)
+		}
+	}
+	return d.h
+}

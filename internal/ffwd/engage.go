@@ -1,0 +1,781 @@
+// Engage: the authoritative convergence checks and the analytic skip.
+//
+// The soundness argument, in full. Let C_k be the committed architectural
+// state (registers + memory) when the commit frontier passes the mark
+// position for the k-th time, and let s be the number of instructions
+// committed per period. The per-period transition C_{k+1} = F(C_k) is the
+// composition of the s template instructions. The scan proves that every
+// template instruction is, over Z_2^32:
+//
+//   - affine in its integer inputs with constant coefficients (ADD, SUB,
+//     ADDI, LUI, constant shifts, NOP), or
+//   - input-frozen: every input's per-period delta is zero, so its output is
+//     constant (everything else — logical ops, compares, multiplies, variable
+//     shifts, all FP arithmetic — plus loads from frozen memory and
+//     register-indirect jumps), or
+//   - a conditional branch whose outcome is provably constant over the
+//     skipped range (sign branches on frozen operands; BEQ/BNE via the exact
+//     modular flip solve below).
+//
+// Under those rules F restricted to the register state is affine:
+// x_{k+1} = A.x_k + c exactly, with wraparound. The three captured snapshots
+// give two observed deltas d1 = x_1 - x_0 and d2 = x_2 - x_1, and
+// d2 = A.d1; the engage condition d1 = d2 makes d1 a fixed point of A, so by
+// induction every future delta equals d1 and x_k = x_2 + (k-2).d1 exactly,
+// for as long as the control path does not change. Memory is frozen (no
+// store commits per period — and a store in flight would have to commit once
+// per period, so the zero store-delta check also excludes in-flight stores),
+// and the structural digest plus per-line recency deltas prove the
+// microarchitectural configuration is period-invariant, so per-period cycle
+// and counter deltas are constant too: the machine after n more periods is
+// the current snapshot with every counter advanced by n deltas, every
+// sequence number by n.s, every timestamp by n.dCycle, and every live
+// integer value by n times its per-period delta. That state is computed in
+// O(1) per machine component and restored through the validating snapshot
+// importer, with the lockstep invariant checker run on both sides.
+//
+// Control: a BEQ/BNE on affine operands compares d(k) = d2 + (k-2).dd to
+// zero, where dd is the operand-delta difference. Its first outcome change
+// is the smallest kRel >= 1 with d2 + kRel.dd = 0 (mod 2^32) — solvable
+// exactly: with t = trailing zeros of dd, a solution exists iff 2^t divides
+// d2, and then kRel = (-d2/2^t).(dd/2^t)^-1 mod 2^(32-t). The skip is
+// clamped so that every instruction the machine will have fetched at the
+// landing point (the in-flight window W past the commit frontier) still
+// precedes the first flip.
+package ffwd
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"reuseiq/internal/interp"
+	"reuseiq/internal/isa"
+	"reuseiq/internal/lockstep"
+	"reuseiq/internal/mem"
+	"reuseiq/internal/pipeline"
+)
+
+// noFlip marks a branch whose outcome never changes.
+const noFlip = ^uint64(0)
+
+// counterPtrs visits every monotonic counter and clock in st — the complete
+// set advanced by n.delta on a skip, and the set whose per-period deltas
+// must be constant to engage. Single source of truth for both uses. The
+// chaos counters are deliberately absent: fast-forward refuses to run with
+// fault injection enabled, so they are identically zero.
+func counterPtrs(st *pipeline.MachineState, f func(*uint64)) {
+	f(&st.Cycle)
+	f(&st.NextSeq)
+	f(&st.LastCommit)
+
+	c := &st.C
+	f(&c.Cycles)
+	f(&c.Commits)
+	f(&c.GatedCycles)
+	f(&c.Fetches)
+	f(&c.FetchCycles)
+	f(&c.Decodes)
+	f(&c.FrontRenames)
+	f(&c.ReuseRenames)
+	f(&c.BranchesCommitted)
+	f(&c.TakenCommitted)
+	f(&c.Mispredicts)
+	f(&c.LoadsCommitted)
+	f(&c.StoresCommitted)
+	f(&c.ReusedCommitted)
+	f(&c.LoopCacheSupplies)
+	f(&c.WakeupBroadcasts)
+	f(&c.WakeupOccupancySum)
+	f(&c.IssueCycleScans)
+	f(&c.DispatchStallIQ)
+	f(&c.DispatchStallROB)
+	f(&c.DispatchStallLSQ)
+	f(&c.DispatchStallRegs)
+	f(&c.StoreCommitAccesses)
+
+	f(&st.RF.Renames)
+	f(&st.RF.MapReads)
+	f(&st.RF.Reads)
+	f(&st.RF.Writes)
+
+	f(&st.ROB.Allocs)
+	f(&st.ROB.Commits)
+
+	f(&st.LSQ.Allocs)
+	f(&st.LSQ.Searches)
+	f(&st.LSQ.Forwards)
+	f(&st.LSQ.ConflictStalls)
+
+	q := &st.IQ
+	f(&q.OrderGen)
+	f(&q.Dispatches)
+	f(&q.PartialUpdates)
+	f(&q.IssueReads)
+	f(&q.Removals)
+	f(&q.Collapses)
+	f(&q.SelectScans)
+
+	s := &st.Ctl.S
+	f(&s.Detections)
+	f(&s.NBLTFiltered)
+	f(&s.Bufferings)
+	f(&s.IterationsBuffered)
+	f(&s.BufferedInsts)
+	f(&s.Promotions)
+	f(&s.ReuseRenames)
+	f(&s.ReuseExits)
+	f(&s.Revokes)
+	f(&s.RevokesInner)
+	f(&s.RevokesExit)
+	f(&s.RevokesFull)
+	f(&s.RevokesRecovery)
+	f(&s.RevokesForced)
+
+	t := &st.Ctl.NBLT
+	f(&t.Lookups)
+	f(&t.Hits)
+	f(&t.Inserts)
+
+	cache := func(cs *mem.CacheState) {
+		f(&cs.Stamp)
+		f(&cs.Accesses)
+		f(&cs.Misses)
+		f(&cs.Writebacks)
+	}
+	cache(&st.Hier.L1I)
+	cache(&st.Hier.L1D)
+	cache(&st.Hier.L2)
+	if st.Hier.HasL0I {
+		cache(&st.Hier.L0I)
+	}
+	cache(&st.Hier.ITLB)
+	cache(&st.Hier.DTLB)
+	f(&st.Hier.L2WritebackAccesses)
+
+	b := &st.BP
+	f(&b.Stamp)
+	f(&b.Lookups)
+	f(&b.Updates)
+	f(&b.BTBLookups)
+	f(&b.BTBUpdates)
+	f(&b.RASOps)
+
+	for k := range st.FUs.Ops {
+		f(&st.FUs.Ops[k])
+	}
+
+	if st.HasLC {
+		f(&st.LC.Supplies)
+		f(&st.LC.Fills)
+		f(&st.LC.Detects)
+		f(&st.LC.Exits)
+	}
+}
+
+// committedMaps reconstructs the architectural (committed) rename maps from
+// a snapshot by rolling the current maps back across the in-flight ROB
+// entries, newest to oldest: the oldest in-flight writer of a register holds
+// the committed physical register in OldPhys.
+func committedMaps(st *pipeline.MachineState) (ci [isa.NumIntRegs]int, cf [isa.NumFPRegs]int) {
+	copy(ci[:], st.RF.IntMap)
+	copy(cf[:], st.RF.FPMap)
+	size := len(st.ROB.Ring)
+	for i := st.ROB.Count - 1; i >= 0; i-- {
+		slot := (st.ROB.Head + i) % size
+		if !st.ROB.Used[slot] {
+			continue
+		}
+		en := &st.ROB.Ring[slot]
+		if !en.HasDest {
+			continue
+		}
+		if en.Dest.Kind == isa.KindFP {
+			cf[en.Dest.Num] = en.OldPhys
+		} else {
+			ci[en.Dest.Num] = en.OldPhys
+		}
+	}
+	return ci, cf
+}
+
+// stepRec is one template instruction with its operand and result values
+// recorded over the three scanned periods.
+type stepRec struct {
+	pc uint32
+	in isa.Inst
+
+	a, b     [3]int32   // integer rs/rt operand per period
+	fa, fb   [3]float64 // FP rs/rt operand per period
+	destI    [3]int32
+	destF    [3]float64
+	loadAddr [3]uint32
+	taken    [3]bool
+
+	hasDest bool
+	dest    isa.Reg
+	dI      int32 // per-period delta of the integer destination
+}
+
+// scanTemplate seeds the functional interpreter with the snapshot's
+// committed state and replays three full periods of the commit stream,
+// recording every operand and result, then statically classifies each
+// template instruction per the affine/frozen/branch rules. It returns the
+// verified template and the landing bound imposed by branch-exit solves
+// (noFlip when no branch ever flips), or ok=false when any rule fails.
+//
+//reuse:allow-alloc cold engage path: 3s interpreter steps per attempt, amortized over the skipped run
+func (e *Engine) scanTemplate(S2 *pipeline.MachineState, s uint64, dMark *[isa.NumIntRegs]uint32) ([]stepRec, uint64, bool) {
+	m := e.m
+	head := &S2.ROB.Ring[S2.ROB.Head]
+	gmem := m.Prog.Data.Clone()
+	if err := gmem.ImportPages(S2.Pages); err != nil {
+		return nil, 0, false
+	}
+	g := &interp.Machine{Prog: m.Prog, MaxInsts: 3*s + 8}
+	g.State.PC = head.PC
+	g.State.Mem = gmem
+	ci, cf := committedMaps(S2)
+	for r := 0; r < isa.NumIntRegs; r++ {
+		g.State.Int[r] = S2.RF.IntVals[ci[r]]
+	}
+	for r := 0; r < isa.NumFPRegs; r++ {
+		g.State.FP[r] = S2.RF.FPVals[cf[r]]
+	}
+
+	// Replay and record 3 periods.
+	tmpl := make([]stepRec, s)
+	for step := uint64(0); step < 3*s; step++ {
+		j, p := step%s, step/s
+		pc := g.State.PC
+		in, ok := m.Prog.InstAt(pc)
+		if !ok {
+			return nil, 0, false
+		}
+		r := &tmpl[j]
+		if p == 0 {
+			r.pc, r.in = pc, in
+			if d, ok := in.Dest(); ok {
+				r.hasDest, r.dest = true, d
+			}
+		} else if r.pc != pc || r.in != in {
+			// The committed path is not periodic with period s.
+			return nil, 0, false
+		}
+		info := in.Op.Info()
+		if info.ReadsRs {
+			if info.RsFP {
+				r.fa[p] = g.State.FP[in.Rs]
+			} else {
+				r.a[p] = g.State.Int[in.Rs]
+			}
+		}
+		if info.ReadsRt {
+			if info.RtFP {
+				r.fb[p] = g.State.FP[in.Rt]
+			} else {
+				r.b[p] = g.State.Int[in.Rt]
+			}
+		}
+		ef, err := g.Step()
+		if err != nil || ef.Halted || ef.IsStore {
+			return nil, 0, false
+		}
+		r.taken[p] = ef.Taken
+		if ef.IsLoad {
+			r.loadAddr[p] = ef.LoadAddr
+		}
+		if ef.HasDest {
+			if ef.Dest.Kind == isa.KindFP {
+				r.destF[p] = ef.DestF
+			} else {
+				r.destI[p] = ef.DestI
+			}
+		}
+	}
+
+	// Static classification with exact per-register delta dataflow. dInt[r]
+	// is the per-period delta of r's current value at this point of the
+	// template; it starts as the committed mark delta (the last write of the
+	// previous period) and is updated at each destination write. The
+	// recorded three-period values are cross-checked against every derived
+	// delta, so a modeling error here cannot survive into an engagement.
+	var dInt [isa.NumIntRegs]uint32
+	dInt = *dMark
+	affine := func(v *[3]int32, d uint32) bool {
+		return uint32(v[1])-uint32(v[0]) == d && uint32(v[2])-uint32(v[1]) == d
+	}
+	frozenF := func(v *[3]float64) bool {
+		return math.Float64bits(v[0]) == math.Float64bits(v[1]) &&
+			math.Float64bits(v[1]) == math.Float64bits(v[2])
+	}
+	headSeq := head.Seq
+	w := S2.NextSeq - headSeq // in-flight window past the commit frontier
+	landing := uint64(noFlip)
+	for j := range tmpl {
+		r := &tmpl[j]
+		op := r.in.Op
+		info := op.Info()
+		var da, db uint32
+		if info.ReadsRs && !info.RsFP {
+			da = dInt[r.in.Rs]
+			if !affine(&r.a, da) {
+				return nil, 0, false
+			}
+		}
+		if info.ReadsRt && !info.RtFP {
+			db = dInt[r.in.Rt]
+			if !affine(&r.b, db) {
+				return nil, 0, false
+			}
+		}
+		if info.ReadsRs && info.RsFP && !frozenF(&r.fa) {
+			return nil, 0, false
+		}
+		if info.ReadsRt && info.RtFP && !frozenF(&r.fb) {
+			return nil, 0, false
+		}
+
+		dd := uint32(0)     // destination delta
+		affineOp := false   // op is in the affine whitelist
+		switch op {
+		case isa.OpADD:
+			dd, affineOp = da+db, true
+		case isa.OpSUB:
+			dd, affineOp = da-db, true
+		case isa.OpADDI:
+			dd, affineOp = da, true
+		case isa.OpLUI:
+			dd, affineOp = 0, true
+		case isa.OpSLL:
+			// rd = rt << shamt: multiplication by 2^shamt, linear over Z_2^32.
+			dd, affineOp = db<<(uint(r.in.Imm)&31), true
+		case isa.OpNOP, isa.OpJ:
+			// No dataflow.
+		case isa.OpLW, isa.OpLB, isa.OpLBU, isa.OpLH, isa.OpLHU, isa.OpLD:
+			// Load from frozen memory: sound only when the address is frozen
+			// too (the base register's delta is zero).
+			if da != 0 || r.loadAddr[0] != r.loadAddr[1] || r.loadAddr[1] != r.loadAddr[2] {
+				return nil, 0, false
+			}
+		case isa.OpBEQ, isa.OpBNE:
+			if r.taken[0] != r.taken[1] || r.taken[1] != r.taken[2] {
+				return nil, 0, false
+			}
+			if flip := flipPeriod(uint32(r.a[2])-uint32(r.b[2]), da-db); flip != noFlip {
+				// First divergent instruction: step j of period flip. Clamp
+				// so the landing in-flight window [n.s, n.s+w) stays before
+				// it; conservatively drop the +j slack.
+				d := flip * s
+				var bound uint64
+				if d > w {
+					bound = (d - w) / s
+				}
+				if bound < landing {
+					landing = bound
+				}
+			}
+		case isa.OpBLEZ, isa.OpBGTZ, isa.OpBLTZ, isa.OpBGEZ:
+			// Sign tests are not affine-solvable without monotonicity
+			// assumptions that wraparound breaks; require a frozen operand,
+			// which makes the outcome constant forever.
+			if da != 0 {
+				return nil, 0, false
+			}
+			if r.taken[0] != r.taken[1] || r.taken[1] != r.taken[2] {
+				return nil, 0, false
+			}
+		case isa.OpJAL, isa.OpJALR:
+			// Link value is PC+4, constant. JALR additionally needs a frozen
+			// target register.
+			if op == isa.OpJALR && da != 0 {
+				return nil, 0, false
+			}
+		case isa.OpJR:
+			if da != 0 {
+				return nil, 0, false
+			}
+		case isa.OpSW, isa.OpSB, isa.OpSH, isa.OpSD, isa.OpHALT:
+			// Unreachable: the replay vetoed stores and HALT already.
+			return nil, 0, false
+		default:
+			// Frozen class: constant output needs every input frozen. The
+			// FP inputs were checked above; the integer deltas must be zero.
+			if (info.ReadsRs && !info.RsFP && da != 0) || (info.ReadsRt && !info.RtFP && db != 0) {
+				return nil, 0, false
+			}
+		}
+		if r.hasDest {
+			if r.dest.Kind == isa.KindFP {
+				if !frozenF(&r.destF) {
+					return nil, 0, false
+				}
+			} else {
+				if !affineOp {
+					dd = 0
+				}
+				if !affine(&r.destI, dd) {
+					return nil, 0, false
+				}
+				dInt[r.dest.Num] = dd
+				r.dI = int32(dd)
+			}
+		}
+	}
+	// Close the loop: the per-period register deltas computed through the
+	// template must reproduce the observed mark deltas — this is the fixed
+	// point d = A.d + 0 that makes the extrapolation exact forever.
+	if dInt != *dMark {
+		return nil, 0, false
+	}
+	return tmpl, landing, true
+}
+
+// flipPeriod returns the scan-period index of the first outcome change of a
+// BEQ/BNE whose operand difference is d2 at period 2 and advances by dd per
+// period, or noFlip. Exact over Z_2^32.
+func flipPeriod(d2, dd uint32) uint64 {
+	if dd == 0 {
+		return noFlip // difference constant forever
+	}
+	if d2 == 0 {
+		return 3 // currently equal, unequal next period
+	}
+	t := bits.TrailingZeros32(dd)
+	if d2&(1<<uint(t)-1) != 0 {
+		return noFlip // -d2 not divisible by 2^t: no solution
+	}
+	mod := uint64(1) << (32 - uint(t))
+	kRel := (uint64((-d2)>>uint(t)) * uint64(modInverseOdd(dd>>uint(t)))) & (mod - 1)
+	if kRel == 0 {
+		kRel = mod
+	}
+	return 2 + kRel
+}
+
+// modInverseOdd returns the multiplicative inverse of odd a modulo 2^32 by
+// Newton iteration (each round doubles the number of correct low bits).
+func modInverseOdd(a uint32) uint32 {
+	x := uint64(a) // correct to 3 bits: a*a = 1 (mod 8) for odd a
+	for i := 0; i < 5; i++ {
+		x *= 2 - uint64(a)*x
+	}
+	return uint32(x)
+}
+
+// tryEngage runs the full check sequence on the captured snapshot ring and,
+// if every check passes, performs the analytic skip. It returns whether the
+// machine was fast-forwarded; an error means a verification boundary failed
+// after mutation began and the run must stop.
+//
+//reuse:allow-alloc cold engage path, reached only after the cheap per-mark gates pass
+func (e *Engine) tryEngage() (bool, error) {
+	e.S.Attempts++
+	m := e.m
+	S0, S1, S2 := e.ring[0], e.ring[1], e.ring[2]
+
+	// Every counter in the machine must advance identically across the two
+	// intervals, and the loop must make forward progress.
+	var v0, v1 []uint64
+	counterPtrs(S0, func(p *uint64) { v0 = append(v0, *p) })
+	counterPtrs(S1, func(p *uint64) { v1 = append(v1, *p) })
+	i := 0
+	stable := true
+	counterPtrs(S2, func(p *uint64) {
+		if v1[i]-v0[i] != *p-v1[i] {
+			stable = false
+		}
+		i++
+	})
+	dCycle := S2.Cycle - S1.Cycle
+	s := S2.C.Commits - S1.C.Commits
+	if !stable || dCycle == 0 || s == 0 {
+		e.veto(VetoCounters)
+		return false, nil
+	}
+	// No squash: no misprediction recoveries, and sequence numbers advanced
+	// exactly as fast as commits (wrong-path dispatch would outrun them).
+	if S2.C.Mispredicts != S1.C.Mispredicts || S2.NextSeq-S1.NextSeq != s {
+		e.veto(VetoSquash)
+		return false, nil
+	}
+	// Frozen memory: no store commits. This also excludes in-flight stores —
+	// a periodic in-flight store would have to commit once per period.
+	if S2.C.StoresCommitted != S1.C.StoresCommitted ||
+		S2.C.StoreCommitAccesses != S1.C.StoreCommitAccesses {
+		e.veto(VetoMemory)
+		return false, nil
+	}
+	// Canonical structure identical at all three marks.
+	d0 := digest(S0)
+	if d0 != digest(S1) || d0 != digest(S2) {
+		e.veto(VetoStructure)
+		return false, nil
+	}
+	// Replacement state advancing uniformly: per-line recency deltas equal.
+	if !recencyConst(S0, S1, S2) {
+		e.veto(VetoRecency)
+		return false, nil
+	}
+	// The commit frontier anchors the committed state; an empty ROB has none.
+	if S2.ROB.Count == 0 || !S2.ROB.Used[S2.ROB.Head] {
+		e.veto(VetoEmptyROB)
+		return false, nil
+	}
+
+	// Committed architectural registers: constant integer deltas, frozen FP.
+	ci0, cf0 := committedMaps(S0)
+	ci1, cf1 := committedMaps(S1)
+	ci2, cf2 := committedMaps(S2)
+	var dMark [isa.NumIntRegs]uint32
+	for r := 0; r < isa.NumIntRegs; r++ {
+		x0 := uint32(S0.RF.IntVals[ci0[r]])
+		x1 := uint32(S1.RF.IntVals[ci1[r]])
+		x2 := uint32(S2.RF.IntVals[ci2[r]])
+		if x1-x0 != x2-x1 {
+			e.veto(VetoTemplate)
+			return false, nil
+		}
+		dMark[r] = x2 - x1
+	}
+	for r := 0; r < isa.NumFPRegs; r++ {
+		f0 := math.Float64bits(S0.RF.FPVals[cf0[r]])
+		f1 := math.Float64bits(S1.RF.FPVals[cf1[r]])
+		f2 := math.Float64bits(S2.RF.FPVals[cf2[r]])
+		if f0 != f1 || f1 != f2 {
+			e.veto(VetoTemplate)
+			return false, nil
+		}
+	}
+
+	// The functional replay: template periodicity, affine/frozen
+	// classification, and branch-exit solves.
+	tmpl, landing, ok := e.scanTemplate(S2, s, &dMark)
+	if !ok {
+		e.veto(VetoTemplate)
+		return false, nil
+	}
+
+	// Horizon: branch-exit bound and cycle-budget clamp. Landing exactly at
+	// MaxCycles-1 keeps a budget abort byte-identical with the slow path.
+	n := landing
+	if budget := m.Cfg.MaxCycles; budget > S2.Cycle+1 {
+		if b := (budget - 1 - S2.Cycle) / dCycle; b < n {
+			n = b
+		}
+	} else {
+		n = 0
+	}
+	if n < minIterations {
+		e.veto(VetoHorizon)
+		return false, nil
+	}
+
+	// Cross-check every in-flight value against the closed form BEFORE any
+	// mutation: apply cannot abort halfway.
+	headSeq := S2.ROB.Ring[S2.ROB.Head].Seq
+	if !e.verifyInFlight(S2, tmpl, s, headSeq) {
+		e.veto(VetoTemplate)
+		return false, nil
+	}
+
+	// Engage boundary: the live machine (== S2) must satisfy every
+	// microarchitectural invariant before we extrapolate from it.
+	if err := lockstep.NewChecker(m).Check(); err != nil {
+		return false, fmt.Errorf("ffwd: engage boundary: %w", err)
+	}
+
+	e.apply(S1, S2, tmpl, n, s, headSeq, &dMark, ci2)
+
+	if err := m.Restore(S2); err != nil {
+		return false, fmt.Errorf("ffwd: restore at landing: %w", err)
+	}
+	// Disengage boundary: the landed state must satisfy the same invariants.
+	if err := lockstep.NewChecker(m).Check(); err != nil {
+		return false, fmt.Errorf("ffwd: landing boundary: %w", err)
+	}
+
+	e.S.Engagements++
+	e.S.SkippedIterations += n
+	e.S.SkippedCycles += n * dCycle
+	e.S.SkippedInsts += n * s
+	if m.Tel != nil {
+		m.Tel.BeginCycle(m.Cycle())
+		m.Tel.FastForward(e.markPC(), n, n*dCycle, n*e.dGated, n*e.dReused)
+	}
+	return true, nil
+}
+
+// recencyConst verifies that every cache and BTB line's recency stamp
+// advanced by the same amount in both intervals. Lines whose stamps drift
+// non-uniformly would age differently across the skip and change a future
+// eviction.
+func recencyConst(S0, S1, S2 *pipeline.MachineState) bool {
+	caches := func(st *pipeline.MachineState) []*mem.CacheState {
+		out := []*mem.CacheState{&st.Hier.L1I, &st.Hier.L1D, &st.Hier.L2, &st.Hier.ITLB, &st.Hier.DTLB}
+		if st.Hier.HasL0I {
+			out = append(out, &st.Hier.L0I)
+		}
+		return out
+	}
+	c0, c1, c2 := caches(S0), caches(S1), caches(S2)
+	for ci := range c0 {
+		l0, l1, l2 := c0[ci].Lines, c1[ci].Lines, c2[ci].Lines
+		for i := range l0 {
+			if l1[i].LRU-l0[i].LRU != l2[i].LRU-l1[i].LRU {
+				return false
+			}
+		}
+	}
+	for i := range S0.BP.BTB {
+		if S1.BP.BTB[i].LRU-S0.BP.BTB[i].LRU != S2.BP.BTB[i].LRU-S1.BP.BTB[i].LRU {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyInFlight checks every in-flight destination value and PC in S2
+// against the template's closed form: the instruction at sequence offset t
+// is template step t mod s of period t/s, and an integer destination's value
+// is destI[2] + (period-2).dI exactly.
+func (e *Engine) verifyInFlight(S2 *pipeline.MachineState, tmpl []stepRec, s, headSeq uint64) bool {
+	robSize := len(S2.ROB.Ring)
+	closed := func(r *stepRec, it uint64) int32 {
+		return r.destI[2] + (int32(it)-2)*r.dI
+	}
+	for i := 0; i < S2.ROB.Count; i++ {
+		slot := (S2.ROB.Head + i) % robSize
+		if !S2.ROB.Used[slot] {
+			return false
+		}
+		en := &S2.ROB.Ring[slot]
+		t := en.Seq - headSeq
+		r := &tmpl[t%s]
+		if en.PC != r.pc || en.Inst != r.in || en.HasDest != r.hasDest {
+			return false
+		}
+		if en.HasDest && en.Dest != r.dest {
+			return false
+		}
+		if en.Done && en.HasDest {
+			if en.Dest.Kind == isa.KindFP {
+				if math.Float64bits(S2.RF.FPVals[en.NewPhys]) != math.Float64bits(r.destF[2]) {
+					return false
+				}
+			} else if S2.RF.IntVals[en.NewPhys] != closed(r, t/s) {
+				return false
+			}
+		}
+	}
+	for i := range S2.ExecQ {
+		en := &S2.ExecQ[i]
+		t := en.Seq - headSeq
+		if en.Seq < headSeq {
+			return false
+		}
+		r := &tmpl[t%s]
+		if !r.hasDest {
+			continue
+		}
+		if r.dest.Kind == isa.KindFP {
+			if math.Float64bits(en.ValF) != math.Float64bits(r.destF[2]) {
+				return false
+			}
+		} else if en.ValI != closed(r, t/s) {
+			return false
+		}
+	}
+	return true
+}
+
+// apply advances S2 by n periods in place: values first (their closed forms
+// index off the original sequence numbers), then counters, then sequence
+// numbers, order keys and timestamps. All verification happened beforehand;
+// this function cannot fail.
+func (e *Engine) apply(S1, S2 *pipeline.MachineState, tmpl []stepRec, n, s, headSeq uint64, dMark *[isa.NumIntRegs]uint32, ci2 [isa.NumIntRegs]int) {
+	oldCycle := S2.Cycle
+	dCycle := S2.Cycle - S1.Cycle
+	dOrder := S2.IQ.OrderGen - S1.IQ.OrderGen
+	e.dGated = S2.C.GatedCycles - S1.C.GatedCycles
+	e.dReused = S2.C.ReuseRenames - S1.C.ReuseRenames
+	nn := uint32(n)
+
+	// Committed integer registers advance by n mark deltas. (FP and memory
+	// are frozen; $zero's delta is zero by construction.)
+	for r := 0; r < isa.NumIntRegs; r++ {
+		S2.RF.IntVals[ci2[r]] += int32(nn * dMark[r])
+	}
+
+	// In-flight instructions: the landing entry at offset t stands for the
+	// original entry n periods later, so completed integer destinations
+	// advance by n.dI of their template step.
+	robSize := len(S2.ROB.Ring)
+	for i := 0; i < S2.ROB.Count; i++ {
+		slot := (S2.ROB.Head + i) % robSize
+		en := &S2.ROB.Ring[slot]
+		r := &tmpl[(en.Seq-headSeq)%s]
+		if en.Done && en.HasDest && en.Dest.Kind != isa.KindFP {
+			S2.RF.IntVals[en.NewPhys] += int32(nn * uint32(r.dI))
+		}
+		en.Seq += n * s
+		if en.IssueCycle != 0 {
+			en.IssueCycle += n * dCycle
+		}
+	}
+	for i := range S2.ExecQ {
+		en := &S2.ExecQ[i]
+		r := &tmpl[(en.Seq-headSeq)%s]
+		if r.hasDest && r.dest.Kind != isa.KindFP {
+			en.ValI += int32(nn * uint32(r.dI))
+		}
+		en.Seq += n * s
+		en.Done += n * dCycle
+	}
+
+	// Counters: every one advances by n times its own per-period delta.
+	// This moves Cycle, NextSeq and LastCommit along with the rest.
+	var prev []uint64
+	counterPtrs(S1, func(p *uint64) { prev = append(prev, *p) })
+	i := 0
+	counterPtrs(S2, func(p *uint64) { *p += n * (*p - prev[i]); i++ })
+
+	// Remaining sequence numbers, timestamps and recency stamps.
+	if S2.FetchStallUntil > oldCycle {
+		S2.FetchStallUntil += n * dCycle
+	}
+	lsqSize := len(S2.LSQ.Ring)
+	for i := 0; i < S2.LSQ.Count; i++ {
+		S2.LSQ.Ring[(S2.LSQ.Head+i)%lsqSize].Seq += n * s
+	}
+	for i := range S2.IQ.Slots {
+		if !S2.IQ.Meta[i].Valid {
+			continue
+		}
+		S2.IQ.Slots[i].Seq += n * s
+		S2.IQ.Meta[i].OrderKey += n * dOrder
+	}
+	for k := range S2.FUs.NextFree {
+		for u := range S2.FUs.NextFree[k] {
+			if S2.FUs.NextFree[k][u] > oldCycle {
+				S2.FUs.NextFree[k][u] += n * dCycle
+			}
+		}
+	}
+	shiftLines := func(l1, l2 []mem.LineState) {
+		for i := range l2 {
+			l2[i].LRU += n * (l2[i].LRU - l1[i].LRU)
+		}
+	}
+	shiftLines(S1.Hier.L1I.Lines, S2.Hier.L1I.Lines)
+	shiftLines(S1.Hier.L1D.Lines, S2.Hier.L1D.Lines)
+	shiftLines(S1.Hier.L2.Lines, S2.Hier.L2.Lines)
+	if S2.Hier.HasL0I {
+		shiftLines(S1.Hier.L0I.Lines, S2.Hier.L0I.Lines)
+	}
+	shiftLines(S1.Hier.ITLB.Lines, S2.Hier.ITLB.Lines)
+	shiftLines(S1.Hier.DTLB.Lines, S2.Hier.DTLB.Lines)
+	for i := range S2.BP.BTB {
+		S2.BP.BTB[i].LRU += n * (S2.BP.BTB[i].LRU - S1.BP.BTB[i].LRU)
+	}
+}

@@ -1,0 +1,440 @@
+// Package ffwd is the fast-forward engine: it detects when the simulated
+// machine has converged to a provably periodic steady state — one loop
+// iteration of the captured (or anchored) loop leaves every structural
+// component of the pipeline in exactly the state it started in, advancing
+// only counters, sequence numbers and affine register values — and then
+// skips whole iterations analytically in O(1) instead of simulating them
+// cycle by cycle.
+//
+// # Detection
+//
+// Detection is staged so the common case stays nearly free:
+//
+//  1. A *mark* fires once per loop iteration: during Code Reuse, when the
+//     reuse pointer wraps (Controller.Wraps); in conventional mode, when
+//     fetch jumps backward to a remembered anchor PC.
+//  2. At each mark a small fixed vector of live counters is sampled. Two
+//     consecutive equal counter *deltas* are the cheap heuristic gate.
+//  3. Only then does the engine capture full machine snapshots at three
+//     consecutive marks and run the authoritative checks: every counter in
+//     the machine must advance by the same delta across both intervals, a
+//     canonical structural digest (relabeled to erase physical-register and
+//     queue-slot names) must be identical at all three marks, no squash may
+//     have occurred, per-line cache/BTB recency deltas must be constant, and
+//     the functional interpreter — seeded from the committed state — must
+//     confirm the committed path is template-periodic and every operation is
+//     either affine over Z_2^32 or has bit-frozen operands (see engage.go
+//     for the soundness argument).
+//
+// # Skip
+//
+// On engage the engine solves the loop-closing branch's exit iteration in
+// closed form (modular arithmetic on the affine operand sequence), clamps
+// the skip to the cycle budget, advances every counter, sequence number,
+// timestamp and affine value in the last snapshot by n deltas, and restores
+// it into the machine. The lockstep invariant checker validates the machine
+// at both the engage and disengage boundaries. The loop tail past the
+// provable horizon runs cycle-accurate as usual, so end-of-run output is
+// byte-identical with the engine on or off.
+//
+// Fault injection (chaos) and any per-cycle/per-commit observer veto the
+// engine entirely: those consumers see individual cycles, which a skip
+// would elide. The telemetry tracer is the exception — skips are reported
+// to it in bulk (Tracer.FastForward) so session audits stay reconciled.
+package ffwd
+
+import (
+	"reuseiq/internal/core"
+	"reuseiq/internal/pipeline"
+	"reuseiq/internal/telemetry"
+)
+
+// minIterations is the smallest analytic skip worth taking: below this the
+// snapshot and scan overhead exceeds the saved simulation time, and the
+// cycle-accurate tail absorbs the loop anyway.
+const minIterations = 8
+
+// probeLen is the size of the stage-1 live counter vector.
+const probeLen = 14
+
+// Probe vector slots consulted by name (see Engine.probe for the full
+// layout).
+const (
+	probeMispredicts = 3
+	probeStores      = 7
+)
+
+// Phase is the engine's observation state, exported for tests and
+// diagnostics.
+//
+//reuse:exhaustive
+type Phase uint8
+
+const (
+	// PhaseIdle: watching for iteration marks.
+	PhaseIdle Phase = iota
+	// PhaseMeasuring: marks seen, building a stable counter-delta streak.
+	PhaseMeasuring
+	// PhaseArmed: streak established, full snapshots being captured.
+	PhaseArmed
+	// PhaseCooldown: a failed engage attempt; marks are ignored for an
+	// exponentially growing interval before re-arming.
+	PhaseCooldown
+)
+
+var phaseNames = [...]string{"idle", "measuring", "armed", "cooldown"}
+
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "?"
+}
+
+// VetoReason says why an engage attempt was rejected.
+//
+//reuse:exhaustive
+type VetoReason uint8
+
+const (
+	// VetoChaos: fault injection is active; injections are per-cycle events
+	// a skip would elide (and they break periodicity anyway).
+	VetoChaos VetoReason = iota
+	// VetoObserver: a per-cycle or per-commit observer (hooks, recorder,
+	// sampler, debug taps) is attached and would miss skipped events.
+	VetoObserver
+	// VetoCounters: some counter's delta differed between the two observed
+	// intervals, or no cycles/commits elapsed between marks.
+	VetoCounters
+	// VetoSquash: a misprediction recovery occurred in the interval, or
+	// sequence numbers advanced faster than commits (wrong-path dispatch).
+	VetoSquash
+	// VetoStructure: the canonical structural digests of the three marks
+	// differ — the pipeline shape is not period-invariant.
+	VetoStructure
+	// VetoRecency: a cache or BTB line's recency stamp delta was not
+	// constant across the intervals (replacement state still drifting).
+	VetoRecency
+	// VetoEmptyROB: no in-flight instruction to anchor the committed state.
+	VetoEmptyROB
+	// VetoMemory: the loop commits stores; memory would not be frozen and
+	// load values could drift.
+	VetoMemory
+	// VetoTemplate: the functional interpreter's scan refused the loop —
+	// non-periodic committed path, a non-affine operation with drifting
+	// operands, a drifting load address, or a value that failed the
+	// closed-form cross-check.
+	VetoTemplate
+	// VetoHorizon: the provable skip (branch-exit solve and cycle-budget
+	// clamp) is too short to be worth taking.
+	VetoHorizon
+
+	numVetoReasons
+)
+
+// NumVetoReasons is the number of veto reasons (for table sizing).
+const NumVetoReasons = int(numVetoReasons)
+
+var vetoNames = [...]string{
+	"chaos", "observer", "counters", "squash", "structure",
+	"recency", "empty_rob", "memory", "template", "horizon",
+}
+
+func (v VetoReason) String() string {
+	if int(v) < len(vetoNames) {
+		return vetoNames[v]
+	}
+	return "?"
+}
+
+// Stats counts the engine's activity. All fields advance monotonically.
+type Stats struct {
+	Engagements       uint64 // analytic skips taken
+	SkippedCycles     uint64 // cycles elided by analytic skips
+	SkippedIterations uint64 // loop iterations elided
+	SkippedInsts      uint64 // committed instructions elided
+	Attempts          uint64 // full engage attempts (snapshot ring complete)
+	IdleSkips         uint64 // event-driven idle skips taken
+	IdleSkippedCycles uint64 // cycles elided by idle skips
+
+	Vetoes [NumVetoReasons]uint64
+}
+
+// Engine watches a machine for convergence and fast-forwards it. Create
+// with Attach; the pipeline then calls Tick between cycles.
+type Engine struct {
+	m *pipeline.Machine
+
+	// S is the engine's activity counters, readable at any time.
+	S Stats
+
+	phase Phase
+
+	// Mark detection. During Code Reuse a mark is a reuse-pointer wrap;
+	// in conventional mode it is fetch returning to the anchor PC.
+	lastWraps  uint64
+	anchorPC   uint32
+	haveAnchor bool
+	prevFetch  uint32
+	havePrev   bool
+
+	// Stage 1: cheap per-mark counter vector and its delta streak.
+	vecValid  bool
+	diffValid bool
+	prevVec   [probeLen]uint64
+	prevDiff  [probeLen]uint64
+	streak    int
+
+	// Stage 2: snapshot ring over three consecutive marks.
+	ring  [3]*pipeline.MachineState
+	nring int
+
+	// Exponential backoff after failed attempts: marks to ignore.
+	failStreak uint
+	cooldown   uint64
+
+	// blocked latches while chaos or an observer is attached, so the
+	// corresponding veto is counted once per contiguous blocked span rather
+	// than every cycle.
+	blocked bool
+
+	// Per-period gating/reuse deltas of the last engagement, captured by
+	// apply before the counters are advanced, for the telemetry bulk report.
+	dGated  uint64
+	dReused uint64
+}
+
+// Attach builds an engine for m and installs it as the machine's
+// FastForwarder when the configuration opts in. It returns nil (and
+// installs nothing) when cfg.FastForward is false, so call sites can attach
+// unconditionally.
+func Attach(m *pipeline.Machine) *Engine {
+	if !m.Cfg.FastForward {
+		return nil
+	}
+	e := &Engine{m: m}
+	m.FF = e
+	return e
+}
+
+// Phase returns the engine's current observation phase.
+func (e *Engine) Phase() Phase { return e.phase }
+
+// Tick runs between cycles (pipeline.FastForwarder). The fast path — no
+// mark this cycle — is a handful of loads and compares.
+//
+//reuse:hotpath
+func (e *Engine) Tick() error {
+	m := e.m
+	// Chaos and per-cycle/per-commit observers disable the engine outright —
+	// both skip flavors elide cycles those consumers must see. Checked every
+	// cycle (a handful of pointer compares) because hooks can attach mid-run.
+	if m.Chaos != nil {
+		e.block(VetoChaos)
+		return nil
+	}
+	if m.OnCommit != nil || m.OnCycle != nil || m.OnSample != nil ||
+		m.Rec != nil || m.DebugIssue != nil || m.Trace != nil {
+		e.block(VetoObserver)
+		return nil
+	}
+	e.blocked = false
+	if n := m.SkipIdle(); n > 0 {
+		e.S.IdleSkips++
+		e.S.IdleSkippedCycles += n
+		return nil
+	}
+	mark := false
+	if m.Ctl.State() == core.Reuse {
+		if w := m.Ctl.Wraps(); w != e.lastWraps {
+			e.lastWraps = w
+			mark = true
+		}
+		e.haveAnchor = false
+		e.havePrev = false
+	} else {
+		e.lastWraps = m.Ctl.Wraps()
+		pc := m.FetchPC()
+		if e.havePrev && pc < e.prevFetch {
+			// Backward fetch movement: a loop edge was taken.
+			if e.haveAnchor && pc == e.anchorPC {
+				mark = true
+			} else {
+				// New (or inner) loop head: re-anchor and restart
+				// measurement — deltas against the old anchor are
+				// meaningless.
+				e.anchorPC, e.haveAnchor = pc, true
+				e.resetMeasure()
+			}
+		}
+		e.prevFetch, e.havePrev = pc, true
+	}
+	if !mark {
+		return nil
+	}
+	return e.onMark()
+}
+
+// onMark samples the stage-1 vector and, once the delta streak and cooldown
+// allow, drives snapshot capture and the engage attempt.
+func (e *Engine) onMark() error {
+	var vec [probeLen]uint64
+	e.probe(&vec)
+	if !e.vecValid {
+		e.prevVec, e.vecValid = vec, true
+		e.phase = PhaseMeasuring
+		return nil
+	}
+	var diff [probeLen]uint64
+	for i := range vec {
+		diff[i] = vec[i] - e.prevVec[i]
+	}
+	e.prevVec = vec
+	if !e.diffValid || diff != e.prevDiff {
+		e.prevDiff, e.diffValid = diff, true
+		e.streak = 0
+		e.dropRing()
+		e.phase = PhaseMeasuring
+		return nil
+	}
+	e.streak++
+	if e.cooldown > 0 {
+		e.cooldown--
+		return nil
+	}
+	if e.streak < 2 {
+		return nil
+	}
+	// The stable delta vector already reveals two certain rejections; veto
+	// now (entering backoff) rather than paying for three full snapshots a
+	// doomed attempt would take.
+	if e.prevDiff[probeMispredicts] != 0 {
+		e.veto(VetoSquash)
+		return nil
+	}
+	if e.prevDiff[probeStores] != 0 {
+		e.veto(VetoMemory)
+		return nil
+	}
+	e.phase = PhaseArmed
+	e.capture()
+	if e.nring < 3 {
+		return nil
+	}
+	engaged, err := e.tryEngage()
+	if err != nil {
+		return err
+	}
+	if engaged {
+		e.reset()
+	}
+	return nil
+}
+
+// probe fills the stage-1 live counter vector. The selection spans every
+// pipeline phase (front end, window, memory, reuse machinery) so that any
+// behavioral change breaks delta equality.
+func (e *Engine) probe(vec *[probeLen]uint64) {
+	m := e.m
+	vec[0] = m.Cycle()
+	vec[1] = m.NextSeq()
+	vec[2] = m.C.Commits
+	vec[probeMispredicts] = m.C.Mispredicts
+	vec[4] = m.C.GatedCycles
+	vec[5] = m.C.Fetches
+	vec[6] = m.C.ReuseRenames
+	vec[probeStores] = m.C.StoresCommitted
+	vec[8] = m.Hier.L1D.Accesses
+	vec[9] = m.Hier.L1D.Misses
+	vec[10] = m.Hier.L2.Misses
+	vec[11] = m.RF.Writes
+	vec[12] = m.IQ.Dispatches
+	vec[13] = m.Ctl.S.ReuseRenames
+}
+
+// capture appends a full snapshot at the current mark to the ring.
+//
+//reuse:allow-alloc snapshot capture is the rare armed path, entered at most once per loop iteration after the cheap gates pass
+func (e *Engine) capture() {
+	if e.nring == 3 {
+		e.ring[0], e.ring[1], e.ring[2] = e.ring[1], e.ring[2], nil
+		e.nring = 2
+	}
+	e.ring[e.nring] = e.m.Snapshot()
+	e.nring++
+}
+
+// dropRing discards captured snapshots (the streak broke).
+func (e *Engine) dropRing() {
+	e.ring[0], e.ring[1], e.ring[2] = nil, nil, nil
+	e.nring = 0
+}
+
+// veto records a rejected attempt and enters exponential backoff: the next
+// 2^k marks are ignored before re-arming, so a loop that repeatedly fails
+// the full checks costs asymptotically nothing.
+func (e *Engine) veto(r VetoReason) {
+	e.S.Vetoes[r]++
+	e.dropRing()
+	if e.failStreak < 10 {
+		e.failStreak++
+	}
+	e.cooldown = uint64(1) << e.failStreak
+	e.phase = PhaseCooldown
+}
+
+// block disables the engine while a vetoing consumer (chaos, observer) is
+// attached, counting one veto per contiguous blocked span.
+func (e *Engine) block(r VetoReason) {
+	if e.blocked {
+		return
+	}
+	e.blocked = true
+	e.S.Vetoes[r]++
+	e.resetMeasure()
+}
+
+// resetMeasure clears stage-1 measurement state (marks remain armed).
+func (e *Engine) resetMeasure() {
+	e.vecValid, e.diffValid = false, false
+	e.streak = 0
+	e.dropRing()
+	e.phase = PhaseIdle
+}
+
+// reset returns the engine to idle after a successful engagement.
+func (e *Engine) reset() {
+	e.resetMeasure()
+	e.failStreak = 0
+	e.cooldown = 0
+	e.lastWraps = e.m.Ctl.Wraps()
+	e.haveAnchor = false
+	e.havePrev = false
+}
+
+// markPC is the PC reported in telemetry for a skip: the captured loop head
+// during reuse, the fetch anchor otherwise.
+func (e *Engine) markPC() uint32 {
+	if e.m.Ctl.State() == core.Reuse {
+		head, _ := e.m.Ctl.LoopBounds()
+		return head
+	}
+	return e.anchorPC
+}
+
+// RegisterMetrics registers the engine's counters. The pipeline's
+// RegisterMetrics calls this when an engine is attached, so the metrics
+// appear in StatsSet and /metrics only for fast-forwarding machines.
+func (e *Engine) RegisterMetrics(r *telemetry.Registry) {
+	r.Counter("ffwd.engagements", func() uint64 { return e.S.Engagements })
+	r.Counter("ffwd.skipped_cycles", func() uint64 { return e.S.SkippedCycles })
+	r.Counter("ffwd.skipped_iterations", func() uint64 { return e.S.SkippedIterations })
+	r.Counter("ffwd.skipped_insts", func() uint64 { return e.S.SkippedInsts })
+	r.Counter("ffwd.attempts", func() uint64 { return e.S.Attempts })
+	r.Counter("ffwd.idle_skips", func() uint64 { return e.S.IdleSkips })
+	r.Counter("ffwd.idle_skipped_cycles", func() uint64 { return e.S.IdleSkippedCycles })
+	for v := VetoReason(0); v < numVetoReasons; v++ {
+		v := v
+		r.Counter("ffwd.vetoes."+v.String(), func() uint64 { return e.S.Vetoes[v] })
+	}
+}

@@ -1,0 +1,255 @@
+package ffwd
+
+import (
+	"math/bits"
+	"reflect"
+	"testing"
+
+	"reuseiq/internal/chaos"
+	"reuseiq/internal/interp"
+	"reuseiq/internal/isa"
+	"reuseiq/internal/pipeline"
+)
+
+// runLoopmark simulates the loopmark kernel with the engine on or off and
+// returns the machine and engine.
+func runLoopmark(t *testing.T, iters int32, on bool) (*pipeline.Machine, *Engine) {
+	t.Helper()
+	cfg := pipeline.DefaultConfig()
+	cfg.FastForward = on
+	m := pipeline.New(cfg, LoopmarkProgram(iters))
+	e := Attach(m)
+	if on != (e != nil) {
+		t.Fatalf("Attach with FastForward=%v returned %v", on, e)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return m, e
+}
+
+// TestLoopmarkByteIdentity is the engine's core contract: the fast-forwarded
+// run finishes in exactly the state the cycle-accurate run does — every
+// counter, the reuse statistics, the committed registers and all of memory.
+func TestLoopmarkByteIdentity(t *testing.T) {
+	m0, _ := runLoopmark(t, 300_000, false)
+	m1, e := runLoopmark(t, 300_000, true)
+	if e.S.Engagements == 0 {
+		t.Fatalf("engine never engaged on the loopmark kernel: %+v", e.S)
+	}
+	if m0.Cycle() != m1.Cycle() {
+		t.Fatalf("cycle count differs: off %d, on %d", m0.Cycle(), m1.Cycle())
+	}
+	if m0.C != m1.C {
+		t.Fatalf("pipeline counters differ:\noff %+v\non  %+v", m0.C, m1.C)
+	}
+	if m0.Ctl.S != m1.Ctl.S {
+		t.Fatalf("reuse stats differ:\noff %+v\non  %+v", m0.Ctl.S, m1.Ctl.S)
+	}
+	s0, s1 := m0.Snapshot(), m1.Snapshot()
+	ci0, cf0 := committedMaps(s0)
+	ci1, cf1 := committedMaps(s1)
+	for r := 0; r < isa.NumIntRegs; r++ {
+		if s0.RF.IntVals[ci0[r]] != s1.RF.IntVals[ci1[r]] {
+			t.Errorf("$r%d differs: off %d, on %d", r, s0.RF.IntVals[ci0[r]], s1.RF.IntVals[ci1[r]])
+		}
+	}
+	for r := 0; r < isa.NumFPRegs; r++ {
+		if s0.RF.FPVals[cf0[r]] != s1.RF.FPVals[cf1[r]] {
+			t.Errorf("$f%d differs: off %v, on %v", r, s0.RF.FPVals[cf0[r]], s1.RF.FPVals[cf1[r]])
+		}
+	}
+	if !reflect.DeepEqual(s0.Pages, s1.Pages) {
+		t.Error("memory pages differ between engine off and on")
+	}
+}
+
+// TestLockstepChain validates the engage -> extrapolate -> disengage chain
+// against the functional golden model: the fast-forwarded machine's final
+// committed registers must equal a full interpreter run of the same program.
+// (The engine additionally runs the lockstep invariant checker at both skip
+// boundaries internally; an error there fails m.Run.)
+func TestLockstepChain(t *testing.T) {
+	const iters = 200_000
+	m, e := runLoopmark(t, iters, true)
+	if e.S.Engagements == 0 {
+		t.Fatalf("engine never engaged: %+v", e.S)
+	}
+	g := interp.New(LoopmarkProgram(iters))
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Snapshot()
+	ci, _ := committedMaps(st)
+	for r := 0; r < isa.NumIntRegs; r++ {
+		if got, want := st.RF.IntVals[ci[r]], g.State.Int[r]; got != want {
+			t.Errorf("$r%d: pipeline committed %d, golden model %d", r, got, want)
+		}
+	}
+	if m.C.Commits != g.State.Insts {
+		t.Errorf("commits %d, golden model executed %d", m.C.Commits, g.State.Insts)
+	}
+}
+
+// TestChaosVeto: under fault injection the engine must refuse to engage, no
+// matter how periodic the loop looks, because injections are per-cycle
+// events that a skip would elide.
+func TestChaosVeto(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	cfg.FastForward = true
+	cfg.Chaos = chaos.DefaultConfig(42)
+	m := pipeline.New(cfg, LoopmarkProgram(100_000))
+	e := Attach(m)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.S.Engagements != 0 {
+		t.Fatalf("engine engaged %d times under fault injection", e.S.Engagements)
+	}
+	if e.S.Vetoes[VetoChaos] == 0 {
+		t.Fatalf("expected at least one chaos veto, stats %+v", e.S)
+	}
+}
+
+// TestObserverVeto: a per-cycle observer must keep the engine disengaged —
+// it would miss every skipped cycle.
+func TestObserverVeto(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	cfg.FastForward = true
+	m := pipeline.New(cfg, LoopmarkProgram(100_000))
+	e := Attach(m)
+	cycles := 0
+	m.OnCycle = func() error { cycles++; return nil }
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.S.Engagements != 0 {
+		t.Fatalf("engine engaged %d times with an OnCycle observer", e.S.Engagements)
+	}
+	if e.S.Vetoes[VetoObserver] == 0 {
+		t.Fatalf("expected observer vetoes, stats %+v", e.S)
+	}
+	// The observer must see exactly what it sees on a plain machine: with an
+	// observer attached, even the idle-cycle skip must stand down.
+	ref := pipeline.New(pipeline.DefaultConfig(), LoopmarkProgram(100_000))
+	refCycles := 0
+	ref.OnCycle = func() error { refCycles++; return nil }
+	if err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cycles != refCycles || m.Cycle() != ref.Cycle() {
+		t.Fatalf("observer saw %d cycles (reference %d), machine at %d (reference %d)",
+			cycles, refCycles, m.Cycle(), ref.Cycle())
+	}
+}
+
+// TestBudgetClampByteIdentity: when the cycle budget truncates the run, the
+// engine must land short of the budget so the abort happens on exactly the
+// same cycle, with the same counters, as the slow path.
+func TestBudgetClampByteIdentity(t *testing.T) {
+	run := func(on bool) (*pipeline.Machine, error) {
+		cfg := pipeline.DefaultConfig()
+		cfg.FastForward = on
+		cfg.MaxCycles = 50_000 // far below the ~2.1M cycles the loop needs
+		m := pipeline.New(cfg, LoopmarkProgram(100_000))
+		Attach(m)
+		return m, m.Run()
+	}
+	m0, err0 := run(false)
+	m1, err1 := run(true)
+	if err0 == nil || err1 == nil {
+		t.Fatalf("expected budget aborts, got off=%v on=%v", err0, err1)
+	}
+	if err0.Error() != err1.Error() {
+		t.Fatalf("abort messages differ:\noff: %v\non:  %v", err0, err1)
+	}
+	if m0.Cycle() != m1.Cycle() || m0.C != m1.C {
+		t.Fatalf("budget abort state differs: off cycle %d, on cycle %d", m0.Cycle(), m1.Cycle())
+	}
+}
+
+func TestModInverseOdd(t *testing.T) {
+	for _, a := range []uint32{1, 3, 5, 7, 0x12345, 0xffffffff, 0x80000001, 2863311531} {
+		if got := a * modInverseOdd(a); got != 1 {
+			t.Errorf("a=%#x: a*inv = %#x, want 1", a, got)
+		}
+	}
+}
+
+// TestFlipPeriod cross-checks the closed-form branch-flip solve against a
+// bounded linear search.
+func TestFlipPeriod(t *testing.T) {
+	naive := func(d2, dd uint32, limit uint64) uint64 {
+		d := d2
+		for k := uint64(1); k <= limit; k++ {
+			d += dd
+			if (d == 0) != (d2 == 0) {
+				// first period whose zero-ness differs from period 2
+				return 2 + k
+			}
+		}
+		return noFlip
+	}
+	cases := []struct{ d2, dd uint32 }{
+		{5, ^uint32(0)},          // counting down by 1: flips at kRel=5
+		{100, ^uint32(0) - 2},    // down by 3
+		{0, 4},                   // currently equal, diverges next period
+		{6, ^uint32(0) - 1},      // down by 2, even: 6/2=3
+		{7, 2},                   // odd distance, even step: never
+		{1 << 20, ^uint32(0)},    // large but reachable
+		{12, 4294967290}, {40, 8}, {1024, ^uint32(0) - 7},
+	}
+	for _, c := range cases {
+		got := flipPeriod(c.d2, c.dd)
+		want := naive(c.d2, c.dd, 1<<22)
+		// The naive search only sees flips within its bound; the closed form
+		// may legitimately report a farther one.
+		if want == noFlip && got != noFlip && got-2 <= 1<<22 {
+			t.Errorf("flipPeriod(%d,%d) = %d, naive found none in range", c.d2, c.dd, got)
+		} else if want != noFlip && got != want {
+			t.Errorf("flipPeriod(%d,%d) = %d, want %d", c.d2, c.dd, got, want)
+		}
+		// Verify algebraically when a flip is reported: the operand
+		// difference is zero (d2!=0) or nonzero (d2==0) at the flip period.
+		if got != noFlip {
+			k := got - 2
+			d := c.d2 + uint32(k)*c.dd
+			if (d == 0) == (c.d2 == 0) {
+				t.Errorf("flipPeriod(%d,%d) = %d: difference %d does not flip", c.d2, c.dd, got, d)
+			}
+		}
+	}
+	if bits.UintSize < 64 {
+		t.Skip("solver assumes 64-bit uint64 arithmetic helpers")
+	}
+}
+
+// TestMetrics: the engine's counters surface through the machine registry
+// with the ffwd.* prefix.
+func TestMetrics(t *testing.T) {
+	m, e := runLoopmark(t, 300_000, true)
+	set := m.StatsSet()
+	if got := set.Get("ffwd.engagements"); got != e.S.Engagements {
+		t.Errorf("ffwd.engagements = %d, engine says %d", got, e.S.Engagements)
+	}
+	if got := set.Get("ffwd.skipped_cycles"); got != e.S.SkippedCycles || got == 0 {
+		t.Errorf("ffwd.skipped_cycles = %d, engine says %d", got, e.S.SkippedCycles)
+	}
+	for v := VetoReason(0); v < numVetoReasons; v++ {
+		if got := set.Get("ffwd.vetoes." + v.String()); got != e.S.Vetoes[v] {
+			t.Errorf("ffwd.vetoes.%v = %d, engine says %d", v, got, e.S.Vetoes[v])
+		}
+	}
+}
+
+// TestVetoNamesComplete guards the name table against new reasons.
+func TestVetoNamesComplete(t *testing.T) {
+	if len(vetoNames) != NumVetoReasons {
+		t.Fatalf("vetoNames has %d entries for %d reasons", len(vetoNames), NumVetoReasons)
+	}
+	for v := VetoReason(0); v < numVetoReasons; v++ {
+		if v.String() == "?" {
+			t.Errorf("veto reason %d has no name", v)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package ffwd
+
+import (
+	"fmt"
+
+	"reuseiq/internal/asm"
+	"reuseiq/internal/prog"
+)
+
+// LoopmarkProgram builds the canonical fast-forward stress kernel: a tight
+// counted loop with an affine accumulator, iterated iters times. Its steady
+// state is provably periodic (every instruction affine, no memory traffic),
+// so the engine can skip essentially the whole run — which makes it the
+// benchmark and byte-identity workload for ffwd on/off comparisons.
+func LoopmarkProgram(iters int32) *prog.Program {
+	return asm.MustAssemble(fmt.Sprintf(`
+		li   $r3, %d
+	loop:
+		addi $r4, $r4, 3
+		addi $r3, $r3, -1
+		bne  $r3, $zero, loop
+		halt
+	`, iters))
+}

@@ -1,0 +1,108 @@
+// Fast-forward support: the two pipeline-level primitives the internal/ffwd
+// engine builds on. Restore applies a (mutated) state image to a live
+// machine, re-running the same validation a snapshot resume would; SkipIdle
+// advances the machine over provably inert cycles in one step. Both must
+// leave the machine in a state the cycle-accurate simulation would also have
+// reached — the engine's byte-identity gates depend on it.
+package pipeline
+
+import "reuseiq/internal/core"
+
+// Restore overwrites the machine's complete state with st, validating the
+// image exactly like Resume. The machine keeps its configuration, program,
+// hooks and scratch buffers; everything the snapshot covers is replaced.
+// The fast-forward engine uses it to land an extrapolated state; tests can
+// use it to rewind a machine to an earlier Snapshot.
+func (m *Machine) Restore(st *MachineState) error { return m.load(st) }
+
+// NextSeq returns the next program-order sequence number to be assigned at
+// dispatch (i.e. in-flight instructions hold sequence numbers below it).
+func (m *Machine) NextSeq() uint64 { return m.nextSeq }
+
+// SkipIdle advances the machine over cycles that are provably inert — no
+// stage can do observable work until a known future cycle — and returns how
+// many cycles were skipped (0 when the current state is not inert or any
+// observer is attached).
+//
+// A cycle is inert when the front end is drained and stalled (or halted),
+// no issue-queue entry is ready, no pending store address can resolve, the
+// ROB head is not ready to commit, and no in-flight execution completes.
+// The earliest cycle at which any of that changes is the minimum of the
+// next writeback completion and the fetch restart; the skip is additionally
+// clamped so the cycle-budget and watchdog aborts of RunBreakable fire at
+// exactly the cycle they would have without skipping.
+//
+// Per skipped cycle the machine charges exactly what a real inert Step
+// charges: Cycles, and the select-logic occupancy scans (IssueCycleScans
+// and the queue's SelectScans); nothing else in an inert cycle touches a
+// counter. Any attached observer (telemetry, hooks, sampler, recorder) or
+// fault injector vetoes the skip, because those see per-cycle events.
+func (m *Machine) SkipIdle() uint64 {
+	// Observers and fault injection see individual cycles.
+	if m.Chaos != nil || m.Tel != nil || m.OnCycle != nil || m.OnCommit != nil ||
+		m.OnSample != nil || m.Rec != nil || m.DebugIssue != nil || m.Trace != nil {
+		return 0
+	}
+	if m.halted || m.hookErr != nil {
+		return 0
+	}
+	// Only the conventional mode is skipped: during Buffering and Reuse the
+	// controller itself acts every cycle.
+	if m.Ctl.State() != core.Normal {
+		return 0
+	}
+	// Front end drained and unable to make progress next cycle.
+	if len(m.decodeLat) != 0 || len(m.fetchQ) != 0 {
+		return 0
+	}
+	if !m.fetchHalted && m.fetchStallUntil <= m.cycle+1 {
+		return 0
+	}
+	// No issue-queue entry can issue.
+	if len(m.IQ.ReadySlots()) != 0 {
+		return 0
+	}
+	// No pending store address can resolve (and none is stale: a stale
+	// entry would be unlinked by resolveStoreAddresses, a state change).
+	inert := true
+	//reuse:allow-alloc non-escaping closure: ForEachPendingStore calls f inline and never retains it
+	m.IQ.ForEachPendingStore(func(slot int) bool {
+		e := m.IQ.Entry(slot)
+		le := m.LSQ.Get(e.LSQSlot)
+		if le.AddrReady || le.Seq != e.Seq || e.SrcReady[0] {
+			inert = false
+			return false
+		}
+		return true
+	})
+	if !inert {
+		return 0
+	}
+	// Commit blocked.
+	if h := m.ROB.Head(); h != nil && h.Done {
+		return 0
+	}
+	// Earliest cycle anything can happen again.
+	target := m.lastCommit + m.Cfg.WatchdogCycles // watchdog fires at target+1
+	if bound := m.Cfg.MaxCycles - 1; bound < target {
+		target = bound // budget abort fires at bound+1
+	}
+	if !m.fetchHalted && m.fetchStallUntil-1 < target {
+		target = m.fetchStallUntil - 1
+	}
+	for i := range m.execQ {
+		if d := m.execQ[i].done - 1; d < target {
+			target = d
+		}
+	}
+	if target <= m.cycle {
+		return 0
+	}
+	skipped := target - m.cycle
+	occ := uint64(m.IQ.Len())
+	m.cycle = target
+	m.C.Cycles += skipped
+	m.C.IssueCycleScans += skipped * occ
+	m.IQ.SelectScans += skipped * occ
+	return skipped
+}

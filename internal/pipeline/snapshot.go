@@ -340,6 +340,11 @@ func (m *Machine) RunBreakable(every uint64, brk func() bool) error {
 			return fmt.Errorf("pipeline: no commit for %d cycles at cycle %d (%s)",
 				m.Cfg.WatchdogCycles, m.cycle, m.stateSummary())
 		}
+		if m.FF != nil {
+			if err := m.FF.Tick(); err != nil {
+				return err
+			}
+		}
 		if brk != nil {
 			if left--; left == 0 {
 				left = every

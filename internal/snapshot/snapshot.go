@@ -27,6 +27,13 @@ import (
 	"hash/fnv"
 	"io"
 
+	"reuseiq/internal/altfe"
+	"reuseiq/internal/bpred"
+	"reuseiq/internal/chaos"
+	"reuseiq/internal/core"
+	"reuseiq/internal/fu"
+	"reuseiq/internal/mem"
+
 	"reuseiq/internal/pipeline"
 	"reuseiq/internal/prog"
 )
@@ -51,18 +58,47 @@ var (
 	ErrFingerprint = errors.New("snapshot: config/program fingerprint mismatch")
 )
 
+// configFingerprint is the view of pipeline.Config that ConfigHash prints.
+// It pins the original field set and order so the hash stays stable when
+// Config grows fields that cannot affect modeled state (FastForward is a
+// simulation-speed toggle: a snapshot taken with it on restores bit-identical
+// under a config with it off, so it must not perturb the fingerprint).
+// Extend this struct only for fields that change simulated behavior.
+type configFingerprint struct {
+	FetchWidth, DecodeWidth, IssueWidth, CommitWidth, FetchQueueSize int
+	IQSize, ROBSize, LSQSize                                         int
+	IntPhysRegs, FPPhysRegs                                          int
+	MispredictPenalty                                                int
+	Mem                                                              mem.HierarchyConfig
+	Bpred                                                            bpred.Config
+	FU                                                               fu.Config
+	Reuse                                                            core.Config
+	LoopCache                                                        *altfe.LoopCacheConfig
+	Chaos                                                            chaos.Config
+	MaxCycles, WatchdogCycles                                        uint64
+}
+
 // ConfigHash fingerprints a machine configuration. It normalizes first, so
 // a config and its defaulted form hash identically, and flattens the
 // LoopCache pointer (hashing presence plus pointee) so the hash depends only
 // on values, never addresses.
 func ConfigHash(cfg pipeline.Config) uint64 {
 	c := cfg.Normalized()
-	lc := c.LoopCache
-	c.LoopCache = nil
+	v := configFingerprint{
+		FetchWidth: c.FetchWidth, DecodeWidth: c.DecodeWidth,
+		IssueWidth: c.IssueWidth, CommitWidth: c.CommitWidth,
+		FetchQueueSize: c.FetchQueueSize,
+		IQSize:         c.IQSize, ROBSize: c.ROBSize, LSQSize: c.LSQSize,
+		IntPhysRegs: c.IntPhysRegs, FPPhysRegs: c.FPPhysRegs,
+		MispredictPenalty: c.MispredictPenalty,
+		Mem:               c.Mem, Bpred: c.Bpred, FU: c.FU, Reuse: c.Reuse,
+		Chaos:     c.Chaos,
+		MaxCycles: c.MaxCycles, WatchdogCycles: c.WatchdogCycles,
+	}
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%v|lc=%v", c, lc != nil)
-	if lc != nil {
-		fmt.Fprintf(h, "|%v", *lc)
+	fmt.Fprintf(h, "%v|lc=%v", v, c.LoopCache != nil)
+	if c.LoopCache != nil {
+		fmt.Fprintf(h, "|%v", *c.LoopCache)
 	}
 	return h.Sum64()
 }
