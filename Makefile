@@ -3,9 +3,9 @@
 # suite under the race detector (the experiment harness runs simulations
 # concurrently, so -race is part of the gate, not an extra), emit a valid
 # telemetry trace, and serve a lint-clean live observability surface.
-.PHONY: check build vet lint test race fuzz bench bench-baseline bench-all telemetry-check obs-check ckpt-check
+.PHONY: check build vet lint test race fuzz bench bench-baseline bench-all telemetry-check obs-check ckpt-check dbg-check
 
-check: build vet lint race telemetry-check obs-check ckpt-check
+check: build vet lint race telemetry-check obs-check ckpt-check dbg-check
 
 build:
 	go build ./...
@@ -34,6 +34,10 @@ telemetry-check:
 	@mkdir -p bench
 	go run ./cmd/reusesim -kernel aps -trace bench/telemetry-check.json > /dev/null
 	go run ./cmd/tracecheck -require-riq bench/telemetry-check.json
+	rm -rf bench/telemetry-rec
+	go run ./cmd/reusesim -kernel aps -flightrec bench/telemetry-rec > /dev/null
+	go run ./cmd/reusedbg -dir bench/telemetry-rec -e "export bench/telemetry-window.json"
+	go run ./cmd/tracecheck -window bench/telemetry-window.json
 
 # Observability gate: spawn reusesim with a live -listen server, then validate
 # it end to end with cmd/obscheck — exposition-format lint on /metrics, counter
@@ -51,6 +55,13 @@ obs-check:
 # -resume, requiring a byte-identical report and no double-counted cells.
 ckpt-check:
 	go run ./cmd/ckptcheck -- go run ./cmd/reusebench -figure 5 -sizes 32 -benchjson= -progress=false -ckpt-every 20000
+
+# Time-travel debugger gate: record a chaos run through the flight recorder,
+# prove randomized seeks land on byte-identical images vs an uninterrupted
+# run, drive every reusedbg command scripted, and validate the exported
+# Perfetto window (see cmd/dbgcheck).
+dbg-check:
+	go run ./cmd/dbgcheck
 
 # Coverage-guided fuzzing of the assembler (see internal/asm/fuzz_test.go)
 # and the snapshot decoder (internal/snapshot/fuzz_test.go). Fully offline:
@@ -71,8 +82,8 @@ fuzz:
 # an intentional perf change — on the same machine, so deltas mean something.
 # Also refreshes BENCH_ffwd.json, the ffwd-on/off wall-time comparison per
 # figure section plus the loop-heavy loopmark sweep.
-BENCH_RE    = ^(BenchmarkSimulatorSpeed|BenchmarkFastForward)$$
-BENCH_WATCH = BenchmarkSimulatorSpeed,BenchmarkFastForward/on,BenchmarkFastForward/off
+BENCH_RE    = ^(BenchmarkSimulatorSpeed|BenchmarkFastForward|BenchmarkFlightRecorder)$$
+BENCH_WATCH = BenchmarkSimulatorSpeed,BenchmarkFastForward/on,BenchmarkFastForward/off,BenchmarkFlightRecorder/on,BenchmarkFlightRecorder/off
 bench:
 	@mkdir -p bench
 	go test -run '^$$' -bench '$(BENCH_RE)' -benchmem -count 3 . | tee bench/latest.txt

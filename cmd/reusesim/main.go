@@ -24,6 +24,8 @@
 //	reusesim -kernel adi -checkpoint s.ckpt -checkpoint-at 50000
 //	reusesim -kernel adi -restore s.ckpt          # continue a checkpointed run
 //	reusesim -kernel adi -max-wall 30s -checkpoint s.ckpt
+//	reusesim -kernel adi -flightrec rec/          # time-travel flight recording;
+//	                                              # debug with reusedbg -dir rec/
 //
 // Exit codes: 0 success, 1 runtime error, 2 flag error, 3 the run was
 // checkpointed (by -checkpoint-at or -max-wall) and stopped before
@@ -46,6 +48,7 @@ import (
 	"reuseiq/internal/chaos"
 	"reuseiq/internal/compiler"
 	"reuseiq/internal/ffwd"
+	"reuseiq/internal/flightrec"
 	"reuseiq/internal/lockstep"
 	"reuseiq/internal/obs"
 	"reuseiq/internal/pipeline"
@@ -84,6 +87,12 @@ type opts struct {
 	ckptPath    string
 	ckptAt      uint64
 	maxWall     time.Duration
+	// Flight recorder: frDir enables recording, frManifest carries the
+	// workload identity reusedbg needs to rebuild the machine.
+	frDir      string
+	frInterval uint64
+	frDepth    int
+	frManifest flightrec.Manifest
 }
 
 // simStatus is the /status payload published with each sample.
@@ -95,21 +104,43 @@ type simStatus struct {
 	GatedPct float64 `json:"gated_pct"`
 	Sessions int     `json:"sessions"`
 	Halted   bool    `json:"halted"`
+	// Fast-forward veto tally by reason (present when the engine is
+	// attached), and the process-wide snapshot image traffic.
+	FfwdVetoes       map[string]uint64 `json:"ffwd_vetoes,omitempty"`
+	SnapshotSaves    uint64            `json:"snapshot_saves"`
+	SnapshotRestores uint64            `json:"snapshot_restores"`
+	// TimeTravel mirrors /debug/timetravel when a flight recorder records.
+	TimeTravel *flightrec.Status `json:"timetravel,omitempty"`
 }
 
 // publishSample snapshots the machine's registry (on the simulation
 // goroutine) and publishes it. The final sample after the run additionally
 // carries per-session energy attribution gauges.
-func publishSample(srv *obs.Server, m *pipeline.Machine, final bool) {
+func publishSample(srv *obs.Server, m *pipeline.Machine, ff *ffwd.Engine, rec *flightrec.Recorder, final bool) {
 	r := &telemetry.Registry{}
 	m.RegisterMetrics(r)
+	snapshot.RegisterMetrics(r)
+	saves, restores := snapshot.Counters()
 	st := simStatus{
-		Cycle:    m.Cycle(),
-		Commits:  m.C.Commits,
-		IPC:      m.IPC(),
-		RIQState: m.Ctl.State().String(),
-		GatedPct: 100 * m.GatedFraction(),
-		Halted:   m.Halted(),
+		Cycle:            m.Cycle(),
+		Commits:          m.C.Commits,
+		IPC:              m.IPC(),
+		RIQState:         m.Ctl.State().String(),
+		GatedPct:         100 * m.GatedFraction(),
+		Halted:           m.Halted(),
+		SnapshotSaves:    saves,
+		SnapshotRestores: restores,
+	}
+	if ff != nil {
+		st.FfwdVetoes = make(map[string]uint64, ffwd.NumVetoReasons)
+		for v := 0; v < ffwd.NumVetoReasons; v++ {
+			st.FfwdVetoes[ffwd.VetoReason(v).String()] = ff.S.Vetoes[v]
+		}
+	}
+	if rec != nil {
+		rec.RegisterMetrics(r)
+		frs := rec.Status()
+		st.TimeTravel = &frs
 	}
 	if m.Tel != nil {
 		st.Sessions = len(m.Tel.Sessions())
@@ -149,6 +180,9 @@ func mainImpl(args []string, stdout, stderr io.Writer) int {
 	checkpointAt := fs.Uint64("checkpoint-at", 0, "stop and checkpoint at this cycle (requires -checkpoint)")
 	restoreFlag := fs.String("restore", "", "resume from a snapshot file (pass the same -iq/-baseline/-chaos flags as the original run)")
 	maxWall := fs.Duration("max-wall", 0, "wall-clock budget: checkpoint (with -checkpoint) and exit with code 3 when exceeded")
+	flightrecDir := fs.String("flightrec", "", "record a time-travel flight recording into this directory (seek it afterwards with reusedbg -dir)")
+	flightrecInterval := fs.Uint64("flightrec-interval", 0, "cycles between flight-recorder checkpoints (0 = default)")
+	flightrecDepth := fs.Int("flightrec-depth", 0, "flight-recorder checkpoint ring depth (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -164,6 +198,10 @@ func mainImpl(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "reusesim: checkpoint/restore flags apply to a single plain run, not -compare or -pipetrace")
 		return 2
 	}
+	if *flightrecDir != "" && (*compare || *pipetrace > 0) {
+		fmt.Fprintln(stderr, "reusesim: -flightrec records a single plain run, not -compare or -pipetrace")
+		return 2
+	}
 	o := &opts{
 		verify:      *verify,
 		ffwd:        *ffwdFlag,
@@ -176,6 +214,9 @@ func mainImpl(args []string, stdout, stderr io.Writer) int {
 		ckptPath:    *checkpoint,
 		ckptAt:      *checkpointAt,
 		maxWall:     *maxWall,
+		frDir:       *flightrecDir,
+		frInterval:  *flightrecInterval,
+		frDepth:     *flightrecDepth,
 	}
 	if *listen != "" {
 		srv := obs.NewServer()
@@ -226,6 +267,20 @@ func mainImpl(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "reusesim:", err)
 		return 1
+	}
+	if o.frDir != "" {
+		// The manifest lets reusedbg rebuild the exact config and program;
+		// run() fills Baseline, which is the one knob decided there.
+		o.frManifest = flightrec.Manifest{
+			Kernel:      *kernel,
+			Distribute:  *distribute,
+			IQSize:      *iq,
+			ChaosSeed:   *chaosFlag,
+			FastForward: *ffwdFlag,
+		}
+		if *kernel == "" {
+			o.frManifest.AsmSource = src
+		}
 	}
 	if *emitAsm {
 		fmt.Fprint(stdout, src)
@@ -445,16 +500,54 @@ func run(p *prog.Program, iq int, reuse bool, o *opts) (*pipeline.Machine, bool,
 		}
 		m.AttachTelemetry(tel)
 	}
+	var rec *flightrec.Recorder
+	if o.frDir != "" {
+		man := o.frManifest
+		man.Baseline = !reuse
+		var err error
+		rec, err = flightrec.Attach(m, flightrec.Config{
+			Interval: o.frInterval,
+			Depth:    o.frDepth,
+			Dir:      o.frDir,
+			Manifest: man,
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		if o.srv != nil {
+			o.srv.SetTimeTravel(func() any { return rec.Status() })
+		}
+	}
+
 	if o.srv != nil {
-		m.AttachSampler(o.sampleEvery, func() { publishSample(o.srv, m, false) })
+		m.AttachSampler(o.sampleEvery, func() { publishSample(o.srv, m, ff, rec, false) })
 		// An immediate sample makes /readyz pass before the first interval
 		// elapses.
-		publishSample(o.srv, m, false)
+		publishSample(o.srv, m, ff, rec, false)
 	}
 
 	var orc *lockstep.Oracle
 	if o.verify {
 		orc = lockstep.Attach(m, p)
+	}
+	// finishRec seals the recording; on a crashed run the directory is the
+	// post-mortem artifact, so the run error must not suppress sealing.
+	finishRec := func(crashed bool) error {
+		if rec == nil {
+			return nil
+		}
+		if err := rec.Finish(); err != nil {
+			return fmt.Errorf("flightrec: %w", err)
+		}
+		st := rec.Status()
+		what := "recording"
+		if crashed {
+			what = "post-mortem recording"
+		}
+		fmt.Fprintf(o.stderr, "reusesim: flightrec: %s in %s: %d checkpoints (%d evicted), %d events, seekable cycles [%d, %d]; debug with: reusedbg -dir %s\n",
+			what, o.frDir, st.Checkpoints, st.CheckpointsEvicted, st.EventsRetained,
+			st.SeekableFrom, st.SeekableTo, o.frDir)
+		return nil
 	}
 	stopped := false
 	if o.ckptAt > 0 || o.maxWall > 0 {
@@ -469,6 +562,9 @@ func run(p *prog.Program, iq int, reuse bool, o *opts) (*pipeline.Machine, bool,
 			every = 1
 		}
 		err := m.RunBreakable(every, func() bool {
+			if rec != nil {
+				rec.Poll()
+			}
 			if o.ckptAt > 0 && m.Cycle() >= o.ckptAt {
 				return true
 			}
@@ -486,16 +582,29 @@ func run(p *prog.Program, iq int, reuse bool, o *opts) (*pipeline.Machine, bool,
 				fmt.Fprintln(o.stderr, "reusesim: wall-clock budget exceeded; no -checkpoint path given, state discarded")
 			}
 		case err != nil:
+			if ferr := finishRec(true); ferr != nil {
+				fmt.Fprintln(o.stderr, "reusesim:", ferr)
+			}
+			return nil, false, err
+		}
+	} else if rec != nil {
+		if err := m.RunBreakable(64, rec.Break); err != nil {
+			if ferr := finishRec(true); ferr != nil {
+				fmt.Fprintln(o.stderr, "reusesim:", ferr)
+			}
 			return nil, false, err
 		}
 	} else if err := m.Run(); err != nil {
+		return nil, false, err
+	}
+	if err := finishRec(false); err != nil {
 		return nil, false, err
 	}
 	if m.Tel != nil {
 		m.Tel.Finalize(m.Cycle())
 	}
 	if o.srv != nil {
-		publishSample(o.srv, m, true)
+		publishSample(o.srv, m, ff, rec, true)
 	}
 	if flushEvents != nil {
 		if err := flushEvents(); err != nil {

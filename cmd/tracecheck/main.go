@@ -3,13 +3,17 @@
 // monotone non-decreasing timestamps, balanced begin/end pairs per track.
 // With -require-riq it additionally demands RIQ state-machine activity (at
 // least one loop-buffering or code-reuse slice), which proves the traced run
-// actually exercised the reuse mechanism. It is the gate behind
+// actually exercised the reuse mechanism. With -window it validates the
+// flight recorder's window-export contract: a trace_window metadata record
+// with a zero cycle offset (so Perfetto timestamps seek directly back into
+// reusedbg) whose bounds contain every timed event. It is the gate behind
 // `make telemetry-check`.
 //
 // Usage:
 //
 //	tracecheck trace.json
 //	tracecheck -require-riq trace.json
+//	tracecheck -window window.json
 package main
 
 import (
@@ -31,11 +35,12 @@ func mainImpl(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	requireRIQ := fs.Bool("require-riq", false, "fail unless the trace contains RIQ state-machine slices")
+	window := fs.Bool("window", false, "validate the flight-recorder window-export contract (trace_window bounds, zero cycle offset)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: tracecheck [-require-riq] trace.json")
+		fmt.Fprintln(stderr, "usage: tracecheck [-require-riq] [-window] trace.json")
 		return 2
 	}
 	path := fs.Arg(0)
@@ -48,6 +53,12 @@ func mainImpl(args []string, stdout, stderr io.Writer) int {
 	if err := telemetry.ValidateTrace(bytes.NewReader(data)); err != nil {
 		fmt.Fprintf(stderr, "tracecheck: %s: %v\n", path, err)
 		return 1
+	}
+	if *window {
+		if err := telemetry.ValidateTraceWindow(bytes.NewReader(data)); err != nil {
+			fmt.Fprintf(stderr, "tracecheck: %s: %v\n", path, err)
+			return 1
+		}
 	}
 
 	var f struct {

@@ -18,6 +18,8 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -26,6 +28,7 @@ import (
 	"reuseiq/internal/compiler"
 	"reuseiq/internal/core"
 	"reuseiq/internal/ffwd"
+	"reuseiq/internal/flightrec"
 	"reuseiq/internal/pipeline"
 	"reuseiq/internal/power"
 	"reuseiq/internal/prog"
@@ -59,6 +62,11 @@ type RunResult struct {
 	// Retried reports that the run only completed (or finally failed) after
 	// a retry with an enlarged cycle budget.
 	Retried bool
+	// FlightRec is the post-mortem flight-recording directory left behind
+	// for a failed cell when the suite records (Suite.FlightRecDir); open
+	// it with reusedbg -dir. Empty for healthy cells — their recordings are
+	// deleted on completion.
+	FlightRec string
 }
 
 // Failed reports whether this is a degraded partial result.
@@ -95,6 +103,14 @@ type Suite struct {
 	// only skips provably periodic spans — so this is purely a wall-clock
 	// lever for large sweeps.
 	FastForward bool
+	// FlightRecDir, when non-empty, runs every cell with a flight recorder
+	// attached: a cell that aborts (even after its retry) leaves its
+	// recording under this directory as a post-mortem artifact
+	// (RunResult.FlightRec; open with reusedbg -dir), while healthy cells
+	// delete theirs on completion. Recording holds the analytic
+	// fast-forward engine down (bit-exact replay contract), so sweeps pay
+	// wall-clock for the debuggability.
+	FlightRecDir string
 
 	// journal, when non-nil, persists completed cells and mid-cell machine
 	// checkpoints so a killed sweep can resume. Set via AttachJournal.
@@ -275,7 +291,50 @@ func (s *Suite) Run(sp Spec) (RunResult, error) {
 		m = pipeline.New(cfg, mp)
 	}
 	ffwd.Attach(m)
-	runErr := runJournaled(j, k, m)
+	// attempt runs the machine once, with a flight recorder attached when
+	// the suite records. A recording that survives its run (the run
+	// aborted) is the cell's post-mortem artifact; healthy runs delete
+	// theirs so a long sweep leaves artifacts only where they matter.
+	var postMortem string
+	attempt := func(m *pipeline.Machine, cfg pipeline.Config, try int) error {
+		var rec *flightrec.Recorder
+		dir := ""
+		if s.FlightRecDir != "" {
+			dir = filepath.Join(s.FlightRecDir, fmt.Sprintf("%s-iq%d-reuse%v-dist%v-s%d-n%d-try%d",
+				k.kernel, k.iq, k.reuse, k.dist, int(k.strategy), k.nblt, try))
+			var aerr error
+			rec, aerr = flightrec.Attach(m, flightrec.Config{
+				Dir: dir,
+				Manifest: flightrec.Manifest{
+					Kernel:      k.kernel,
+					Distribute:  k.dist,
+					IQSize:      k.iq,
+					Baseline:    !k.reuse,
+					Strategy:    int(k.strategy),
+					NBLTSize:    k.nblt,
+					NBLTSet:     true,
+					MaxCycles:   cfg.MaxCycles,
+					FastForward: s.FastForward,
+				},
+			})
+			if aerr != nil {
+				return aerr
+			}
+		}
+		err := runJournaled(j, k, m, rec)
+		if rec != nil {
+			if ferr := rec.Finish(); ferr != nil && err == nil {
+				err = ferr
+			}
+			if err != nil {
+				postMortem = dir
+			} else {
+				_ = os.RemoveAll(dir)
+			}
+		}
+		return err
+	}
+	runErr := attempt(m, cfg, 1)
 	retried := false
 	if runErr != nil {
 		// Retry once with a larger budget: a legitimate workload can
@@ -290,10 +349,13 @@ func (s *Suite) Run(sp Spec) (RunResult, error) {
 		m.Release()
 		m = pipeline.New(cfg, mp)
 		ffwd.Attach(m)
-		if runErr = runJournaled(j, k, m); runErr != nil {
+		if runErr = attempt(m, cfg, 2); runErr != nil {
 			runErr = fmt.Errorf("experiments: %s iq=%d reuse=%v (after retry): %w",
 				sp.Kernel, sp.IQSize, sp.Reuse, runErr)
 		}
+	}
+	if runErr == nil {
+		postMortem = ""
 	}
 	r := RunResult{
 		Kernel:      sp.Kernel,
@@ -308,6 +370,7 @@ func (s *Suite) Run(sp Spec) (RunResult, error) {
 		Core:        m.Ctl.S,
 		Err:         runErr,
 		Retried:     retried,
+		FlightRec:   postMortem,
 	}
 	// The result holds only values, so the machine's scratch buffers can go
 	// back to the pool for the next sweep point.
@@ -330,11 +393,17 @@ func (s *Suite) Run(sp Spec) (RunResult, error) {
 // cycles; a checkpoint write failure is deliberately swallowed — it only
 // costs re-simulation after a crash, while aborting the run would turn a
 // transient I/O hiccup into a lost cell.
-func runJournaled(j *Journal, k runKey, m *pipeline.Machine) error {
-	if j == nil {
+func runJournaled(j *Journal, k runKey, m *pipeline.Machine, rec *flightrec.Recorder) error {
+	switch {
+	case j == nil && rec == nil:
 		return m.Run()
+	case j == nil:
+		return m.RunBreakable(64, rec.Break)
 	}
 	return m.RunBreakable(j.interval(), func() bool {
+		if rec != nil {
+			rec.Poll()
+		}
 		_ = j.checkpoint(k, m)
 		return false
 	})

@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"math"
+	"os"
 	"strings"
 	"testing"
 
 	"reuseiq/internal/core"
+	"reuseiq/internal/flightrec"
 	"reuseiq/internal/telemetry"
 )
 
@@ -290,5 +292,58 @@ func TestSpecLabel(t *testing.T) {
 	}
 	if got := specLabel(Spec{Kernel: "wss", IQSize: 32}); got != "wss iq=32" {
 		t.Errorf("specLabel = %q", got)
+	}
+}
+
+// TestFlightRecPostMortem: with FlightRecDir set, a sabotaged cell leaves a
+// loadable post-mortem recording and reports its directory, while a healthy
+// cell cleans its recording up.
+func TestFlightRecPostMortem(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSuite()
+	s.FlightRecDir = dir
+	s.Sabotage = func(sp Spec) bool { return sp.Reuse }
+
+	failed, err := s.Run(Spec{Kernel: "aps", IQSize: 32, Reuse: true})
+	if err != nil {
+		t.Fatalf("sabotaged cell returned setup error: %v", err)
+	}
+	if !failed.Failed() {
+		t.Fatal("sabotaged cell did not fail")
+	}
+	if failed.FlightRec == "" {
+		t.Fatal("failed cell left no post-mortem recording directory")
+	}
+	a, err := flightrec.Load(failed.FlightRec)
+	if err != nil {
+		t.Fatalf("post-mortem recording does not load: %v", err)
+	}
+	sess := flightrec.NewSession(a)
+	defer sess.Close()
+	if err := sess.Seek(a.End); err != nil {
+		t.Fatalf("post-mortem recording does not seek to its end: %v", err)
+	}
+	if sess.Cycle() != a.End {
+		t.Errorf("seek landed at cycle %d, want %d", sess.Cycle(), a.End)
+	}
+
+	healthy, err := s.Run(Spec{Kernel: "aps", IQSize: 32, Reuse: false})
+	if err != nil {
+		t.Fatalf("healthy cell: %v", err)
+	}
+	if healthy.Failed() {
+		t.Fatalf("healthy cell failed: %v", healthy.Err)
+	}
+	if healthy.FlightRec != "" {
+		t.Errorf("healthy cell reports a recording: %s", healthy.FlightRec)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), "reusefalse") {
+			t.Errorf("healthy cell's recording %s was not deleted", e.Name())
+		}
 	}
 }

@@ -128,6 +128,12 @@ const (
 	// VetoHorizon: the provable skip (branch-exit solve and cycle-budget
 	// clamp) is too short to be worth taking.
 	VetoHorizon
+	// VetoExactState: a consumer that checkpoints or diffs intermediate
+	// machine states (the flight recorder) is attached. Analytic skips
+	// reproduce architectural state and counters exactly but re-derive the
+	// in-flight microarchitectural arrangement, so a post-skip state is not
+	// bit-identical to the stepped one — useless to a byte-level debugger.
+	VetoExactState
 
 	numVetoReasons
 )
@@ -138,6 +144,7 @@ const NumVetoReasons = int(numVetoReasons)
 var vetoNames = [...]string{
 	"chaos", "observer", "counters", "squash", "structure",
 	"recency", "empty_rob", "memory", "template", "horizon",
+	"exact_state",
 }
 
 func (v VetoReason) String() string {
@@ -238,12 +245,26 @@ func (e *Engine) Tick() error {
 		e.block(VetoObserver)
 		return nil
 	}
-	e.blocked = false
 	if n := m.SkipIdle(); n > 0 {
 		e.S.IdleSkips++
 		e.S.IdleSkippedCycles += n
+		// A cycle-indexed timeline (the flight recorder) must not show an
+		// unexplained hole where no cycle was simulated, so the skip leaves
+		// a synthetic annotation stamped at the post-skip cycle.
+		if m.Tel != nil {
+			m.Tel.BeginCycle(m.Cycle())
+			m.Tel.IdleSkip(n)
+		}
 		return nil
 	}
+	// Checked after the idle skip: an inert cycle changes nothing but the
+	// cycle counter and the occupancy scans, so idle skips stay bit-exact
+	// and may run under an exact-state consumer; analytic skips may not.
+	if m.ExactState {
+		e.block(VetoExactState)
+		return nil
+	}
+	e.blocked = false
 	mark := false
 	if m.Ctl.State() == core.Reuse {
 		if w := m.Ctl.Wraps(); w != e.lastWraps {

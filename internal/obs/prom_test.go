@@ -24,6 +24,13 @@ func goldenSamples() (cur, prev *Sample) {
 		r := &telemetry.Registry{}
 		r.CounterVal("sim.cycles", cycles)
 		r.CounterVal("sim.commits", commits)
+		// The fast-forward veto tally, snapshot image traffic and flight
+		// recorder progress ride the same exposition; pinning one of each
+		// family here keeps their rendering contract golden.
+		r.CounterVal("ffwd.vetoes.exact_state", cycles/1000)
+		r.CounterVal("snapshot.saves", 7)
+		r.CounterVal("snapshot.restores", 2)
+		r.CounterVal("flightrec.checkpoints_taken", 5)
 		r.Gauge("sweep.workers_busy", func() float64 { return 3 })
 		r.Gauge("sim.ipc", func() float64 { return 1.75 })
 		var h telemetry.Histogram

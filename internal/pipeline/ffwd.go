@@ -35,11 +35,14 @@ func (m *Machine) NextSeq() uint64 { return m.nextSeq }
 // Per skipped cycle the machine charges exactly what a real inert Step
 // charges: Cycles, and the select-logic occupancy scans (IssueCycleScans
 // and the queue's SelectScans); nothing else in an inert cycle touches a
-// counter. Any attached observer (telemetry, hooks, sampler, recorder) or
-// fault injector vetoes the skip, because those see per-cycle events.
+// counter. Any attached observer (hooks, sampler, recorder) or fault
+// injector vetoes the skip, because those see per-cycle events. The
+// telemetry tracer is exempt: an inert cycle emits no events, so nothing is
+// elided from its stream, and the ffwd engine stamps a synthetic idle-skip
+// annotation so a cycle-indexed timeline shows why the gap has no events.
 func (m *Machine) SkipIdle() uint64 {
 	// Observers and fault injection see individual cycles.
-	if m.Chaos != nil || m.Tel != nil || m.OnCycle != nil || m.OnCommit != nil ||
+	if m.Chaos != nil || m.OnCycle != nil || m.OnCommit != nil ||
 		m.OnSample != nil || m.Rec != nil || m.DebugIssue != nil || m.Trace != nil {
 		return 0
 	}

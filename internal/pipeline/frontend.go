@@ -33,7 +33,8 @@ func (m *Machine) dispatch() {
 		if m.Rec != nil {
 			m.Rec.OnDispatch(m.nextSeq, f.pc, f.in.Disasm(f.pc), false, m.cycle)
 		}
-		if m.Tel != nil {
+		if m.nextSeq < m.telSeq {
+			//reuse:allow-unguarded telSeq is nonzero only after AttachTelemetry caches Tel's cap
 			m.Tel.InstDispatch(m.nextSeq, f.pc, false)
 		}
 		_ = info
@@ -232,7 +233,8 @@ func (m *Machine) reuseDispatch() {
 		if m.Rec != nil {
 			m.Rec.OnDispatch(seq, e.PC, in.Disasm(e.PC), true, m.cycle)
 		}
-		if m.Tel != nil {
+		if seq < m.telSeq {
+			//reuse:allow-unguarded telSeq is nonzero only after AttachTelemetry caches Tel's cap
 			m.Tel.InstDispatch(seq, e.PC, true)
 		}
 	}

@@ -179,6 +179,14 @@ type Machine struct {
 	//reuse:nilguard
 	Tel *telemetry.Tracer
 
+	// telSeq is the exclusive per-instruction tap threshold, cached from
+	// Tel's InstLimit: lifecycle taps (dispatch, issue, complete, commit)
+	// fire only for seq < telSeq, and 0 (no tracer) disables them. The
+	// per-instruction guard is a single scalar compare instead of a
+	// pointer chase into the tracer — the taps sit on every stage of
+	// every instruction, where the difference is measurable.
+	telSeq uint64
+
 	// OnSample, when non-nil, runs every SampleEvery cycles at the end of
 	// Step, on the simulation goroutine — the periodic tap live observers
 	// (internal/obs) publish from. Nil-guarded like OnCycle: one pointer
@@ -187,6 +195,14 @@ type Machine struct {
 	OnSample    func()
 	SampleEvery uint64
 	sampleLeft  uint64
+
+	// ExactState declares that a consumer checkpoints, diffs, or replays
+	// this machine's intermediate states byte-for-byte (the flight recorder
+	// sets it). Optimizations that preserve architectural state and
+	// counters but not the bit-exact microarchitectural arrangement — the
+	// fast-forward engine's analytic loop skip — must stand down while it
+	// is set. Bit-exact shortcuts (the idle-cycle skip) are unaffected.
+	ExactState bool
 
 	// FF, when non-nil, is consulted between cycles by RunBreakable and
 	// may advance the machine over provably repetitive or inert spans
@@ -222,6 +238,7 @@ func (m *Machine) AttachSampler(every uint64, fn func()) {
 // session left open at HALT.
 func (m *Machine) AttachTelemetry(t *telemetry.Tracer) {
 	m.Tel = t
+	m.telSeq = t.InstSeqCap()
 	m.Ctl.Hook = t.CtlEvent
 }
 

@@ -318,6 +318,12 @@ func (c Config) Normalized() Config { return c.normalized() }
 // later resumed, or RunBreakable can simply be called again.
 var ErrStopped = errors.New("pipeline: run stopped at break point")
 
+// ErrCycleBudget wraps the error returned when MaxCycles is exhausted, so a
+// caller replaying a budget-truncated run (the flight recorder) can tell the
+// expected end-of-recording from a genuine failure. The machine is between
+// cycles and fully inspectable.
+var ErrCycleBudget = errors.New("cycle budget exhausted")
+
 // RunBreakable executes like Run, additionally calling brk every `every`
 // cycles (default 4096 when zero); when brk returns true the run stops with
 // ErrStopped, leaving the machine between cycles. Watchdog and cycle-budget
@@ -333,8 +339,8 @@ func (m *Machine) RunBreakable(every uint64, brk func() bool) error {
 			return m.hookErr
 		}
 		if m.cycle >= m.Cfg.MaxCycles {
-			return fmt.Errorf("pipeline: cycle budget %d exhausted (%d committed; %s)",
-				m.Cfg.MaxCycles, m.C.Commits, m.stateSummary())
+			return fmt.Errorf("pipeline: cycle budget %d exhausted (%d committed; %s): %w",
+				m.Cfg.MaxCycles, m.C.Commits, m.stateSummary(), ErrCycleBudget)
 		}
 		if m.cycle-m.lastCommit > m.Cfg.WatchdogCycles {
 			return fmt.Errorf("pipeline: no commit for %d cycles at cycle %d (%s)",

@@ -90,7 +90,9 @@ func (m *Machine) commit() {
 			m.Rec.OnCommit(h.Seq, m.cycle)
 		}
 		if m.Tel != nil {
-			m.Tel.InstCommit(h.Seq, h.PC)
+			if h.Seq < m.telSeq {
+				m.Tel.InstCommit(h.Seq, h.PC)
+			}
 			if h.IssueCycle > 0 {
 				m.Tel.CommitLatency(m.cycle - h.IssueCycle)
 			}
@@ -179,7 +181,8 @@ func (m *Machine) writeback() {
 		if m.Rec != nil {
 			m.Rec.OnComplete(r.Seq, m.cycle)
 		}
-		if m.Tel != nil {
+		if r.Seq < m.telSeq {
+			//reuse:allow-unguarded telSeq is nonzero only after AttachTelemetry caches Tel's cap
 			m.Tel.InstComplete(r.Seq, r.PC)
 		}
 		if r.Inst.Op.IsControl() {
@@ -427,7 +430,8 @@ func (m *Machine) tryIssueEntry(slot int) bool {
 	if m.Rec != nil {
 		m.Rec.OnIssue(e.Seq, m.cycle)
 	}
-	if m.Tel != nil {
+	if e.Seq < m.telSeq {
+		//reuse:allow-unguarded telSeq is nonzero only after AttachTelemetry caches Tel's cap
 		m.Tel.InstIssue(e.Seq, e.PC)
 	}
 	robSlot, seq := e.ROBSlot, e.Seq

@@ -136,19 +136,18 @@ func Save(w io.Writer, m *pipeline.Machine) error {
 // written after) can encode it against the config it was taken under.
 func Write(w io.Writer, st *pipeline.MachineState, cfg pipeline.Config, p *prog.Program) error {
 	ww := newWriter(w)
+	defer ww.release()
 	ww.write([]byte(Magic))
 	ww.u32(Version)
 	ww.u32(0) // flags: none defined in version 1
 	ww.u64(ConfigHash(cfg))
 	ww.u64(ProgramHash(p))
 	encodeState(ww, st)
-	if ww.err != nil {
-		return fmt.Errorf("snapshot: save: %w", ww.err)
-	}
 	ww.rawU32(ww.sum())
-	if ww.err != nil {
-		return fmt.Errorf("snapshot: save: %w", ww.err)
+	if err := ww.flush(); err != nil {
+		return fmt.Errorf("snapshot: save: %w", err)
 	}
+	saves.Add(1)
 	return nil
 }
 
@@ -206,5 +205,6 @@ func Decode(r io.Reader, cfg pipeline.Config, p *prog.Program) (*pipeline.Machin
 	if rr.err != nil {
 		return nil, rr.err
 	}
+	restores.Add(1)
 	return st, nil
 }

@@ -6,62 +6,67 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"sync"
 )
 
 // Wire primitives: little-endian fixed-width encoding with a CRC32 (IEEE)
-// running over every byte written or read. The writer latches the first
-// error and turns the rest of the encode into no-ops; the reader does the
-// same, so the per-field codec never needs inline error handling. The
-// reader's length method is the allocation guard: every variable-length
-// field passes an explicit cap derived from the machine configuration, so a
-// corrupt or adversarial image can never demand more memory than a valid
-// snapshot of that configuration would.
+// over every byte of the image body. The writer encodes into an internal
+// buffer and computes the checksum in one pass at sum() time: feeding a
+// hash.Hash32 per 4- or 8-byte field costs two interface calls and the
+// byte-at-a-time CRC fallback for every field, which dominated snapshot
+// encode time (the flight recorder encodes an image per checkpoint on the
+// simulation's critical path). Nothing reaches the underlying io.Writer
+// until flush(), so the only I/O error surfaces there. The reader still
+// hashes incrementally — decode is off the hot path — and latches its first
+// error, turning the rest of the decode into no-ops, so the per-field codec
+// never needs inline error handling. The reader's length method is the
+// allocation guard: every variable-length field passes an explicit cap
+// derived from the machine configuration, so a corrupt or adversarial image
+// can never demand more memory than a valid snapshot of that configuration
+// would.
 
 type writer struct {
 	w   io.Writer
-	crc hash.Hash32
+	buf []byte
 	err error
-	buf [8]byte
+}
+
+// encBufs recycles encode buffers: the flight recorder encodes an image per
+// checkpoint interval, and a fresh buffer per image is a quarter-megabyte of
+// garbage (plus growth copies) on the simulation's critical path.
+var encBufs = sync.Pool{
+	New: func() any { b := make([]byte, 0, 1<<18); return &b },
 }
 
 func newWriter(w io.Writer) *writer {
-	return &writer{w: w, crc: crc32.NewIEEE()}
+	bp := encBufs.Get().(*[]byte)
+	return &writer{w: w, buf: (*bp)[:0]}
+}
+
+// release returns the writer's buffer to the pool. The writer must not be
+// used afterwards.
+func (w *writer) release() {
+	buf := w.buf
+	w.buf = nil
+	encBufs.Put(&buf)
 }
 
 func (w *writer) write(b []byte) {
-	if w.err != nil {
-		return
-	}
-	if _, err := w.w.Write(b); err != nil {
-		w.err = err
-		return
-	}
-	w.crc.Write(b)
+	w.buf = append(w.buf, b...)
 }
 
 func (w *writer) u8(v uint8) {
-	w.buf[0] = v
-	w.write(w.buf[:1])
+	w.buf = append(w.buf, v)
 }
 
 func (w *writer) u32(v uint32) {
-	w.buf[0] = byte(v)
-	w.buf[1] = byte(v >> 8)
-	w.buf[2] = byte(v >> 16)
-	w.buf[3] = byte(v >> 24)
-	w.write(w.buf[:4])
+	w.buf = append(w.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 }
 
 func (w *writer) u64(v uint64) {
-	w.buf[0] = byte(v)
-	w.buf[1] = byte(v >> 8)
-	w.buf[2] = byte(v >> 16)
-	w.buf[3] = byte(v >> 24)
-	w.buf[4] = byte(v >> 32)
-	w.buf[5] = byte(v >> 40)
-	w.buf[6] = byte(v >> 48)
-	w.buf[7] = byte(v >> 56)
-	w.write(w.buf[:8])
+	w.buf = append(w.buf,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
 }
 
 func (w *writer) i32(v int32)   { w.u32(uint32(v)) }
@@ -78,20 +83,25 @@ func (w *writer) bool(v bool) {
 
 func (w *writer) length(n int) { w.u32(uint32(n)) }
 
-// sum returns the CRC of everything written so far.
-func (w *writer) sum() uint32 { return w.crc.Sum32() }
+// sum returns the CRC of everything written so far, in one pass over the
+// buffered image (crc32's fast path needs runs longer than the per-field
+// writes ever are).
+func (w *writer) sum() uint32 { return crc32.ChecksumIEEE(w.buf) }
 
-// rawU32 writes v without feeding the CRC (the checksum trailer itself).
+// rawU32 appends v without feeding the CRC (the checksum trailer itself).
+// Call it only after sum(): anything appended later would silently join the
+// next sum's coverage.
 func (w *writer) rawU32(v uint32) {
-	if w.err != nil {
-		return
+	w.buf = append(w.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// flush writes the buffered image to the underlying writer. The encode
+// itself cannot fail, so this is where the writer's only error surfaces.
+func (w *writer) flush() error {
+	if w.err == nil {
+		_, w.err = w.w.Write(w.buf)
 	}
-	w.buf[0] = byte(v)
-	w.buf[1] = byte(v >> 8)
-	w.buf[2] = byte(v >> 16)
-	w.buf[3] = byte(v >> 24)
-	_, err := w.w.Write(w.buf[:4])
-	w.err = err
+	return w.err
 }
 
 type reader struct {
@@ -150,10 +160,10 @@ func (r *reader) u64() uint64 {
 		uint64(r.buf[4])<<32 | uint64(r.buf[5])<<40 | uint64(r.buf[6])<<48 | uint64(r.buf[7])<<56
 }
 
-func (r *reader) i32() int32     { return int32(r.u32()) }
-func (r *reader) vInt() int      { return int(int64(r.u64())) }
-func (r *reader) f64() float64   { return math.Float64frombits(r.u64()) }
-func (r *reader) boolean() bool  { return r.u8() != 0 }
+func (r *reader) i32() int32    { return int32(r.u32()) }
+func (r *reader) vInt() int     { return int(int64(r.u64())) }
+func (r *reader) f64() float64  { return math.Float64frombits(r.u64()) }
+func (r *reader) boolean() bool { return r.u8() != 0 }
 
 // length reads a u32 count and rejects anything above max, bounding every
 // allocation the decoder makes.

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
+	"strings"
 
 	"reuseiq/internal/core"
 )
@@ -62,7 +64,36 @@ type instLife struct {
 // WriteTraceJSON renders the tracer's retained events as Chrome trace-event
 // JSON. finalCycle bounds the last open state span.
 func WriteTraceJSON(w io.Writer, t *Tracer, finalCycle uint64) error {
-	events := t.Events()
+	return writeTrace(w, t.Events(), traceOpts{final: finalCycle, knownStart: t.Dropped() == 0})
+}
+
+// WriteTraceWindow renders the events falling inside the cycle window
+// [from, to] as Chrome trace-event JSON (the flight recorder's incident
+// export). Timestamps stay absolute cycles — no rebasing — so a Perfetto
+// timestamp in the exported file maps 1:1 back onto a debugger `seek`
+// target; a "trace_window" metadata record pins the window bounds and the
+// zero clock offset so validators can verify that correspondence.
+func WriteTraceWindow(w io.Writer, events []Event, from, to uint64) error {
+	kept := make([]Event, 0, len(events))
+	for _, e := range events {
+		if e.Cycle >= from && e.Cycle <= to {
+			kept = append(kept, e)
+		}
+	}
+	win := [2]uint64{from, to}
+	return writeTrace(w, kept, traceOpts{final: to, knownStart: from == 0, window: &win})
+}
+
+// traceOpts parameterizes the shared renderer behind WriteTraceJSON and
+// WriteTraceWindow.
+type traceOpts struct {
+	final      uint64     // bound for the last open state/gate span
+	knownStart bool       // the RIQ state before the first event is known (Normal)
+	window     *[2]uint64 // emit a trace_window metadata record
+}
+
+func writeTrace(w io.Writer, events []Event, opts traceOpts) error {
+	finalCycle := opts.final
 	out := make([]traceEvent, 0, len(events)+16)
 
 	meta := func(tid int, name string) {
@@ -81,6 +112,16 @@ func WriteTraceJSON(w io.Writer, t *Tracer, finalCycle uint64) error {
 		Name: "process_name", Ph: "M", Pid: 1,
 		Args: map[string]any{"name": "reusesim"},
 	})
+	if opts.window != nil {
+		out = append(out, traceEvent{
+			Name: "trace_window", Ph: "M", Pid: 1,
+			Args: map[string]any{
+				"start_cycle":  opts.window[0],
+				"end_cycle":    opts.window[1],
+				"cycle_offset": uint64(0),
+			},
+		})
+	}
 
 	span := func(tid int, name string, from, to uint64, args map[string]any) {
 		dur := uint64(1)
@@ -101,7 +142,8 @@ func WriteTraceJSON(w io.Writer, t *Tracer, finalCycle uint64) error {
 	state := core.Normal
 	stateStart := uint64(0)
 	gateStart := uint64(0)
-	known := t.Dropped() == 0 // state before the first retained event is known
+	gateKnown := false       // a promote was seen, so the gate span has a start
+	known := opts.knownStart // state before the first retained event is known
 	insts := map[uint64]*instLife{}
 
 	closeState := func(to core.State, cycle uint64, head uint32) {
@@ -120,15 +162,18 @@ func WriteTraceJSON(w io.Writer, t *Tracer, finalCycle uint64) error {
 			closeState(core.Buffering, e.Cycle, e.PC)
 		case EvPromote:
 			closeState(core.Reuse, e.Cycle, e.PC)
-			gateStart = e.Cycle
+			gateStart, gateKnown = e.Cycle, true
 		case EvRevoke:
 			closeState(core.Normal, e.Cycle, e.PC)
 			instant(tidEvents, "revoke:"+core.RevokeReason(e.A).String(), e.Cycle,
 				map[string]any{"head": fmt.Sprintf("0x%x", e.PC)})
 		case EvReuseExit:
 			closeState(core.Normal, e.Cycle, e.PC)
-			span(tidGate, "gated", gateStart, e.Cycle,
-				map[string]any{"head": fmt.Sprintf("0x%x", e.PC)})
+			if gateKnown {
+				span(tidGate, "gated", gateStart, e.Cycle,
+					map[string]any{"head": fmt.Sprintf("0x%x", e.PC)})
+				gateKnown = false
+			}
 		case EvIteration:
 			instant(tidEvents, "iteration", e.Cycle,
 				map[string]any{"size": e.A})
@@ -146,6 +191,9 @@ func WriteTraceJSON(w io.Writer, t *Tracer, finalCycle uint64) error {
 		case EvFastForward:
 			instant(tidEvents, "fast-forward", e.Cycle, map[string]any{
 				"iterations": e.A, "cycles": e.B})
+		case EvIdleSkip:
+			instant(tidEvents, "idle-skip", e.Cycle, map[string]any{
+				"cycles": e.A})
 		case EvDispatch:
 			insts[e.A] = &instLife{pc: e.PC, reused: e.B == 1,
 				dispatch: e.Cycle, hasDispatch: true}
@@ -166,7 +214,7 @@ func WriteTraceJSON(w io.Writer, t *Tracer, finalCycle uint64) error {
 	// Close the final state span and a still-gated gate span.
 	if known && finalCycle > stateStart {
 		span(tidState, state.String(), stateStart, finalCycle, nil)
-		if state == core.Reuse {
+		if state == core.Reuse && gateKnown {
 			span(tidGate, "gated", gateStart, finalCycle, nil)
 		}
 	}
@@ -225,13 +273,66 @@ type jsonlEvent struct {
 
 // MarshalEvent renders one event in the canonical JSON encoding shared by
 // JSONLSink, WriteJSONL and the obs SSE stream (no trailing newline).
-func MarshalEvent(e Event) []byte {
-	je := jsonlEvent{Cycle: e.Cycle, Kind: e.Kind.String(), A: e.A, B: e.B}
+func MarshalEvent(e Event) []byte { return AppendEvent(nil, e) }
+
+// AppendEvent appends MarshalEvent's exact bytes to dst and returns the
+// extended slice — the allocation-free path for high-rate sinks (the flight
+// recorder streams every event through this with a reused scratch buffer).
+// TestAppendEventCanonical pins byte equality with the encoding/json
+// rendering of jsonlEvent.
+func AppendEvent(dst []byte, e Event) []byte {
+	dst = append(dst, `{"cycle":`...)
+	dst = strconv.AppendUint(dst, e.Cycle, 10)
+	dst = append(dst, `,"kind":"`...)
+	dst = append(dst, e.Kind.String()...)
+	dst = append(dst, '"')
 	if e.PC != 0 {
-		je.PC = fmt.Sprintf("0x%x", e.PC)
+		dst = append(dst, `,"pc":"0x`...)
+		dst = strconv.AppendUint(dst, uint64(e.PC), 16)
+		dst = append(dst, '"')
 	}
-	data, _ := json.Marshal(je)
-	return data
+	if e.A != 0 {
+		dst = append(dst, `,"a":`...)
+		dst = strconv.AppendUint(dst, e.A, 10)
+	}
+	if e.B != 0 {
+		dst = append(dst, `,"b":`...)
+		dst = strconv.AppendUint(dst, e.B, 10)
+	}
+	return append(dst, '}')
+}
+
+// ParseKind maps a canonical kind name (Kind.String) back to its Kind.
+func ParseKind(name string) (Kind, bool) {
+	for i := 1; i < len(kindNames); i++ {
+		if kindNames[i] == name {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
+// UnmarshalEvent parses one canonical JSON event object (the inverse of
+// MarshalEvent). Tools that re-read persisted event streams — the flight
+// recorder's segments, -events dumps — round-trip through this.
+func UnmarshalEvent(data []byte) (Event, error) {
+	var je jsonlEvent
+	if err := json.Unmarshal(data, &je); err != nil {
+		return Event{}, err
+	}
+	k, ok := ParseKind(je.Kind)
+	if !ok {
+		return Event{}, fmt.Errorf("telemetry: unknown event kind %q", je.Kind)
+	}
+	e := Event{Cycle: je.Cycle, Kind: k, A: je.A, B: je.B}
+	if je.PC != "" {
+		pc, err := strconv.ParseUint(strings.TrimPrefix(je.PC, "0x"), 16, 32)
+		if err != nil {
+			return Event{}, fmt.Errorf("telemetry: bad event pc %q: %w", je.PC, err)
+		}
+		e.PC = uint32(pc)
+	}
+	return e, nil
 }
 
 // JSONLSink returns a Sink that streams each event as one JSON line to w.
@@ -344,6 +445,76 @@ func ValidateTrace(r io.Reader) error {
 	for tr, d := range depth {
 		if d != 0 {
 			return fmt.Errorf("telemetry: %d unbalanced B events on pid=%d tid=%d", d, tr.pid, tr.tid)
+		}
+	}
+	return nil
+}
+
+// ValidateTraceWindow checks the extra contract of a flight-recorder window
+// export (WriteTraceWindow): a "trace_window" metadata record must be
+// present with a zero cycle offset (the seek-by-Perfetto-timestamp
+// guarantee), and every timed event must fall inside its declared
+// [start_cycle, end_cycle] bounds — slice durations may clamp at the end
+// bound but never spill past it.
+func ValidateTraceWindow(r io.Reader) error {
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *float64       `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return fmt.Errorf("telemetry: trace JSON malformed: %w", err)
+	}
+	var start, end float64
+	found := false
+	for _, e := range f.TraceEvents {
+		if e.Ph != "M" || e.Name != "trace_window" {
+			continue
+		}
+		found = true
+		get := func(key string) (float64, error) {
+			v, ok := e.Args[key].(float64)
+			if !ok {
+				return 0, fmt.Errorf("telemetry: trace_window lacks numeric %q", key)
+			}
+			return v, nil
+		}
+		var err error
+		if start, err = get("start_cycle"); err != nil {
+			return err
+		}
+		if end, err = get("end_cycle"); err != nil {
+			return err
+		}
+		off, err := get("cycle_offset")
+		if err != nil {
+			return err
+		}
+		if off != 0 {
+			return fmt.Errorf("telemetry: trace_window cycle_offset = %g, want 0 (timestamps must equal cycles)", off)
+		}
+	}
+	if !found {
+		return fmt.Errorf("telemetry: no trace_window metadata record (not a window export?)")
+	}
+	if end < start {
+		return fmt.Errorf("telemetry: trace_window bounds inverted: [%g, %g]", start, end)
+	}
+	for i, e := range f.TraceEvents {
+		if e.Ph == "M" || e.Ts == nil {
+			continue
+		}
+		if *e.Ts < start || *e.Ts > end {
+			return fmt.Errorf("telemetry: event %d (%q) ts %g outside window [%g, %g]",
+				i, e.Name, *e.Ts, start, end)
+		}
+		if e.Ph == "X" && *e.Ts+e.Dur > end {
+			return fmt.Errorf("telemetry: event %d (%q) spills past the window end (%g+%g > %g)",
+				i, e.Name, *e.Ts, e.Dur, end)
 		}
 	}
 	return nil

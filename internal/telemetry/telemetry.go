@@ -64,13 +64,19 @@ const (
 	// (PC = loop head or fetch anchor, A = iterations skipped, B = cycles
 	// skipped). Appended last so earlier kinds keep their wire values.
 	EvFastForward
+	// EvIdleSkip: the fast-forward engine jumped an event-driven idle gap
+	// (A = cycles skipped). The synthetic annotation keeps a cycle-indexed
+	// timeline (the flight recorder) from showing an unexplained hole where
+	// no cycle was simulated. Appended after EvFastForward for the same
+	// wire-value stability reason.
+	EvIdleSkip
 )
 
 var kindNames = [...]string{
 	"", "buffer", "promote", "revoke", "reuse-exit", "iteration",
 	"nblt-hit", "nblt-insert", "mispredict", "chaos-flip", "chaos-stall",
 	"chaos-jitter", "chaos-revoke", "dispatch", "issue", "complete", "commit",
-	"fast-forward",
+	"fast-forward", "idle-skip",
 }
 
 func (k Kind) String() string {
@@ -139,6 +145,17 @@ func New(cfg Config) *Tracer {
 		t.instLimit = uint64(cfg.InstLimit)
 	}
 	return t
+}
+
+// InstSeqCap returns the exclusive sequence-number bound below which
+// per-instruction lifecycle taps fire (instLimit is inclusive). The pipeline
+// caches it so the per-instruction guard is one compare against a machine
+// field rather than a load through the tracer pointer.
+func (t *Tracer) InstSeqCap() uint64 {
+	if t.instLimit == ^uint64(0) {
+		return t.instLimit
+	}
+	return t.instLimit + 1
 }
 
 // BeginCycle stamps the cycle used by subsequent events. The pipeline calls
@@ -239,6 +256,12 @@ func (t *Tracer) FastForward(pc uint32, iterations, cycles, gated, reused uint64
 	t.sessions.fastForward(gated, reused)
 	t.Emit(EvFastForward, pc, iterations, cycles)
 }
+
+// IdleSkip records an event-driven skip of `cycles` provably inert cycles
+// ending at the current cycle (the fast-forward engine's second lever). The
+// session audit log needs no adjustment: idle gaps are only skipped outside
+// gated reuse spans.
+func (t *Tracer) IdleSkip(cycles uint64) { t.Emit(EvIdleSkip, 0, cycles, 0) }
 
 // Mispredict records a resolved misprediction squash.
 func (t *Tracer) Mispredict(pc uint32, target uint32, seq uint64) {

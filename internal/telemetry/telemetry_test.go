@@ -3,6 +3,8 @@ package telemetry
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -465,5 +467,79 @@ func TestSessionTableZeroSessions(t *testing.T) {
 	}
 	if strings.Contains(out, "end-reason") {
 		t.Errorf("empty log rendered a bare header:\n%s", out)
+	}
+}
+
+// TestAppendEventCanonical pins the hand-rolled AppendEvent encoder to the
+// encoding/json rendering of jsonlEvent it replaced: every kind, every
+// omitempty combination, byte for byte. Round-tripping through
+// UnmarshalEvent guards against an encoder bug that json would tolerate.
+func TestAppendEventCanonical(t *testing.T) {
+	ref := func(e Event) []byte {
+		je := jsonlEvent{Cycle: e.Cycle, Kind: e.Kind.String(), A: e.A, B: e.B}
+		if e.PC != 0 {
+			je.PC = fmt.Sprintf("0x%x", e.PC)
+		}
+		data, err := json.Marshal(je)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	var cases []Event
+	for k := Kind(1); int(k) < len(kindNames); k++ {
+		cases = append(cases,
+			Event{Cycle: 0, Kind: k},
+			Event{Cycle: 12345, Kind: k, PC: 0x4000cc},
+			Event{Cycle: 1 << 40, Kind: k, A: 7},
+			Event{Cycle: 99, Kind: k, PC: 0xdeadbeef, A: 1, B: 1 << 33},
+			Event{Cycle: 1, Kind: k, B: 42},
+		)
+	}
+	for _, e := range cases {
+		got := AppendEvent(nil, e)
+		if want := ref(e); !bytes.Equal(got, want) {
+			t.Fatalf("AppendEvent(%+v) = %s, want %s", e, got, want)
+		}
+		back, err := UnmarshalEvent(got)
+		if err != nil {
+			t.Fatalf("round-trip %s: %v", got, err)
+		}
+		if back != e {
+			t.Fatalf("round-trip %+v → %+v", e, back)
+		}
+	}
+	// Appending to a non-empty prefix must not disturb it.
+	pre := AppendEvent([]byte("x"), cases[0])
+	if pre[0] != 'x' || !bytes.Equal(pre[1:], AppendEvent(nil, cases[0])) {
+		t.Fatalf("AppendEvent clobbered its prefix: %s", pre)
+	}
+}
+
+// TestHistogramObserveBucketing pins the bit-scan bucketing to the simple
+// linear-walk definition it replaced: bucket i is the smallest with
+// v <= 1<<i, overflow capped at histBuckets.
+func TestHistogramObserveBucketing(t *testing.T) {
+	linear := func(v uint64) int {
+		i := 0
+		for i < histBuckets && v > uint64(1)<<uint(i) {
+			i++
+		}
+		return i
+	}
+	var vals []uint64
+	for k := 0; k < 64; k++ {
+		vals = append(vals, uint64(1)<<k-1, uint64(1)<<k, uint64(1)<<k+1)
+	}
+	vals = append(vals, 0, 3, 5, 7, 100, 1000, ^uint64(0))
+	for _, v := range vals {
+		var h Histogram
+		h.Observe(v)
+		want := linear(v)
+		for i := range h.buckets {
+			if (h.buckets[i] == 1) != (i == want) {
+				t.Fatalf("Observe(%d): bucket %d = %d, want count in bucket %d only", v, i, h.buckets[i], want)
+			}
+		}
 	}
 }
