@@ -3,9 +3,9 @@
 # suite under the race detector (the experiment harness runs simulations
 # concurrently, so -race is part of the gate, not an extra), emit a valid
 # telemetry trace, and serve a lint-clean live observability surface.
-.PHONY: check build vet lint test race fuzz bench bench-baseline bench-all telemetry-check obs-check ckpt-check dbg-check
+.PHONY: check build vet lint test race fuzz bench bench-baseline bench-all telemetry-check obs-check ckpt-check dbg-check report-check
 
-check: build vet lint race telemetry-check obs-check ckpt-check dbg-check
+check: build vet lint race telemetry-check obs-check ckpt-check dbg-check report-check
 
 build:
 	go build ./...
@@ -55,6 +55,14 @@ obs-check:
 # -resume, requiring a byte-identical report and no double-counted cells.
 ckpt-check:
 	go run ./cmd/ckptcheck -- go run ./cmd/reusebench -figure 5 -sizes 32 -benchjson= -progress=false -ckpt-every 20000
+
+# Run-ledger gate: two scripted runs into a fresh ledger, the regression
+# sentinel must pass on identical fingerprints and fail on an injected
+# one-count drift, and the /runs + /dashboard wire formats must match the
+# golden skeletons (regenerate after intentional schema changes with
+# go run ./cmd/reportcheck -update).
+report-check:
+	go run -race ./cmd/reportcheck
 
 # Time-travel debugger gate: record a chaos run through the flight recorder,
 # prove randomized seeks land on byte-identical images vs an uninterrupted

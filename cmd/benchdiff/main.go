@@ -4,6 +4,7 @@
 //
 //	benchdiff old.txt new.txt
 //	benchdiff -threshold 10 -watch BenchmarkSimulatorSpeed old.txt new.txt
+//	benchdiff -json BENCH_simcore.json new_simcore.json
 //
 // Every benchmark present in both files is reported; benchmarks present in
 // only one file are listed separately so a renamed or deleted benchmark
@@ -12,6 +13,13 @@
 // on usage or input errors (including malformed benchmark lines). With
 // -count > 1 runs per benchmark, the best (minimum) value of each metric is
 // used, which is robust to scheduler noise.
+//
+// With -json the inputs are the schema-versioned runstore.BenchRecord files
+// reusebench writes (BENCH_simcore.json, BENCH_ffwd.json). Both files are
+// validated — a malformed or future-version record exits 2, never a silent
+// mis-diff — then diffed metric by metric; watched metrics (-watch, default
+// ns_per_cycle and allocs_per_cycle) that grow beyond the threshold fail the
+// run.
 package main
 
 import (
@@ -23,6 +31,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"reuseiq/internal/runstore"
 )
 
 // metrics maps unit ("ns/op", "allocs/op", ...) to the best observed value.
@@ -106,13 +116,23 @@ func mainImpl(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	threshold := fs.Float64("threshold", 10, "maximum allowed regression in percent")
-	watch := fs.String("watch", "BenchmarkSimulatorSpeed", "comma-separated benchmarks whose regression fails the run")
+	watch := fs.String("watch", "", "comma-separated benchmarks (or, with -json, metrics) whose regression fails the run")
+	jsonMode := fs.Bool("json", false, "inputs are runstore.BenchRecord files (BENCH_simcore.json / BENCH_ffwd.json), validated then diffed")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 2 {
-		fmt.Fprintln(stderr, "usage: benchdiff [-threshold pct] [-watch names] old.txt new.txt")
+		fmt.Fprintln(stderr, "usage: benchdiff [-threshold pct] [-watch names] [-json] old new")
 		return 2
+	}
+	if *jsonMode {
+		if *watch == "" {
+			*watch = "ns_per_cycle,allocs_per_cycle"
+		}
+		return jsonImpl(fs.Arg(0), fs.Arg(1), *threshold, *watch, stdout, stderr)
+	}
+	if *watch == "" {
+		*watch = "BenchmarkSimulatorSpeed"
 	}
 	old, err := parseFile(fs.Arg(0))
 	if err != nil {
@@ -182,5 +202,65 @@ func mainImpl(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stdout, "ok: no watched benchmark regressed more than %.0f%%\n", *threshold)
+	return 0
+}
+
+// jsonImpl diffs two validated BenchRecord files. Watched metrics are
+// lower-is-better (times, allocs): growth beyond the threshold fails.
+func jsonImpl(oldPath, newPath string, threshold float64, watch string, stdout, stderr io.Writer) int {
+	old, err := runstore.ReadBenchRecord(oldPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	cur, err := runstore.ReadBenchRecord(newPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	d, err := runstore.DiffBench(old, cur)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	watched := map[string]bool{}
+	for _, w := range strings.Split(watch, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			watched[w] = true
+		}
+	}
+	failed := false
+	fmt.Fprintf(stdout, "%-34s %18s %18s %9s\n", "metric", "old", "new", "delta")
+	for _, row := range d.Rows {
+		switch {
+		case !row.AOK:
+			fmt.Fprintf(stdout, "%-34s only in %s\n", row.Name, newPath)
+			continue
+		case !row.BOK:
+			fmt.Fprintf(stdout, "%-34s only in %s\n", row.Name, oldPath)
+			if watched[row.Name] {
+				fmt.Fprintf(stderr, "benchdiff: watched metric %s missing from %s\n", row.Name, newPath)
+				failed = true
+			}
+			continue
+		}
+		delta := 0.0
+		if row.A != 0 {
+			delta = (row.B - row.A) / row.A * 100
+		} else if row.B != 0 {
+			delta = 100
+		}
+		mark := ""
+		if watched[row.Name] && delta > threshold {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(stdout, "%-34s %18.3f %18.3f %+8.1f%%%s\n", row.Name, row.A, row.B, delta, mark)
+	}
+	if failed {
+		fmt.Fprintf(stderr, "benchdiff: watched metric regressed more than %.0f%%\n", threshold)
+		return 1
+	}
+	fmt.Fprintf(stdout, "ok: no watched metric regressed more than %.0f%%\n", threshold)
 	return 0
 }

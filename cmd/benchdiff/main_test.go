@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"reuseiq/internal/runstore"
 )
 
 func writeBench(t *testing.T, name, content string) string {
@@ -133,5 +136,76 @@ BenchmarkSimulatorSpeed-8 100 1100000 ns/op
 	}
 	if !strings.Contains(out, "900000.0") {
 		t.Errorf("old column should show the minimum across runs:\n%s", out)
+	}
+}
+
+// simcoreJSON renders a minimal valid simcore BenchRecord.
+func simcoreJSON(nsPerCycle, allocs float64) string {
+	return fmt.Sprintf(`{
+  "v": 1, "kind": "simcore",
+  "throughput": {"simulated_cycles": 1000, "wall_ns": 2000, "wall": "2µs",
+    "cycles_per_sec": 5e8, "ns_per_cycle": %g, "allocs_per_cycle": %g},
+  "sections": [{"name": "figure5", "wall": "1µs", "wall_ns": 1000}]
+}`, nsPerCycle, allocs)
+}
+
+func TestJSONModeOKAndRegression(t *testing.T) {
+	oldPath := writeBench(t, "old.json", simcoreJSON(2.0, 0.03))
+	samePath := writeBench(t, "same.json", simcoreJSON(2.1, 0.03))
+	out, _, code := runDiff(t, "-json", oldPath, samePath)
+	if code != 0 {
+		t.Fatalf("5%% growth under a 10%% threshold: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "ns_per_cycle") || !strings.Contains(out, "ok:") {
+		t.Errorf("json diff output:\n%s", out)
+	}
+
+	slowPath := writeBench(t, "slow.json", simcoreJSON(3.0, 0.03))
+	out, errb, code := runDiff(t, "-json", oldPath, slowPath)
+	if code != 1 {
+		t.Fatalf("50%% ns_per_cycle growth: exit %d\n%s%s", code, out, errb)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Errorf("regression not marked:\n%s", out)
+	}
+}
+
+// TestJSONModeMalformedExits2 pins the validation gate: a syntactically
+// broken file, a future schema version, a wrong kind shape and a kind
+// mismatch all exit 2 — never a silent mis-diff.
+func TestJSONModeMalformedExits2(t *testing.T) {
+	good := writeBench(t, "good.json", simcoreJSON(2.0, 0.03))
+	cases := map[string]string{
+		"truncated":  `{"v": 1, "kind": "simcore", "throughput": {`,
+		"future":     `{"v": 99, "kind": "simcore", "throughput": {"wall_ns": 1}}`,
+		"no_payload": `{"v": 1, "kind": "simcore"}`,
+		"bad_kind":   `{"v": 1, "kind": "mystery"}`,
+		"ffwd_empty": `{"v": 1, "kind": "ffwd", "ffwd": []}`,
+	}
+	for name, content := range cases {
+		bad := writeBench(t, name+".json", content)
+		if _, errb, code := runDiff(t, "-json", good, bad); code != 2 {
+			t.Errorf("%s: exit %d, want 2 (%s)", name, code, errb)
+		}
+	}
+	// Kind mismatch between two individually valid records.
+	ffwd := writeBench(t, "ffwd.json",
+		`{"v":1,"kind":"ffwd","ffwd":[{"name":"figure5","off":"1s","on":"1s","off_ns":1,"on_ns":1,"speedup":1}]}`)
+	if _, errb, code := runDiff(t, "-json", good, ffwd); code != 2 {
+		t.Errorf("kind mismatch: exit %d (%s)", code, errb)
+	}
+}
+
+// TestCheckedInBenchFilesValidate keeps the repo's own baseline files inside
+// the schema the validator enforces.
+func TestCheckedInBenchFilesValidate(t *testing.T) {
+	for _, name := range []string{"BENCH_simcore.json", "BENCH_ffwd.json"} {
+		path := filepath.Join("..", "..", name)
+		if _, err := os.Stat(path); err != nil {
+			t.Skipf("%s not present", name)
+		}
+		if _, err := runstore.ReadBenchRecord(path); err != nil {
+			t.Errorf("%s does not validate: %v", name, err)
+		}
 	}
 }

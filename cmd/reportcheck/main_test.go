@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestGatePasses runs the whole gate in-process against the checked-in
+// goldens, exactly as `make report-check` does from the repo root (the
+// golden path is relative to this package here).
+func TestGatePasses(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := mainImpl([]string{"-golden", "testdata"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("reportcheck exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	for _, want := range []string{"sentinel PASS", "caught injected +1 drift", "wire formats ok"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestShapeWalker(t *testing.T) {
+	out := map[string]bool{}
+	walkShape("", map[string]any{
+		"a": 1.0,
+		"b": []any{map[string]any{"c": "x"}, map[string]any{"c": "y", "d": true}},
+		"e": []any{},
+	}, out)
+	for _, want := range []string{"a number", "b[].c string", "b[].d bool", "e[] empty"} {
+		if !out[want] {
+			t.Errorf("missing %q in %v", want, out)
+		}
+	}
+	if len(out) != 4 {
+		t.Errorf("got %d lines, want 4: %v", len(out), out)
+	}
+}

@@ -37,42 +37,18 @@ import (
 	"reuseiq/internal/ffwd"
 	"reuseiq/internal/obs"
 	"reuseiq/internal/pipeline"
+	"reuseiq/internal/runstore"
 	"reuseiq/internal/telemetry"
 )
 
-// benchReport is the machine-readable throughput summary. Cycle totals come
-// from the Suite cache (each configuration simulated exactly once), so
-// cycles/sec is true simulation throughput, not inflated by cache hits.
-type benchReport struct {
-	SimulatedCycles uint64         `json:"simulated_cycles"`
-	WallNS          int64          `json:"wall_ns"`
-	Wall            string         `json:"wall"`
-	CyclesPerSec    float64        `json:"cycles_per_sec"`
-	NSPerCycle      float64        `json:"ns_per_cycle"`
-	AllocsPerCycle  float64        `json:"allocs_per_cycle"`
-	Sections        []benchSection `json:"sections"`
-}
+// Both machine-readable summaries (BENCH_simcore.json, BENCH_ffwd.json) are
+// emitted as schema-versioned runstore.BenchRecord envelopes; cmd/benchdiff
+// -json validates and diffs them. Cycle totals come from the Suite cache
+// (each configuration simulated exactly once), so cycles/sec is true
+// simulation throughput, not inflated by cache hits.
 
-type benchSection struct {
-	Name   string `json:"name"`
-	Wall   string `json:"wall"`
-	WallNS int64  `json:"wall_ns"`
-}
-
-// ffwdSection is one row of the fast-forward comparison (BENCH_ffwd.json):
-// the identical work simulated with the analytic fast-forward engine off and
-// on. The section only exists if both modes produced byte-identical output.
-type ffwdSection struct {
-	Name    string  `json:"name"`
-	Off     string  `json:"off"`
-	On      string  `json:"on"`
-	OffNS   int64   `json:"off_ns"`
-	OnNS    int64   `json:"on_ns"`
-	Speedup float64 `json:"speedup"`
-}
-
-func makeFfwdSection(name string, off, on time.Duration) ffwdSection {
-	s := ffwdSection{
+func makeFfwdSection(name string, off, on time.Duration) runstore.BenchFfwdSection {
+	s := runstore.BenchFfwdSection{
 		Name:  name,
 		Off:   off.Round(time.Millisecond).String(),
 		On:    on.Round(time.Millisecond).String(),
@@ -91,7 +67,7 @@ func makeFfwdSection(name string, off, on time.Duration) ffwdSection {
 // the analytic skip dominates. Any difference in rendered output or cycle
 // counts between the two modes is an error: the engine's contract is
 // byte-identical results.
-func ffwdCompare(sizes []int) ([]ffwdSection, error) {
+func ffwdCompare(sizes []int) ([]runstore.BenchFfwdSection, error) {
 	figs := []struct {
 		name string
 		run  func(*experiments.Suite) (string, error)
@@ -134,7 +110,7 @@ func ffwdCompare(sizes []int) ([]ffwdSection, error) {
 	}
 	sOff, sOn := experiments.NewSuite(), experiments.NewSuite()
 	sOn.FastForward = true
-	var out []ffwdSection
+	var out []runstore.BenchFfwdSection
 	for _, fig := range figs {
 		t0 := time.Now()
 		offOut, err := fig.run(sOff)
@@ -189,10 +165,14 @@ type progressRecord struct {
 	Reuse     bool   `json:"reuse"`
 	ElapsedMS int64  `json:"elapsed_ms"`
 	EtaMS     int64  `json:"eta_ms"` // -1 while unknown
+	// RunID correlates this progress record with the run-ledger record the
+	// cell produced (-ledger). Empty when no ledger is attached or the cell
+	// was served from cache/journal replay.
+	RunID string `json:"run_id,omitempty"`
 }
 
 // makeProgressRecord derives one record from a Suite.Progress callback.
-func makeProgressRecord(done, total int, sp experiments.Spec, elapsed time.Duration) progressRecord {
+func makeProgressRecord(done, total int, sp experiments.Spec, r experiments.RunResult, elapsed time.Duration) progressRecord {
 	rec := progressRecord{
 		Done:      done,
 		Total:     total,
@@ -201,6 +181,7 @@ func makeProgressRecord(done, total int, sp experiments.Spec, elapsed time.Durat
 		Reuse:     sp.Reuse,
 		ElapsedMS: elapsed.Milliseconds(),
 		EtaMS:     -1,
+		RunID:     r.RunID,
 	}
 	if done > 0 && elapsed > 0 {
 		rec.EtaMS = time.Duration(float64(elapsed) / float64(done) * float64(total-done)).Milliseconds()
@@ -229,6 +210,7 @@ func main() {
 	progressJSON := flag.String("progress-json", "", "also write JSONL progress records to this file (\"-\" = stderr)")
 	listen := flag.String("listen", "", "serve live /metrics, /events, /status and pprof on this address while the sweep runs")
 	linger := flag.Duration("linger", 0, "keep the -listen server up this long after the report completes")
+	ledgerPath := flag.String("ledger", "", "append a provenance-stamped run-ledger record (JSONL) for every simulated cell to this file; query with reusereport")
 	journal := flag.String("journal", "", "journal completed sweep cells (JSONL + per-cell CSV + mid-cell checkpoints) under this path for crash recovery")
 	resume := flag.Bool("resume", false, "with -journal, resume a previous (killed) sweep: skip recorded cells, restore in-flight ones from checkpoints")
 	ckptEvery := flag.Uint64("ckpt-every", 0, "with -journal, cycles between mid-cell checkpoints (0 = default 2000000)")
@@ -255,14 +237,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "reusebench:", err)
 			os.Exit(1)
 		}
-		data, err := json.MarshalIndent(struct {
-			Sections []ffwdSection `json:"sections"`
-		}{secs}, "", "  ")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "reusebench:", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*ffwdJSON, append(data, '\n'), 0o644); err != nil {
+		rec := &runstore.BenchRecord{V: runstore.BenchSchemaVersion, Kind: runstore.BenchFfwd, Ffwd: secs}
+		if err := runstore.WriteBenchRecord(*ffwdJSON, rec); err != nil {
 			fmt.Fprintln(os.Stderr, "reusebench:", err)
 			os.Exit(1)
 		}
@@ -278,6 +254,16 @@ func main() {
 	if *resume && *journal == "" {
 		fmt.Fprintln(os.Stderr, "reusebench: -resume requires -journal")
 		os.Exit(1)
+	}
+	var led *runstore.Ledger
+	if *ledgerPath != "" {
+		var err error
+		led, err = s.AttachLedger(*ledgerPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reusebench:", err)
+			os.Exit(1)
+		}
+		defer led.Close()
 	}
 	if *journal != "" {
 		j, n, err := s.AttachJournal(*journal, *resume)
@@ -302,7 +288,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "reusebench:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "reusebench: obs: listening on http://%s (/metrics /events /status /debug/pprof)\n", addr)
+		if led != nil {
+			srv.SetRunSource(led.Records)
+		}
+		fmt.Fprintf(os.Stderr, "reusebench: obs: listening on http://%s (/metrics /events /status /dashboard /debug/pprof)\n", addr)
 	}
 
 	var progressOut io.Writer
@@ -323,12 +312,12 @@ func main() {
 	if *progress || progressOut != nil || srv != nil {
 		human := *progress
 		var sweepStart time.Time
-		s.Progress = func(done, total int, sp experiments.Spec) {
+		s.Progress = func(done, total int, sp experiments.Spec, r experiments.RunResult) {
 			// Serialized by Prewarm; stderr only, so report text stays stable.
 			if done == 1 {
 				sweepStart = time.Now()
 			}
-			rec := makeProgressRecord(done, total, sp, time.Since(sweepStart))
+			rec := makeProgressRecord(done, total, sp, r, time.Since(sweepStart))
 			if human {
 				fmt.Fprintf(os.Stderr, "\rreusebench: %d/%d points, eta %s  (%s iq=%d)\x1b[K",
 					done, total, rec.eta(), sp.Kernel, sp.IQSize)
@@ -427,12 +416,12 @@ func main() {
 			fail(err)
 		}
 	}
-	var sections []benchSection
+	var sections []runstore.BenchSection
 	timed := func(name string, f func()) {
 		t0 := time.Now()
 		f()
 		d := time.Since(t0)
-		sections = append(sections, benchSection{
+		sections = append(sections, runstore.BenchSection{
 			Name: name, Wall: d.Round(time.Millisecond).String(), WallNS: d.Nanoseconds(),
 		})
 	}
@@ -543,22 +532,21 @@ func main() {
 		wall := time.Since(start)
 		var memAfter runtime.MemStats
 		runtime.ReadMemStats(&memAfter)
-		rep := benchReport{
+		th := runstore.BenchThroughput{
 			SimulatedCycles: s.TotalCycles(),
 			WallNS:          wall.Nanoseconds(),
 			Wall:            wall.Round(time.Millisecond).String(),
-			Sections:        sections,
 		}
-		if rep.SimulatedCycles > 0 {
-			rep.CyclesPerSec = float64(rep.SimulatedCycles) / wall.Seconds()
-			rep.NSPerCycle = float64(wall.Nanoseconds()) / float64(rep.SimulatedCycles)
-			rep.AllocsPerCycle = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(rep.SimulatedCycles)
+		if th.SimulatedCycles > 0 {
+			th.CyclesPerSec = float64(th.SimulatedCycles) / wall.Seconds()
+			th.NSPerCycle = float64(wall.Nanoseconds()) / float64(th.SimulatedCycles)
+			th.AllocsPerCycle = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(th.SimulatedCycles)
 		}
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			fail(err)
+		rec := &runstore.BenchRecord{
+			V: runstore.BenchSchemaVersion, Kind: runstore.BenchSimcore,
+			Throughput: &th, Sections: sections,
 		}
-		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+		if err := runstore.WriteBenchRecord(*benchJSON, rec); err != nil {
 			fail(err)
 		}
 	}

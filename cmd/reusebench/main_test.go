@@ -10,7 +10,7 @@ import (
 
 func TestMakeProgressRecord(t *testing.T) {
 	sp := experiments.Spec{Kernel: "adi", IQSize: 64, Reuse: true}
-	rec := makeProgressRecord(3, 12, sp, 6*time.Second)
+	rec := makeProgressRecord(3, 12, sp, experiments.RunResult{}, 6*time.Second)
 	if rec.Done != 3 || rec.Total != 12 || rec.Kernel != "adi" || rec.IQ != 64 || !rec.Reuse {
 		t.Fatalf("record fields wrong: %+v", rec)
 	}
@@ -27,7 +27,7 @@ func TestMakeProgressRecord(t *testing.T) {
 }
 
 func TestProgressRecordUnknownETA(t *testing.T) {
-	rec := makeProgressRecord(0, 12, experiments.Spec{Kernel: "lms", IQSize: 32}, 0)
+	rec := makeProgressRecord(0, 12, experiments.Spec{Kernel: "lms", IQSize: 32}, experiments.RunResult{}, 0)
 	if rec.EtaMS != -1 {
 		t.Errorf("EtaMS with no elapsed time = %d, want -1", rec.EtaMS)
 	}
@@ -37,7 +37,7 @@ func TestProgressRecordUnknownETA(t *testing.T) {
 }
 
 func TestProgressRecordJSONShape(t *testing.T) {
-	rec := makeProgressRecord(1, 2, experiments.Spec{Kernel: "adi", IQSize: 128}, time.Second)
+	rec := makeProgressRecord(1, 2, experiments.Spec{Kernel: "adi", IQSize: 128}, experiments.RunResult{}, time.Second)
 	data, err := json.Marshal(rec)
 	if err != nil {
 		t.Fatal(err)
@@ -50,5 +50,33 @@ func TestProgressRecordJSONShape(t *testing.T) {
 		if _, ok := m[k]; !ok {
 			t.Errorf("progress record missing %q key: %s", k, data)
 		}
+	}
+	// run_id is omitted when no ledger produced one, so pre-ledger consumers
+	// see unchanged records.
+	if _, ok := m["run_id"]; ok {
+		t.Errorf("progress record has run_id key with no ledger: %s", data)
+	}
+}
+
+// TestProgressRecordRunIDRoundTrip pins the ledger correlation contract: the
+// RunID a Suite.Progress callback reports survives the JSON wire format that
+// -progress-json lines and SSE "progress" events share, so a consumer can
+// join live progress against ledger records by id.
+func TestProgressRecordRunIDRoundTrip(t *testing.T) {
+	r := experiments.RunResult{RunID: "a1b2c3d4e5f60718"}
+	rec := makeProgressRecord(2, 4, experiments.Spec{Kernel: "adi", IQSize: 64}, r, time.Second)
+	if rec.RunID != r.RunID {
+		t.Fatalf("RunID = %q, want %q", rec.RunID, r.RunID)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back progressRecord
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.RunID != r.RunID {
+		t.Errorf("run_id after round trip = %q, want %q", back.RunID, r.RunID)
 	}
 }

@@ -54,6 +54,7 @@ import (
 	"reuseiq/internal/pipeline"
 	"reuseiq/internal/power"
 	"reuseiq/internal/prog"
+	"reuseiq/internal/runstore"
 	"reuseiq/internal/snapshot"
 	"reuseiq/internal/telemetry"
 	"reuseiq/internal/trace"
@@ -93,6 +94,11 @@ type opts struct {
 	frInterval uint64
 	frDepth    int
 	frManifest flightrec.Manifest
+	// ledger, non-nil with -ledger, receives one provenance-stamped record
+	// per completed simulation (both halves of -compare). Checkpoint-stopped
+	// runs are not recorded: their counters are mid-flight, not a result.
+	ledger     *runstore.Ledger
+	kernelName string
 }
 
 // simStatus is the /status payload published with each sample.
@@ -180,6 +186,7 @@ func mainImpl(args []string, stdout, stderr io.Writer) int {
 	checkpointAt := fs.Uint64("checkpoint-at", 0, "stop and checkpoint at this cycle (requires -checkpoint)")
 	restoreFlag := fs.String("restore", "", "resume from a snapshot file (pass the same -iq/-baseline/-chaos flags as the original run)")
 	maxWall := fs.Duration("max-wall", 0, "wall-clock budget: checkpoint (with -checkpoint) and exit with code 3 when exceeded")
+	ledgerPath := fs.String("ledger", "", "append a provenance-stamped run-ledger record (JSONL) for each completed run to this file; query with reusereport")
 	flightrecDir := fs.String("flightrec", "", "record a time-travel flight recording into this directory (seek it afterwards with reusedbg -dir)")
 	flightrecInterval := fs.Uint64("flightrec-interval", 0, "cycles between flight-recorder checkpoints (0 = default)")
 	flightrecDepth := fs.Int("flightrec-depth", 0, "flight-recorder checkpoint ring depth (0 = default)")
@@ -217,6 +224,19 @@ func mainImpl(args []string, stdout, stderr io.Writer) int {
 		frDir:       *flightrecDir,
 		frInterval:  *flightrecInterval,
 		frDepth:     *flightrecDepth,
+		kernelName:  *kernel,
+	}
+	if o.kernelName == "" && *asmFile != "" {
+		o.kernelName = filepath.Base(*asmFile)
+	}
+	if *ledgerPath != "" {
+		led, err := runstore.Open(*ledgerPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "reusesim:", err)
+			return 1
+		}
+		o.ledger = led
+		defer led.Close()
 	}
 	if *listen != "" {
 		srv := obs.NewServer()
@@ -227,7 +247,10 @@ func mainImpl(args []string, stdout, stderr io.Writer) int {
 		}
 		o.srv = srv
 		o.sampleEvery = *sampleEvery
-		fmt.Fprintf(stderr, "reusesim: obs: listening on http://%s (/metrics /events /status /debug/pprof)\n", addr)
+		if o.ledger != nil {
+			srv.SetRunSource(o.ledger.Records)
+		}
+		fmt.Fprintf(stderr, "reusesim: obs: listening on http://%s (/metrics /events /status /dashboard /debug/pprof)\n", addr)
 		defer func() {
 			if *linger > 0 {
 				time.Sleep(*linger)
@@ -445,6 +468,7 @@ func load(kernel, asmFile string, distribute bool) (*prog.Program, string, error
 // run simulates to completion (or to a checkpoint stop) and returns the
 // machine plus whether the run was stopped early by -checkpoint-at/-max-wall.
 func run(p *prog.Program, iq int, reuse bool, o *opts) (*pipeline.Machine, bool, error) {
+	start := time.Now()
 	cfg := pipeline.DefaultConfig().WithIQSize(iq)
 	cfg.Reuse.Enabled = reuse
 	cfg.FastForward = o.ffwd
@@ -622,6 +646,18 @@ func run(p *prog.Program, iq int, reuse bool, o *opts) (*pipeline.Machine, bool,
 		c := m.Chaos.C
 		fmt.Fprintf(o.stdout, "chaos: %d forced revokes, %d flipped predictions, %d fetch stalls, %d jittered issues\n",
 			c.ForcedRevokes, c.FlippedPredictions, c.FetchStalls, c.JitteredIssues)
+	}
+	if o.ledger != nil && !stopped {
+		rec := runstore.FromMachine(m)
+		rec.Kind = runstore.KindSim
+		rec.Kernel = o.kernelName
+		rec.FlightRec = o.frDir != ""
+		rec.Verified = o.verify
+		rec.Host.WallNS = time.Since(start).Nanoseconds()
+		if err := o.ledger.Append(&rec); err != nil {
+			return nil, false, err
+		}
+		fmt.Fprintf(o.stderr, "reusesim: ledger: recorded run %s (%s)\n", rec.ID, rec.Fingerprint)
 	}
 	return m, stopped, nil
 }

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"reuseiq/internal/compiler"
 	"reuseiq/internal/core"
@@ -32,6 +33,7 @@ import (
 	"reuseiq/internal/pipeline"
 	"reuseiq/internal/power"
 	"reuseiq/internal/prog"
+	"reuseiq/internal/runstore"
 	"reuseiq/internal/telemetry"
 	"reuseiq/internal/workloads"
 )
@@ -67,6 +69,11 @@ type RunResult struct {
 	// it with reusedbg -dir. Empty for healthy cells — their recordings are
 	// deleted on completion.
 	FlightRec string
+	// RunID is the cell's id in the run ledger (Suite.UseLedger), empty when
+	// no ledger records — or when the cell was served from cache (a journal
+	// resume replays the cell, it does not re-run it, so no new record is
+	// appended and no id exists in this process).
+	RunID string
 }
 
 // Failed reports whether this is a degraded partial result.
@@ -95,9 +102,11 @@ type Suite struct {
 	Sabotage func(Spec) bool
 	// Progress, when non-nil, is called after each Prewarm spec finishes
 	// with the count of completed specs, the total for that Prewarm call,
-	// and the spec that just completed. Calls are serialized; cached specs
+	// the spec that just completed, and its result (zero on a setup error).
+	// The result carries the cell's ledger RunID, so progress streams can be
+	// correlated with ledger records. Calls are serialized; cached specs
 	// report instantly. cmd/reusebench uses it for live sweep progress.
-	Progress func(done, total int, sp Spec)
+	Progress func(done, total int, sp Spec, r RunResult)
 	// FastForward opts every run into the analytic fast-forward engine
 	// (internal/ffwd). Results are byte-identical either way — the engine
 	// only skips provably periodic spans — so this is purely a wall-clock
@@ -115,6 +124,9 @@ type Suite struct {
 	// journal, when non-nil, persists completed cells and mid-cell machine
 	// checkpoints so a killed sweep can resume. Set via AttachJournal.
 	journal *Journal
+	// ledger, when non-nil, receives a provenance-stamped runstore record
+	// for every simulated cell. Set via UseLedger/AttachLedger.
+	ledger *runstore.Ledger
 
 	// Sweep-progress instrumentation, exported through RegisterMetrics and
 	// Sweep. Atomics (and the runningMu-guarded set) so a live observer can
@@ -263,8 +275,9 @@ func (s *Suite) Run(sp Spec) (RunResult, error) {
 		s.mu.Unlock()
 		return r, nil
 	}
-	j := s.journal
+	j, led := s.journal, s.ledger
 	s.mu.Unlock()
+	start := time.Now()
 
 	mp, err := s.program(sp.Kernel, sp.Distributed)
 	if err != nil {
@@ -372,6 +385,26 @@ func (s *Suite) Run(sp Spec) (RunResult, error) {
 		Retried:     retried,
 		FlightRec:   postMortem,
 	}
+	// Capture the ledger record while the machine is still live (Release
+	// pools its buffers). The ledger is nil-safe, but FromMachine walks the
+	// whole counter surface, so skip the work entirely when not recording.
+	if led != nil {
+		rec := runstore.FromMachine(m)
+		rec.Kind = runstore.KindCell
+		rec.Kernel = sp.Kernel
+		rec.Distributed = sp.Distributed
+		rec.FlightRec = s.FlightRecDir != ""
+		rec.Retried = retried
+		if runErr != nil {
+			rec.Err = runErr.Error()
+		}
+		rec.Host.WallNS = time.Since(start).Nanoseconds()
+		if err := led.Append(&rec); err != nil {
+			m.Release()
+			return RunResult{}, err
+		}
+		r.RunID = rec.ID
+	}
 	// The result holds only values, so the machine's scratch buffers can go
 	// back to the pool for the next sweep point.
 	m.Release()
@@ -386,6 +419,29 @@ func (s *Suite) Run(sp Spec) (RunResult, error) {
 		}
 	}
 	return r, nil
+}
+
+// UseLedger directs the suite to append a provenance-stamped runstore record
+// for every cell it simulates (cached and journal-replayed cells are not
+// re-recorded — they ran, and were recorded, elsewhere). Pass nil to stop
+// recording. Recording happens once per finished cell, outside the simulation
+// loop, so sweep results are byte-identical with and without a ledger.
+func (s *Suite) UseLedger(l *runstore.Ledger) {
+	s.mu.Lock()
+	s.ledger = l
+	s.mu.Unlock()
+}
+
+// AttachLedger opens (or creates) the run ledger at path and records every
+// subsequently simulated cell into it. The caller owns closing the returned
+// ledger.
+func (s *Suite) AttachLedger(path string) (*runstore.Ledger, error) {
+	l, err := runstore.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s.UseLedger(l)
+	return l, nil
 }
 
 // runJournaled executes the machine to completion. With a journal attached
@@ -457,7 +513,7 @@ func (s *Suite) Prewarm(specs []Spec) error {
 			if s.Progress != nil {
 				progressMu.Lock()
 				done++
-				s.Progress(done, len(specs), sp)
+				s.Progress(done, len(specs), sp, r)
 				progressMu.Unlock()
 			}
 		}(i, sp)

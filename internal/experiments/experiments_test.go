@@ -3,11 +3,13 @@ package experiments
 import (
 	"math"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"reuseiq/internal/core"
 	"reuseiq/internal/flightrec"
+	"reuseiq/internal/runstore"
 	"reuseiq/internal/telemetry"
 )
 
@@ -213,7 +215,7 @@ func TestPrewarmProgress(t *testing.T) {
 	s.Parallelism = 4
 	var calls []int
 	var kernels []string
-	s.Progress = func(done, total int, sp Spec) {
+	s.Progress = func(done, total int, sp Spec, r RunResult) {
 		if total != 3 {
 			t.Errorf("total = %d, want 3", total)
 		}
@@ -345,5 +347,95 @@ func TestFlightRecPostMortem(t *testing.T) {
 		if strings.Contains(e.Name(), "reusefalse") {
 			t.Errorf("healthy cell's recording %s was not deleted", e.Name())
 		}
+	}
+}
+
+// TestLedgerRecordsCellsAndStaysInert is the ledger acceptance test for
+// sweeps: with a ledger attached, every simulated cell lands in the ledger
+// with its provenance stamp and the Progress-visible RunID, cached cells are
+// not re-recorded, and the rendered figure is byte-identical to a
+// ledger-free suite — recording must never perturb the modeled results.
+func TestLedgerRecordsCellsAndStaysInert(t *testing.T) {
+	sizes := []int{32}
+	bare := NewSuite()
+	fBare, err := bare.Figure5(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewSuite()
+	led, err := s.AttachLedger(filepath.Join(t.TempDir(), "runs.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer led.Close()
+	var progressIDs []string
+	s.Progress = func(done, total int, sp Spec, r RunResult) {
+		if r.RunID != "" {
+			progressIDs = append(progressIDs, r.RunID)
+		}
+	}
+	fLed, err := s.Figure5(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fBare.String() != fLed.String() {
+		t.Errorf("figure 5 differs with a ledger attached:\n--- bare ---\n%s\n--- ledger ---\n%s", fBare, fLed)
+	}
+
+	recs := led.Records()
+	if len(recs) == 0 {
+		t.Fatal("no cells recorded")
+	}
+	byID := map[string]bool{}
+	for _, r := range recs {
+		byID[r.ID] = true
+		if r.Kind != runstore.KindCell {
+			t.Errorf("record %s kind %q, want cell", r.ID, r.Kind)
+		}
+		if r.Kernel == "" || r.Fingerprint == "" || len(r.Metrics.Counters) == 0 {
+			t.Errorf("record %s missing provenance: kernel=%q fp=%q counters=%d",
+				r.ID, r.Kernel, r.Fingerprint, len(r.Metrics.Counters))
+		}
+	}
+	if len(progressIDs) != len(recs) {
+		t.Errorf("Progress reported %d run ids, ledger holds %d records", len(progressIDs), len(recs))
+	}
+	for _, id := range progressIDs {
+		if !byID[id] {
+			t.Errorf("Progress reported run id %s not present in the ledger", id)
+		}
+	}
+
+	// Cached re-render: no new records, and the cached result still points
+	// at the ledger record of its original simulation.
+	n := led.Len()
+	r, err := s.Run(Spec{Kernel: "aps", IQSize: 32, Reuse: true, NBLTSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !byID[r.RunID] {
+		t.Errorf("cached cell RunID %q does not match a ledger record", r.RunID)
+	}
+	if led.Len() != n {
+		t.Errorf("cached cell re-recorded: ledger grew %d -> %d", n, led.Len())
+	}
+
+	// Fingerprint-identical repeats across suites must satisfy the sentinel:
+	// a second suite over the same specs doubles every group cleanly.
+	s2 := NewSuite()
+	led2, err := s2.AttachLedger(led.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer led2.Close()
+	if _, err := s2.Figure5(sizes); err != nil {
+		t.Fatal(err)
+	}
+	rep := runstore.Sentinel(led2.Records())
+	if !rep.Pass() {
+		var b strings.Builder
+		_ = rep.WriteText(&b)
+		t.Errorf("sentinel fails across two identical sweeps:\n%s", b.String())
 	}
 }

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"html/template"
+	"net/http"
+)
+
+// handleDashboard serves the live HTML dashboard. The page is a static
+// template — all data arrives client-side: sweep "progress" events over the
+// existing /events SSE stream, run history by polling /runs. It works with
+// or without a ledger attached (the history panel explains itself when /runs
+// answers 404), so it is always mounted.
+func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = dashboardTmpl.Execute(w, struct{ Title string }{Title: "reuseiq live dashboard"})
+}
+
+// The palette mirrors internal/runstore/html.go (series-1 blue, neutral
+// surfaces, light/dark via prefers-color-scheme) so the static report and
+// the live dashboard read as one system.
+var dashboardTmpl = template.Must(template.New("dashboard").Parse(`<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{{.Title}}</title>
+<style>
+:root {
+  --surface: #fcfcfb; --ink: #1a1a19; --ink-2: #5c5c58; --ink-3: #8a8a85;
+  --line: #e4e4e0; --series-1: #2a78d6; --track: #eceae6; --good: #1f7a33;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --ink: #f0efed; --ink-2: #b0afaa; --ink-3: #807f7a;
+    --line: #3a3a37; --series-1: #3987e5; --track: #2c2b29; --good: #5fbf77;
+  }
+}
+html { background: var(--surface); }
+body {
+  font-family: system-ui, sans-serif; color: var(--ink); margin: 0 auto;
+  max-width: 64rem; padding: 1.5rem 1rem 3rem;
+}
+h1 { font-size: 1.25rem; margin: 0 0 .25rem; }
+h2 { font-size: .95rem; margin: 2rem 0 .75rem; color: var(--ink-2); font-weight: 600; }
+.sub { color: var(--ink-3); font-size: .8rem; margin-bottom: 1.5rem; }
+.bar-track {
+  background: var(--track); border-radius: 4px; height: 14px; overflow: hidden;
+}
+.bar-fill {
+  background: var(--series-1); height: 100%; width: 0%;
+  border-radius: 0 4px 4px 0; transition: width .3s;
+}
+.progress-line {
+  display: flex; gap: 1rem; font-variant-numeric: tabular-nums;
+  font-size: .85rem; color: var(--ink-2); margin-top: .5rem;
+}
+.progress-line b { color: var(--ink); font-weight: 600; }
+table { border-collapse: collapse; width: 100%; font-size: .85rem; }
+th, td {
+  text-align: left; padding: .3rem .6rem .3rem 0;
+  border-bottom: 1px solid var(--line); font-variant-numeric: tabular-nums;
+}
+th { color: var(--ink-3); font-weight: 500; font-size: .75rem; }
+td.num, th.num { text-align: right; }
+.ipc-cell { display: flex; align-items: center; gap: .5rem; min-width: 9rem; }
+.ipc-bar { background: var(--series-1); height: 8px; border-radius: 0 4px 4px 0; }
+.mono { font-family: ui-monospace, monospace; font-size: .8rem; color: var(--ink-2); }
+.empty { color: var(--ink-3); font-size: .85rem; padding: 1rem 0; }
+.ok { color: var(--good); }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+<div class="sub">sweep progress over the <span class="mono">/events</span> SSE stream;
+run history from the <span class="mono">/runs</span> ledger endpoint</div>
+
+<h2>Sweep progress</h2>
+<div class="bar-track"><div class="bar-fill" id="bar"></div></div>
+<div class="progress-line">
+  <span><b id="done">0</b>/<b id="total">?</b> points</span>
+  <span>eta <b id="eta">?</b></span>
+  <span id="cur"></span>
+  <span id="sse" class="mono">connecting…</span>
+</div>
+
+<h2>Recent runs</h2>
+<div id="runs"><div class="empty">loading…</div></div>
+
+<script>
+"use strict";
+function fmtEta(ms) {
+  if (ms < 0) return "?";
+  var s = Math.round(ms / 1000);
+  return s >= 60 ? Math.floor(s / 60) + "m" + (s % 60) + "s" : s + "s";
+}
+function fmtWall(ns) {
+  if (!ns) return "";
+  var ms = ns / 1e6;
+  return ms >= 1000 ? (ms / 1000).toFixed(2) + "s" : ms.toFixed(1) + "ms";
+}
+var es = new EventSource("/events");
+es.onopen = function () {
+  var el = document.getElementById("sse");
+  el.textContent = "live"; el.className = "mono ok";
+};
+es.onerror = function () {
+  document.getElementById("sse").textContent = "stream closed";
+  document.getElementById("sse").className = "mono";
+};
+es.addEventListener("progress", function (ev) {
+  var p = JSON.parse(ev.data);
+  document.getElementById("done").textContent = p.done;
+  document.getElementById("total").textContent = p.total;
+  document.getElementById("eta").textContent = fmtEta(p.eta_ms);
+  document.getElementById("cur").textContent =
+    p.kernel ? p.kernel + " iq=" + p.iq + (p.reuse ? " reuse" : " base") : "";
+  document.getElementById("bar").style.width =
+    p.total > 0 ? (100 * p.done / p.total) + "%" : "0%";
+  loadRuns();
+});
+var esc = function (s) {
+  return String(s).replace(/[&<>"]/g, function (c) {
+    return { "&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;" }[c];
+  });
+};
+function loadRuns() {
+  fetch("/runs?last=25").then(function (r) {
+    if (r.status === 404) throw new Error("no ledger attached (run with -ledger)");
+    if (!r.ok) throw new Error("/runs: " + r.status);
+    return r.json();
+  }).then(function (data) {
+    var runs = data.runs || [];
+    if (!runs.length) {
+      document.getElementById("runs").innerHTML =
+        '<div class="empty">ledger attached, no runs recorded yet</div>';
+      return;
+    }
+    runs.reverse(); // newest first
+    var maxIPC = 0;
+    runs.forEach(function (r) { if (r.ipc > maxIPC) maxIPC = r.ipc; });
+    var h = "<table><thead><tr><th>run</th><th>kind</th><th>kernel</th>" +
+      '<th class="num">iq</th><th>reuse</th><th>IPC</th>' +
+      '<th class="num">cycles</th><th class="num">wall</th></tr></thead><tbody>';
+    runs.forEach(function (r) {
+      var w = maxIPC > 0 ? Math.max(2, 100 * r.ipc / maxIPC) : 0;
+      h += "<tr><td class=mono>" + esc(r.id.slice(0, 8)) + "</td>" +
+        "<td>" + esc(r.kind) + (r.err ? " (err)" : "") + "</td>" +
+        "<td>" + esc(r.kernel || "") + "</td>" +
+        '<td class="num">' + r.iq + "</td>" +
+        "<td>" + (r.reuse ? "on" : "off") + "</td>" +
+        '<td><span class="ipc-cell"><span class="ipc-bar" style="width:' + w +
+        'px"></span>' + r.ipc.toFixed(3) + "</span></td>" +
+        '<td class="num">' + r.cycles.toLocaleString() + "</td>" +
+        '<td class="num">' + fmtWall(r.wall_ns) + "</td></tr>";
+    });
+    document.getElementById("runs").innerHTML = h + "</tbody></table>";
+  }).catch(function (err) {
+    document.getElementById("runs").innerHTML =
+      '<div class="empty">' + esc(err.message) + "</div>";
+  });
+}
+loadRuns();
+setInterval(loadRuns, 5000);
+</script>
+</body>
+</html>
+`))

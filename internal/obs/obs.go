@@ -18,6 +18,12 @@
 //	/debug/timetravel  JSON flight-recorder status (ring occupancy and the
 //	               seekable cycle range) when a recorder is attached via
 //	               SetTimeTravel; 404 otherwise
+//	/runs          JSON run-ledger summaries (filter with ?kernel= &kind=
+//	               &fingerprint= &last=) when a ledger is attached via
+//	               SetRunSource; 404 otherwise
+//	/runs/{id}     one complete ledger record by id or unique prefix
+//	/dashboard     HTML dashboard charting live sweep progress (over the
+//	               /events SSE stream) and recent run history (over /runs)
 //
 // The contract with the simulation is one-directional and allocation-bounded:
 // the sim goroutine calls Publish with an immutable Sample it built itself
@@ -64,6 +70,8 @@ type Server struct {
 	ttMu       sync.Mutex // guards timeTravel
 	timeTravel func() any
 
+	runs runSource // /runs and /runs/{id} provider (see SetRunSource)
+
 	ln  net.Listener
 	srv *http.Server
 }
@@ -86,6 +94,9 @@ func NewServer() *Server {
 		}
 		fmt.Fprintln(w, "ready")
 	})
+	s.mux.HandleFunc("/runs", s.handleRuns)
+	s.mux.HandleFunc("/runs/{id}", s.handleRun)
+	s.mux.HandleFunc("/dashboard", s.handleDashboard)
 	s.mux.HandleFunc("/debug/timetravel", s.handleTimeTravel)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"reuseiq/internal/runstore"
+)
+
+// runSource provides the /runs data — typically a runstore.Ledger's Records
+// method. It is installed after NewServer (the ledger is optional), so access
+// goes through a mutex like the time-travel provider.
+type runSource struct {
+	mu sync.Mutex
+	fn func() []runstore.Record
+}
+
+func (rs *runSource) get() func() []runstore.Record {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.fn
+}
+
+// SetRunSource installs the /runs and /runs/{id} data provider — typically
+// the Records method of an attached runstore.Ledger, which returns an
+// immutable copy safe to read from the HTTP goroutine. nil uninstalls the
+// endpoints (they answer 404).
+func (s *Server) SetRunSource(fn func() []runstore.Record) {
+	s.runs.mu.Lock()
+	s.runs.fn = fn
+	s.runs.mu.Unlock()
+}
+
+// runSummary is one row of the /runs listing: the record's identity and
+// headline numbers without the full metrics payload, which can run to
+// hundreds of counters per run. /runs/{id} serves the complete record.
+type runSummary struct {
+	ID          string    `json:"id"`
+	Kind        string    `json:"kind"`
+	Start       time.Time `json:"start"`
+	Kernel      string    `json:"kernel,omitempty"`
+	IQSize      int       `json:"iq"`
+	Reuse       bool      `json:"reuse"`
+	Fingerprint string    `json:"fingerprint"`
+	Cycles      uint64    `json:"cycles"`
+	Commits     uint64    `json:"commits"`
+	IPC         float64   `json:"ipc"`
+	WallNS      int64     `json:"wall_ns"`
+	Err         string    `json:"err,omitempty"`
+}
+
+func summarize(r runstore.Record) runSummary {
+	return runSummary{
+		ID:          r.ID,
+		Kind:        r.Kind,
+		Start:       r.Start,
+		Kernel:      r.Kernel,
+		IQSize:      r.IQSize,
+		Reuse:       r.Reuse,
+		Fingerprint: r.Fingerprint,
+		Cycles:      r.Cycles,
+		Commits:     r.Commits,
+		IPC:         r.IPC,
+		WallNS:      r.Host.WallNS,
+		Err:         r.Err,
+	}
+}
+
+// handleRuns lists ledger records as summaries, newest last (ledger append
+// order). Query parameters filter: kernel, fingerprint (full or bare config
+// half), kind (sim|cell), last (only the final N matches).
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	fn := s.runs.get()
+	if fn == nil {
+		http.Error(w, "no run ledger attached (run with -ledger)", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	f := runstore.Filter{
+		Kind:        q.Get("kind"),
+		Kernel:      q.Get("kernel"),
+		Fingerprint: q.Get("fingerprint"),
+	}
+	if v := q.Get("last"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad last parameter", http.StatusBadRequest)
+			return
+		}
+		f.Last = n
+	}
+	recs := f.Select(fn())
+	out := struct {
+		Total int          `json:"total"`
+		Runs  []runSummary `json:"runs"`
+	}{Total: len(recs), Runs: make([]runSummary, 0, len(recs))}
+	for _, rec := range recs {
+		out.Runs = append(out.Runs, summarize(rec))
+	}
+	writeJSON(w, out)
+}
+
+// handleRun serves one complete ledger record (full metrics and energy
+// payload) by id or unique id prefix.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	fn := s.runs.get()
+	if fn == nil {
+		http.Error(w, "no run ledger attached (run with -ledger)", http.StatusNotFound)
+		return
+	}
+	id := r.PathValue("id")
+	recs := fn()
+	rec, ok := findRun(recs, id)
+	if !ok {
+		http.Error(w, "no run "+id, http.StatusNotFound)
+		return
+	}
+	writeJSON(w, rec)
+}
+
+// findRun resolves a full id or unique prefix (>= 4 chars) against a record
+// slice, mirroring Ledger.Get for sources that are plain snapshots.
+func findRun(recs []runstore.Record, id string) (runstore.Record, bool) {
+	if len(id) < 4 {
+		return runstore.Record{}, false
+	}
+	var hit *runstore.Record
+	for i := range recs {
+		if recs[i].ID == id {
+			return recs[i], true
+		}
+		if len(id) < len(recs[i].ID) && recs[i].ID[:len(id)] == id {
+			if hit != nil {
+				return runstore.Record{}, false // ambiguous prefix
+			}
+			hit = &recs[i]
+		}
+	}
+	if hit == nil {
+		return runstore.Record{}, false
+	}
+	return *hit, true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

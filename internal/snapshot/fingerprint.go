@@ -1,0 +1,52 @@
+package snapshot
+
+import (
+	"fmt"
+	"strings"
+
+	"reuseiq/internal/pipeline"
+	"reuseiq/internal/prog"
+)
+
+// Fingerprint is the pair of value-hashes that identifies what a run
+// simulated: the machine configuration and the program image. Two runs with
+// equal fingerprints are simulations of exactly the same modeled system, so
+// every modeled counter must come out bit-identical between them — the
+// property the run ledger's regression sentinel (internal/runstore) checks.
+//
+// The hashes are the same ones embedded in snapshot images: ConfigHash pins
+// the normalized configuration (including the chaos spec and seed), and
+// ProgramHash pins the program text and entry point. Both are value-hashes,
+// so fingerprints are process- and machine-portable.
+type Fingerprint struct {
+	Config  uint64 `json:"config,string"`
+	Program uint64 `json:"program,string"`
+}
+
+// FingerprintOf fingerprints a configuration/program pair.
+func FingerprintOf(cfg pipeline.Config, p *prog.Program) Fingerprint {
+	return Fingerprint{Config: ConfigHash(cfg), Program: ProgramHash(p)}
+}
+
+// String renders the fingerprint as two fixed-width hex halves joined by a
+// colon: "0123456789abcdef:fedcba9876543210".
+func (f Fingerprint) String() string {
+	return fmt.Sprintf("%016x:%016x", f.Config, f.Program)
+}
+
+// ParseFingerprint parses the String form back. It accepts a bare config
+// half ("%016x") with the program half left zero, which lets CLI filters
+// match on either hash alone.
+func ParseFingerprint(s string) (Fingerprint, error) {
+	var f Fingerprint
+	cfgPart, progPart, ok := strings.Cut(s, ":")
+	if _, err := fmt.Sscanf(cfgPart, "%x", &f.Config); err != nil {
+		return Fingerprint{}, fmt.Errorf("snapshot: bad fingerprint %q: %w", s, err)
+	}
+	if ok {
+		if _, err := fmt.Sscanf(progPart, "%x", &f.Program); err != nil {
+			return Fingerprint{}, fmt.Errorf("snapshot: bad fingerprint %q: %w", s, err)
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,65 @@
+package snapshot
+
+import (
+	"testing"
+
+	"reuseiq/internal/asm"
+	"reuseiq/internal/pipeline"
+	"reuseiq/internal/prog"
+)
+
+func fingerprintProgram(t *testing.T) *prog.Program {
+	t.Helper()
+	return asm.MustAssemble(`
+	li   $r2, 0
+	li   $r3, 10
+loop:	addi $r3, $r3, -1
+	bne  $r3, $zero, loop
+	halt
+	`)
+}
+
+func TestFingerprintKeysConfigAndProgram(t *testing.T) {
+	p := fingerprintProgram(t)
+	cfg := pipeline.DefaultConfig()
+	fp := FingerprintOf(cfg, p)
+	if fp != FingerprintOf(cfg, p) {
+		t.Error("fingerprint not deterministic")
+	}
+	if got := FingerprintOf(cfg.WithIQSize(cfg.IQSize*2), p); got.Config == fp.Config {
+		t.Error("config change did not move the config hash")
+	} else if got.Program != fp.Program {
+		t.Error("config change moved the program hash")
+	}
+}
+
+func TestFingerprintStringRoundTrip(t *testing.T) {
+	fp := Fingerprint{Config: 0x0123456789abcdef, Program: 0xfedcba9876543210}
+	s := fp.String()
+	if s != "0123456789abcdef:fedcba9876543210" {
+		t.Fatalf("String() = %q", s)
+	}
+	got, err := ParseFingerprint(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != fp {
+		t.Errorf("round trip: %+v != %+v", got, fp)
+	}
+
+	// A bare config half parses with the program hash left zero, for CLI
+	// filters that match on configuration alone.
+	half, err := ParseFingerprint("0123456789abcdef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.Config != fp.Config || half.Program != 0 {
+		t.Errorf("bare config half: %+v", half)
+	}
+
+	for _, bad := range []string{"", "xyz:123", ":abc"} {
+		if _, err := ParseFingerprint(bad); err == nil {
+			t.Errorf("ParseFingerprint(%q) accepted", bad)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"reuseiq/internal/stats"
 )
@@ -149,7 +150,11 @@ type MetricsSnapshot struct {
 }
 
 // TypedSnapshot captures every registered metric with its kind and current
-// value, in registration order.
+// value, sorted by name within each kind. The ordering is part of the
+// contract (pinned by TestTypedSnapshotSorted): the run ledger persists
+// snapshots verbatim and diffs them across runs and processes, so two
+// registries holding the same metrics must snapshot identically no matter
+// what order their components registered in.
 func (r *Registry) TypedSnapshot() *MetricsSnapshot {
 	ms := &MetricsSnapshot{
 		Counters: make([]CounterPoint, len(r.names)),
@@ -171,6 +176,9 @@ func (r *Registry) TypedSnapshot() *MetricsSnapshot {
 			Max:     nh.h.max,
 		}
 	}
+	sort.Slice(ms.Counters, func(i, j int) bool { return ms.Counters[i].Name < ms.Counters[j].Name })
+	sort.Slice(ms.Gauges, func(i, j int) bool { return ms.Gauges[i].Name < ms.Gauges[j].Name })
+	sort.Slice(ms.Hists, func(i, j int) bool { return ms.Hists[i].Name < ms.Hists[j].Name })
 	return ms
 }
 

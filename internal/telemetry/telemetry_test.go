@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -236,6 +237,55 @@ func TestRegistryCountersAndGauges(t *testing.T) {
 	}
 	if got := s.Get("frac.ppm"); got != 500000 {
 		t.Errorf("frac.ppm = %d, want 500000", got)
+	}
+}
+
+// TestTypedSnapshotSorted pins TypedSnapshot's ordering contract: sorted by
+// name within each kind, independent of registration order. The run ledger
+// persists snapshots verbatim and diffs them across runs and processes, so
+// two registries holding the same metrics must snapshot identically.
+func TestTypedSnapshotSorted(t *testing.T) {
+	var h Histogram
+	h.Observe(3)
+	build := func(names []string) *MetricsSnapshot {
+		var r Registry
+		for _, n := range names {
+			r.CounterVal(n, uint64(len(n)))
+			r.Gauge("g."+n, func() float64 { return 0.5 })
+			r.RegisterHistogram("hist."+n, &h)
+		}
+		return r.TypedSnapshot()
+	}
+	fwd := build([]string{"sim.cycles", "iq.dispatches", "bpred.lookups", "reuse.detections"})
+	rev := build([]string{"reuse.detections", "bpred.lookups", "iq.dispatches", "sim.cycles"})
+
+	wantC := []string{"bpred.lookups", "iq.dispatches", "reuse.detections", "sim.cycles"}
+	for i, c := range fwd.Counters {
+		if c.Name != wantC[i] {
+			t.Fatalf("counter %d = %q, want %q (sorted)", i, c.Name, wantC[i])
+		}
+	}
+	for i := range fwd.Gauges {
+		if fwd.Gauges[i].Name != "g."+wantC[i] {
+			t.Errorf("gauge %d = %q, not sorted", i, fwd.Gauges[i].Name)
+		}
+	}
+	for i := range fwd.Hists {
+		if fwd.Hists[i].Name != "hist."+wantC[i] {
+			t.Errorf("hist %d = %q, not sorted", i, fwd.Hists[i].Name)
+		}
+	}
+	// Registration order must not leak into the snapshot.
+	if !reflect.DeepEqual(fwd.Counters, rev.Counters) ||
+		!reflect.DeepEqual(fwd.Gauges, rev.Gauges) ||
+		!reflect.DeepEqual(fwd.Hists, rev.Hists) {
+		t.Error("snapshots differ between registration orders")
+	}
+	// Counter values must still follow their names through the sort.
+	for _, c := range fwd.Counters {
+		if c.Value != uint64(len(c.Name)) {
+			t.Errorf("%s = %d, want %d: value detached from its name by the sort", c.Name, c.Value, len(c.Name))
+		}
 	}
 }
 
