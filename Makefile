@@ -3,7 +3,7 @@
 # suite under the race detector (the experiment harness runs simulations
 # concurrently, so -race is part of the gate, not an extra), emit a valid
 # telemetry trace, and serve a lint-clean live observability surface.
-.PHONY: check build vet lint test race fuzz bench bench-baseline bench-all telemetry-check obs-check ckpt-check dbg-check report-check
+.PHONY: check build vet lint lint-stats test race fuzz bench bench-baseline bench-all telemetry-check obs-check ckpt-check dbg-check report-check
 
 check: build vet lint race telemetry-check obs-check ckpt-check dbg-check report-check
 
@@ -13,13 +13,19 @@ build:
 vet:
 	go vet ./...
 
-# Static-analysis gate: the four reuseiq analyzers (zerocost, hotalloc,
-# exhaustive, metricname) over the whole module. The same binary also speaks
-# the cmd/go vettool protocol, so a per-package run without the module-wide
-# closure is: go build -o bin/reuselint ./cmd/reuselint &&
+# Static-analysis gate: the six reuseiq analyzers (zerocost, hotalloc,
+# exhaustive, metricname, statecov, determinism) over the whole module. The
+# same binary also speaks the cmd/go vettool protocol, so a per-package run
+# without the module-wide closure is: go build -o bin/reuselint ./cmd/reuselint &&
 # go vet -vettool=bin/reuselint ./...
 lint:
 	go run ./cmd/reuselint ./...
+
+# Same gate plus the per-analyzer finding and waiver counts. The waiver
+# counts are the suppressed-finding budget; TestWaiverBudget pins them, so
+# waiver creep fails CI rather than accumulating silently.
+lint-stats:
+	go run ./cmd/reuselint -stats ./...
 
 test:
 	go test ./...

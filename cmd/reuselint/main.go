@@ -1,6 +1,6 @@
-// Command reuselint is the reuseiq static-analysis gate: it runs the four
-// module analyzers (zerocost, hotalloc, exhaustive, metricname) and exits
-// non-zero on any finding. Two modes:
+// Command reuselint is the reuseiq static-analysis gate: it runs the six
+// module analyzers (zerocost, hotalloc, exhaustive, metricname, statecov,
+// determinism) and exits non-zero on any finding. Two modes:
 //
 // Standalone (the Makefile `lint` target):
 //
@@ -28,17 +28,21 @@ import (
 	"strings"
 
 	"reuseiq/internal/analysis"
+	"reuseiq/internal/analysis/determinism"
 	"reuseiq/internal/analysis/exhaustive"
 	"reuseiq/internal/analysis/hotalloc"
 	"reuseiq/internal/analysis/metricname"
+	"reuseiq/internal/analysis/statecov"
 	"reuseiq/internal/analysis/zerocost"
 )
 
 func analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		determinism.Analyzer,
 		exhaustive.Analyzer,
 		hotalloc.Analyzer,
 		metricname.Analyzer,
+		statecov.Analyzer,
 		zerocost.Analyzer,
 	}
 }
@@ -82,7 +86,16 @@ func selfID() string {
 	return fmt.Sprintf("%x", sum[:12])
 }
 
-func standalone(patterns []string) int {
+func standalone(args []string) int {
+	var patterns []string
+	stats := false
+	for _, a := range args {
+		if a == "-stats" || a == "--stats" {
+			stats = true
+			continue
+		}
+		patterns = append(patterns, a)
+	}
 	wd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reuselint:", err)
@@ -106,6 +119,9 @@ func standalone(patterns []string) int {
 	for _, f := range findings {
 		pos := mod.Position(f.Diagnostic.Pos)
 		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pos, f.Analyzer.Name, f.Diagnostic.Message)
+	}
+	if stats {
+		printStats(mod, findings)
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "reuselint: %d finding(s)\n", len(findings))

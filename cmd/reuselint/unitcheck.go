@@ -26,10 +26,58 @@ type vetConfig struct {
 	GoFiles     []string
 	ImportMap   map[string]string
 	PackageFile map[string]string
+	PackageVetx map[string]string // import path -> dependency facts file
 	VetxOnly    bool
 	VetxOutput  string
 
 	SucceedOnTypecheckFailure bool
+}
+
+// factsFile is the on-disk shape of a package's facts (.vetx) file: one raw
+// JSON fact per analyzer that exported one. cmd/go treats the file as an
+// opaque blob (it only hashes it into the build cache key), so the schema is
+// ours; an empty object is a valid "no facts" file.
+type factsFile map[string]json.RawMessage
+
+// loadDepFacts reads the facts files of every dependency cmd/go listed.
+// Unreadable or malformed files degrade to "no facts" rather than failing
+// the vet run: facts only widen cross-package coverage, they are never
+// required for the package-local checks.
+func loadDepFacts(cfg *vetConfig) map[string]factsFile {
+	out := make(map[string]factsFile, len(cfg.PackageVetx))
+	for path, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			continue
+		}
+		var ff factsFile
+		if json.Unmarshal(data, &ff) != nil {
+			continue
+		}
+		out[path] = ff
+	}
+	return out
+}
+
+// exportFacts runs every fact-exporting analyzer over the package and
+// serializes the result for the package's own facts file.
+func exportFacts(analyzers []*analysis.Analyzer, mk func(a *analysis.Analyzer) *analysis.Pass) ([]byte, error) {
+	ff := make(factsFile)
+	for _, a := range analyzers {
+		if a.ExportFacts == nil {
+			continue
+		}
+		fact := a.ExportFacts(mk(a))
+		if fact == nil {
+			continue
+		}
+		raw, err := json.Marshal(fact)
+		if err != nil {
+			return nil, fmt.Errorf("marshaling %s facts: %w", a.Name, err)
+		}
+		ff[a.Name] = raw
+	}
+	return json.Marshal(ff)
 }
 
 // unitcheck analyzes the single compilation unit described by cfgFile and
@@ -45,18 +93,6 @@ func unitcheck(cfgFile string, analyzers []*analysis.Analyzer) int {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "reuselint: parsing %s: %v\n", cfgFile, err)
 		return 1
-	}
-
-	// cmd/go requires the facts file to exist even though these analyzers
-	// export none.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "reuselint:", err)
-			return 1
-		}
-	}
-	if cfg.VetxOnly {
-		return 0
 	}
 
 	fset := token.NewFileSet()
@@ -86,16 +122,48 @@ func unitcheck(cfgFile string, analyzers []*analysis.Analyzer) int {
 	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			// cmd/go still expects the facts file to exist.
+			if cfg.VetxOutput != "" {
+				os.WriteFile(cfg.VetxOutput, []byte("{}"), 0o666)
+			}
 			return 0
 		}
 		fmt.Fprintf(os.Stderr, "reuselint: type-checking %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
 
+	depFacts := loadDepFacts(&cfg)
+	mkPass := func(a *analysis.Analyzer) *analysis.Pass {
+		pass := analysis.NewPass(a, fset, files, tpkg, info, nil)
+		pass.SetDepFacts(func(pkgPath, analyzer string) []byte {
+			if mapped, ok := cfg.ImportMap[pkgPath]; ok {
+				pkgPath = mapped
+			}
+			return depFacts[pkgPath][analyzer]
+		})
+		return pass
+	}
+
+	// Facts first: a VetxOnly pass (this package is only a dependency of
+	// the vet targets) computes and persists facts but reports nothing.
+	if cfg.VetxOutput != "" {
+		facts, err := exportFacts(analyzers, mkPass)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reuselint:", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.VetxOutput, facts, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "reuselint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
 	exit := 0
 	for _, a := range analyzers {
-		pass := analysis.NewPass(a, fset, files, tpkg, info, nil)
-		diags, err := analysis.RunPass(pass)
+		diags, err := analysis.RunPass(mkPass(a))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "reuselint: %s on %s: %v\n", a.Name, cfg.ImportPath, err)
 			return 1

@@ -40,6 +40,7 @@ const (
 
 // LoopCache is the dynamic loop cache.
 type LoopCache struct {
+	//reuse:transient configuration; fixed at construction and fingerprinted by the snapshot layer's ConfigHash
 	cfg   LoopCacheConfig
 	state lcState
 

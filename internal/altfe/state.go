@@ -12,15 +12,16 @@ type LoopCacheState struct {
 	Tail     uint32
 	ValidPCs []uint32 // strictly ascending
 
+	//reuse:nodigest monotonic statistics, extrapolated across a skip by the fast-forward engine
 	Supplies, Fills, Detects, Exits uint64
 }
 
 // ExportState returns a deep copy of the loop cache's state.
 func (lc *LoopCache) ExportState() LoopCacheState {
 	st := LoopCacheState{
-		State: uint8(lc.state),
-		Head:  lc.head,
-		Tail:  lc.tail,
+		State:    uint8(lc.state),
+		Head:     lc.head,
+		Tail:     lc.tail,
 		Supplies: lc.Supplies, Fills: lc.Fills, Detects: lc.Detects, Exits: lc.Exits,
 	}
 	// The loop bounds span at most cfg.Entries instructions, so walking

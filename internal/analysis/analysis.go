@@ -21,6 +21,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -38,6 +39,14 @@ type Analyzer struct {
 	// Run applies the check to one package and reports findings through
 	// pass.Report. The return value is unused (kept for x/tools shape).
 	Run func(pass *Pass) (any, error)
+	// ExportFacts, when non-nil, computes the analyzer's package-level fact
+	// for the pass's package: a JSON-serializable summary of what this
+	// package exposes to its importers (determinism's wall-clock sources,
+	// statecov's export/import pairs). In vettool mode the driver persists
+	// it to the package's facts (.vetx) file and feeds it to dependent
+	// packages' passes through Pass.DepFact; in whole-module mode facts are
+	// unnecessary (analyzers see all syntax) and this hook is not called.
+	ExportFacts func(pass *Pass) any
 }
 
 // A Diagnostic is one finding, positioned in the Pass's FileSet.
@@ -59,15 +68,43 @@ type Pass struct {
 	// tolerate nil and fall back to Files.
 	Module *Module
 
+	// depFacts, when set by the driver (vettool mode), resolves the raw
+	// JSON fact a named analyzer exported for a dependency package.
+	depFacts func(pkgPath, analyzer string) []byte
+
 	report func(Diagnostic)
 }
 
-// Report records one finding.
-func (p *Pass) Report(d Diagnostic) { p.report(d) }
+// DepFact decodes the fact this pass's analyzer exported for the dependency
+// package pkgPath into out (a pointer), reporting whether one was present.
+// Facts exist only under the vettool protocol; in whole-module mode there
+// are none (analyzers read dependency syntax directly from Module).
+func (p *Pass) DepFact(pkgPath string, out any) bool {
+	if p.depFacts == nil {
+		return false
+	}
+	raw := p.depFacts(pkgPath, p.Analyzer.Name)
+	if raw == nil {
+		return false
+	}
+	return json.Unmarshal(raw, out) == nil
+}
+
+// SetDepFacts installs the driver's dependency-fact resolver (vettool mode).
+func (p *Pass) SetDepFacts(fn func(pkgPath, analyzer string) []byte) { p.depFacts = fn }
+
+// Report records one finding. A pass built for fact export only (no
+// diagnostic collector installed) drops findings silently: the same check
+// runs again with a collector when the package is a vet target.
+func (p *Pass) Report(d Diagnostic) {
+	if p.report != nil {
+		p.report(d)
+	}
+}
 
 // Reportf records one finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
 // ModuleFiles returns every parsed file the pass can see: the whole module

@@ -1,0 +1,131 @@
+// Package callgraph builds the module-local static call graph the reuselint
+// analyzers share: which FuncDecl objects exist, and which module functions
+// each of them statically calls. It was born inside hotalloc (the hot-set
+// closure) and is extracted here so statecov (export/import/digest closures)
+// and determinism (taint propagation) reuse one implementation.
+//
+// The graph is deliberately conservative in the same direction for every
+// client: only calls that resolve to a *types.Func with a FuncDecl among the
+// analyzed files extend the graph. Hook fields, interface methods, function
+// values and stdlib calls are not edges — a closure over this graph is a
+// subset of the true dynamic call closure, which is the right polarity for
+// "everything reached from this root must satisfy X" checks whose unresolved
+// calls are governed by separate rules (hotalloc's boxing checks, zerocost's
+// nil-guard discipline, statecov's per-component anchoring).
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Graph is the static call graph over a set of parsed files.
+type Graph struct {
+	// Decls maps each function object to its declaration.
+	Decls map[types.Object]*ast.FuncDecl
+	// Callees maps each function object to the module functions its body
+	// statically calls (in syntactic order, duplicates preserved).
+	Callees map[types.Object][]types.Object
+}
+
+// Build walks files (typically pass.ModuleFiles()) and records every
+// FuncDecl and its statically resolvable callees.
+func Build(info *types.Info, files []*ast.File) *Graph {
+	g := &Graph{
+		Decls:   make(map[types.Object]*ast.FuncDecl),
+		Callees: make(map[types.Object][]types.Object),
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj := info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			g.Decls[obj] = fd
+			if fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := CalleeObject(info, call); callee != nil {
+					g.Callees[obj] = append(g.Callees[obj], callee)
+				}
+				return true
+			})
+		}
+	}
+	return g
+}
+
+// CalleeObject resolves a call to the *types.Func it statically invokes
+// (plain functions and methods; not builtins, conversions, or func values).
+func CalleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	if fn, ok := info.Uses[id].(*types.Func); ok {
+		return fn
+	}
+	return nil
+}
+
+// A Root seeds a closure: a function object plus the label reported for
+// everything it reaches.
+type Root struct {
+	Obj   types.Object
+	Label string
+}
+
+// Closure computes the set of declared functions reachable from roots,
+// labeling each member with the label of the root that first reached it
+// (roots keep their own label; earlier roots win ties, so the result is
+// deterministic). A function for which stop returns true joins the closure
+// but does not propagate further — hotalloc's waived functions,
+// determinism's exempted ones. stop may be nil.
+func (g *Graph) Closure(roots []Root, stop func(types.Object) bool) map[types.Object]string {
+	out := make(map[types.Object]string)
+	var visit func(obj types.Object, label string)
+	visit = func(obj types.Object, label string) {
+		if _, seen := out[obj]; seen {
+			return
+		}
+		if _, isDecl := g.Decls[obj]; !isDecl {
+			return
+		}
+		out[obj] = label
+		if stop != nil && stop(obj) {
+			return
+		}
+		for _, callee := range g.Callees[obj] {
+			visit(callee, label)
+		}
+	}
+	for _, r := range roots {
+		visit(r.Obj, r.Label)
+	}
+	return out
+}
+
+// ReachableFrom is Closure for a single unlabeled root: the set of declared
+// functions reachable from root, including root itself if declared.
+func (g *Graph) ReachableFrom(root types.Object) map[types.Object]bool {
+	set := g.Closure([]Root{{Obj: root}}, nil)
+	out := make(map[types.Object]bool, len(set))
+	for obj := range set {
+		out[obj] = true
+	}
+	return out
+}

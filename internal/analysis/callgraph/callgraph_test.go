@@ -1,0 +1,98 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+const src = `package p
+
+func a() { b(); c() }
+func b() { c() }
+func c() {}
+func d() { a() }
+func e() {}
+
+type T struct{}
+
+func (T) M() { e() }
+func f() { T{}.M() }
+`
+
+func check(t *testing.T) (*types.Info, []*ast.File, *types.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Defs: make(map[*ast.Ident]types.Object),
+		Uses: make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info, []*ast.File{f}, pkg
+}
+
+func obj(t *testing.T, pkg *types.Package, name string) types.Object {
+	t.Helper()
+	o := pkg.Scope().Lookup(name)
+	if o == nil {
+		t.Fatalf("no object %q", name)
+	}
+	return o
+}
+
+func TestClosure(t *testing.T) {
+	info, files, pkg := check(t)
+	g := Build(info, files)
+
+	got := g.Closure([]Root{{Obj: obj(t, pkg, "a"), Label: "a"}}, nil)
+	for _, name := range []string{"a", "b", "c"} {
+		if got[obj(t, pkg, name)] != "a" {
+			t.Errorf("closure(a) missing %s or mislabeled: %v", name, got)
+		}
+	}
+	if _, ok := got[obj(t, pkg, "d")]; ok {
+		t.Errorf("closure(a) wrongly contains d (a caller, not a callee)")
+	}
+
+	// Earlier roots win ties, so c is labeled by a even when b is also a root.
+	got = g.Closure([]Root{
+		{Obj: obj(t, pkg, "a"), Label: "a"},
+		{Obj: obj(t, pkg, "b"), Label: "b"},
+	}, nil)
+	if got[obj(t, pkg, "c")] != "a" {
+		t.Errorf("c labeled %q, want earlier root a", got[obj(t, pkg, "c")])
+	}
+
+	// stop: b joins but does not propagate, so c stays out.
+	got = g.Closure([]Root{{Obj: obj(t, pkg, "b"), Label: "b"}},
+		func(o types.Object) bool { return o.Name() == "b" })
+	if _, ok := got[obj(t, pkg, "b")]; !ok {
+		t.Errorf("stopped root b should still join the closure")
+	}
+	if _, ok := got[obj(t, pkg, "c")]; ok {
+		t.Errorf("closure through stopped b should not reach c")
+	}
+}
+
+func TestMethodEdges(t *testing.T) {
+	info, files, pkg := check(t)
+	g := Build(info, files)
+	reach := g.ReachableFrom(obj(t, pkg, "f"))
+	if len(reach) != 3 { // f, T.M, e
+		t.Fatalf("reachable from f = %d funcs, want 3 (f, T.M, e)", len(reach))
+	}
+	if !reach[obj(t, pkg, "e")] {
+		t.Errorf("f should reach e through method T.M")
+	}
+}

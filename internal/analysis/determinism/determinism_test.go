@@ -1,0 +1,90 @@
+package determinism_test
+
+import (
+	"os"
+	"slices"
+	"testing"
+
+	"reuseiq/internal/analysis"
+	"reuseiq/internal/analysis/analysistest"
+	"reuseiq/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "determinismtest")
+}
+
+func TestDeterminismPackageMarker(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "determinismpkg")
+}
+
+// TestNondetSourceFacts checks the vettool fact surface: the exported
+// functions that transitively reach a wall-clock or PRNG source — and only
+// those — are published for dependent packages.
+func TestNondetSourceFacts(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, err := mod.CheckExtra("determinismtest", "testdata/src/determinismtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &analysis.Pass{
+		Analyzer:  determinism.Analyzer,
+		Fset:      mod.Fset,
+		Files:     extra.Files,
+		Pkg:       extra.Types,
+		TypesInfo: mod.Info,
+	}
+	fact, ok := determinism.Analyzer.ExportFacts(pass).(determinism.Fact)
+	if !ok {
+		t.Fatalf("ExportFacts returned %T, want determinism.Fact", determinism.Analyzer.ExportFacts(pass))
+	}
+	// Everything in the testdata package is unexported, so nothing may leak
+	// into the fact even though many functions reach time.Now.
+	if len(fact.NondetSources) != 0 {
+		t.Fatalf("NondetSources = %v, want none (all testdata funcs unexported)", fact.NondetSources)
+	}
+}
+
+// TestNondetSourceFactsExported does the same over a package with exported
+// reachers.
+func TestNondetSourceFactsExported(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, err := mod.CheckExtra("detfacts", "testdata/src/detfacts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &analysis.Pass{
+		Analyzer:  determinism.Analyzer,
+		Fset:      mod.Fset,
+		Files:     extra.Files,
+		Pkg:       extra.Types,
+		TypesInfo: mod.Info,
+	}
+	fact := determinism.Analyzer.ExportFacts(pass).(determinism.Fact)
+	want := []string{"Clock.Stamp", "Stamp"}
+	if !slices.Equal(fact.NondetSources, want) {
+		t.Fatalf("NondetSources = %v, want %v", fact.NondetSources, want)
+	}
+}

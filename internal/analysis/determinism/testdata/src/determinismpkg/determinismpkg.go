@@ -1,0 +1,14 @@
+// Package determinismpkg is marked deterministic as a whole: the package
+// comment roots every function, so an unmarked function's violation is
+// still caught.
+//
+//reuse:deterministic
+package determinismpkg
+
+import "time"
+
+func anyFunc() int64 {
+	return time.Now().UnixNano() // want `anyFunc calls time\.Now but must be deterministic \(via anyFunc\)`
+}
+
+var _ = anyFunc

@@ -1,0 +1,125 @@
+// Package determinismtest seeds determinism violations inside marked
+// closures, plus the idioms and waivers that must NOT trigger: the
+// collect-then-sort map range, commutative integer reductions, bit-pattern
+// float comparison, and justified/unjustified allow-nondet waivers.
+package determinismtest
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// fingerprint is clean: the map range only collects, and the collection is
+// sorted before anything observes its order.
+//
+//reuse:deterministic
+func fingerprint(m map[string]uint64) uint64 {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var h uint64
+	for _, k := range keys {
+		h = h*31 + m[k]
+	}
+	return h
+}
+
+// count is clean: integer += is commutative, so iteration order cannot
+// reach the result.
+//
+//reuse:deterministic
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// leaky folds map values through a non-commutative update, so the hash
+// depends on iteration order.
+//
+//reuse:deterministic
+func leaky(m map[string]uint64) uint64 {
+	var h uint64
+	for _, v := range m { // want `map range in leaky \(deterministic via leaky\) escapes the body without a later sort`
+		h = h*31 + v
+	}
+	return h
+}
+
+// helper is unmarked but reached from stamps below: the taint follows the
+// callgraph, and the finding names the root.
+func helper() int64 {
+	return time.Now().UnixNano() // want `helper calls time\.Now but must be deterministic \(via stamps\)`
+}
+
+//reuse:deterministic
+func stamps() int64 { return helper() }
+
+//reuse:deterministic
+func entropy() uint64 {
+	return rand.Uint64() // want `entropy calls math/rand\.Uint64 but must be deterministic \(via entropy\)`
+}
+
+//reuse:deterministic
+func pid() int {
+	return os.Getpid() // want `pid calls os\.Getpid but must be deterministic \(via pid\)`
+}
+
+// rawEq compares floats directly; NaN and signed zero make this unstable.
+//
+//reuse:deterministic
+func rawEq(a, b float64) bool {
+	return a == b // want `raw float comparison in rawEq \(deterministic via rawEq\)`
+}
+
+// bitEq is the approved form: the operands reaching == are uint64.
+//
+//reuse:deterministic
+func bitEq(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// waived records a provenance stamp on purpose, with a justification.
+//
+//reuse:deterministic
+func waived() int64 {
+	//reuse:allow-nondet provenance stamp, recorded alongside the hash, never inside it
+	return time.Now().UnixNano()
+}
+
+// badWaiver waives without saying why, which is itself a finding.
+//
+//reuse:deterministic
+func badWaiver() int64 {
+	//reuse:allow-nondet
+	return time.Now().UnixNano() // want `//reuse:allow-nondet waiver has no justification`
+}
+
+// unmarked is outside any deterministic closure: nothing here is checked.
+func unmarked(m map[string]int) int64 {
+	for range m {
+		break
+	}
+	return time.Now().UnixNano()
+}
+
+var (
+	_ = fingerprint
+	_ = count
+	_ = leaky
+	_ = stamps
+	_ = entropy
+	_ = pid
+	_ = rawEq
+	_ = bitEq
+	_ = waived
+	_ = badWaiver
+	_ = unmarked
+)

@@ -1,0 +1,35 @@
+// Package detfacts exercises the nondet-source fact: Stamp and Clock.Stamp
+// reach time.Now (directly or through an unexported helper) and are
+// exported, so they must be published; Pure must not, and neither must the
+// unexported reacher or a method on an unexported type.
+package detfacts
+
+import "time"
+
+func now() int64 { return time.Now().UnixNano() }
+
+// Stamp reaches time.Now through the helper.
+func Stamp() int64 { return now() }
+
+// Pure is deterministic: it must stay out of the fact.
+func Pure(a, b int) int { return a + b }
+
+// Clock is exported; its Stamp method reaches time.Now.
+type Clock struct{ last int64 }
+
+func (c *Clock) Stamp() int64 {
+	c.last = now()
+	return c.last
+}
+
+// hidden is unexported: its method reaches time.Now but is unreachable from
+// outside the package under its own name.
+type hidden struct{}
+
+func (hidden) Tick() int64 { return now() }
+
+var (
+	_ = Stamp
+	_ = Pure
+	_ = hidden{}
+)

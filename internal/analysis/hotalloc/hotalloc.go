@@ -28,8 +28,10 @@ import (
 	"go/constant"
 	"go/token"
 	"go/types"
+	"sort"
 
 	"reuseiq/internal/analysis"
+	"reuseiq/internal/analysis/callgraph"
 )
 
 const waiverName = "allow-alloc"
@@ -91,88 +93,40 @@ type index struct {
 }
 
 // buildIndex walks every module file, finds //reuse:hotpath roots and
-// function-level //reuse:allow-alloc waivers, builds the static call graph
-// between module FuncDecls, and closes the hot set over it. Waived
-// functions join the hot set (so an empty justification is reportable) but
-// do not propagate.
+// function-level //reuse:allow-alloc waivers, and closes the hot set over
+// the shared static call graph. Waived functions join the hot set (so an
+// empty justification is reportable) but do not propagate.
 func buildIndex(pass *analysis.Pass) *index {
 	idx := &index{
-		hot:         make(map[types.Object]string),
 		waivedFuncs: make(map[types.Object]string),
 	}
-	decls := make(map[types.Object]*ast.FuncDecl)
-	callees := make(map[types.Object][]types.Object)
-	var roots []types.Object
-	for _, f := range pass.ModuleFiles() {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok {
-				continue
-			}
-			obj := pass.TypesInfo.Defs[fd.Name]
-			if obj == nil {
-				continue
-			}
-			decls[obj] = fd
-			if _, ok := analysis.Marker(fd.Doc, "hotpath"); ok {
-				roots = append(roots, obj)
-			}
-			if why, ok := analysis.Marker(fd.Doc, waiverName); ok {
-				idx.waivedFuncs[obj] = why
-			}
-			if fd.Body == nil {
-				continue
-			}
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				if callee := calleeObject(pass.TypesInfo, call); callee != nil {
-					callees[obj] = append(callees[obj], callee)
-				}
-				return true
-			})
+	g := callgraph.Build(pass.TypesInfo, pass.ModuleFiles())
+	var roots []callgraph.Root
+	for obj, fd := range g.Decls {
+		if _, ok := analysis.Marker(fd.Doc, "hotpath"); ok {
+			roots = append(roots, callgraph.Root{Obj: obj, Label: obj.Name()})
+		}
+		if why, ok := analysis.Marker(fd.Doc, waiverName); ok {
+			idx.waivedFuncs[obj] = why
 		}
 	}
-	var visit func(obj types.Object, root string)
-	visit = func(obj types.Object, root string) {
-		if _, seen := idx.hot[obj]; seen {
-			return
-		}
-		if _, isDecl := decls[obj]; !isDecl {
-			return
-		}
-		idx.hot[obj] = root
-		if _, waived := idx.waivedFuncs[obj]; waived {
-			return
-		}
-		for _, callee := range callees[obj] {
-			visit(callee, root)
-		}
-	}
-	for _, r := range roots {
-		visit(r, r.Name())
-	}
+	// Map iteration above makes the root discovery order arbitrary; sort so
+	// the label a multiply-reached function gets is stable run to run.
+	sort.Slice(roots, func(i, j int) bool {
+		return g.Decls[roots[i].Obj].Pos() < g.Decls[roots[j].Obj].Pos()
+	})
+	idx.hot = g.Closure(roots, func(obj types.Object) bool {
+		_, waived := idx.waivedFuncs[obj]
+		return waived
+	})
 	return idx
 }
 
-// calleeObject resolves a call to the *types.Func it statically invokes
-// (plain functions and methods; not builtins, conversions, or func values).
+// calleeObject resolves a call to the *types.Func it statically invokes.
+// Kept as a local name for the checker below; the implementation lives in
+// the shared callgraph package.
 func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
-	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		id = fun
-	case *ast.SelectorExpr:
-		id = fun.Sel
-	default:
-		return nil
-	}
-	if fn, ok := info.Uses[id].(*types.Func); ok {
-		return fn
-	}
-	return nil
+	return callgraph.CalleeObject(info, call)
 }
 
 type checker struct {

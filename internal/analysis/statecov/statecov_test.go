@@ -1,0 +1,190 @@
+package statecov_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"reuseiq/internal/analysis"
+	"reuseiq/internal/analysis/analysistest"
+	"reuseiq/internal/analysis/statecov"
+)
+
+func TestStatecov(t *testing.T) {
+	analysistest.Run(t, statecov.Analyzer, "statecovtest")
+}
+
+func TestStatecovCodecGrammar(t *testing.T) {
+	analysistest.Run(t, statecov.Analyzer, "statecovcodec")
+}
+
+func loadRepoModule(t *testing.T) *analysis.Module {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+// TestCodecCoverage drives the codec cross-check over a real cross-package
+// struct: the testdata encoder skips isa.Inst.Target, and the finding must
+// anchor at that field and name the encoder side.
+func TestCodecCoverage(t *testing.T) {
+	mod := loadRepoModule(t)
+	extra, err := mod.CheckExtra("statecovwire", "testdata/src/statecovwire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run(mod, []*analysis.Analyzer{statecov.Analyzer}, []*analysis.Package{extra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		for _, f := range findings {
+			t.Logf("finding: %s: %s", mod.Position(f.Diagnostic.Pos), f.Diagnostic.Message)
+		}
+		t.Fatalf("finding count = %d, want exactly 1", len(findings))
+	}
+	msg := findings[0].Diagnostic.Message
+	if !strings.Contains(msg, "Inst.Target") || !strings.Contains(msg, "wire encoder") {
+		t.Fatalf("finding = %q, want Inst.Target missing from the wire encoder", msg)
+	}
+	pos := mod.Position(findings[0].Diagnostic.Pos)
+	if !strings.HasSuffix(pos.Filename, filepath.Join("internal", "isa", "inst.go")) {
+		t.Fatalf("finding anchored at %s, want the Target field in internal/isa/inst.go", pos)
+	}
+}
+
+// mutationCase is one drill from the acceptance checklist: deleting a
+// single field write from a real ExportState must make statecov report
+// exactly that field.
+type mutationCase struct {
+	name    string
+	file    string // module-relative file to mutate
+	line    string // exact line (sans newline) to delete
+	pkg     string // package pattern to analyze
+	wantSub string // required substring of the single finding
+}
+
+func TestMutationDrill(t *testing.T) {
+	cases := []mutationCase{
+		{
+			name:    "core-queue-orderGen",
+			file:    "internal/core/state.go",
+			line:    "\t\tOrderGen:   q.orderGen,",
+			pkg:     "./internal/core",
+			wantSub: "Queue.orderGen is not written by ExportState",
+		},
+		{
+			name:    "rename-intFree",
+			file:    "internal/rename/state.go",
+			line:    "\t\tIntFree:  append([]int(nil), r.intFree...),",
+			pkg:     "./internal/rename",
+			wantSub: "RegFile.intFree is not written by ExportState",
+		},
+		{
+			name:    "rob-head",
+			file:    "internal/rob/state.go",
+			line:    "\t\tHead:   r.head,",
+			pkg:     "./internal/rob",
+			wantSub: "ROB.head is not written by ExportState",
+		},
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tmp := t.TempDir()
+			copyModule(t, root, tmp)
+			path := filepath.Join(tmp, filepath.FromSlash(tc.file))
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mutated := strings.Replace(string(src), tc.line+"\n", "", 1)
+			if mutated == string(src) {
+				t.Fatalf("mutation line %q not found in %s", tc.line, tc.file)
+			}
+			if err := os.WriteFile(path, []byte(mutated), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			mod, err := analysis.LoadModule(tmp, tc.pkg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			findings, err := analysis.Run(mod, []*analysis.Analyzer{statecov.Analyzer}, mod.Packages)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(findings) != 1 {
+				for _, f := range findings {
+					t.Logf("finding: %s: %s", mod.Position(f.Diagnostic.Pos), f.Diagnostic.Message)
+				}
+				t.Fatalf("finding count = %d, want exactly 1", len(findings))
+			}
+			if msg := findings[0].Diagnostic.Message; !strings.Contains(msg, tc.wantSub) {
+				t.Fatalf("finding = %q, want substring %q", msg, tc.wantSub)
+			}
+		})
+	}
+}
+
+// copyModule copies go.mod and every non-test source file of the module at
+// root into dst, preserving layout. testdata trees and dot-directories are
+// skipped: the drill analyzes production code only.
+func copyModule(t *testing.T, root, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if rel != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(rel, ".go") && rel != "go.mod" {
+			return nil
+		}
+		if strings.HasSuffix(rel, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(out, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

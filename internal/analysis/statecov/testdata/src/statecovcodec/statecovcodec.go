@@ -1,0 +1,22 @@
+// Package statecovcodec seeds the codec-marker grammar violations: a
+// malformed side marker and an encoder with no decoder.
+package statecovcodec
+
+type frame struct {
+	A int
+}
+
+// sideways has a side that is neither encode nor decode.
+//
+//reuse:codec sideways
+func sideways(f *frame) { _ = f.A } // want `//reuse:codec marker must say encode or decode, got "sideways"`
+
+// encodeFrame has no matching decode in the package.
+//
+//reuse:codec encode
+func encodeFrame(f *frame) int { return f.A } // want `//reuse:codec encode has no matching //reuse:codec decode function in this package`
+
+var (
+	_ = sideways
+	_ = encodeFrame
+)

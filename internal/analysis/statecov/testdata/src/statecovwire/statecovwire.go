@@ -1,0 +1,30 @@
+// Package statecovwire seeds a codec coverage gap over a real
+// cross-package struct: the encoder skips isa.Inst.Target while the decoder
+// restores it, so statecov must anchor a finding at the Target field in the
+// isa package. Checked by TestCodecCoverage rather than // want comments,
+// because the finding lands outside this package.
+package statecovwire
+
+import "reuseiq/internal/isa"
+
+//reuse:codec encode
+func encodeInst(in *isa.Inst) []int64 {
+	return []int64{int64(in.Op), int64(in.Rd), int64(in.Rs), int64(in.Rt), int64(in.Imm)}
+}
+
+//reuse:codec decode
+func decodeInst(w []int64) isa.Inst {
+	return isa.Inst{
+		Op:     isa.Op(w[0]),
+		Rd:     uint8(w[1]),
+		Rs:     uint8(w[2]),
+		Rt:     uint8(w[3]),
+		Imm:    int32(w[4]),
+		Target: uint32(w[5]),
+	}
+}
+
+var (
+	_ = encodeInst
+	_ = decodeInst
+)

@@ -7,6 +7,8 @@ package bpred
 import "reuseiq/internal/isa"
 
 // Config sizes the predictor structures.
+//
+//reuse:transient configuration; fixed at construction and fingerprinted wholesale by the snapshot layer's ConfigHash
 type Config struct {
 	BimodEntries int // power of two
 	BTBSets      int

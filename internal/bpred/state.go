@@ -9,7 +9,8 @@ type BTBLineState struct {
 	Valid  bool
 	Tag    uint32
 	Target uint32
-	LRU    uint64
+	//reuse:nodigest recency stamp; the engine checks LRU recency deltas separately before engaging
+	LRU uint64
 }
 
 // State is the serializable image of a Predictor.
@@ -19,20 +20,22 @@ type State struct {
 	RAS    []uint32
 	RASTop int
 	RASCnt int
-	Stamp  uint64
+	//reuse:nodigest recency stamp; the engine checks LRU recency deltas separately before engaging
+	Stamp uint64
 
+	//reuse:nodigest monotonic statistics, extrapolated across a skip by the fast-forward engine
 	Lookups, Updates, BTBLookups, BTBUpdates, RASOps uint64
 }
 
 // ExportState returns a deep copy of the predictor's state.
 func (p *Predictor) ExportState() State {
 	st := State{
-		Bimod:  append([]uint8(nil), p.bimod...),
-		BTB:    make([]BTBLineState, 0, p.cfg.BTBSets*p.cfg.BTBWays),
-		RAS:    append([]uint32(nil), p.ras...),
-		RASTop: p.rasTop,
-		RASCnt: p.rasCnt,
-		Stamp:  p.stamp,
+		Bimod:   append([]uint8(nil), p.bimod...),
+		BTB:     make([]BTBLineState, 0, p.cfg.BTBSets*p.cfg.BTBWays),
+		RAS:     append([]uint32(nil), p.ras...),
+		RASTop:  p.rasTop,
+		RASCnt:  p.rasCnt,
+		Stamp:   p.stamp,
 		Lookups: p.Lookups, Updates: p.Updates,
 		BTBLookups: p.BTBLookups, BTBUpdates: p.BTBUpdates, RASOps: p.RASOps,
 	}

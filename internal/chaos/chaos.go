@@ -77,6 +77,7 @@ type Counters struct {
 // identical to the unwrapped source's and the count fully determines the
 // stream position.
 type countingSource struct {
+	//reuse:transient a live rand.Source cannot be serialized; import reseeds from cfg.Seed and replays Draws draws
 	src   rand.Source
 	draws uint64
 }
@@ -91,8 +92,10 @@ func (s *countingSource) Seed(seed int64) { s.src.Seed(seed) }
 // Injector rolls the dice. All methods are safe on a nil receiver (no-op),
 // so the pipeline's fast paths need no nil checks at each call site.
 type Injector struct {
+	//reuse:transient configuration; fixed at construction and fingerprinted by the snapshot layer's ConfigHash
 	cfg Config
 	src countingSource
+	//reuse:transient fixed wrapper over src, wired at construction; restored by reseeding and replaying src
 	rng *rand.Rand
 
 	C Counters

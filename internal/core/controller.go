@@ -141,7 +141,9 @@ type Stats struct {
 // decode-stage detector, which shifts timing by a cycle without changing
 // behaviour (dispatch is in order).
 type Controller struct {
-	cfg  Config
+	//reuse:transient configuration; fixed at construction and fingerprinted by the snapshot layer's ConfigHash
+	cfg Config
+	//reuse:transient back-reference to the managed queue, wired at construction; the queue restores through its own pair
 	q    *Queue
 	nblt *NBLT
 
@@ -158,12 +160,14 @@ type Controller struct {
 	reuseOrd      int    // reuse pointer, as an ordinal over classified entries
 	wraps         uint64 // reuse-pointer wrap-arounds (see Wraps)
 
+	//reuse:transient scratch reused by ReusableEntries; never live across a cycle boundary
 	reusable []int // scratch for ReusableEntries
 
 	// Hook, when non-nil, observes state transitions, buffered iterations
 	// and NBLT activity (the telemetry tracer's tap). Calls are synchronous
 	// and must not re-enter the controller.
 	//reuse:nilguard
+	//reuse:transient observer hook; the host re-attaches it after a restore
 	Hook func(CtlEvent)
 
 	S Stats

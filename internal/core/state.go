@@ -16,13 +16,19 @@ import (
 // SlotMetaState is the exported image of one slot's internal bookkeeping
 // (program-order links, pending-store links, ready-list position).
 type SlotMetaState struct {
-	Next, Prev   int32
-	SNext, SPrev int32
-	OrderKey     uint64
-	ReadyPos     int32
-	Pending      int8
-	Valid        bool
-	InStore      bool
+	Next int32
+	//reuse:nodigest dual of Next; the digest hashes the forward order chain only
+	Prev  int32
+	SNext int32
+	//reuse:nodigest dual of SNext; the digest hashes the forward store chain only
+	SPrev    int32
+	OrderKey uint64
+	//reuse:nodigest position in ReadySlots, whose order is hashed directly
+	ReadyPos int32
+	Pending  int8
+	//reuse:nodigest derived: the order walk from Head visits exactly the valid slots
+	Valid   bool
+	InStore bool
 }
 
 // QueueState is the complete serializable image of a Queue. Free-stack order
@@ -35,8 +41,12 @@ type QueueState struct {
 	Slots []Entry
 	Meta  []SlotMetaState
 
-	Head, Tail, FreeTop int32
-	OrderGen            uint64
+	Head int32
+	//reuse:nodigest derived: the tail of the order chain hashed from Head
+	Tail int32
+	//reuse:nodigest free-stack order is a slot-label permutation, erased by the relabeling
+	FreeTop  int32
+	OrderGen uint64
 
 	Classified int
 	ClassSlots []int32
@@ -44,11 +54,18 @@ type QueueState struct {
 
 	ReadySlots []int32
 
-	WNext, WPrev, WReg []int32
-	IntWait, FPWait    []int32
+	WNext []int32
+	//reuse:nodigest dual of WNext; the digest hashes the forward wakeup chains only
+	WPrev []int32
+	//reuse:nodigest physical-register label, erased by the relabeling
+	WReg            []int32
+	IntWait, FPWait []int32
 
-	StoreHead, StoreTail int32
+	StoreHead int32
+	//reuse:nodigest derived: the tail of the store chain hashed from StoreHead
+	StoreTail int32
 
+	//reuse:nodigest monotonic statistics, extrapolated across a skip by the fast-forward engine
 	Dispatches, PartialUpdates, IssueReads, Removals, Collapses, SelectScans uint64
 }
 
@@ -273,15 +290,16 @@ type NBLTState struct {
 	Valid []bool
 	Next  int
 
+	//reuse:nodigest monotonic statistics, extrapolated across a skip by the fast-forward engine
 	Lookups, Hits, Inserts uint64
 }
 
 // ExportState returns a deep copy of the table's state.
 func (n *NBLT) ExportState() NBLTState {
 	return NBLTState{
-		Addrs: append([]uint32(nil), n.addrs...),
-		Valid: append([]bool(nil), n.valid...),
-		Next:  n.next,
+		Addrs:   append([]uint32(nil), n.addrs...),
+		Valid:   append([]bool(nil), n.valid...),
+		Next:    n.next,
 		Lookups: n.Lookups, Hits: n.Hits, Inserts: n.Inserts,
 	}
 }
@@ -319,7 +337,10 @@ type ControllerState struct {
 	LastIterSize  int
 	FirstIterDone bool
 	ReuseOrd      int
+	//reuse:nodigest wrap deltas are probed separately by the engine's wrap veto
+	Wraps uint64
 
+	//reuse:nodigest monotonic statistics, extrapolated across a skip by the fast-forward engine
 	S    Stats
 	NBLT NBLTState
 }
@@ -335,6 +356,7 @@ func (c *Controller) ExportState() ControllerState {
 		LastIterSize:  c.lastIterSize,
 		FirstIterDone: c.firstIterDone,
 		ReuseOrd:      c.reuseOrd,
+		Wraps:         c.wraps,
 		S:             c.S,
 		NBLT:          c.nblt.ExportState(),
 	}
@@ -369,6 +391,7 @@ func (c *Controller) ImportState(st ControllerState) error {
 	c.lastIterSize = st.LastIterSize
 	c.firstIterDone = st.FirstIterDone
 	c.reuseOrd = st.ReuseOrd
+	c.wraps = st.Wraps
 	c.S = st.S
 	return nil
 }

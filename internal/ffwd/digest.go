@@ -69,6 +69,8 @@ func relu(a, b uint64) uint64 {
 
 // digest computes the canonical structural hash of st.
 //
+//reuse:digest
+//reuse:deterministic
 //reuse:allow-alloc cold armed-path helper; runs at most a few times per engage attempt
 func digest(st *pipeline.MachineState) uint64 {
 	d := newHasher()

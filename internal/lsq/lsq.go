@@ -18,8 +18,10 @@ type Entry struct {
 
 	// Store data, captured at execute.
 	DataReady bool
-	DataI     int32
-	DataF     float64
+	//reuse:nodigest architectural value; the digest hashes microarchitectural structure, values are extrapolated
+	DataI int32
+	//reuse:nodigest architectural value; the digest hashes microarchitectural structure, values are extrapolated
+	DataF float64
 
 	Done bool // executed (loads: value obtained; stores: addr+data ready)
 }

@@ -10,15 +10,16 @@ type State struct {
 	Head  int
 	Count int
 
+	//reuse:nodigest monotonic statistics, extrapolated across a skip by the fast-forward engine
 	Allocs, Searches, Forwards, ConflictStalls uint64
 }
 
 // ExportState returns a deep copy of the queue's state.
 func (q *LSQ) ExportState() State {
 	return State{
-		Ring:  append([]Entry(nil), q.ring...),
-		Head:  q.head,
-		Count: q.count,
+		Ring:   append([]Entry(nil), q.ring...),
+		Head:   q.head,
+		Count:  q.count,
 		Allocs: q.Allocs, Searches: q.Searches,
 		Forwards: q.Forwards, ConflictStalls: q.ConflictStalls,
 	}

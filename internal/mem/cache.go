@@ -7,6 +7,8 @@ package mem
 import "fmt"
 
 // CacheConfig describes one cache.
+//
+//reuse:transient configuration; fixed at construction and fingerprinted wholesale by the snapshot layer's ConfigHash
 type CacheConfig struct {
 	Name      string
 	Sets      int // number of sets (power of two)
@@ -44,9 +46,10 @@ type line struct {
 
 // Cache is a set-associative tag array with LRU replacement.
 type Cache struct {
-	cfg              CacheConfig
-	sets             [][]line
-	stamp            uint64
+	cfg   CacheConfig
+	sets  [][]line
+	stamp uint64
+	//reuse:transient derived geometry, recomputed from cfg at construction
 	offBits, setBits uint
 
 	Accesses   uint64

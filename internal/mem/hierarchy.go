@@ -11,7 +11,8 @@ type TLBConfig struct {
 
 // TLB is a small cache of page numbers.
 type TLB struct {
-	cache   *Cache
+	cache *Cache
+	//reuse:transient access latency, fixed at construction from config
 	missLat int
 }
 
@@ -70,7 +71,8 @@ type Hierarchy struct {
 	L1I, L1D, L2 *Cache
 	L0I          *Cache // nil unless the filter cache is configured
 	ITLB, DTLB   *TLB
-	cfg          HierarchyConfig
+	//reuse:transient configuration; fixed at construction and fingerprinted by the snapshot layer's ConfigHash
+	cfg HierarchyConfig
 
 	// L2WritebackAccesses counts L2 writes caused by dirty L1D evictions.
 	// They occur off the critical path and are tracked for the power model

@@ -10,23 +10,26 @@ type LineState struct {
 	Valid bool
 	Dirty bool
 	Tag   uint32
-	LRU   uint64
+	//reuse:nodigest recency stamp; the engine checks LRU recency deltas separately before engaging
+	LRU uint64
 }
 
 // CacheState is the serializable image of a Cache: all lines flattened
 // row-major (set-major, way-minor) plus the LRU stamp and activity counters.
 type CacheState struct {
 	Lines []LineState
+	//reuse:nodigest recency stamp; the engine checks LRU recency deltas separately before engaging
 	Stamp uint64
 
+	//reuse:nodigest monotonic statistics, extrapolated across a skip by the fast-forward engine
 	Accesses, Misses, Writebacks uint64
 }
 
 // ExportState returns a deep copy of the cache's state.
 func (c *Cache) ExportState() CacheState {
 	st := CacheState{
-		Lines: make([]LineState, 0, c.cfg.Sets*c.cfg.Ways),
-		Stamp: c.stamp,
+		Lines:    make([]LineState, 0, c.cfg.Sets*c.cfg.Ways),
+		Stamp:    c.stamp,
 		Accesses: c.Accesses, Misses: c.Misses, Writebacks: c.Writebacks,
 	}
 	for _, set := range c.sets {
@@ -70,6 +73,7 @@ type HierarchyState struct {
 	L0I          CacheState
 	ITLB, DTLB   CacheState
 
+	//reuse:nodigest monotonic statistics, extrapolated across a skip by the fast-forward engine
 	L2WritebackAccesses uint64
 }
 

@@ -36,6 +36,8 @@ func SanitizeMetricName(name string) string {
 // derived per-second rate gauges (when prev is present and older), gauges,
 // then histograms. A nil cur renders only an explanatory comment, so an
 // early scrape is well-formed.
+//
+//reuse:deterministic
 func WriteExposition(w io.Writer, cur, prev *Sample) error {
 	if cur == nil || cur.Metrics == nil {
 		_, err := fmt.Fprintln(w, "# no sample published yet")

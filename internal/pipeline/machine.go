@@ -106,7 +106,9 @@ type execEntry struct {
 
 // Machine is one simulated processor instance bound to a program.
 type Machine struct {
-	Cfg  Config
+	//reuse:transient configuration; the snapshot wire format fingerprints it via ConfigHash and Resume rebuilds from it
+	Cfg Config
+	//reuse:transient the loaded program; fingerprinted via ProgramHash, its mutable memory restores through Mem's pair
 	Prog *prog.Program
 
 	Mem  *prog.Memory // architectural data memory (committed state)
@@ -130,14 +132,18 @@ type Machine struct {
 	fetchQ          []fetched
 	decodeLat       []fetched
 	execQ           []execEntry
-	done            []execEntry // writeback scratch (completions this cycle)
-	cands           []issueCand // issue scratch (sorted ready candidates)
-	halted          bool
-	lastCommit      uint64
+	//reuse:transient writeback scratch; never live across a cycle boundary
+	done []execEntry // writeback scratch (completions this cycle)
+	//reuse:transient issue scratch; never live across a cycle boundary
+	cands      []issueCand // issue scratch (sorted ready candidates)
+	halted     bool
+	lastCommit uint64
 
 	// commitLog, when enabled via LogCommits, records the PC of every
 	// committed instruction (used by differential tests).
-	commitLog  []uint32
+	//reuse:transient debugging capture owned by differential tests, not machine state
+	commitLog []uint32
+	//reuse:transient debugging knob owned by differential tests
 	LogCommits bool
 
 	// Chaos is the fault injector, non-nil when Cfg.Chaos.Enabled. Its
@@ -148,35 +154,42 @@ type Machine struct {
 	// program order (the lockstep oracle's hook). A returned error stops
 	// the machine: Run returns it, and no further cycles execute.
 	//reuse:nilguard
+	//reuse:transient observer hook; the host re-attaches it after a restore
 	OnCommit func(Commit) error
 
 	// OnCycle, when non-nil, runs after every completed cycle (the
 	// invariant checker's hook). A returned error stops the machine like
 	// an OnCommit error.
 	//reuse:nilguard
+	//reuse:transient observer hook; the host re-attaches it after a restore
 	OnCycle func() error
 
 	// hookErr latches the first error returned by OnCommit or OnCycle.
+	//reuse:transient hook plumbing; a machine that latched an error stops and is not snapshotted mid-failure
 	hookErr error
 
 	// DebugIssue, when non-nil, receives a line per issued instruction
 	// (debugging aid for tests).
 	//reuse:nilguard
+	//reuse:transient debugging hook; the host re-attaches it after a restore
 	DebugIssue func(seq uint64, pc uint32, desc string)
 
 	// Trace, when non-nil, receives one line per notable event.
 	//reuse:nilguard
+	//reuse:transient debugging hook; the host re-attaches it after a restore
 	Trace func(format string, args ...any)
 
 	// Rec, when non-nil, records per-instruction pipeline timing for the
 	// first Rec.Max dispatched instructions.
 	//reuse:nilguard
+	//reuse:transient observation capture; the host re-attaches the recorder after a restore
 	Rec *trace.Recorder
 
 	// Tel, when non-nil, receives structured telemetry (RIQ state
 	// transitions, session audit, instruction lifecycles, chaos events).
 	// Install with AttachTelemetry; nil costs one pointer check per tap.
 	//reuse:nilguard
+	//reuse:transient observation capture; AttachTelemetry re-installs the tracer after a restore
 	Tel *telemetry.Tracer
 
 	// telSeq is the exclusive per-instruction tap threshold, cached from
@@ -185,6 +198,7 @@ type Machine struct {
 	// per-instruction guard is a single scalar compare instead of a
 	// pointer chase into the tracer — the taps sit on every stage of
 	// every instruction, where the difference is measurable.
+	//reuse:transient cached tap threshold, recomputed by AttachTelemetry
 	telSeq uint64
 
 	// OnSample, when non-nil, runs every SampleEvery cycles at the end of
@@ -192,9 +206,12 @@ type Machine struct {
 	// (internal/obs) publish from. Nil-guarded like OnCycle: one pointer
 	// check per cycle when disabled. Install with AttachSampler.
 	//reuse:nilguard
-	OnSample    func()
+	//reuse:transient observer hook; AttachSampler re-installs it after a restore
+	OnSample func()
+	//reuse:transient sampling knob owned by the host observer, re-armed by AttachSampler
 	SampleEvery uint64
-	sampleLeft  uint64
+	//reuse:transient sampling countdown, re-armed by AttachSampler
+	sampleLeft uint64
 
 	// ExactState declares that a consumer checkpoints, diffs, or replays
 	// this machine's intermediate states byte-for-byte (the flight recorder
@@ -202,6 +219,7 @@ type Machine struct {
 	// counters but not the bit-exact microarchitectural arrangement — the
 	// fast-forward engine's analytic loop skip — must stand down while it
 	// is set. Bit-exact shortcuts (the idle-cycle skip) are unaffected.
+	//reuse:transient consumer declaration set by the host (flight recorder), not machine state
 	ExactState bool
 
 	// FF, when non-nil, is consulted between cycles by RunBreakable and
@@ -209,6 +227,7 @@ type Machine struct {
 	// (the internal/ffwd engine). Nil-guarded: one pointer check per
 	// cycle when disabled. An error aborts the run like a hook error.
 	//reuse:nilguard
+	//reuse:transient acceleration hook; the host re-attaches the engine after a restore
 	FF FastForwarder
 }
 

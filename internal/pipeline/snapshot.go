@@ -45,8 +45,10 @@ type ExecState struct {
 	ROBSlot int
 	Seq     uint64
 	Done    uint64 // absolute completion cycle
-	ValI    int32
-	ValF    float64
+	//reuse:nodigest architectural value; the digest hashes microarchitectural structure, values are extrapolated
+	ValI int32
+	//reuse:nodigest architectural value; the digest hashes microarchitectural structure, values are extrapolated
+	ValF float64
 }
 
 // MachineState is the complete serializable image of a Machine, aggregating
@@ -59,24 +61,28 @@ type MachineState struct {
 	FetchStallUntil uint64
 	FetchHalted     bool
 	Halted          bool
-	LastCommit      uint64
+	//reuse:nodigest watchdog bookkeeping, extrapolated across a skip like the counters
+	LastCommit uint64
 
+	//reuse:nodigest monotonic counters, extrapolated across a skip by the fast-forward engine
 	C Counters
 
 	FetchQ    []FetchedState
 	DecodeLat []FetchedState
 	ExecQ     []ExecState
 
+	//reuse:nodigest architectural data memory; the digest hashes microarchitectural structure, values are extrapolated
 	Pages []prog.PageImage
 
-	RF    rename.State
-	ROB   rob.State
-	LSQ   lsq.State
-	IQ    core.QueueState
-	Ctl   core.ControllerState
-	Hier  mem.HierarchyState
-	BP    bpred.State
-	FUs   fu.State
+	RF   rename.State
+	ROB  rob.State
+	LSQ  lsq.State
+	IQ   core.QueueState
+	Ctl  core.ControllerState
+	Hier mem.HierarchyState
+	BP   bpred.State
+	FUs  fu.State
+	//reuse:nodigest the engine stands down under chaos injection; a faulted run is never a provable steady state
 	Chaos chaos.State
 
 	HasLC bool
@@ -87,6 +93,9 @@ type MachineState struct {
 // (never from inside a Step hook other than OnCycle/OnSample, which run at
 // cycle end); RunBreakable's break points and the experiment harness's
 // checkpoint tap both satisfy this.
+//
+//reuse:export
+//reuse:deterministic
 func (m *Machine) Snapshot() *MachineState {
 	st := &MachineState{
 		Cycle:           m.cycle,
@@ -150,6 +159,8 @@ func Resume(cfg Config, p *prog.Program, st *MachineState) (*Machine, error) {
 }
 
 // load applies st to a freshly built machine.
+//
+//reuse:import
 func (m *Machine) load(st *MachineState) error {
 	cfg := &m.Cfg
 	if len(st.FetchQ) > cfg.FetchQueueSize+cfg.FetchWidth {

@@ -22,6 +22,8 @@ type PageImage struct {
 }
 
 // ExportPages returns the touched pages sorted by page number.
+//
+//reuse:export
 func (m *Memory) ExportPages() []PageImage {
 	pages := make([]PageImage, 0, len(m.pages))
 	for pn, pg := range m.pages {
@@ -33,6 +35,8 @@ func (m *Memory) ExportPages() []PageImage {
 
 // ImportPages replaces the memory's contents with the given pages, which
 // must be strictly ascending by page number.
+//
+//reuse:import
 func (m *Memory) ImportPages(pages []PageImage) error {
 	for i := range pages {
 		if pages[i].Num >= MaxPages {

@@ -30,6 +30,7 @@ type RegFile struct {
 
 	// scratch is reused by CheckInvariants, which runs every cycle under
 	// the lockstep invariant checker and must not allocate.
+	//reuse:transient scratch for CheckInvariants; never live across a cycle boundary
 	scratch []bool
 }
 

@@ -11,7 +11,9 @@ import (
 
 // State is the serializable image of a RegFile.
 type State struct {
-	IntVals  []int32
+	//reuse:nodigest architectural value; the digest hashes microarchitectural structure, values are extrapolated
+	IntVals []int32
+	//reuse:nodigest architectural value; the digest hashes microarchitectural structure, values are extrapolated
 	FPVals   []float64
 	IntReady []bool
 	FPReady  []bool
@@ -20,6 +22,7 @@ type State struct {
 	IntFree  []int // stack, bottom first
 	FPFree   []int
 
+	//reuse:nodigest monotonic statistics, extrapolated across a skip by the fast-forward engine
 	Renames, MapReads, Reads, Writes uint64
 }
 

@@ -18,6 +18,7 @@ type Entry struct {
 	HasDest bool
 	Dest    isa.Reg
 	NewPhys int
+	//reuse:nodigest the pre-rename mapping, a physical label freed at commit; erased by the relabeling
 	OldPhys int
 
 	Done bool // executed and written back
@@ -51,6 +52,7 @@ type ROB struct {
 	Allocs  uint64
 	Commits uint64
 
+	//reuse:transient scratch whose contents SquashAfter returns; never live across a cycle boundary
 	squashed []Entry // scratch returned by SquashAfter
 }
 

@@ -13,16 +13,17 @@ type State struct {
 	Head  int
 	Count int
 
+	//reuse:nodigest monotonic statistics, extrapolated across a skip by the fast-forward engine
 	Allocs, Commits uint64
 }
 
 // ExportState returns a deep copy of the buffer's state.
 func (r *ROB) ExportState() State {
 	return State{
-		Ring:  append([]Entry(nil), r.ring...),
-		Used:  append([]bool(nil), r.used...),
-		Head:  r.head,
-		Count: r.count,
+		Ring:   append([]Entry(nil), r.ring...),
+		Used:   append([]bool(nil), r.used...),
+		Head:   r.head,
+		Count:  r.count,
 		Allocs: r.Allocs, Commits: r.Commits,
 	}
 }

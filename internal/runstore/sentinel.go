@@ -148,6 +148,8 @@ func (r *Report) WriteText(w io.Writer) error {
 // (the chaos seed is part of the config hash, so even fault-injected runs
 // repeat exactly). Wall times get a median/MAD robust outlier test instead —
 // host timing legitimately varies.
+//
+//reuse:deterministic
 func Sentinel(recs []Record) *Report {
 	byFP := make(map[string][]*Record)
 	var order []string

@@ -63,6 +63,7 @@ func chaosCounterPtrs(c *chaos.Counters) []*uint64 {
 
 // ---------------------------------------------------------------- encode --
 
+//reuse:codec encode
 func encodeState(w *writer, st *pipeline.MachineState) {
 	w.u32(secMachine)
 	w.u64(st.Cycle)
@@ -327,6 +328,7 @@ func encodeCtl(w *writer, st *core.ControllerState) {
 	w.vInt(st.LastIterSize)
 	w.bool(st.FirstIterDone)
 	w.vInt(st.ReuseOrd)
+	w.u64(st.Wraps)
 	for _, p := range statPtrs(&st.S) {
 		w.u64(*p)
 	}
@@ -415,17 +417,18 @@ type dims struct {
 	cfg pipeline.Config // normalized
 }
 
-func (d *dims) iqSize() int   { return d.cfg.IQSize }
-func (d *dims) robSize() int  { return d.cfg.ROBSize }
-func (d *dims) lsqSize() int  { return d.cfg.LSQSize }
-func (d *dims) intPhys() int  { return d.cfg.IntPhysRegs }
-func (d *dims) fpPhys() int   { return d.cfg.FPPhysRegs }
-func (d *dims) fetchQ() int   { return d.cfg.FetchQueueSize + d.cfg.FetchWidth }
+func (d *dims) iqSize() int    { return d.cfg.IQSize }
+func (d *dims) robSize() int   { return d.cfg.ROBSize }
+func (d *dims) lsqSize() int   { return d.cfg.LSQSize }
+func (d *dims) intPhys() int   { return d.cfg.IntPhysRegs }
+func (d *dims) fpPhys() int    { return d.cfg.FPPhysRegs }
+func (d *dims) fetchQ() int    { return d.cfg.FetchQueueSize + d.cfg.FetchWidth }
 func (d *dims) decodeLat() int { return d.cfg.DecodeWidth }
 
 func cacheLines(c mem.CacheConfig) int { return c.Sets * c.Ways }
 func tlbLines(c mem.TLBConfig) int     { return c.Sets * c.Ways }
 
+//reuse:codec decode
 func decodeState(r *reader, d *dims) *pipeline.MachineState {
 	st := &pipeline.MachineState{}
 	r.tag(secMachine, "machine")
@@ -716,6 +719,7 @@ func decodeCtl(r *reader, d *dims, st *core.ControllerState) {
 	st.LastIterSize = r.vInt()
 	st.FirstIterDone = r.boolean()
 	st.ReuseOrd = r.vInt()
+	st.Wraps = r.u64()
 	for _, p := range statPtrs(&st.S) {
 		*p = r.u64()
 	}

@@ -24,6 +24,8 @@ type Fingerprint struct {
 }
 
 // FingerprintOf fingerprints a configuration/program pair.
+//
+//reuse:deterministic
 func FingerprintOf(cfg pipeline.Config, p *prog.Program) Fingerprint {
 	return Fingerprint{Config: ConfigHash(cfg), Program: ProgramHash(p)}
 }

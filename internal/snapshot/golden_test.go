@@ -13,15 +13,15 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden files")
 
-// TestSnapshotGoldenWireFormat pins the version-1 wire format byte for byte:
+// TestSnapshotGoldenWireFormat pins the version-2 wire format byte for byte:
 // a deterministic tiny machine snapshotted at a fixed cycle must serialize
-// to exactly the bytes in testdata/snapshot_v1.golden. Any codec change —
+// to exactly the bytes in testdata/snapshot_v2.golden. Any codec change —
 // field order, width, a new section — fails this test; if the change is
 // intentional, the format Version must be bumped and the golden regenerated
 // with -update.
 func TestSnapshotGoldenWireFormat(t *testing.T) {
 	img, _, _ := tinySnapshot(t)
-	golden := filepath.Join("testdata", "snapshot_v1.golden")
+	golden := filepath.Join("testdata", "snapshot_v2.golden")
 
 	if *update {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {

@@ -43,7 +43,7 @@ const Magic = "REUSEIQS"
 
 // Version is the wire format version. Bump on any incompatible layout
 // change; Restore rejects other versions with ErrVersion.
-const Version uint32 = 1
+const Version uint32 = 2
 
 // Sentinel errors, matchable with errors.Is through the wrapped chain.
 var (
@@ -82,6 +82,8 @@ type configFingerprint struct {
 // a config and its defaulted form hash identically, and flattens the
 // LoopCache pointer (hashing presence plus pointee) so the hash depends only
 // on values, never addresses.
+//
+//reuse:deterministic
 func ConfigHash(cfg pipeline.Config) uint64 {
 	c := cfg.Normalized()
 	v := configFingerprint{
@@ -106,6 +108,8 @@ func ConfigHash(cfg pipeline.Config) uint64 {
 // ProgramHash fingerprints a program's text and entry point. The initial
 // data image is deliberately excluded: the snapshot carries the full
 // architectural memory, so initial data never influences a restored run.
+//
+//reuse:deterministic
 func ProgramHash(p *prog.Program) uint64 {
 	h := fnv.New64a()
 	var buf [4]byte
@@ -134,6 +138,8 @@ func Save(w io.Writer, m *pipeline.Machine) error {
 // Write serializes an already-captured machine state. Split from Save so
 // callers that captured a state earlier (e.g. a checkpoint taken mid-run and
 // written after) can encode it against the config it was taken under.
+//
+//reuse:deterministic
 func Write(w io.Writer, st *pipeline.MachineState, cfg pipeline.Config, p *prog.Program) error {
 	ww := newWriter(w)
 	defer ww.release()

@@ -280,6 +280,8 @@ func MarshalEvent(e Event) []byte { return AppendEvent(nil, e) }
 // recorder streams every event through this with a reused scratch buffer).
 // TestAppendEventCanonical pins byte equality with the encoding/json
 // rendering of jsonlEvent.
+//
+//reuse:deterministic
 func AppendEvent(dst []byte, e Event) []byte {
 	dst = append(dst, `{"cycle":`...)
 	dst = strconv.AppendUint(dst, e.Cycle, 10)

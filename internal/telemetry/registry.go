@@ -155,6 +155,8 @@ type MetricsSnapshot struct {
 // snapshots verbatim and diffs them across runs and processes, so two
 // registries holding the same metrics must snapshot identically no matter
 // what order their components registered in.
+//
+//reuse:deterministic
 func (r *Registry) TypedSnapshot() *MetricsSnapshot {
 	ms := &MetricsSnapshot{
 		Counters: make([]CounterPoint, len(r.names)),

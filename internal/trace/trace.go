@@ -99,6 +99,8 @@ func (r *Recorder) Records() []InstRecord {
 // cycle, with D=dispatch, I=issue, C=complete, T=commit (retire), '=' while
 // in flight, 'x' for squashed instructions, and 'R' prefixing reused
 // instances.
+//
+//reuse:deterministic
 func (r *Recorder) Render(w io.Writer) {
 	recs := r.Records()
 	if len(recs) == 0 {
